@@ -1,0 +1,228 @@
+package nodb
+
+// One benchmark per figure of the paper's evaluation section (§5). Each
+// benchmark regenerates the corresponding experiment at the Small scale
+// and reports the figure's headline quantity as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every table and figure shape end to end. cmd/nodbbench runs
+// the same experiments at larger scales and prints the full series.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"nodb/internal/bench"
+)
+
+// benchConfig sizes experiments for the benchmark harness: large enough
+// for the adaptive effects to show, small enough to iterate.
+func benchConfig(b *testing.B) bench.Config {
+	cfg := bench.Small(b.TempDir())
+	return cfg
+}
+
+// lastFloat extracts the trailing numeric cell of a report row.
+func lastFloat(cells []string) float64 {
+	s := cells[len(cells)-1]
+	s = strings.TrimSuffix(s, "x")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func runFigure(b *testing.B, id string, metric func(*bench.Report, *testing.B)) {
+	b.Helper()
+	cfg := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			metric(rep, b)
+		}
+	}
+}
+
+// BenchmarkFig3PositionalMapBudget regenerates Fig 3: average query time
+// as the positional map budget sweeps from ~0 to unlimited. Metric:
+// slowdown of the smallest budget relative to unlimited (paper: >2x).
+func BenchmarkFig3PositionalMapBudget(b *testing.B) {
+	runFigure(b, "fig3", func(rep *bench.Report, b *testing.B) {
+		b.ReportMetric(lastFloat(rep.Rows[0]), "tiny-vs-unlimited-x")
+	})
+}
+
+// BenchmarkFig4Scalability regenerates Fig 4: linear scaling of query time
+// with file size under an unlimited positional map. Metric: time ratio of
+// largest to smallest file in the vary-tuples series (paper: linear, so
+// about the size ratio, 8x here).
+func BenchmarkFig4Scalability(b *testing.B) {
+	runFigure(b, "fig4", func(rep *bench.Report, b *testing.B) {
+		first, _ := strconv.ParseFloat(rep.Rows[0][2], 64)
+		last, _ := strconv.ParseFloat(rep.Rows[3][2], 64)
+		if first > 0 {
+			b.ReportMetric(last/first, "t4x-vs-t1x")
+		}
+	})
+}
+
+// BenchmarkFig5Variants regenerates Fig 5: the four engine variants over a
+// random projection sequence. Metric: warm-query speedup of PM+C over the
+// straw-man baseline (paper: drastic, 82-88% faster than Q1 while the
+// baseline stays flat).
+func BenchmarkFig5Variants(b *testing.B) {
+	runFigure(b, "fig5", func(rep *bench.Report, b *testing.B) {
+		var pmc, base float64
+		for _, r := range rep.Rows[1:] {
+			p, _ := strconv.ParseFloat(r[1], 64)
+			q, _ := strconv.ParseFloat(r[4], 64)
+			pmc += p
+			base += q
+		}
+		if pmc > 0 {
+			b.ReportMetric(base/pmc, "baseline-vs-pm+c-x")
+		}
+	})
+}
+
+// BenchmarkFig6WorkloadShift regenerates Fig 6: five epochs over shifting
+// column ranges with a bounded cache. Metric: final cache usage percent.
+func BenchmarkFig6WorkloadShift(b *testing.B) {
+	runFigure(b, "fig6", func(rep *bench.Report, b *testing.B) {
+		b.ReportMetric(lastFloat(rep.Rows[len(rep.Rows)-1]), "final-cache-pct")
+	})
+}
+
+// BenchmarkFig7SystemsComparison regenerates Fig 7: cumulative time of the
+// 9-query sequence across six systems, load included. Metric: PostgresRaw
+// total over PostgreSQL total (paper: ~0.74).
+func BenchmarkFig7SystemsComparison(b *testing.B) {
+	runFigure(b, "fig7", func(rep *bench.Report, b *testing.B) {
+		totals := map[string]float64{}
+		for _, r := range rep.Rows {
+			v, _ := strconv.ParseFloat(r[3], 64)
+			totals[r[0]] = v
+		}
+		if pg := totals["postgresql"]; pg > 0 {
+			b.ReportMetric(totals["postgresraw pm+c"]/pg, "raw-vs-postgresql")
+		}
+	})
+}
+
+// BenchmarkFig8Selectivity regenerates Fig 8(a): the selectivity sweep.
+// Metric: cold first-query penalty of PostgresRaw vs PostgreSQL (paper:
+// ~2.3x).
+func BenchmarkFig8Selectivity(b *testing.B) {
+	runFigure(b, "fig8a", func(rep *bench.Report, b *testing.B) {
+		raw, _ := strconv.ParseFloat(rep.Rows[0][1], 64)
+		pg, _ := strconv.ParseFloat(rep.Rows[0][2], 64)
+		if pg > 0 {
+			b.ReportMetric(raw/pg, "coldQ1-raw-vs-pg")
+		}
+	})
+}
+
+// BenchmarkFig8Projectivity regenerates Fig 8(b): the projectivity sweep.
+// Metric: PostgresRaw speedup from full to 10% projectivity (paper: large;
+// the map reads only the useful attributes).
+func BenchmarkFig8Projectivity(b *testing.B) {
+	runFigure(b, "fig8b", func(rep *bench.Report, b *testing.B) {
+		full, _ := strconv.ParseFloat(rep.Rows[1][1], 64)
+		ten, _ := strconv.ParseFloat(rep.Rows[len(rep.Rows)-1][1], 64)
+		if ten > 0 {
+			b.ReportMetric(full/ten, "proj100-vs-proj10")
+		}
+	})
+}
+
+// BenchmarkFig9TPCHCold regenerates Fig 9: cold TPC-H Q10+Q14 with loading
+// stacked for PostgreSQL. Metric: PostgresRaw PM total over PostgreSQL
+// load+queries total (paper: well below 1).
+func BenchmarkFig9TPCHCold(b *testing.B) {
+	runFigure(b, "fig9", func(rep *bench.Report, b *testing.B) {
+		pg := lastFloat(rep.Rows[0])
+		pm := lastFloat(rep.Rows[2])
+		if pg > 0 {
+			b.ReportMetric(pm/pg, "pm-vs-pg-total")
+		}
+	})
+}
+
+// BenchmarkFig10TPCHWarm regenerates Fig 10: the warm TPC-H subset on
+// PM+C, PM and PostgreSQL.
+func BenchmarkFig10TPCHWarm(b *testing.B) {
+	runFigure(b, "fig10", func(rep *bench.Report, b *testing.B) {
+		var pmc, pg float64
+		for _, r := range rep.Rows {
+			a, _ := strconv.ParseFloat(r[1], 64)
+			c, _ := strconv.ParseFloat(r[3], 64)
+			pmc += a
+			pg += c
+		}
+		if pg > 0 {
+			b.ReportMetric(pmc/pg, "pm+c-vs-pg-total")
+		}
+	})
+}
+
+// BenchmarkFig11FITS regenerates Fig 11: CFITSIO-style procedural scans vs
+// PostgresRaw over a FITS binary table. Metric: warm PostgresRaw query
+// over CFITSIO query (paper: below 1 after the cache is built).
+func BenchmarkFig11FITS(b *testing.B) {
+	runFigure(b, "fig11", func(rep *bench.Report, b *testing.B) {
+		var cf, raw float64
+		for _, r := range rep.Rows[3:] {
+			c, _ := strconv.ParseFloat(r[1], 64)
+			p, _ := strconv.ParseFloat(r[2], 64)
+			cf += c
+			raw += p
+		}
+		if cf > 0 {
+			b.ReportMetric(raw/cf, "warm-raw-vs-cfitsio")
+		}
+	})
+}
+
+// BenchmarkFig12Statistics regenerates Fig 12: four TPC-H Q1 instances
+// with statistics on and off. Metric: warm-instance speedup from
+// statistics-driven plans (paper: ~3x).
+func BenchmarkFig12Statistics(b *testing.B) {
+	runFigure(b, "fig12", func(rep *bench.Report, b *testing.B) {
+		var with, without float64
+		for _, r := range rep.Rows[1:] {
+			w, _ := strconv.ParseFloat(r[1], 64)
+			wo, _ := strconv.ParseFloat(r[2], 64)
+			with += w
+			without += wo
+		}
+		if with > 0 {
+			b.ReportMetric(without/with, "stats-speedup-x")
+		}
+	})
+}
+
+// BenchmarkFig13AttributeWidth regenerates Fig 13: attribute width 16 vs
+// 64 on the loaded engine and PostgresRaw. Metric: loaded-engine slowdown
+// divided by PostgresRaw slowdown (paper: >>1; 20-70x vs <=6x).
+func BenchmarkFig13AttributeWidth(b *testing.B) {
+	runFigure(b, "fig13", func(rep *bench.Report, b *testing.B) {
+		var pg16, pg64, raw16, raw64 float64
+		for _, r := range rep.Rows {
+			a, _ := strconv.ParseFloat(r[1], 64)
+			c, _ := strconv.ParseFloat(r[2], 64)
+			d, _ := strconv.ParseFloat(r[3], 64)
+			e, _ := strconv.ParseFloat(r[4], 64)
+			pg16 += a
+			pg64 += c
+			raw16 += d
+			raw64 += e
+		}
+		if pg16 > 0 && raw16 > 0 && raw64 > 0 {
+			b.ReportMetric((pg64/pg16)/(raw64/raw16), "pg-vs-raw-degradation")
+		}
+	})
+}

@@ -1,0 +1,191 @@
+// Command nodb is an interactive SQL shell over raw data files: point it
+// at a schema declaration and start querying, with no load step.
+//
+// Usage:
+//
+//	nodb -schema schema.nodb [-mode pm+cache|pm|cache|external-files|load-first] [-q "SELECT ..."]
+//
+// The schema file declares tables over CSV/FITS files:
+//
+//	table lineitem from lineitem.tbl
+//	  l_orderkey int
+//	  l_quantity float
+//	end
+//
+// Inside the shell, end statements with Enter. Meta commands:
+//
+//	\metrics TABLE   adaptive-structure state (positional map, cache)
+//	\q               quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nodb"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "schema declaration file (required)")
+	modeName := flag.String("mode", "pm+cache", "engine mode: pm+cache, pm, cache, external-files, load-first")
+	query := flag.String("q", "", "run one query and exit")
+	noStats := flag.Bool("no-stats", false, "disable on-the-fly statistics")
+	pmBudget := flag.Int64("pm-budget", 0, "positional map budget in bytes (0 = unlimited)")
+	cacheBudget := flag.Int64("cache-budget", 0, "binary cache budget in bytes (0 = unlimited)")
+	flag.Parse()
+
+	if *schemaPath == "" {
+		fmt.Fprintln(os.Stderr, "nodb: -schema is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cat := nodb.NewCatalog()
+	if err := cat.LoadSchemaFile(*schemaPath, filepath.Dir(*schemaPath)); err != nil {
+		fatal(err)
+	}
+	db, err := nodb.Open(cat, nodb.Options{
+		Mode:                mode,
+		DisableStatistics:   *noStats,
+		PositionalMapBudget: *pmBudget,
+		CacheBudget:         *cacheBudget,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	if *query != "" {
+		if err := runStatement(db, *query); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("nodb shell — in-situ SQL over raw files (\\q quits, \\metrics TABLE inspects)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("nodb> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case strings.HasPrefix(line, `\metrics`):
+			table := strings.TrimSpace(strings.TrimPrefix(line, `\metrics`))
+			if table == "" {
+				fmt.Println("usage: \\metrics TABLE")
+				continue
+			}
+			printMetrics(db.Metrics(table))
+		default:
+			if err := runStatement(db, line); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		}
+	}
+}
+
+func parseMode(name string) (nodb.Mode, error) {
+	switch strings.ToLower(name) {
+	case "pm+cache", "pmcache", "pm+c":
+		return nodb.ModePMCache, nil
+	case "pm":
+		return nodb.ModePM, nil
+	case "cache", "c":
+		return nodb.ModeCache, nil
+	case "external-files", "external", "baseline":
+		return nodb.ModeExternalFiles, nil
+	case "load-first", "loaded":
+		return nodb.ModeLoadFirst, nil
+	default:
+		return 0, fmt.Errorf("nodb: unknown mode %q", name)
+	}
+}
+
+func runStatement(db *nodb.DB, sql string) error {
+	start := time.Now()
+	res, n, err := db.Exec(sql)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if len(res.Columns) == 0 {
+		fmt.Printf("INSERT %d (%.3f ms)\n", n, float64(elapsed.Microseconds())/1000)
+		return nil
+	}
+
+	widths := make([]int, len(res.Columns))
+	header := make([]string, len(res.Columns))
+	for i, c := range res.Columns {
+		header[i] = c.Name
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.Format()
+			if v.Null() {
+				s = "NULL"
+			}
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	printRow := func(cols []string) {
+		for i, s := range cols {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%-*s", widths[i], s)
+		}
+		fmt.Println()
+	}
+	printRow(header)
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(seps)
+	const maxShow = 50
+	for ri, row := range cells {
+		if ri == maxShow {
+			fmt.Printf("... (%d more rows)\n", len(cells)-maxShow)
+			break
+		}
+		printRow(row)
+	}
+	fmt.Printf("(%d rows, %.3f ms)\n", len(res.Rows), float64(elapsed.Microseconds())/1000)
+	return nil
+}
+
+func printMetrics(m nodb.Metrics) {
+	fmt.Printf("rows known:          %d\n", m.Rows)
+	fmt.Printf("positional map:      %d pointers, %d bytes, %d evictions\n", m.PMPointers, m.PMBytes, m.PMEvictions)
+	fmt.Printf("binary cache:        %d bytes (usage %.1f%%), %d hits, %d misses\n", m.CacheBytes, m.CacheUsage*100, m.CacheHits, m.CacheMisses)
+	fmt.Printf("statistics columns:  %d\n", m.StatsColumns)
+	fmt.Printf("tuples parsed:       %d (fields %d; via map %d, via scan %d; short rows %d)\n",
+		m.TuplesParsed, m.FieldsParsed, m.FieldsFromMap, m.FieldsFromScan, m.ShortRows)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nodb: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command nodbgen generates the datasets used by the experiments and
+// examples: wide micro-benchmark CSV files, TPC-H tables and FITS binary
+// tables. All generators are deterministic for a given seed.
+//
+// Usage:
+//
+//	nodbgen micro -rows 100000 -attrs 150 -out wide.csv
+//	nodbgen tpch  -sf 0.1 -dir ./tpch
+//	nodbgen fits  -rows 500000 -cols 16 -out obs.fits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"nodb/internal/datum"
+	"nodb/internal/fits"
+	"nodb/internal/tpch"
+	"nodb/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "micro":
+		fs := flag.NewFlagSet("micro", flag.ExitOnError)
+		rows := fs.Int("rows", 100000, "number of rows")
+		attrs := fs.Int("attrs", 150, "number of integer attributes")
+		width := fs.Int("width", 0, "generate fixed-width text attributes of this many bytes instead of integers")
+		out := fs.String("out", "wide.csv", "output file")
+		seed := fs.Int64("seed", 42, "random seed")
+		fs.Parse(os.Args[2:])
+		var err error
+		if *width > 0 {
+			err = workload.GenerateWideText(*out, *rows, *attrs, *width, *seed)
+		} else {
+			err = workload.GenerateWide(*out, *rows, *attrs, *seed)
+		}
+		check(err)
+		fmt.Printf("wrote %s (%d rows x %d attrs)\n", *out, *rows, *attrs)
+		fmt.Printf("declare it with: table wide from %s / a1..a%d int\n", *out, *attrs)
+
+	case "tpch":
+		fs := flag.NewFlagSet("tpch", flag.ExitOnError)
+		sf := fs.Float64("sf", 0.01, "scale factor (1.0 = 6M lineitem rows)")
+		dir := fs.String("dir", "tpch-data", "output directory")
+		seed := fs.Int64("seed", 42, "random seed")
+		fs.Parse(os.Args[2:])
+		check(tpch.Generate(*dir, *sf, *seed))
+		sz := tpch.SizesAt(*sf)
+		fmt.Printf("wrote TPC-H SF %g into %s (%d orders, ~%d lineitems)\n",
+			*sf, *dir, sz.Orders, sz.LineitemApprox)
+
+	case "fits":
+		fs := flag.NewFlagSet("fits", flag.ExitOnError)
+		rows := fs.Int("rows", 100000, "number of rows")
+		cols := fs.Int("cols", 8, "number of float64 columns")
+		out := fs.String("out", "obs.fits", "output file")
+		seed := fs.Int64("seed", 42, "random seed")
+		fs.Parse(os.Args[2:])
+		columns := make([]fits.Column, *cols)
+		for i := range columns {
+			columns[i] = fits.Column{Name: fmt.Sprintf("mag_%02d", i), Type: fits.Float64}
+		}
+		w, err := fits.NewTableWriter(*out, columns, int64(*rows))
+		check(err)
+		rng := rand.New(rand.NewSource(*seed))
+		row := make([]datum.Datum, *cols)
+		for i := 0; i < *rows; i++ {
+			for j := range row {
+				row[j] = datum.NewFloat(rng.NormFloat64()*3 + 20)
+			}
+			check(w.Append(row))
+		}
+		check(w.Close())
+		fmt.Printf("wrote %s (%d rows x %d float columns)\n", *out, *rows, *cols)
+
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: nodbgen micro|tpch|fits [flags]")
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nodbgen: %v\n", err)
+		os.Exit(1)
+	}
+}

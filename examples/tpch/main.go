@@ -1,0 +1,114 @@
+// Decision support without loading: generate a TPC-H dataset as raw .tbl
+// files and run the paper's query subset twice — once in situ (PostgresRaw
+// style) and once on the conventional load-first engine — printing the
+// data-to-answer time of each. This is Figs 9-10 of the paper as a demo.
+//
+//	go run ./examples/tpch [-sf 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nodb"
+	"nodb/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "nodb-tpch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Printf("generating TPC-H SF %g under %s ...\n", *sf, dir)
+	if err := tpch.Generate(dir, *sf, 42); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{"Q1", "Q6", "Q3", "Q14"}
+
+	// In-situ engine: first query runs immediately against the raw files.
+	insitu, err := nodb.Open(catalog(dir), nodb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer insitu.Close()
+
+	// Conventional engine: everything must be loaded first.
+	heapDir, err := os.MkdirTemp("", "nodb-tpch-heap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(heapDir)
+	loaded, err := nodb.Open(catalog(dir), nodb.Options{Mode: nodb.ModeLoadFirst, DataDir: heapDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer loaded.Close()
+
+	fmt.Println("\n--- conventional DBMS: pay the load before the first answer ---")
+	start := time.Now()
+	if err := loaded.Load(); err != nil {
+		log.Fatal(err)
+	}
+	loadTime := time.Since(start)
+	fmt.Printf("LOAD                                    %9.1f ms\n", msf(loadTime))
+	for _, name := range queries {
+		d, rows := run(loaded, tpch.Queries[name])
+		fmt.Printf("%-4s  (%2d result rows)                 %9.1f ms\n", name, rows, msf(d))
+	}
+
+	fmt.Println("\n--- NoDB: first answer with zero load; speed improves as it runs ---")
+	var cumulative time.Duration
+	for _, name := range queries {
+		d, rows := run(insitu, tpch.Queries[name])
+		cumulative += d
+		fmt.Printf("%-4s  (%2d result rows)                 %9.1f ms   (cumulative %9.1f ms)\n",
+			name, rows, msf(d), msf(cumulative))
+	}
+
+	fmt.Printf("\ndata-to-first-answer: loaded engine %.1f ms (load+Q1) vs NoDB %.1f ms (Q1 alone)\n",
+		msf(loadTime)+firstQ(loaded, queries[0]), firstQ(insitu, queries[0]))
+}
+
+func catalog(dir string) *nodb.Catalog {
+	cat := nodb.NewCatalog()
+	c, err := tpch.Catalog(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Re-declare the internal catalog through the public API.
+	for _, tbl := range c.Tables() {
+		cols := make([]nodb.ColumnDef, len(tbl.Columns))
+		for i, col := range tbl.Columns {
+			cols[i] = nodb.Col(col.Name, col.Type)
+		}
+		if err := cat.AddDSV(tbl.Name, tbl.Path, '|', cols...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func run(db *nodb.DB, sql string) (time.Duration, int) {
+	start := time.Now()
+	res, err := db.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(start), len(res.Rows)
+}
+
+func firstQ(db *nodb.DB, name string) float64 {
+	d, _ := run(db, tpch.Queries[name])
+	return msf(d)
+}
+
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,364 @@
+package colcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"nodb/internal/datum"
+)
+
+func TestPutGetAllTypes(t *testing.T) {
+	c := New(0)
+	c.Put(0, 3, datum.Int, datum.NewInt(42))
+	c.Put(1, 3, datum.Float, datum.NewFloat(2.5))
+	c.Put(2, 3, datum.Text, datum.NewText("hi"))
+	c.Put(3, 3, datum.Date, datum.NewDate(100))
+	c.Put(4, 3, datum.Bool, datum.NewBool(true))
+
+	if v, ok := c.Get(0, 3); !ok || v.Int() != 42 {
+		t.Errorf("int: %v %v", v, ok)
+	}
+	if v, ok := c.Get(1, 3); !ok || v.Float() != 2.5 {
+		t.Errorf("float: %v %v", v, ok)
+	}
+	if v, ok := c.Get(2, 3); !ok || v.Text() != "hi" {
+		t.Errorf("text: %v %v", v, ok)
+	}
+	if v, ok := c.Get(3, 3); !ok || v.Int() != 100 || v.T != datum.Date {
+		t.Errorf("date: %v %v", v, ok)
+	}
+	if v, ok := c.Get(4, 3); !ok || !v.Bool() {
+		t.Errorf("bool: %v %v", v, ok)
+	}
+}
+
+func TestSparseRowsAndMisses(t *testing.T) {
+	c := New(0)
+	c.Put(0, 100, datum.Int, datum.NewInt(1))
+	if _, ok := c.Get(0, 99); ok {
+		t.Error("row 99 was never cached")
+	}
+	if _, ok := c.Get(0, 101); ok {
+		t.Error("row 101 was never cached")
+	}
+	if _, ok := c.Get(5, 0); ok {
+		t.Error("column 5 was never cached")
+	}
+	if v, ok := c.Get(0, 100); !ok || v.Int() != 1 {
+		t.Error("cached row lost")
+	}
+	m := c.Metrics()
+	if m.Hits != 1 || m.Misses != 3 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestNullCaching(t *testing.T) {
+	c := New(0)
+	c.Put(0, 0, datum.Int, datum.NewNull(datum.Int))
+	v, ok := c.Get(0, 0)
+	if !ok || !v.Null() || v.T != datum.Int {
+		t.Errorf("cached NULL = %v %v", v, ok)
+	}
+}
+
+func TestPresentNoSideEffects(t *testing.T) {
+	c := New(0)
+	c.Put(0, 1, datum.Int, datum.NewInt(7))
+	before := c.Metrics()
+	if !c.Present(0, 1) || c.Present(0, 2) || c.Present(9, 0) {
+		t.Error("Present wrong")
+	}
+	if c.Metrics() != before {
+		t.Error("Present must not touch metrics")
+	}
+}
+
+func TestDuplicatePutKeepsFirst(t *testing.T) {
+	c := New(0)
+	c.Put(0, 0, datum.Int, datum.NewInt(1))
+	c.Put(0, 0, datum.Int, datum.NewInt(2))
+	if v, _ := c.Get(0, 0); v.Int() != 1 {
+		t.Error("duplicate put must not overwrite")
+	}
+	if c.Metrics().Puts != 1 {
+		t.Error("duplicate put must not count")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	c := New(0)
+	for r := 0; r < 10; r++ {
+		c.Put(0, r, datum.Int, datum.NewInt(int64(r)))
+	}
+	if c.CoveredRows(0) != 10 {
+		t.Errorf("CoveredRows = %d", c.CoveredRows(0))
+	}
+	if !c.FullyCovers(0, 10) {
+		t.Error("should fully cover 10 rows")
+	}
+	if c.FullyCovers(0, 11) {
+		t.Error("should not cover 11 rows")
+	}
+	// Sparse gap breaks full coverage even when counts match.
+	c2 := New(0)
+	for r := 0; r < 10; r++ {
+		if r != 4 {
+			c2.Put(0, r, datum.Int, datum.NewInt(0))
+		}
+	}
+	c2.Put(0, 11, datum.Int, datum.NewInt(0))
+	if c2.FullyCovers(0, 10) {
+		t.Error("gap at row 4 must break coverage")
+	}
+	if c.CoveredRows(7) != 0 {
+		t.Error("unknown column coverage must be 0")
+	}
+}
+
+func TestBudgetEvictionLRU(t *testing.T) {
+	// Small budget: each text column entry is entryOverhead + rows*(16+len).
+	budget := int64(2 * (entryOverhead + 10*(16+4) + 16))
+	c := New(budget)
+	fill := func(col int) {
+		for r := 0; r < 10; r++ {
+			c.Put(col, r, datum.Text, datum.NewText("abcd"))
+		}
+	}
+	fill(0)
+	fill(1)
+	fill(2) // must evict col 0 (LRU, same conversion cost)
+	if c.Metrics().Evictions == 0 {
+		t.Fatal("expected eviction")
+	}
+	if c.Bytes() > budget {
+		t.Errorf("bytes %d exceed budget %d", c.Bytes(), budget)
+	}
+	if c.Present(0, 0) {
+		t.Error("LRU column should be evicted")
+	}
+	if !c.Present(2, 0) {
+		t.Error("newest column must be present")
+	}
+}
+
+func TestEvictionPrefersCheapConversion(t *testing.T) {
+	// Two equally old columns: a float column (costly to convert) and a
+	// text column (free). The text column must be evicted first.
+	// Sizes: float col = 128+50*8+16 = 544, text col = 128+50*24+16 = 1344;
+	// a 2000-byte budget forces eviction when the third column arrives.
+	budget := int64(2000)
+	c := New(budget)
+	for r := 0; r < 50; r++ {
+		c.Put(0, r, datum.Float, datum.NewFloat(float64(r))) // costly
+	}
+	for r := 0; r < 50; r++ {
+		c.Put(1, r, datum.Text, datum.NewText("abcdefgh")) // cheap to rebuild
+	}
+	// Fill a third column to force eviction; float col 0 is older than
+	// text col 1 but must be kept.
+	for r := 0; r < 50; r++ {
+		c.Put(2, r, datum.Int, datum.NewInt(int64(r)))
+	}
+	if !c.Present(0, 0) {
+		t.Error("costly-to-convert float column should be kept")
+	}
+	if c.Present(1, 0) {
+		t.Error("cheap text column should be evicted first")
+	}
+}
+
+func TestBudgetTooSmall(t *testing.T) {
+	c := New(10)
+	c.Put(0, 0, datum.Int, datum.NewInt(1))
+	if c.Present(0, 0) {
+		t.Error("value cannot fit in a 10-byte budget")
+	}
+	if c.Bytes() > 10 {
+		t.Errorf("bytes %d exceed tiny budget", c.Bytes())
+	}
+}
+
+func TestDropAndDropAll(t *testing.T) {
+	c := New(0)
+	c.Put(0, 0, datum.Int, datum.NewInt(1))
+	c.Put(1, 0, datum.Int, datum.NewInt(2))
+	c.Drop(0)
+	if c.Present(0, 0) {
+		t.Error("dropped column present")
+	}
+	if !c.Present(1, 0) {
+		t.Error("other column lost")
+	}
+	c.DropAll()
+	if c.Present(1, 0) || c.Bytes() != 0 {
+		t.Error("DropAll incomplete")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	c := New(0)
+	for r := 0; r < 20; r++ {
+		c.Put(0, r, datum.Text, datum.NewText("xyz"))
+	}
+	before := c.Bytes()
+	c.Truncate(10)
+	if c.CoveredRows(0) != 10 {
+		t.Errorf("CoveredRows after truncate = %d", c.CoveredRows(0))
+	}
+	if c.Present(0, 15) {
+		t.Error("truncated row present")
+	}
+	if !c.Present(0, 9) {
+		t.Error("row below cut lost")
+	}
+	if c.Bytes() >= before {
+		t.Error("truncate must release bytes")
+	}
+}
+
+func TestUsage(t *testing.T) {
+	c := New(1000)
+	if c.Usage() != 0 {
+		t.Error("empty cache usage must be 0")
+	}
+	for r := 0; r < 20; r++ {
+		c.Put(0, r, datum.Int, datum.NewInt(1))
+	}
+	u := c.Usage()
+	if u <= 0 || u > 1 {
+		t.Errorf("usage = %f", u)
+	}
+	if New(0).Usage() != 0 {
+		t.Error("unlimited budget usage must be 0")
+	}
+}
+
+// Property: under random operations with a budget, accounting invariants
+// hold and Get agrees with a shadow map for the entries still present.
+func TestShadowConsistencyUnderEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	budget := int64(4000)
+	c := New(budget)
+	shadow := map[[2]int]int64{}
+	for i := 0; i < 20000; i++ {
+		col, row := rng.Intn(8), rng.Intn(200)
+		if rng.Intn(2) == 0 {
+			v := rng.Int63n(1000)
+			wasPresent := c.Present(col, row)
+			c.Put(col, row, datum.Int, datum.NewInt(v))
+			if c.Present(col, row) && !wasPresent {
+				shadow[[2]int{col, row}] = v
+			}
+		} else if got, ok := c.Get(col, row); ok {
+			want, inShadow := shadow[[2]int{col, row}]
+			if !inShadow || got.Int() != want {
+				t.Fatalf("Get(%d,%d) = %d, shadow %d (in=%v)", col, row, got.Int(), want, inShadow)
+			}
+		}
+		if c.Bytes() > budget {
+			t.Fatalf("bytes %d exceed budget", c.Bytes())
+		}
+		if c.Bytes() < 0 {
+			t.Fatal("negative bytes")
+		}
+	}
+}
+
+func TestCachedColumnsAndString(t *testing.T) {
+	c := New(0)
+	c.Put(3, 0, datum.Int, datum.NewInt(1))
+	cols := c.CachedColumns()
+	if len(cols) != 1 || cols[0] != 3 {
+		t.Errorf("CachedColumns = %v", cols)
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestViewGetPut(t *testing.T) {
+	c := New(0)
+	v := c.View(0, datum.Int)
+	if !v.Valid() {
+		t.Fatal("view over unlimited cache must be valid")
+	}
+	if !v.Put(5, datum.NewInt(50)) {
+		t.Fatal("put through view failed")
+	}
+	if got, ok := v.Get(5); !ok || got.Int() != 50 {
+		t.Fatalf("view get = %v %v", got, ok)
+	}
+	if _, ok := v.Get(4); ok {
+		t.Error("absent row must miss")
+	}
+	// Cache-level Get sees view writes.
+	if got, ok := c.Get(0, 5); !ok || got.Int() != 50 {
+		t.Fatalf("cache get after view put = %v %v", got, ok)
+	}
+	// NULL through view.
+	v.Put(6, datum.NewNull(datum.Int))
+	if got, ok := v.Get(6); !ok || !got.Null() {
+		t.Error("null via view lost")
+	}
+}
+
+func TestViewDetachmentAfterEviction(t *testing.T) {
+	budget := int64(2 * (entryOverhead + 30*8 + 16))
+	c := New(budget)
+	v0 := c.View(0, datum.Int)
+	for r := 0; r < 30; r++ {
+		v0.Put(r, datum.NewInt(int64(r)))
+	}
+	// Fill two more columns to evict column 0.
+	for col := 1; col <= 2; col++ {
+		v := c.View(col, datum.Int)
+		for r := 0; r < 30; r++ {
+			v.Put(r, datum.NewInt(int64(col*100+r)))
+		}
+	}
+	if c.Present(0, 3) {
+		t.Fatal("column 0 should have been evicted")
+	}
+	// Detached view still reads its old (correct) data, and writes are
+	// dropped without corrupting accounting.
+	if got, ok := v0.Get(3); !ok || got.Int() != 3 {
+		t.Errorf("detached view read = %v %v", got, ok)
+	}
+	if v0.Put(31, datum.NewInt(31)) {
+		t.Error("write through detached view must be dropped")
+	}
+	if c.Bytes() > budget {
+		t.Errorf("bytes %d exceed budget after detached write", c.Bytes())
+	}
+}
+
+func TestViewInvalidWhenBudgetTooSmall(t *testing.T) {
+	c := New(10)
+	if c.View(0, datum.Int).Valid() {
+		t.Error("view must be invalid when even the entry cannot fit")
+	}
+}
+
+func BenchmarkViewGet(b *testing.B) {
+	c := New(0)
+	v := c.View(0, datum.Int)
+	for r := 0; r < 1<<16; r++ {
+		v.Put(r, datum.NewInt(int64(r)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Get(i & (1<<16 - 1))
+	}
+}
+
+func BenchmarkCacheGet(b *testing.B) {
+	c := New(0)
+	for r := 0; r < 1<<16; r++ {
+		c.Put(0, r, datum.Int, datum.NewInt(int64(r)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(0, i&(1<<16-1))
+	}
+}

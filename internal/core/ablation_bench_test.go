@@ -1,0 +1,160 @@
+package core
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// benchmark isolates one mechanism of the in-situ scan so its contribution
+// to the Fig 5 / Fig 12 shapes can be measured directly.
+//
+//	go test ./internal/core -bench Ablation -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodb/internal/datum"
+	"nodb/internal/schema"
+)
+
+const (
+	ablRows  = 8_000
+	ablAttrs = 40
+)
+
+// buildAblationFixture writes an ablRows x ablAttrs integer CSV where c1
+// cycles 0..6 (for 1/7 selectivity predicates) and the rest are uniform.
+func buildAblationFixture(b *testing.B, dir string) *schema.Catalog {
+	b.Helper()
+	path := filepath.Join(dir, "wide.csv")
+	rng := rand.New(rand.NewSource(13))
+	var sb strings.Builder
+	for r := 0; r < ablRows; r++ {
+		for c := 0; c < ablAttrs; c++ {
+			if c > 0 {
+				sb.WriteByte(',')
+			}
+			if c == 0 {
+				fmt.Fprintf(&sb, "%d", r%7)
+			} else {
+				fmt.Fprintf(&sb, "%d", rng.Int63n(1_000_000_000))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	cols := make([]schema.Column, ablAttrs)
+	for i := range cols {
+		cols[i] = schema.Column{Name: fmt.Sprintf("c%d", i+1), Type: datum.Int}
+	}
+	tbl, err := schema.New("wide", cols, path, schema.CSV)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := schema.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+func ablationEngine(b *testing.B, opts Options) *Engine {
+	b.Helper()
+	cat := buildAblationFixture(b, b.TempDir())
+	e, err := Open(cat, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Close() })
+	return e
+}
+
+func runQueryB(b *testing.B, e *Engine, sql string) {
+	b.Helper()
+	if _, err := e.Query(sql); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAblationSelectiveParsing measures the value of selective
+// tokenizing/parsing: the same selective query with the straw-man
+// full-parse path versus the selective path (both without auxiliary
+// structures, so only the parsing strategy differs).
+func BenchmarkAblationSelectiveParsing(b *testing.B) {
+	q := "SELECT sum(c3) FROM wide WHERE c1 = 5" // 1/7 of rows qualify
+	for _, full := range []bool{false, true} {
+		name := "selective"
+		if full {
+			name = "full-parse"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := ablationEngine(b, Options{Mode: ModeExternalFiles, FullParse: full})
+			runQueryB(b, e, q) // warm the OS page cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runQueryB(b, e, q)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPositionalMap measures what the positional map buys on
+// a repeated narrow projection: mode PM (map populated by the first query)
+// versus the baseline that re-tokenizes every time. Cache stays off in
+// both so file access cost is isolated.
+func BenchmarkAblationPositionalMap(b *testing.B) {
+	q := fmt.Sprintf("SELECT sum(c%d), sum(c%d) FROM wide", ablAttrs-1, ablAttrs) // far columns
+	for _, mode := range []Mode{ModePM, ModeExternalFiles} {
+		b.Run(mode.String(), func(b *testing.B) {
+			e := ablationEngine(b, Options{Mode: mode})
+			runQueryB(b, e, q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runQueryB(b, e, q)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCache measures the binary cache: warm repetition of an
+// aggregation with the cache enabled (second run never touches the file)
+// versus map-only (re-parses values every time).
+func BenchmarkAblationCache(b *testing.B) {
+	q := "SELECT sum(c2), avg(c7) FROM wide"
+	for _, mode := range []Mode{ModePMCache, ModePM} {
+		b.Run(mode.String(), func(b *testing.B) {
+			e := ablationEngine(b, Options{Mode: mode})
+			runQueryB(b, e, q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runQueryB(b, e, q)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationConjunctOrdering measures statistics-driven conjunct
+// ordering (Fig 12's mechanism): a highly selective conjunct placed last
+// in the SQL text, with and without statistics to reorder it first.
+func BenchmarkAblationConjunctOrdering(b *testing.B) {
+	// c1 = 3 keeps ~1/7 of rows; c2 >= 0 keeps everything. Written
+	// unselective-first so only the optimizer can fix the order.
+	q := "SELECT sum(c5) FROM wide WHERE c2 >= 0 AND c1 = 3"
+	for _, stats := range []bool{true, false} {
+		name := "stats-ordered"
+		if !stats {
+			name = "textual-order"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := ablationEngine(b, Options{Mode: ModePM, Statistics: stats})
+			runQueryB(b, e, q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runQueryB(b, e, q)
+			}
+		})
+	}
+}

@@ -1,0 +1,308 @@
+// Package core implements PostgresRaw, the NoDB prototype of the paper:
+// a query engine that executes SQL directly over raw data files with no
+// a-priori loading, adaptively building an auxiliary positional map
+// (internal/posmap), a binary value cache (internal/colcache) and
+// statistics (internal/stats) as queries touch the data.
+//
+// The engine supports the operating modes compared in the paper's
+// evaluation:
+//
+//	ModePMCache       PostgresRaw PM+C — positional map and cache (Fig 5).
+//	ModePM            positional map only.
+//	ModeCache         cache plus the minimal end-of-line map only.
+//	ModeExternalFiles straw-man external tables: no auxiliary state at all;
+//	                  every query re-parses the file (MySQL CSV engine /
+//	                  DBMS X external files behaviour).
+//	ModeLoadFirst     conventional DBMS: bulk-load into slotted pages
+//	                  (internal/storage) before the first query.
+//
+// All modes share the same SQL front end, planner and executor, mirroring
+// how PostgresRaw reuses PostgreSQL's query stack above its raw-file scan
+// operator.
+//
+// An Engine is not safe for concurrent use: it models a single DBMS
+// backend, which is also how the paper benchmarks PostgresRaw.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nodb/internal/exec"
+	"nodb/internal/fits"
+	"nodb/internal/plan"
+	"nodb/internal/schema"
+	"nodb/internal/sqlparse"
+	"nodb/internal/storage"
+)
+
+// Mode selects the engine's access-method strategy.
+type Mode int
+
+// Engine operating modes (see package comment).
+const (
+	ModePMCache Mode = iota
+	ModePM
+	ModeCache
+	ModeExternalFiles
+	ModeLoadFirst
+)
+
+var modeNames = [...]string{"pm+cache", "pm", "cache", "external-files", "load-first"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return "unknown"
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Mode selects the access strategy (default ModePMCache).
+	Mode Mode
+	// PMBudget caps the positional map's in-memory attribute-position
+	// bytes; <= 0 is unlimited. Tuple start offsets are always kept.
+	PMBudget int64
+	// PMChunkRows overrides the positional map chunk height.
+	PMChunkRows int
+	// PMSpillDir, when set, lets evicted positional-map chunks spill to
+	// files in this directory instead of being lost.
+	PMSpillDir string
+	// CacheBudget caps the binary cache size in bytes; <= 0 is unlimited.
+	CacheBudget int64
+	// Statistics enables on-the-fly statistics collection and
+	// statistics-driven planning (paper §4.4, Fig 12). Default off; the
+	// standard PostgresRaw configuration enables it.
+	Statistics bool
+	// FullParse forces tokenizing and converting every attribute of every
+	// tuple, disabling selective parsing. This models the MySQL CSV
+	// engine / external tables straw-man of Fig 7 and is only meaningful
+	// with ModeExternalFiles.
+	FullParse bool
+	// DataDir is where ModeLoadFirst writes heap files (default: next to
+	// the raw files).
+	DataDir string
+	// PoolFrames sizes the buffer pool for ModeLoadFirst (default 1024
+	// frames = 8 MB).
+	PoolFrames int
+	// ScanChunkSize overrides the raw-file read chunk (default 1 MB).
+	ScanChunkSize int
+}
+
+// Engine executes SQL over the tables of a catalog.
+type Engine struct {
+	cat  *schema.Catalog
+	opts Options
+
+	raw     map[string]*rawTable
+	rawFITS map[string]*fits.InSitu
+	loaded  map[string]*loadedTable
+	pool    *storage.Pool
+}
+
+// Open creates an engine over the catalog. Raw tables are never read until
+// a query touches them — the data-to-query time of a NoDB engine is zero.
+func Open(cat *schema.Catalog, opts Options) (*Engine, error) {
+	e := &Engine{
+		cat:     cat,
+		opts:    opts,
+		raw:     make(map[string]*rawTable),
+		rawFITS: make(map[string]*fits.InSitu),
+		loaded:  make(map[string]*loadedTable),
+	}
+	if opts.Mode == ModeLoadFirst {
+		frames := opts.PoolFrames
+		if frames <= 0 {
+			frames = 1024
+		}
+		e.pool = storage.NewPool(frames)
+	}
+	return e, nil
+}
+
+// Catalog returns the engine's schema catalog.
+func (e *Engine) Catalog() *schema.Catalog { return e.cat }
+
+// Mode returns the configured mode.
+func (e *Engine) Mode() Mode { return e.opts.Mode }
+
+// Result is a fully materialized query result.
+type Result struct {
+	Cols []exec.Col
+	Rows []exec.Row
+}
+
+// Query parses, plans and runs a SELECT statement, returning the
+// materialized result.
+func (e *Engine) Query(sql string) (*Result, error) {
+	op, cols, err := e.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: cols, Rows: rows}, nil
+}
+
+// Prepare parses and plans a SELECT statement, returning the root operator
+// (not yet opened) for callers that want to stream rows themselves.
+func (e *Engine) Prepare(sql string) (exec.Operator, []exec.Col, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := plan.Build(sel, e, plan.Options{
+		UseStats: e.opts.Statistics,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Root, res.Cols, nil
+}
+
+// Table implements plan.Resolver.
+func (e *Engine) Table(name string) (plan.Table, error) {
+	tbl, ok := e.cat.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: table %q does not exist", name)
+	}
+	if e.opts.Mode == ModeLoadFirst {
+		if tbl.Format == schema.FITS {
+			return nil, fmt.Errorf("core: FITS table %s cannot be bulk-loaded; conventional DBMS do not support loading FITS (paper §5.3)", tbl.Name)
+		}
+		return e.loadedFor(tbl)
+	}
+	if tbl.Format == schema.FITS {
+		return e.fitsFor(tbl)
+	}
+	return e.rawFor(tbl)
+}
+
+// fitsFor returns (creating on first use) the in-situ adapter of a FITS
+// table. The binary cache is the relevant auxiliary structure for binary
+// formats; it is enabled in every in-situ mode that caches.
+func (e *Engine) fitsFor(tbl *schema.Table) (*fits.InSitu, error) {
+	if ft, ok := e.rawFITS[tbl.Name]; ok {
+		return ft, nil
+	}
+	ft, err := fits.NewInSitu(tbl.Name, tbl.Path, e.opts.CacheBudget)
+	if err != nil {
+		return nil, err
+	}
+	e.rawFITS[tbl.Name] = ft
+	return ft, nil
+}
+
+// rawFor returns (creating on first use) the in-situ state of a table.
+func (e *Engine) rawFor(tbl *schema.Table) (*rawTable, error) {
+	if rt, ok := e.raw[tbl.Name]; ok {
+		return rt, nil
+	}
+	rt, err := newRawTable(tbl, &e.opts)
+	if err != nil {
+		return nil, err
+	}
+	e.raw[tbl.Name] = rt
+	return rt, nil
+}
+
+// loadedFor returns the loaded relation, bulk-loading it on first use.
+func (e *Engine) loadedFor(tbl *schema.Table) (*loadedTable, error) {
+	if lt, ok := e.loaded[tbl.Name]; ok {
+		return lt, nil
+	}
+	dir := e.opts.DataDir
+	if dir == "" {
+		dir = filepath.Dir(tbl.Path)
+	}
+	heapPath := filepath.Join(dir, tbl.Name+".heap")
+	rel, err := storage.LoadCSV(tbl, heapPath, e.pool)
+	if err != nil {
+		return nil, err
+	}
+	lt := &loadedTable{tbl: tbl, rel: rel}
+	e.loaded[tbl.Name] = lt
+	return lt, nil
+}
+
+// Load eagerly bulk-loads every catalog table (ModeLoadFirst only). The
+// caller times this to measure the paper's "Load" bars (Figs 7 and 9).
+func (e *Engine) Load() error {
+	if e.opts.Mode != ModeLoadFirst {
+		return fmt.Errorf("core: Load is only meaningful in load-first mode")
+	}
+	for _, tbl := range e.cat.Tables() {
+		if _, err := e.loadedFor(tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Invalidate drops all auxiliary state of a table (positional map, cache,
+// statistics, loaded heap), forcing the next query to rebuild it. Used
+// after in-place external updates (paper §4.5).
+func (e *Engine) Invalidate(name string) {
+	if rt, ok := e.raw[name]; ok {
+		rt.invalidate()
+	}
+	if lt, ok := e.loaded[name]; ok {
+		lt.rel.Heap.Close()
+		_ = os.Remove(lt.rel.Heap.Path())
+		delete(e.loaded, name)
+	}
+}
+
+// TableMetrics reports the auxiliary-structure state of a raw table, used
+// by the benchmark harness (cache usage, positional-map pointers).
+type TableMetrics struct {
+	Rows           int64
+	PMPointers     int64
+	PMBytes        int64
+	PMEvictions    int64
+	CacheBytes     int64
+	CacheUsage     float64
+	CacheHits      int64
+	CacheMisses    int64
+	StatsColumns   int
+	ShortRows      int64
+	TuplesParsed   int64
+	FieldsParsed   int64
+	FieldsFromMap  int64
+	FieldsFromScan int64
+}
+
+// Metrics returns a snapshot for a raw table (zero value if the table has
+// not been touched or the engine is load-first).
+func (e *Engine) Metrics(name string) TableMetrics {
+	rt, ok := e.raw[name]
+	if !ok {
+		return TableMetrics{}
+	}
+	return rt.metrics()
+}
+
+// Close releases all per-table resources.
+func (e *Engine) Close() error {
+	var first error
+	for _, rt := range e.raw {
+		if err := rt.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, ft := range e.rawFITS {
+		if err := ft.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, lt := range e.loaded {
+		if err := lt.rel.Heap.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

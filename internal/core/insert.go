@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"nodb/internal/datum"
+	"nodb/internal/expr"
+	"nodb/internal/scan"
+	"nodb/internal/schema"
+	"nodb/internal/sqlparse"
+)
+
+// Exec runs any supported statement. SELECTs return their result; INSERTs
+// append to the raw file and return a Result with no columns whose Rows
+// length is 0 (use the returned count instead).
+//
+// INSERT is the paper's "internal update" (§4.5): new tuples are appended
+// to the raw data file itself — the file stays the single source of truth
+// — and the auxiliary structures (positional map, cache, statistics row
+// count) simply extend on the next query, exactly like an external append.
+func (e *Engine) Exec(sql string) (*Result, int64, error) {
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		res, err := e.Query(sql)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, int64(len(res.Rows)), nil
+	case *sqlparse.Insert:
+		n, err := e.execInsert(s)
+		return &Result{}, n, err
+	default:
+		return nil, 0, fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+}
+
+// execInsert validates and appends rows to the table's raw CSV file.
+func (e *Engine) execInsert(ins *sqlparse.Insert) (int64, error) {
+	tbl, ok := e.cat.Lookup(ins.Table)
+	if !ok {
+		return 0, fmt.Errorf("core: table %q does not exist", ins.Table)
+	}
+	if tbl.Format != schema.CSV {
+		return 0, fmt.Errorf("core: INSERT is only supported for CSV tables (%s is %s)", tbl.Name, tbl.Format)
+	}
+	if e.opts.Mode == ModeLoadFirst {
+		return 0, fmt.Errorf("core: INSERT into loaded tables is not supported; the load-first baseline is read-only after load")
+	}
+
+	// Evaluate literal rows and convert to the column types.
+	converted := make([][]datum.Datum, 0, len(ins.Rows))
+	for ri, row := range ins.Rows {
+		if len(row) != tbl.NumColumns() {
+			return 0, fmt.Errorf("core: INSERT row %d has %d values, table %s has %d columns",
+				ri+1, len(row), tbl.Name, tbl.NumColumns())
+		}
+		out := make([]datum.Datum, len(row))
+		for ci, node := range row {
+			v, err := evalInsertValue(node)
+			if err != nil {
+				return 0, fmt.Errorf("core: INSERT row %d column %s: %w", ri+1, tbl.Columns[ci].Name, err)
+			}
+			cv, err := coerceTo(v, tbl.Columns[ci].Type)
+			if err != nil {
+				return 0, fmt.Errorf("core: INSERT row %d column %s: %w", ri+1, tbl.Columns[ci].Name, err)
+			}
+			out[ci] = cv
+		}
+		converted = append(converted, out)
+	}
+
+	// Append to the raw file. The in-situ state observes this as a file
+	// growth on the next query (refresh() treats growth as an append).
+	f, err := os.OpenFile(tbl.Path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	w := scan.NewWriter(f, tbl.Delimiter)
+	for _, row := range converted {
+		if err := w.WriteDatums(row); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	return int64(len(converted)), nil
+}
+
+// evalInsertValue evaluates a literal value node: plain literals, date
+// literals, and unary minus. Column references and other expressions are
+// rejected.
+func evalInsertValue(node sqlparse.Node) (datum.Datum, error) {
+	switch n := node.(type) {
+	case *sqlparse.IntLit:
+		return datum.NewInt(n.V), nil
+	case *sqlparse.FloatLit:
+		return datum.NewFloat(n.V), nil
+	case *sqlparse.StringLit:
+		if n.V == "" {
+			return datum.NewNull(datum.Unknown), nil
+		}
+		return datum.NewText(n.V), nil
+	case *sqlparse.DateLit:
+		return datum.DateFromString(n.V)
+	case *sqlparse.Unary:
+		if n.Op != "-" {
+			return datum.Datum{}, fmt.Errorf("INSERT values must be literals")
+		}
+		v, err := evalInsertValue(n.E)
+		if err != nil {
+			return datum.Datum{}, err
+		}
+		neg := &expr.Neg{E: &expr.Const{D: v}}
+		return neg.Eval(nil)
+	default:
+		return datum.Datum{}, fmt.Errorf("INSERT values must be literals")
+	}
+}
+
+// coerceTo converts a literal to the column type where the conversion is
+// lossless and conventional.
+func coerceTo(v datum.Datum, t datum.Type) (datum.Datum, error) {
+	if v.Null() {
+		return datum.NewNull(t), nil
+	}
+	if v.T == t {
+		return v, nil
+	}
+	switch {
+	case t == datum.Float && v.T == datum.Int:
+		return datum.NewFloat(v.Float()), nil
+	case t == datum.Int && v.T == datum.Float && v.Float() == float64(int64(v.Float())):
+		return datum.NewInt(int64(v.Float())), nil
+	case t == datum.Text:
+		return datum.NewText(v.Format()), nil
+	case t == datum.Date && v.T == datum.Text:
+		return datum.DateFromString(v.Text())
+	case t == datum.Bool && v.T == datum.Int:
+		return datum.NewBool(v.Int() != 0), nil
+	}
+	return datum.Datum{}, fmt.Errorf("cannot store %v value as %v", v.T, t)
+}

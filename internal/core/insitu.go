@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"nodb/internal/colcache"
+	"nodb/internal/datum"
+	"nodb/internal/exec"
+	"nodb/internal/expr"
+	"nodb/internal/posmap"
+	"nodb/internal/scan"
+	"nodb/internal/stats"
+)
+
+// inSituScan is the raw-file access method (paper §4): a sequential pass
+// over the CSV file that
+//
+//   - tokenizes selectively — per tuple, character scanning stops at the
+//     last attribute the query needs (§4.1 "Selective Tokenizing"),
+//   - parses selectively — WHERE attributes convert to binary first and
+//     SELECT attributes only for qualifying tuples (§4.1 "Selective
+//     Parsing" / "Selective Tuple Formation"),
+//   - navigates with the positional map — known positions jump straight to
+//     an attribute, near misses jump to the closest indexed attribute and
+//     tokenize forward or backward from there (§4.2),
+//   - records newly discovered positions into the map and parsed values
+//     into the binary cache, and feeds statistics collectors (§4.3, §4.4).
+type inSituScan struct {
+	rt        *rawTable
+	outCols   []int
+	conjuncts []expr.Expr
+	conjCols  [][]int // per conjunct, the table ordinals it reads
+
+	cols []exec.Col // output schema
+
+	f  *os.File
+	lr *scan.LineReader
+
+	row    int
+	rowBuf exec.Row // sparse per-tuple materialization (table width)
+	gen    []int    // generation marks for rowBuf validity
+	curGen int
+	out    exec.Row
+
+	// tupPos is the per-tuple temporary map (paper §4.2 "Pre-fetching"):
+	// field start offsets discovered for the current tuple's prefix.
+	// tupPos[i] is the start of field i; it grows incrementally so the
+	// tuple's characters are scanned at most once regardless of how many
+	// columns the query touches.
+	tupPos   []uint32
+	tupShort bool // the line ended before the prefix reached a request
+
+	// Per-column scan-lifetime accessors: positional-map cursors and
+	// cache views amortize chunk lookups and LRU maintenance across the
+	// sequential row order (nil when the structure is disabled).
+	pmCursors  []*posmap.Cursor
+	cacheViews []colcache.View
+
+	collectors []*stats.Collector // indexed by column ordinal; nil entries
+	collecting bool
+	useNearest bool  // consult pm.Nearest (map had content before this scan)
+	nearHint   []int // per column: last attribute Nearest resolved to (-1 none)
+	maxNeeded  int   // highest table ordinal the query touches
+}
+
+func newInSituScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *inSituScan {
+	s := &inSituScan{
+		rt:        rt,
+		outCols:   outCols,
+		conjuncts: conjuncts,
+		rowBuf:    make(exec.Row, rt.tbl.NumColumns()),
+		gen:       make([]int, rt.tbl.NumColumns()),
+		out:       make(exec.Row, len(outCols)),
+	}
+	s.cols = make([]exec.Col, len(outCols))
+	for i, c := range outCols {
+		s.cols[i] = exec.Col{Name: rt.tbl.Columns[c].Name, Type: rt.tbl.Columns[c].Type}
+	}
+	s.conjCols = make([][]int, len(conjuncts))
+	for i, c := range conjuncts {
+		s.conjCols[i] = expr.DistinctColumns(c)
+	}
+	for _, c := range neededColumns(outCols, conjuncts) {
+		if c > s.maxNeeded {
+			s.maxNeeded = c
+		}
+	}
+	return s
+}
+
+// Columns implements exec.Operator.
+func (s *inSituScan) Columns() []exec.Col { return s.cols }
+
+// Open starts the sequential file pass and attaches statistics collectors
+// for needed columns that lack statistics.
+func (s *inSituScan) Open() error {
+	lr, f, err := scan.OpenFile(s.rt.tbl.Path, s.rt.opts.ScanChunkSize)
+	if err != nil {
+		return err
+	}
+	s.lr, s.f = lr, f
+	s.row = 0
+	s.curGen = 0
+	for i := range s.gen {
+		s.gen[i] = -1
+	}
+	width := len(s.rowBuf)
+	if s.rt.pm != nil && s.rt.recordAttrs {
+		s.rt.pm.BeginScan()
+		s.pmCursors = make([]*posmap.Cursor, width)
+		for c := 0; c < width; c++ {
+			s.pmCursors[c] = s.rt.pm.Cursor(c)
+		}
+		// Nearest-neighbor navigation only pays off when earlier queries
+		// left positions behind; during the very first scan the per-tuple
+		// prefix map is always at least as good.
+		s.useNearest = s.rt.pm.Metrics().Pointers > 0
+		s.nearHint = make([]int, width)
+		for i := range s.nearHint {
+			s.nearHint[i] = -1
+		}
+	} else {
+		s.pmCursors = nil
+		s.useNearest = false
+	}
+	if s.rt.cache != nil {
+		s.cacheViews = make([]colcache.View, width)
+		for _, c := range neededColumns(s.outCols, s.conjuncts) {
+			s.cacheViews[c] = s.rt.cache.View(c, s.rt.types[c])
+		}
+	} else {
+		s.cacheViews = nil
+	}
+	if s.rt.st != nil {
+		s.collectors = make([]*stats.Collector, width)
+		s.collecting = false
+		for _, c := range neededColumns(s.outCols, s.conjuncts) {
+			if !s.rt.st.Has(c) {
+				s.collectors[c] = stats.NewCollector(s.rt.types[c], int64(c)+1)
+				s.collecting = true
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases the file handle.
+func (s *inSituScan) Close() error {
+	if s.f != nil {
+		err := s.f.Close()
+		s.f = nil
+		return err
+	}
+	return nil
+}
+
+// Next produces the next qualifying tuple's output columns.
+func (s *inSituScan) Next() (exec.Row, error) {
+	for {
+		line, off, err := s.lr.Next()
+		if err == io.EOF {
+			s.finish()
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		if s.rt.pm != nil {
+			s.rt.pm.RecordTupleStart(s.row, off)
+		}
+		s.curGen++
+		s.rt.tuplesParsed++
+		s.tupPos = s.tupPos[:0]
+		s.tupShort = false
+
+		if s.rt.opts.FullParse {
+			// Straw-man path: convert the entire tuple before anything
+			// else, as external-files engines do.
+			for c := 0; c < len(s.rowBuf); c++ {
+				if _, err := s.value(line, c); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		qualifies := true
+		for i, conj := range s.conjuncts {
+			for _, c := range s.conjCols[i] {
+				if _, err := s.value(line, c); err != nil {
+					return nil, err
+				}
+			}
+			ok, err := expr.TruthyResult(conj, s.rowBuf)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				qualifies = false
+				break
+			}
+		}
+		if !qualifies {
+			s.row++
+			continue
+		}
+		// Selective tuple formation: only now convert the SELECT columns.
+		for i, c := range s.outCols {
+			v, err := s.value(line, c)
+			if err != nil {
+				return nil, err
+			}
+			s.out[i] = v
+		}
+		s.row++
+		return s.out, nil
+	}
+}
+
+// value returns the datum of table ordinal col for the current tuple,
+// parsing it from line (or the cache) on first access.
+func (s *inSituScan) value(line []byte, col int) (datum.Datum, error) {
+	if s.gen[col] == s.curGen {
+		return s.rowBuf[col], nil
+	}
+	if s.cacheViews != nil && s.cacheViews[col].Valid() {
+		if v, ok := s.cacheViews[col].Get(s.row); ok {
+			s.rt.cacheHit()
+			s.rowBuf[col] = v
+			s.gen[col] = s.curGen
+			return v, nil
+		}
+		s.rt.cacheMiss()
+	}
+	field, ok := s.locateField(line, col)
+	var v datum.Datum
+	if !ok {
+		// Short row: missing trailing fields read as NULL.
+		s.rt.shortRows++
+		v = datum.NewNull(s.rt.types[col])
+	} else {
+		var err error
+		v, err = datum.ParseBytes(s.rt.types[col], field)
+		if err != nil {
+			return datum.Datum{}, fmt.Errorf("core: %s row %d column %s: %w",
+				s.rt.tbl.Name, s.row+1, s.rt.tbl.Columns[col].Name, err)
+		}
+	}
+	s.rt.fieldsParsed++
+	if s.cacheViews != nil && s.cacheViews[col].Valid() {
+		s.cacheViews[col].Put(s.row, v)
+	}
+	if s.collecting {
+		if c := s.collectors[col]; c != nil {
+			c.Add(v)
+		}
+	}
+	s.rowBuf[col] = v
+	s.gen[col] = s.curGen
+	return v, nil
+}
+
+// locateField finds the bytes of attribute col in line, using the
+// positional map when possible and recording what it learns.
+func (s *inSituScan) locateField(line []byte, col int) ([]byte, bool) {
+	delim := s.rt.tbl.Delimiter
+	if s.pmCursors != nil {
+		if rel, ok := s.pmCursors[col].Get(s.row); ok {
+			if int(rel) <= len(line) {
+				s.rt.fieldsFromMap++
+				return scan.FieldAt(line, rel, delim), true
+			}
+		}
+		if s.useNearest {
+			// Sequential scans resolve to the same neighboring attribute
+			// row after row; try the remembered hint before paying for a
+			// full nearest-neighbor search.
+			if h := s.nearHint[col]; h >= 0 {
+				if rel, ok := s.pmCursors[h].Get(s.row); ok && int(rel) <= len(line) {
+					if pos, ok := s.navigate(line, h, rel, col); ok {
+						s.rt.fieldsFromMap++
+						return scan.FieldAt(line, pos, delim), true
+					}
+					return nil, false // short row
+				}
+			}
+			if nearAttr, rel, ok := s.rt.pm.Nearest(s.row, col); ok && int(rel) <= len(line) {
+				s.nearHint[col] = nearAttr
+				if pos, ok := s.navigate(line, nearAttr, rel, col); ok {
+					s.rt.fieldsFromMap++
+					return scan.FieldAt(line, pos, delim), true
+				}
+				return nil, false // short row
+			}
+		}
+	}
+	// No positional information: extend the per-tuple prefix tokenization
+	// up to col, learning every boundary along the way (§4.2 "Map
+	// Population": PostgresRaw learns as much as possible during each
+	// query). The prefix is shared across the tuple's column accesses, so
+	// each character is examined at most once.
+	pos, ok := s.prefixPos(line, col)
+	s.rt.fieldsFromScan++
+	if !ok {
+		return nil, false
+	}
+	return scan.FieldAt(line, pos, delim), true
+}
+
+// prefixPos returns the start offset of field col, incrementally extending
+// the tuple's tokenized prefix.
+func (s *inSituScan) prefixPos(line []byte, col int) (uint32, bool) {
+	delim := s.rt.tbl.Delimiter
+	record := s.pmCursors != nil
+	if len(s.tupPos) == 0 {
+		s.tupPos = append(s.tupPos, 0)
+		if record {
+			s.pmCursors[0].Record(s.row, 0)
+		}
+	}
+	for len(s.tupPos) <= col && !s.tupShort {
+		last := s.tupPos[len(s.tupPos)-1]
+		np, ok := scan.SkipForward(line, last, 1, delim)
+		if !ok {
+			s.tupShort = true
+			break
+		}
+		if record {
+			s.pmCursors[len(s.tupPos)].Record(s.row, np)
+		}
+		s.tupPos = append(s.tupPos, np)
+	}
+	if col < len(s.tupPos) {
+		return s.tupPos[col], true
+	}
+	return 0, false
+}
+
+// navigate walks from a known attribute position to the requested one,
+// recording every intermediate boundary (incremental tokenization in both
+// directions, §4.2 "Exploiting the Positional Map").
+func (s *inSituScan) navigate(line []byte, fromAttr int, fromRel uint32, col int) (uint32, bool) {
+	delim := s.rt.tbl.Delimiter
+	pos := fromRel
+	switch {
+	case fromAttr < col:
+		for a := fromAttr + 1; a <= col; a++ {
+			np, ok := scan.SkipForward(line, pos, 1, delim)
+			if !ok {
+				return 0, false
+			}
+			pos = np
+			s.pmCursors[a].Record(s.row, pos)
+		}
+	case fromAttr > col:
+		for a := fromAttr - 1; a >= col; a-- {
+			np, ok := scan.SkipBackward(line, pos, 1, delim)
+			if !ok {
+				return 0, false
+			}
+			pos = np
+			s.pmCursors[a].Record(s.row, pos)
+		}
+	}
+	return pos, true
+}
+
+// finish runs once the scan has seen the whole file: it fixes the row
+// count and publishes any newly collected statistics.
+func (s *inSituScan) finish() {
+	s.rt.rows = int64(s.row)
+	if s.rt.st != nil {
+		s.rt.st.RowCount = int64(s.row)
+		for col, c := range s.collectors {
+			if c != nil {
+				s.rt.st.Set(col, c.Finalize())
+			}
+		}
+		s.collectors = nil
+	}
+}
+
+// cacheScan serves a query entirely from the binary cache, never touching
+// the raw file (the optimal regime of Fig 6's third epoch).
+type cacheScan struct {
+	rt        *rawTable
+	outCols   []int
+	conjuncts []expr.Expr
+	conjCols  [][]int
+	cols      []exec.Col
+
+	row    int
+	rowBuf exec.Row
+	out    exec.Row
+	views  []colcache.View
+}
+
+func newCacheScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *cacheScan {
+	s := &cacheScan{
+		rt:        rt,
+		outCols:   outCols,
+		conjuncts: conjuncts,
+		rowBuf:    make(exec.Row, rt.tbl.NumColumns()),
+		out:       make(exec.Row, len(outCols)),
+	}
+	s.cols = make([]exec.Col, len(outCols))
+	for i, c := range outCols {
+		s.cols[i] = exec.Col{Name: rt.tbl.Columns[c].Name, Type: rt.tbl.Columns[c].Type}
+	}
+	s.conjCols = make([][]int, len(conjuncts))
+	for i, c := range conjuncts {
+		s.conjCols[i] = expr.DistinctColumns(c)
+	}
+	return s
+}
+
+// Columns implements exec.Operator.
+func (s *cacheScan) Columns() []exec.Col { return s.cols }
+
+// Open resets the cursor and acquires column views.
+func (s *cacheScan) Open() error {
+	s.row = 0
+	s.views = make([]colcache.View, len(s.rowBuf))
+	for _, c := range neededColumns(s.outCols, s.conjuncts) {
+		s.views[c] = s.rt.cache.View(c, s.rt.types[c])
+		if !s.views[c].Valid() {
+			return fmt.Errorf("core: cache scan lost column %d (concurrent eviction?)", c)
+		}
+	}
+	return nil
+}
+
+// Close implements exec.Operator.
+func (s *cacheScan) Close() error { return nil }
+
+// Next emits the next qualifying row from the cache.
+func (s *cacheScan) Next() (exec.Row, error) {
+	for {
+		if int64(s.row) >= s.rt.rows {
+			return nil, io.EOF
+		}
+		qualifies := true
+		for i, conj := range s.conjuncts {
+			for _, c := range s.conjCols[i] {
+				v, ok := s.views[c].Get(s.row)
+				if !ok {
+					return nil, fmt.Errorf("core: cache scan lost column %d row %d (concurrent eviction?)", c, s.row)
+				}
+				s.rowBuf[c] = v
+				s.rt.cacheHit()
+			}
+			ok, err := expr.TruthyResult(conj, s.rowBuf)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				qualifies = false
+				break
+			}
+		}
+		if !qualifies {
+			s.row++
+			continue
+		}
+		for i, c := range s.outCols {
+			v, ok := s.views[c].Get(s.row)
+			if !ok {
+				return nil, fmt.Errorf("core: cache scan lost column %d row %d", c, s.row)
+			}
+			s.out[i] = v
+			s.rt.cacheHit()
+		}
+		s.row++
+		return s.out, nil
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nodb/internal/colcache"
+	"nodb/internal/datum"
+	"nodb/internal/exec"
+	"nodb/internal/expr"
+	"nodb/internal/posmap"
+	"nodb/internal/schema"
+	"nodb/internal/stats"
+	"nodb/internal/storage"
+)
+
+// rawTable is the in-situ state of one raw file: the adaptive positional
+// map, the binary cache and on-the-fly statistics. It implements
+// plan.Table.
+type rawTable struct {
+	tbl  *schema.Table
+	opts *Options
+
+	pm          *posmap.Map     // nil in ModeExternalFiles
+	recordAttrs bool            // false in ModeCache (minimal map only)
+	cache       *colcache.Cache // nil unless caching enabled
+	st          *stats.Table    // nil unless Statistics
+
+	rows     int64 // -1 until the first complete scan
+	fileSize int64 // size observed at last scan, for append detection
+
+	types []datum.Type
+
+	// Cumulative scan counters (see TableMetrics).
+	shortRows      int64
+	tuplesParsed   int64
+	fieldsParsed   int64
+	fieldsFromMap  int64
+	fieldsFromScan int64
+	cacheHits      int64
+	cacheMisses    int64
+}
+
+// cacheHit and cacheMiss count view-based cache traffic (views bypass the
+// cache's own counters for speed).
+func (rt *rawTable) cacheHit()  { rt.cacheHits++ }
+func (rt *rawTable) cacheMiss() { rt.cacheMisses++ }
+
+func newRawTable(tbl *schema.Table, opts *Options) (*rawTable, error) {
+	if tbl.Format != schema.CSV {
+		return nil, fmt.Errorf("core: table %s: format %s is not handled by the CSV engine (use fits.Attach for FITS tables)", tbl.Name, tbl.Format)
+	}
+	rt := &rawTable{tbl: tbl, opts: opts, rows: -1}
+	rt.types = make([]datum.Type, tbl.NumColumns())
+	for i, c := range tbl.Columns {
+		rt.types[i] = c.Type
+	}
+	switch opts.Mode {
+	case ModePMCache:
+		rt.pm = rt.newPM()
+		rt.recordAttrs = true
+		rt.cache = colcache.New(opts.CacheBudget)
+	case ModePM:
+		rt.pm = rt.newPM()
+		rt.recordAttrs = true
+	case ModeCache:
+		// Minimal map: tuple starts only (paper Fig 5, "PostgresRaw C").
+		rt.pm = rt.newPM()
+		rt.recordAttrs = false
+		rt.cache = colcache.New(opts.CacheBudget)
+	case ModeExternalFiles:
+		// No auxiliary structures at all.
+	default:
+		return nil, fmt.Errorf("core: mode %v is not an in-situ mode", opts.Mode)
+	}
+	if opts.Statistics {
+		rt.st = stats.NewTable()
+	}
+	return rt, nil
+}
+
+func (rt *rawTable) newPM() *posmap.Map {
+	spill := ""
+	if rt.opts.PMSpillDir != "" {
+		spill = filepath.Join(rt.opts.PMSpillDir, rt.tbl.Name+".pmspill")
+	}
+	return posmap.New(rt.tbl.NumColumns(), posmap.Options{
+		Budget:    rt.opts.PMBudget,
+		ChunkRows: rt.opts.PMChunkRows,
+		SpillPath: spill,
+	})
+}
+
+// Name implements plan.Table.
+func (rt *rawTable) Name() string { return rt.tbl.Name }
+
+// Columns implements plan.Table.
+func (rt *rawTable) Columns() []schema.Column { return rt.tbl.Columns }
+
+// Stats implements plan.Table.
+func (rt *rawTable) Stats() *stats.Table { return rt.st }
+
+// RowCount implements plan.Table.
+func (rt *rawTable) RowCount() int64 { return rt.rows }
+
+// Scan implements plan.Table. It checks for external file changes, then
+// chooses between a pure cache scan (no file access; paper Fig 6 third
+// epoch) and the full in-situ scan.
+func (rt *rawTable) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
+	if err := rt.refresh(); err != nil {
+		return nil, err
+	}
+	needed := neededColumns(cols, conjuncts)
+	if rt.cacheCovers(needed) {
+		return newCacheScan(rt, cols, conjuncts), nil
+	}
+	return newInSituScan(rt, cols, conjuncts), nil
+}
+
+// neededColumns unions output and conjunct columns.
+func neededColumns(cols []int, conjuncts []expr.Expr) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range cols {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, cj := range conjuncts {
+		for _, c := range expr.DistinctColumns(cj) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// cacheCovers reports whether every needed column is fully cached for all
+// known rows.
+func (rt *rawTable) cacheCovers(needed []int) bool {
+	if rt.cache == nil || rt.rows < 0 {
+		return false
+	}
+	for _, c := range needed {
+		if !rt.cache.FullyCovers(c, int(rt.rows)) {
+			return false
+		}
+	}
+	return true
+}
+
+// refresh stats the backing file and reconciles auxiliary structures with
+// external changes: growth is treated as an append (structures cover the
+// old prefix and extend on the next scan); shrinkage or replacement drops
+// everything (paper §4.5).
+func (rt *rawTable) refresh() error {
+	fi, err := os.Stat(rt.tbl.Path)
+	if err != nil {
+		return fmt.Errorf("core: table %s: %w", rt.tbl.Name, err)
+	}
+	size := fi.Size()
+	switch {
+	case size == rt.fileSize:
+		return nil
+	case size > rt.fileSize && rt.fileSize > 0:
+		// Append: row count becomes unknown; prefix structures stay.
+		rt.rows = -1
+	case size < rt.fileSize:
+		rt.invalidate()
+	}
+	rt.fileSize = size
+	return nil
+}
+
+// invalidate drops every auxiliary structure.
+func (rt *rawTable) invalidate() {
+	if rt.pm != nil {
+		rt.pm.Drop()
+		rt.pm.Truncate(0)
+	}
+	if rt.cache != nil {
+		rt.cache.DropAll()
+	}
+	if rt.st != nil {
+		rt.st.Drop()
+	}
+	rt.rows = -1
+	rt.fileSize = 0
+}
+
+func (rt *rawTable) metrics() TableMetrics {
+	m := TableMetrics{
+		Rows:           rt.rows,
+		ShortRows:      rt.shortRows,
+		TuplesParsed:   rt.tuplesParsed,
+		FieldsParsed:   rt.fieldsParsed,
+		FieldsFromMap:  rt.fieldsFromMap,
+		FieldsFromScan: rt.fieldsFromScan,
+	}
+	if rt.pm != nil {
+		pm := rt.pm.Metrics()
+		m.PMPointers = pm.Pointers
+		m.PMBytes = rt.pm.MemoryBytes()
+		m.PMEvictions = pm.Evictions
+	}
+	if rt.cache != nil {
+		cm := rt.cache.Metrics()
+		m.CacheBytes = rt.cache.Bytes()
+		m.CacheUsage = rt.cache.Usage()
+		m.CacheHits = cm.Hits + rt.cacheHits
+		m.CacheMisses = cm.Misses + rt.cacheMisses
+	}
+	if rt.st != nil {
+		m.StatsColumns = rt.st.CoveredColumns()
+	}
+	return m
+}
+
+func (rt *rawTable) close() error {
+	if rt.pm != nil {
+		return rt.pm.Close()
+	}
+	return nil
+}
+
+// loadedTable adapts a bulk-loaded heap relation to plan.Table.
+type loadedTable struct {
+	tbl *schema.Table
+	rel *storage.Relation
+}
+
+// Name implements plan.Table.
+func (lt *loadedTable) Name() string { return lt.tbl.Name }
+
+// Columns implements plan.Table.
+func (lt *loadedTable) Columns() []schema.Column { return lt.tbl.Columns }
+
+// Stats implements plan.Table (ANALYZE ran during load).
+func (lt *loadedTable) Stats() *stats.Table { return lt.rel.Stats }
+
+// RowCount implements plan.Table.
+func (lt *loadedTable) RowCount() int64 { return lt.rel.Stats.RowCount }
+
+// Scan implements plan.Table: a sequential page scan with the conjuncts
+// evaluated against decoded tuples, projecting the requested ordinals.
+// Tuples are deformed only up to the last needed column, as row stores do.
+func (lt *loadedTable) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
+	pred := expr.JoinConjuncts(conjuncts)
+	outCols := make([]exec.Col, len(cols))
+	for i, c := range cols {
+		outCols[i] = exec.Col{Name: lt.tbl.Columns[c].Name, Type: lt.tbl.Columns[c].Type}
+	}
+	maxNeeded := 0
+	for _, c := range neededColumns(cols, conjuncts) {
+		if c > maxNeeded {
+			maxNeeded = c
+		}
+	}
+	var it *storage.Iterator
+	out := make(exec.Row, len(cols))
+	return exec.NewSource(outCols,
+		func() error {
+			it = lt.rel.Heap.ScanPrefix(maxNeeded)
+			return nil
+		},
+		func() (exec.Row, error) {
+			for {
+				row, err := it.Next()
+				if err != nil {
+					return nil, err
+				}
+				if pred != nil {
+					ok, err := expr.TruthyResult(pred, row)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				for i, c := range cols {
+					out[i] = row[c]
+				}
+				return out, nil
+			}
+		},
+		func() error {
+			if it != nil {
+				it.Close()
+			}
+			return nil
+		}), nil
+}

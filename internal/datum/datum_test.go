@@ -1,0 +1,254 @@
+package datum
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTypeAliases(t *testing.T) {
+	cases := map[string]Type{
+		"int": Int, "INTEGER": Int, "BigInt": Int,
+		"float": Float, "DOUBLE": Float, "decimal": Float,
+		"text": Text, "VARCHAR": Text, "char": Text,
+		"date": Date, "BOOL": Bool, "boolean": Bool,
+	}
+	for name, want := range cases {
+		got, err := ParseType(name)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("ParseType(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("ParseType(blob) should fail")
+	}
+}
+
+func TestParseInt(t *testing.T) {
+	d, err := Parse(Int, "42")
+	if err != nil || d.Int() != 42 {
+		t.Fatalf("Parse int: %v %v", d, err)
+	}
+	d, err = Parse(Int, "-7")
+	if err != nil || d.Int() != -7 {
+		t.Fatalf("Parse negative int: %v %v", d, err)
+	}
+	if _, err = Parse(Int, "4x2"); err == nil {
+		t.Error("Parse(4x2) should fail")
+	}
+	d, err = Parse(Int, "")
+	if err != nil || !d.Null() {
+		t.Fatalf("empty field should be NULL, got %v %v", d, err)
+	}
+}
+
+func TestParseFloatTextBoolDate(t *testing.T) {
+	d, err := Parse(Float, "3.25")
+	if err != nil || d.Float() != 3.25 {
+		t.Fatalf("float: %v %v", d, err)
+	}
+	d, err = Parse(Text, "hello")
+	if err != nil || d.Text() != "hello" {
+		t.Fatalf("text: %v %v", d, err)
+	}
+	d, err = Parse(Bool, "true")
+	if err != nil || !d.Bool() {
+		t.Fatalf("bool: %v %v", d, err)
+	}
+	d, err = Parse(Date, "1995-03-15")
+	if err != nil || d.DateString() != "1995-03-15" {
+		t.Fatalf("date: %v %v", d, err)
+	}
+	if _, err = Parse(Date, "not-a-date"); err == nil {
+		t.Error("bad date should fail")
+	}
+	if _, err = Parse(Bool, "maybe"); err == nil {
+		t.Error("bad bool should fail")
+	}
+}
+
+func TestDateArithmetic(t *testing.T) {
+	d := MustDate("1998-12-01")
+	shifted := d.AddDays(-90)
+	if got := shifted.DateString(); got != "1998-09-02" {
+		t.Errorf("1998-12-01 - 90 days = %s, want 1998-09-02", got)
+	}
+	if MustDate("1970-01-01").Int() != 0 {
+		t.Error("epoch should be day 0")
+	}
+	if MustDate("1970-01-02").Int() != 1 {
+		t.Error("epoch+1 should be day 1")
+	}
+}
+
+func TestFormatParseRoundtripInt(t *testing.T) {
+	f := func(v int64) bool {
+		d := NewInt(v)
+		back, err := Parse(Int, d.Format())
+		return err == nil && back.Int() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatParseRoundtripFloat(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true // not representable in CSV fields
+		}
+		d := NewFloat(v)
+		back, err := Parse(Float, d.Format())
+		return err == nil && back.Float() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatParseRoundtripDate(t *testing.T) {
+	f := func(days int32) bool {
+		// Clamp to a sane range so time.AddDate stays in 4-digit years.
+		dd := int64(days % 100000)
+		d := NewDate(dd)
+		back, err := Parse(Date, d.Format())
+		return err == nil && back.Int() == dd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// Compare must be a total order: antisymmetric and transitive on a
+	// random pool of datums.
+	rng := rand.New(rand.NewSource(1))
+	pool := make([]Datum, 0, 200)
+	for i := 0; i < 50; i++ {
+		pool = append(pool,
+			NewInt(rng.Int63n(100)-50),
+			NewFloat(float64(rng.Int63n(100))/4-10),
+			NewText(strconv.Itoa(int(rng.Int63n(50)))),
+			NewDate(rng.Int63n(1000)),
+		)
+	}
+	pool = append(pool, NewNull(Int), NewNull(Text), NewBool(true), NewBool(false))
+	for _, a := range pool {
+		for _, b := range pool {
+			ab, ba := Compare(a, b), Compare(b, a)
+			if ab != -ba {
+				t.Fatalf("antisymmetry violated: %v vs %v: %d %d", a, b, ab, ba)
+			}
+			for _, c := range pool {
+				if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+					t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCompareCrossNumeric(t *testing.T) {
+	if Compare(NewInt(3), NewFloat(3.0)) != 0 {
+		t.Error("3 should equal 3.0")
+	}
+	if Compare(NewInt(3), NewFloat(3.5)) != -1 {
+		t.Error("3 < 3.5")
+	}
+	if Compare(NewFloat(4.5), NewInt(4)) != 1 {
+		t.Error("4.5 > 4")
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	n := NewNull(Int)
+	if Equal(n, n) {
+		t.Error("NULL = NULL must be false under SQL equality")
+	}
+	if Compare(n, NewInt(math.MinInt64)) != -1 {
+		t.Error("NULL sorts before everything")
+	}
+	if !n.Null() {
+		t.Error("NewNull must be null")
+	}
+	if NewInt(0).Null() {
+		t.Error("zero int is not null")
+	}
+}
+
+func TestHashEqualImpliesSameHash(t *testing.T) {
+	f := func(v int64) bool {
+		return NewInt(v).Hash() == NewInt(v).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Cross-type numeric equality must hash identically for hash joins.
+	if NewInt(7).Hash() != NewFloat(7).Hash() {
+		t.Error("int 7 and float 7.0 must hash the same")
+	}
+	if NewText("abc").Hash() == NewText("abd").Hash() {
+		t.Error("different strings should (overwhelmingly) hash differently")
+	}
+}
+
+func TestParseBytesMatchesParse(t *testing.T) {
+	f := func(v int64) bool {
+		s := strconv.FormatInt(v, 10)
+		a, err1 := Parse(Int, s)
+		b, err2 := ParseBytes(Int, []byte(s))
+		return err1 == nil && err2 == nil && a.Int() == b.Int()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// NULL markers must agree too.
+	a, _ := Parse(Int, "NULL")
+	b, _ := ParseBytes(Int, []byte("NULL"))
+	if a.Null() != b.Null() {
+		t.Error("NULL marker handling differs between Parse and ParseBytes")
+	}
+}
+
+func TestParseBytesOverflowFallsBack(t *testing.T) {
+	// A value that overflows int64 must error, not wrap.
+	if _, err := ParseBytes(Int, []byte("99999999999999999999999")); err == nil {
+		t.Error("overflowing int should fail")
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	if NewInt(1).Size() != NewInt(1<<60).Size() {
+		t.Error("int size must be constant")
+	}
+	small, big := NewText("ab"), NewText("abcdefghij")
+	if big.Size()-small.Size() != 8 {
+		t.Errorf("text size must grow with payload: %d vs %d", small.Size(), big.Size())
+	}
+}
+
+func TestConversionCostOrdering(t *testing.T) {
+	if !(ConversionCost(Float) > ConversionCost(Int)) {
+		t.Error("float conversion must rank above int")
+	}
+	if !(ConversionCost(Int) > ConversionCost(Text)) {
+		t.Error("numeric conversion must rank above text (strings are free)")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if NewNull(Int).String() != "NULL" {
+		t.Error("null renders as NULL")
+	}
+	if NewText("x").String() != "'x'" {
+		t.Error("text renders quoted")
+	}
+	if NewInt(5).String() != "5" {
+		t.Error("int renders bare")
+	}
+}

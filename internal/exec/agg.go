@@ -1,0 +1,289 @@
+package exec
+
+import (
+	"io"
+	"sort"
+
+	"nodb/internal/datum"
+	"nodb/internal/expr"
+)
+
+// aggSpec is shared by the hash and sort aggregation operators: group-by
+// expressions followed by aggregate calls. The output row layout is
+// [group values..., aggregate results...].
+type aggSpec struct {
+	child   Operator
+	groupBy []expr.Expr
+	aggs    []*expr.Aggregate
+	cols    []Col
+}
+
+func (a *aggSpec) evalGroup(r Row, dst Row) (Row, error) {
+	dst = dst[:0]
+	for _, g := range a.groupBy {
+		v, err := g.Eval(r)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+func (a *aggSpec) feed(states []*expr.AggState, r Row) error {
+	for i, ag := range a.aggs {
+		if ag.Kind == expr.AggCountStar || ag.Arg == nil {
+			states[i].Add(datum.NewBool(true))
+			continue
+		}
+		v, err := ag.Arg.Eval(r)
+		if err != nil {
+			return err
+		}
+		states[i].Add(v)
+	}
+	return nil
+}
+
+func (a *aggSpec) newStates() []*expr.AggState {
+	states := make([]*expr.AggState, len(a.aggs))
+	for i, ag := range a.aggs {
+		if ag.Distinct {
+			states[i] = expr.NewDistinctAggState(ag.Kind)
+		} else {
+			states[i] = expr.NewAggState(ag.Kind)
+		}
+	}
+	return states
+}
+
+func (a *aggSpec) resultRow(group Row, states []*expr.AggState) Row {
+	out := make(Row, 0, len(group)+len(states))
+	out = append(out, group...)
+	for _, s := range states {
+		out = append(out, s.Result())
+	}
+	return out
+}
+
+// HashAgg groups rows with a hash table — the plan a cost-based optimizer
+// picks when the estimated number of groups is modest.
+type HashAgg struct {
+	aggSpec
+	// SizeHint pre-sizes the hash table (a statistics-driven optimization;
+	// see Fig 12). Zero means no hint.
+	SizeHint int
+
+	groups map[uint64][]*hashGroup
+	order  []*hashGroup // emission in first-seen order
+	i      int
+}
+
+type hashGroup struct {
+	key    Row
+	states []*expr.AggState
+}
+
+// NewHashAgg builds a hash aggregation operator.
+func NewHashAgg(child Operator, groupBy []expr.Expr, aggs []*expr.Aggregate, cols []Col) *HashAgg {
+	return &HashAgg{aggSpec: aggSpec{child: child, groupBy: groupBy, aggs: aggs, cols: cols}}
+}
+
+// Open consumes the child and builds all groups.
+func (h *HashAgg) Open() error {
+	if err := h.child.Open(); err != nil {
+		return err
+	}
+	defer h.child.Close()
+	size := 64
+	if h.SizeHint > 0 {
+		size = h.SizeHint
+	}
+	h.groups = make(map[uint64][]*hashGroup, size)
+	h.order = h.order[:0]
+	h.i = 0
+
+	// Global aggregates (no GROUP BY) have exactly one group: skip the
+	// per-row key hashing and table lookups entirely.
+	if len(h.groupBy) == 0 {
+		g := &hashGroup{key: Row{}, states: h.newStates()}
+		h.order = append(h.order, g)
+		for {
+			r, err := h.child.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if err := h.feed(g.states, r); err != nil {
+				return err
+			}
+		}
+	}
+
+	var keyBuf Row
+	for {
+		r, err := h.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		keyBuf, err = h.evalGroup(r, keyBuf)
+		if err != nil {
+			return err
+		}
+		g := h.findOrCreate(keyBuf)
+		if err := h.feed(g.states, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *HashAgg) findOrCreate(key Row) *hashGroup {
+	var hash uint64 = 1469598103934665603
+	for _, d := range key {
+		hash = hash*1099511628211 ^ d.Hash()
+	}
+	for _, g := range h.groups[hash] {
+		if groupKeyEqual(g.key, key) {
+			return g
+		}
+	}
+	g := &hashGroup{key: CloneRow(key), states: h.newStates()}
+	h.groups[hash] = append(h.groups[hash], g)
+	h.order = append(h.order, g)
+	return g
+}
+
+// groupKeyEqual treats NULLs as equal (SQL GROUP BY semantics).
+func groupKeyEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if datum.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Next emits one group per call.
+func (h *HashAgg) Next() (Row, error) {
+	if h.i >= len(h.order) {
+		return nil, io.EOF
+	}
+	g := h.order[h.i]
+	h.i++
+	return h.resultRow(g.key, g.states), nil
+}
+
+// Close releases the hash table.
+func (h *HashAgg) Close() error {
+	h.groups = nil
+	h.order = nil
+	return nil
+}
+
+// Columns returns the [group..., aggregates...] schema.
+func (h *HashAgg) Columns() []Col { return h.cols }
+
+// SortAgg groups rows by sorting on the grouping key and emitting a group
+// whenever the key changes. Used by the optimizer when statistics are
+// unavailable and it must assume many groups (the conservative plan whose
+// cost Fig 12 exposes).
+type SortAgg struct {
+	aggSpec
+	out []Row
+	i   int
+}
+
+// NewSortAgg builds a sort-based aggregation operator.
+func NewSortAgg(child Operator, groupBy []expr.Expr, aggs []*expr.Aggregate, cols []Col) *SortAgg {
+	return &SortAgg{aggSpec: aggSpec{child: child, groupBy: groupBy, aggs: aggs, cols: cols}}
+}
+
+// Open materializes, sorts by the grouping key, and folds runs into groups.
+func (s *SortAgg) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	defer s.child.Close()
+	s.out = s.out[:0]
+	s.i = 0
+
+	type keyed struct {
+		row Row
+		key Row
+	}
+	var items []keyed
+	var keyBuf Row
+	for {
+		r, err := s.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		keyBuf, err = s.evalGroup(r, keyBuf)
+		if err != nil {
+			return err
+		}
+		items = append(items, keyed{row: CloneRow(r), key: CloneRow(keyBuf)})
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		for i := range items[a].key {
+			c := datum.Compare(items[a].key[i], items[b].key[i])
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	var curKey Row
+	var states []*expr.AggState
+	flush := func() {
+		if states != nil {
+			s.out = append(s.out, s.resultRow(curKey, states))
+		}
+	}
+	for _, it := range items {
+		if states == nil || !groupKeyEqual(curKey, it.key) {
+			flush()
+			curKey = it.key
+			states = s.newStates()
+		}
+		if err := s.feed(states, it.row); err != nil {
+			return err
+		}
+	}
+	flush()
+	if len(s.groupBy) == 0 && len(s.out) == 0 {
+		s.out = append(s.out, s.resultRow(Row{}, s.newStates()))
+	}
+	return nil
+}
+
+// Next emits one group per call.
+func (s *SortAgg) Next() (Row, error) {
+	if s.i >= len(s.out) {
+		return nil, io.EOF
+	}
+	r := s.out[s.i]
+	s.i++
+	return r, nil
+}
+
+// Close releases buffered groups.
+func (s *SortAgg) Close() error {
+	s.out = nil
+	return nil
+}
+
+// Columns returns the [group..., aggregates...] schema.
+func (s *SortAgg) Columns() []Col { return s.cols }

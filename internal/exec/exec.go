@@ -1,0 +1,355 @@
+// Package exec implements a volcano-style (iterator) execution engine:
+// filter, project, sort, limit, hash aggregation, sort aggregation and hash
+// join operators over rows of datums.
+//
+// The same operators execute over every access method — in-situ raw-file
+// scans, cached binary columns and loaded heap files — mirroring how
+// PostgresRaw reuses the unmodified PostgreSQL executor above its raw-file
+// scan operator (paper §4.1: "the remaining query plan ... works without
+// changes").
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nodb/internal/datum"
+	"nodb/internal/expr"
+)
+
+// Row is one tuple flowing between operators. Producers may reuse the
+// backing array between Next calls; operators that buffer rows must copy.
+type Row = []datum.Datum
+
+// Col describes one output column of an operator.
+type Col struct {
+	Name string
+	Type datum.Type
+}
+
+// Operator is the volcano iterator interface. Next returns io.EOF when the
+// stream is exhausted.
+type Operator interface {
+	Open() error
+	Next() (Row, error)
+	Close() error
+	Columns() []Col
+}
+
+// CloneRow copies a row so it survives producer reuse.
+func CloneRow(r Row) Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Drain runs an operator to completion and returns all rows (copied).
+// It opens and closes the operator.
+func Drain(op Operator) ([]Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []Row
+	for {
+		r, err := op.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CloneRow(r))
+	}
+}
+
+// Count runs an operator to completion, returning only the row count.
+func Count(op Operator) (int64, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	var n int64
+	for {
+		_, err := op.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		n++
+	}
+}
+
+// Source adapts an external row producer (heap iterator, in-situ scan,
+// generator) into the Operator tree.
+type Source struct {
+	cols  []Col
+	open  func() error
+	next  func() (Row, error)
+	close func() error
+}
+
+// NewSource builds a leaf operator from callbacks; open and close may be
+// nil.
+func NewSource(cols []Col, open func() error, next func() (Row, error), close func() error) *Source {
+	return &Source{cols: cols, open: open, next: next, close: close}
+}
+
+// Open calls the open callback.
+func (s *Source) Open() error {
+	if s.open != nil {
+		return s.open()
+	}
+	return nil
+}
+
+// Next pulls from the callback.
+func (s *Source) Next() (Row, error) { return s.next() }
+
+// Close calls the close callback.
+func (s *Source) Close() error {
+	if s.close != nil {
+		return s.close()
+	}
+	return nil
+}
+
+// Columns returns the source schema.
+func (s *Source) Columns() []Col { return s.cols }
+
+// Values is a fixed in-memory rowset, useful for tests and tiny tables.
+type Values struct {
+	cols []Col
+	rows []Row
+	i    int
+}
+
+// NewValues creates a Values operator.
+func NewValues(cols []Col, rows []Row) *Values {
+	return &Values{cols: cols, rows: rows}
+}
+
+// Open resets the cursor.
+func (v *Values) Open() error { v.i = 0; return nil }
+
+// Next returns the next stored row.
+func (v *Values) Next() (Row, error) {
+	if v.i >= len(v.rows) {
+		return nil, io.EOF
+	}
+	r := v.rows[v.i]
+	v.i++
+	return r, nil
+}
+
+// Close is a no-op.
+func (v *Values) Close() error { return nil }
+
+// Columns returns the schema.
+func (v *Values) Columns() []Col { return v.cols }
+
+// Filter passes through rows satisfying the predicate (NULL = drop).
+type Filter struct {
+	child Operator
+	pred  expr.Expr
+}
+
+// NewFilter wraps child with a predicate.
+func NewFilter(child Operator, pred expr.Expr) *Filter {
+	return &Filter{child: child, pred: pred}
+}
+
+// Open opens the child.
+func (f *Filter) Open() error { return f.child.Open() }
+
+// Next pulls until a row qualifies.
+func (f *Filter) Next() (Row, error) {
+	for {
+		r, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		ok, err := expr.TruthyResult(f.pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return r, nil
+		}
+	}
+}
+
+// Close closes the child.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// Columns passes through the child schema.
+func (f *Filter) Columns() []Col { return f.child.Columns() }
+
+// Project computes output expressions over each input row.
+type Project struct {
+	child Operator
+	exprs []expr.Expr
+	cols  []Col
+	buf   Row
+}
+
+// NewProject wraps child with projection expressions and output schema.
+func NewProject(child Operator, exprs []expr.Expr, cols []Col) *Project {
+	if len(exprs) != len(cols) {
+		panic(fmt.Sprintf("exec: %d exprs but %d cols", len(exprs), len(cols)))
+	}
+	return &Project{child: child, exprs: exprs, cols: cols, buf: make(Row, len(exprs))}
+}
+
+// Open opens the child.
+func (p *Project) Open() error { return p.child.Open() }
+
+// Next computes the projection (output row reused between calls).
+func (p *Project) Next() (Row, error) {
+	r, err := p.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range p.exprs {
+		v, err := e.Eval(r)
+		if err != nil {
+			return nil, err
+		}
+		p.buf[i] = v
+	}
+	return p.buf, nil
+}
+
+// Close closes the child.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Columns returns the projected schema.
+func (p *Project) Columns() []Col { return p.cols }
+
+// Limit stops after n rows (n < 0 means no limit).
+type Limit struct {
+	child Operator
+	n     int64
+	seen  int64
+}
+
+// NewLimit wraps child with a row limit.
+func NewLimit(child Operator, n int64) *Limit {
+	return &Limit{child: child, n: n}
+}
+
+// Open opens the child and resets the counter.
+func (l *Limit) Open() error { l.seen = 0; return l.child.Open() }
+
+// Next forwards until the limit is hit.
+func (l *Limit) Next() (Row, error) {
+	if l.n >= 0 && l.seen >= l.n {
+		return nil, io.EOF
+	}
+	r, err := l.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.seen++
+	return r, nil
+}
+
+// Close closes the child.
+func (l *Limit) Close() error { return l.child.Close() }
+
+// Columns passes through the child schema.
+func (l *Limit) Columns() []Col { return l.child.Columns() }
+
+// SortKey orders by an expression over the input row.
+type SortKey struct {
+	E    expr.Expr
+	Desc bool
+}
+
+// Sort materializes the child and emits rows in key order.
+type Sort struct {
+	child Operator
+	keys  []SortKey
+	rows  []Row
+	i     int
+}
+
+// NewSort wraps child with ORDER BY keys.
+func NewSort(child Operator, keys []SortKey) *Sort {
+	return &Sort{child: child, keys: keys}
+}
+
+// Open drains and sorts the child.
+func (s *Sort) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	defer s.child.Close()
+	s.rows = s.rows[:0]
+	s.i = 0
+	// Precompute key values alongside rows to avoid re-evaluating during
+	// comparisons.
+	type keyed struct {
+		row  Row
+		keys Row
+	}
+	var items []keyed
+	for {
+		r, err := s.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		c := CloneRow(r)
+		ks := make(Row, len(s.keys))
+		for i, k := range s.keys {
+			v, err := k.E.Eval(c)
+			if err != nil {
+				return err
+			}
+			ks[i] = v
+		}
+		items = append(items, keyed{row: c, keys: ks})
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		for i, k := range s.keys {
+			c := datum.Compare(items[a].keys[i], items[b].keys[i])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	s.rows = make([]Row, len(items))
+	for i := range items {
+		s.rows[i] = items[i].row
+	}
+	return nil
+}
+
+// Next emits the next sorted row.
+func (s *Sort) Next() (Row, error) {
+	if s.i >= len(s.rows) {
+		return nil, io.EOF
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, nil
+}
+
+// Close releases the materialized rows.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Columns passes through the child schema.
+func (s *Sort) Columns() []Col { return s.child.Columns() }

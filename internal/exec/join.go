@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"io"
+
+	"nodb/internal/datum"
+	"nodb/internal/expr"
+)
+
+// HashJoin is an inner equi-join: the left (build) side is materialized
+// into a hash table, the right (probe) side streams. The optimizer uses
+// cardinality statistics to put the smaller input on the build side — one
+// of the stats-driven choices behind Fig 12.
+type HashJoin struct {
+	left, right         Operator
+	leftKeys, rightKeys []expr.Expr
+	cols                []Col
+
+	table   map[uint64][]buildRow
+	probe   Row   // current probe row
+	matches []Row // pending build matches for probe
+	mi      int
+	out     Row
+}
+
+type buildRow struct {
+	key Row
+	row Row
+}
+
+// NewHashJoin builds an inner hash join. leftKeys and rightKeys must have
+// equal length; output is the concatenation left ++ right.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []expr.Expr) *HashJoin {
+	cols := append(append([]Col{}, left.Columns()...), right.Columns()...)
+	return &HashJoin{
+		left: left, right: right,
+		leftKeys: leftKeys, rightKeys: rightKeys,
+		cols: cols,
+	}
+}
+
+// Open materializes the build side.
+func (j *HashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	defer j.left.Close()
+	j.table = make(map[uint64][]buildRow, 256)
+	var keyBuf Row
+	for {
+		r, err := j.left.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		keyBuf = keyBuf[:0]
+		skip := false
+		for _, k := range j.leftKeys {
+			v, err := k.Eval(r)
+			if err != nil {
+				return err
+			}
+			if v.Null() {
+				skip = true // NULL keys never join
+				break
+			}
+			keyBuf = append(keyBuf, v)
+		}
+		if skip {
+			continue
+		}
+		h := hashKey(keyBuf)
+		j.table[h] = append(j.table[h], buildRow{key: CloneRow(keyBuf), row: CloneRow(r)})
+	}
+	j.probe = nil
+	j.matches = nil
+	j.mi = 0
+	j.out = make(Row, 0, len(j.cols))
+	return j.right.Open()
+}
+
+func hashKey(key Row) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, d := range key {
+		h = h*1099511628211 ^ d.Hash()
+	}
+	return h
+}
+
+// Next emits the next joined row.
+func (j *HashJoin) Next() (Row, error) {
+	for {
+		if j.mi < len(j.matches) {
+			b := j.matches[j.mi]
+			j.mi++
+			j.out = j.out[:0]
+			j.out = append(j.out, b...)
+			j.out = append(j.out, j.probe...)
+			return j.out, nil
+		}
+		r, err := j.right.Next()
+		if err != nil {
+			return nil, err
+		}
+		var keyBuf Row
+		skip := false
+		for _, k := range j.rightKeys {
+			v, err := k.Eval(r)
+			if err != nil {
+				return nil, err
+			}
+			if v.Null() {
+				skip = true
+				break
+			}
+			keyBuf = append(keyBuf, v)
+		}
+		if skip {
+			continue
+		}
+		j.matches = j.matches[:0]
+		for _, b := range j.table[hashKey(keyBuf)] {
+			if joinKeyEqual(b.key, keyBuf) {
+				j.matches = append(j.matches, b.row)
+			}
+		}
+		if len(j.matches) > 0 {
+			j.probe = CloneRow(r)
+			j.mi = 0
+		}
+	}
+}
+
+// joinKeyEqual uses SQL equality semantics; NULLs were already filtered.
+func joinKeyEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !datum.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close closes the probe side and releases the table.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	j.matches = nil
+	return j.right.Close()
+}
+
+// Columns returns left ++ right.
+func (j *HashJoin) Columns() []Col { return j.cols }

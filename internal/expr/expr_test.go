@@ -1,0 +1,415 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nodb/internal/datum"
+)
+
+func col(i int) *ColRef                   { return &ColRef{Index: i} }
+func ci(v int64) *Const                   { return &Const{D: datum.NewInt(v)} }
+func cf(v float64) *Const                 { return &Const{D: datum.NewFloat(v)} }
+func ct(s string) *Const                  { return &Const{D: datum.NewText(s)} }
+func row(vs ...datum.Datum) []datum.Datum { return vs }
+
+func evalOK(t *testing.T, e Expr, r []datum.Datum) datum.Datum {
+	t.Helper()
+	v, err := e.Eval(r)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	r := row(datum.NewInt(10), datum.NewFloat(2.5))
+	cases := []struct {
+		e    Expr
+		want float64
+	}{
+		{&BinOp{Op: Add, L: col(0), R: ci(5)}, 15},
+		{&BinOp{Op: Sub, L: col(0), R: ci(3)}, 7},
+		{&BinOp{Op: Mul, L: col(0), R: col(1)}, 25},
+		{&BinOp{Op: Div, L: col(0), R: cf(4)}, 2.5},
+	}
+	for _, tc := range cases {
+		if got := evalOK(t, tc.e, r).Float(); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestIntArithmeticStaysInt(t *testing.T) {
+	v := evalOK(t, &BinOp{Op: Add, L: ci(2), R: ci(3)}, nil)
+	if v.T != datum.Int || v.Int() != 5 {
+		t.Errorf("2+3 = %v (type %v), want INT 5", v, v.T)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	if _, err := (&BinOp{Op: Div, L: ci(1), R: ci(0)}).Eval(nil); err == nil {
+		t.Error("1/0 should error")
+	}
+}
+
+func TestDateArithmetic(t *testing.T) {
+	d := &Const{D: datum.MustDate("1998-12-01")}
+	v := evalOK(t, &BinOp{Op: Sub, L: d, R: ci(90)}, nil)
+	if v.T != datum.Date || v.DateString() != "1998-09-02" {
+		t.Errorf("date - 90 = %v", v)
+	}
+	v = evalOK(t, &BinOp{Op: Add, L: d, R: ci(30)}, nil)
+	if v.DateString() != "1998-12-31" {
+		t.Errorf("date + 30 = %v", v)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	r := row(datum.NewInt(5))
+	cases := []struct {
+		op   Op
+		rhs  int64
+		want bool
+	}{
+		{Eq, 5, true}, {Eq, 6, false},
+		{Ne, 6, true}, {Ne, 5, false},
+		{Lt, 6, true}, {Lt, 5, false},
+		{Le, 5, true}, {Le, 4, false},
+		{Gt, 4, true}, {Gt, 5, false},
+		{Ge, 5, true}, {Ge, 6, false},
+	}
+	for _, tc := range cases {
+		e := &BinOp{Op: tc.op, L: col(0), R: ci(tc.rhs)}
+		if got := evalOK(t, e, r).Bool(); got != tc.want {
+			t.Errorf("%s = %v, want %v", e, got, tc.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	null := &Const{D: datum.NewNull(datum.Bool)}
+	tru := &Const{D: datum.NewBool(true)}
+	fls := &Const{D: datum.NewBool(false)}
+
+	// FALSE AND NULL = FALSE; TRUE OR NULL = TRUE (short circuit).
+	if v := evalOK(t, &BinOp{Op: And, L: fls, R: null}, nil); v.Null() || v.Bool() {
+		t.Error("FALSE AND NULL must be FALSE")
+	}
+	if v := evalOK(t, &BinOp{Op: Or, L: tru, R: null}, nil); v.Null() || !v.Bool() {
+		t.Error("TRUE OR NULL must be TRUE")
+	}
+	// TRUE AND NULL = NULL; FALSE OR NULL = NULL.
+	if v := evalOK(t, &BinOp{Op: And, L: tru, R: null}, nil); !v.Null() {
+		t.Error("TRUE AND NULL must be NULL")
+	}
+	if v := evalOK(t, &BinOp{Op: Or, L: fls, R: null}, nil); !v.Null() {
+		t.Error("FALSE OR NULL must be NULL")
+	}
+	// NULL comparison yields NULL.
+	if v := evalOK(t, &BinOp{Op: Eq, L: null, R: tru}, nil); !v.Null() {
+		t.Error("NULL = x must be NULL")
+	}
+	// NOT NULL = NULL.
+	if v := evalOK(t, &Not{E: null}, nil); !v.Null() {
+		t.Error("NOT NULL must be NULL")
+	}
+	if v := evalOK(t, &Not{E: tru}, nil); v.Bool() {
+		t.Error("NOT TRUE must be FALSE")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"PROMO%", "PROMO BURNISHED", true},
+		{"PROMO%", "STANDARD", false},
+		{"%green%", "dark green metal", true},
+		{"%green%", "dark red metal", false},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"a_c", "abbc", false},
+		{"%", "", true},
+		{"", "", true},
+		{"", "x", false},
+		{"%%x%", "yyx", true},
+		{"x%y%z", "xAyBz", true},
+		{"x%y%z", "xz", false},
+	}
+	for _, tc := range cases {
+		if got := likeMatch(tc.pattern, tc.s); got != tc.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", tc.pattern, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestLikeExprAndNegate(t *testing.T) {
+	r := row(datum.NewText("PROMO ANODIZED"))
+	e := &Like{E: col(0), Pattern: "PROMO%"}
+	if !evalOK(t, e, r).Bool() {
+		t.Error("LIKE should match")
+	}
+	ne := &Like{E: col(0), Pattern: "PROMO%", Negate: true}
+	if evalOK(t, ne, r).Bool() {
+		t.Error("NOT LIKE should not match")
+	}
+	if v := evalOK(t, e, row(datum.NewNull(datum.Text))); !v.Null() {
+		t.Error("NULL LIKE p must be NULL")
+	}
+}
+
+func TestInAndBetween(t *testing.T) {
+	r := row(datum.NewText("MAIL"))
+	in := &In{E: col(0), List: []datum.Datum{datum.NewText("MAIL"), datum.NewText("SHIP")}}
+	if !evalOK(t, in, r).Bool() {
+		t.Error("IN should match")
+	}
+	nin := &In{E: col(0), List: []datum.Datum{datum.NewText("AIR")}, Negate: true}
+	if !evalOK(t, nin, r).Bool() {
+		t.Error("NOT IN should match")
+	}
+	bt := &Between{E: ci(5), Lo: ci(1), Hi: ci(10)}
+	if !evalOK(t, bt, nil).Bool() {
+		t.Error("5 BETWEEN 1 AND 10")
+	}
+	bt2 := &Between{E: ci(0), Lo: ci(1), Hi: ci(10)}
+	if evalOK(t, bt2, nil).Bool() {
+		t.Error("0 NOT BETWEEN 1 AND 10")
+	}
+	// Boundary inclusivity.
+	for _, v := range []int64{1, 10} {
+		if !evalOK(t, &Between{E: ci(v), Lo: ci(1), Hi: ci(10)}, nil).Bool() {
+			t.Errorf("%d BETWEEN 1 AND 10 must be true (inclusive)", v)
+		}
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	r := row(datum.NewNull(datum.Int), datum.NewInt(1))
+	if !evalOK(t, &IsNull{E: col(0)}, r).Bool() {
+		t.Error("IS NULL on null")
+	}
+	if evalOK(t, &IsNull{E: col(1)}, r).Bool() {
+		t.Error("IS NULL on non-null")
+	}
+	if !evalOK(t, &IsNull{E: col(1), Negate: true}, r).Bool() {
+		t.Error("IS NOT NULL on non-null")
+	}
+}
+
+func TestCase(t *testing.T) {
+	// CASE WHEN c0 like 'PROMO%' THEN c1 ELSE 0 END
+	e := &Case{
+		Whens: []When{{
+			Cond: &Like{E: col(0), Pattern: "PROMO%"},
+			Then: col(1),
+		}},
+		Else: ci(0),
+	}
+	v := evalOK(t, e, row(datum.NewText("PROMO X"), datum.NewFloat(9.5)))
+	if v.Float() != 9.5 {
+		t.Errorf("case then = %v", v)
+	}
+	v = evalOK(t, e, row(datum.NewText("STANDARD"), datum.NewFloat(9.5)))
+	if v.Int() != 0 {
+		t.Errorf("case else = %v", v)
+	}
+	// No ELSE → NULL.
+	e2 := &Case{Whens: []When{{Cond: &Const{D: datum.NewBool(false)}, Then: ci(1)}}}
+	if v := evalOK(t, e2, nil); !v.Null() {
+		t.Error("CASE with no match and no ELSE must be NULL")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v := evalOK(t, &Neg{E: ci(4)}, nil); v.Int() != -4 {
+		t.Errorf("-4 = %v", v)
+	}
+	if v := evalOK(t, &Neg{E: cf(2.5)}, nil); v.Float() != -2.5 {
+		t.Errorf("-2.5 = %v", v)
+	}
+}
+
+func TestColumnsCollection(t *testing.T) {
+	e := &BinOp{Op: And,
+		L: &BinOp{Op: Gt, L: col(3), R: ci(0)},
+		R: &Between{E: col(1), Lo: col(3), Hi: col(7)},
+	}
+	got := DistinctColumns(e)
+	want := []int{1, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("DistinctColumns = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DistinctColumns = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSplitJoinConjuncts(t *testing.T) {
+	a := &BinOp{Op: Gt, L: col(0), R: ci(1)}
+	b := &BinOp{Op: Lt, L: col(1), R: ci(2)}
+	c := &BinOp{Op: Eq, L: col(2), R: ci(3)}
+	e := &BinOp{Op: And, L: &BinOp{Op: And, L: a, R: b}, R: c}
+	parts := SplitConjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("SplitConjuncts got %d parts", len(parts))
+	}
+	back := JoinConjuncts(parts)
+	r := row(datum.NewInt(5), datum.NewInt(0), datum.NewInt(3))
+	v1, _ := TruthyResult(e, r)
+	v2, _ := TruthyResult(back, r)
+	if v1 != v2 {
+		t.Error("JoinConjuncts(SplitConjuncts(e)) differs from e")
+	}
+	if JoinConjuncts(nil) != nil {
+		t.Error("JoinConjuncts(nil) must be nil")
+	}
+}
+
+func TestRemap(t *testing.T) {
+	e := &BinOp{Op: Add, L: col(4), R: col(9)}
+	m := map[int]int{4: 0, 9: 1}
+	re, err := Remap(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := evalOK(t, re, row(datum.NewInt(2), datum.NewInt(3)))
+	if v.Int() != 5 {
+		t.Errorf("remapped eval = %v", v)
+	}
+	if _, err := Remap(col(7), m); err == nil {
+		t.Error("remap of unmapped column must fail")
+	}
+	// All node kinds must survive remapping.
+	big := &Case{
+		Whens: []When{{Cond: &IsNull{E: col(4)}, Then: &Neg{E: col(9)}}},
+		Else:  &In{E: &Like{E: col(4), Pattern: "x%"}, List: []datum.Datum{datum.NewBool(true)}},
+	}
+	if _, err := Remap(big, m); err != nil {
+		t.Errorf("remap of composite: %v", err)
+	}
+}
+
+func TestTruthyResultNullIsFalse(t *testing.T) {
+	null := &Const{D: datum.NewNull(datum.Bool)}
+	ok, err := TruthyResult(null, nil)
+	if err != nil || ok {
+		t.Error("NULL predicate must filter the row out")
+	}
+}
+
+func TestLikeMatchNeverPanics(t *testing.T) {
+	f := func(pattern, s string) bool {
+		likeMatch(pattern, s) // must not panic
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColRefOutOfRange(t *testing.T) {
+	if _, err := col(5).Eval(row(datum.NewInt(1))); err == nil {
+		t.Error("out of range column must error")
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&BinOp{Op: Add, L: col(0), R: ci(1)}, "($0 + 1)"},
+		{&BinOp{Op: And, L: ct("x"), R: ct("y")}, "('x' AND 'y')"},
+		{&Not{E: col(2)}, "(NOT $2)"},
+		{&Neg{E: ci(3)}, "(-3)"},
+		{&Like{E: col(0), Pattern: "a%"}, "($0 LIKE 'a%')"},
+		{&Like{E: col(0), Pattern: "a%", Negate: true}, "($0 NOT LIKE 'a%')"},
+		{&In{E: col(1), List: []datum.Datum{datum.NewInt(1), datum.NewInt(2)}}, "($1 IN (1, 2))"},
+		{&In{E: col(1), List: []datum.Datum{datum.NewInt(1)}, Negate: true}, "($1 NOT IN (1))"},
+		{&Between{E: col(0), Lo: ci(1), Hi: ci(2)}, "($0 BETWEEN 1 AND 2)"},
+		{&IsNull{E: col(0)}, "($0 IS NULL)"},
+		{&IsNull{E: col(0), Negate: true}, "($0 IS NOT NULL)"},
+		{&Case{Whens: []When{{Cond: col(0), Then: ci(1)}}, Else: ci(0)}, "CASE WHEN $0 THEN 1 ELSE 0 END"},
+	}
+	for _, tc := range cases {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+	named := &ColRef{Index: 3, Name: "t.col"}
+	if named.String() != "t.col" {
+		t.Errorf("named colref = %s", named)
+	}
+}
+
+func TestEvalErrorPropagation(t *testing.T) {
+	// A bad column reference inside any composite must surface the error.
+	bad := col(99)
+	short := row(datum.NewInt(1))
+	exprs := []Expr{
+		&BinOp{Op: Add, L: bad, R: ci(1)},
+		&BinOp{Op: Add, L: ci(1), R: bad},
+		&BinOp{Op: And, L: bad, R: ci(1)},
+		&Not{E: bad},
+		&Neg{E: bad},
+		&Like{E: bad, Pattern: "x"},
+		&In{E: bad, List: []datum.Datum{datum.NewInt(1)}},
+		&Between{E: bad, Lo: ci(0), Hi: ci(1)},
+		&Between{E: ci(0), Lo: bad, Hi: ci(1)},
+		&Between{E: ci(0), Lo: ci(0), Hi: bad},
+		&IsNull{E: bad},
+		&Case{Whens: []When{{Cond: bad, Then: ci(1)}}},
+		&Case{Whens: []When{{Cond: &Const{D: datum.NewBool(true)}, Then: bad}}},
+	}
+	for _, e := range exprs {
+		if _, err := e.Eval(short); err == nil {
+			t.Errorf("%s should error on out-of-range column", e)
+		}
+		if _, err := TruthyResult(e, short); err == nil {
+			t.Errorf("TruthyResult(%s) should error", e)
+		}
+	}
+}
+
+func TestDateMinusDateStyleArithmetic(t *testing.T) {
+	// Date + int and date - int only; int+date falls back to float math.
+	d := &Const{D: datum.MustDate("2000-06-15")}
+	v := evalOK(t, &BinOp{Op: Add, L: d, R: ci(10)}, nil)
+	if v.T != datum.Date {
+		t.Errorf("date+int type = %v", v.T)
+	}
+	// Mixed float arithmetic.
+	v = evalOK(t, &BinOp{Op: Mul, L: cf(1.5), R: ci(4)}, nil)
+	if v.Float() != 6 {
+		t.Errorf("1.5*4 = %v", v)
+	}
+	v = evalOK(t, &BinOp{Op: Sub, L: ci(10), R: cf(2.5)}, nil)
+	if v.Float() != 7.5 {
+		t.Errorf("10-2.5 = %v", v)
+	}
+}
+
+func TestNullArithmetic(t *testing.T) {
+	null := &Const{D: datum.NewNull(datum.Int)}
+	v := evalOK(t, &BinOp{Op: Add, L: null, R: ci(1)}, nil)
+	if !v.Null() {
+		t.Error("NULL + 1 must be NULL")
+	}
+	v = evalOK(t, &Neg{E: null}, nil)
+	if !v.Null() {
+		t.Error("-NULL must be NULL")
+	}
+	v = evalOK(t, &In{E: null, List: []datum.Datum{datum.NewInt(1)}}, nil)
+	if !v.Null() {
+		t.Error("NULL IN (...) must be NULL")
+	}
+	v = evalOK(t, &Between{E: ci(1), Lo: null, Hi: ci(2)}, nil)
+	if !v.Null() {
+		t.Error("BETWEEN with NULL bound must be NULL")
+	}
+}

@@ -1,0 +1,86 @@
+package fits
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file implements the comparator of the paper's §5.3 experiment: "a
+// custom-made C program that uses the CFITSIO library and procedurally
+// implements the same workload". Each call scans the entire file — like
+// the C program, it keeps no state between queries, so repeated queries
+// cost the same every time (the flat line of Fig 11). Only the operating
+// system's page cache helps it.
+
+// AggOp selects the aggregate a procedural query computes.
+type AggOp int
+
+// Procedural aggregates matching the paper's MIN/MAX/AVG workload.
+const (
+	AggMin AggOp = iota
+	AggMax
+	AggAvg
+)
+
+func (op AggOp) String() string {
+	switch op {
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "AVG"
+	}
+}
+
+// ProceduralAggregate scans the whole binary table and computes op over
+// column col, the way a handwritten CFITSIO program would: open, loop over
+// all rows reading the column, fold, return.
+func ProceduralAggregate(path string, col int, op AggOp) (float64, error) {
+	t, err := Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer t.Close()
+	if col < 0 || col >= len(t.Cols) {
+		return 0, fmt.Errorf("fits: column %d out of range", col)
+	}
+	rd := t.NewReader()
+	cols := []int{col}
+	var (
+		minV  = math.Inf(1)
+		maxV  = math.Inf(-1)
+		sum   float64
+		count int64
+	)
+	for {
+		vals, err := rd.Next(cols, nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		v := vals[0].Float()
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		sum += v
+		count++
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("fits: empty table")
+	}
+	switch op {
+	case AggMin:
+		return minV, nil
+	case AggMax:
+		return maxV, nil
+	default:
+		return sum / float64(count), nil
+	}
+}

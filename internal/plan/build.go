@@ -1,0 +1,290 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"nodb/internal/exec"
+	"nodb/internal/expr"
+)
+
+// buildJoinTree creates the scan leaves and joins them into a left-deep
+// tree. It returns the root operator and the layout mapping scope ordinals
+// to positions in the operator's output rows.
+func (b *builder) buildJoinTree(needed *colSet, pushed [][]expr.Expr, edges []joinEdge) (exec.Operator, map[int]int, error) {
+	n := len(b.tables)
+
+	// Per-table scan column lists (table ordinals, ascending).
+	scanCols := make([][]int, n)
+	for sc, used := range needed.set {
+		if used {
+			ti := b.scope[sc].table
+			scanCols[ti] = append(scanCols[ti], b.scope[sc].ordinal)
+		}
+	}
+	for ti := range scanCols {
+		sort.Ints(scanCols[ti])
+		if len(scanCols[ti]) == 0 {
+			// A scan must emit at least one column so joins and COUNT(*)
+			// see the right multiplicity; pick the first filter column or
+			// column 0.
+			ord := 0
+			if len(pushed[ti]) > 0 {
+				if cols := expr.DistinctColumns(pushed[ti][0]); len(cols) > 0 {
+					ord = b.scope[cols[0]].ordinal
+				}
+			}
+			scanCols[ti] = []int{ord}
+		}
+	}
+
+	// Estimated output cardinality per table (after pushed filters).
+	est := make([]float64, n)
+	for ti := range b.tables {
+		est[ti] = b.estimateTable(ti, pushed[ti])
+	}
+
+	// Order pushed conjuncts: most selective first when stats are on
+	// (drives the in-situ scan's selective parsing order; see Fig 12).
+	for ti := range pushed {
+		b.orderConjuncts(ti, pushed[ti])
+	}
+
+	// Build the scan leaves, remapping pushed conjuncts from scope
+	// ordinals to table ordinals.
+	scans := make([]exec.Operator, n)
+	for ti, te := range b.tables {
+		toTable := make(map[int]int)
+		for ord := range te.tbl.Columns() {
+			toTable[te.offset+ord] = ord
+		}
+		conjuncts := make([]expr.Expr, len(pushed[ti]))
+		for i, c := range pushed[ti] {
+			rc, err := expr.Remap(c, toTable)
+			if err != nil {
+				return nil, nil, err
+			}
+			conjuncts[i] = rc
+		}
+		op, err := te.tbl.Scan(scanCols[ti], conjuncts)
+		if err != nil {
+			return nil, nil, err
+		}
+		scans[ti] = op
+	}
+
+	// Join order: with stats, greedily grow from the smallest estimated
+	// table through connected edges; without stats, textual order.
+	order := make([]int, 0, n)
+	inSet := make([]bool, n)
+	pick := func() int {
+		best := -1
+		for ti := 0; ti < n; ti++ {
+			if inSet[ti] {
+				continue
+			}
+			connected := len(order) == 0
+			for _, e := range edges {
+				if (inSet[e.lt] && e.rt == ti) || (inSet[e.rt] && e.lt == ti) {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				continue
+			}
+			if best < 0 || est[ti] < est[best] {
+				best = ti
+			}
+		}
+		if best < 0 {
+			// No connected table left: fall back to the smallest remaining
+			// (cross join).
+			for ti := 0; ti < n; ti++ {
+				if !inSet[ti] && (best < 0 || est[ti] < est[best]) {
+					best = ti
+				}
+			}
+		}
+		return best
+	}
+	if b.opts.UseStats {
+		for len(order) < n {
+			ti := pick()
+			inSet[ti] = true
+			order = append(order, ti)
+		}
+	} else {
+		for ti := 0; ti < n; ti++ {
+			order = append(order, ti)
+			inSet[ti] = true
+		}
+	}
+
+	// layout: scope ordinal -> position in the current operator output.
+	layout := make(map[int]int)
+	addTable := func(ti int, base int) {
+		for i, ord := range scanCols[ti] {
+			layout[b.tables[ti].offset+ord] = base + i
+		}
+	}
+
+	root := scans[order[0]]
+	addTable(order[0], 0)
+	width := len(scanCols[order[0]])
+	treeEst := est[order[0]]
+	joined := map[int]bool{order[0]: true}
+
+	for _, ti := range order[1:] {
+		// Collect the equi-join keys between the tree and table ti.
+		var treeKeys, newKeys []expr.Expr
+		for _, e := range edges {
+			var treeCol, newCol int
+			switch {
+			case joined[e.lt] && e.rt == ti:
+				treeCol, newCol = e.lcol, e.rcol
+			case joined[e.rt] && e.lt == ti:
+				treeCol, newCol = e.rcol, e.lcol
+			default:
+				continue
+			}
+			tp, ok := layout[treeCol]
+			if !ok {
+				return nil, nil, fmt.Errorf("plan: join key %d missing from layout", treeCol)
+			}
+			np := indexOf(scanCols[ti], b.scope[newCol].ordinal)
+			if np < 0 {
+				return nil, nil, fmt.Errorf("plan: join key %d missing from scan of %s", newCol, b.tables[ti].alias)
+			}
+			treeKeys = append(treeKeys, &expr.ColRef{Index: tp})
+			newKeys = append(newKeys, &expr.ColRef{Index: np})
+		}
+
+		newWidth := len(scanCols[ti])
+		buildNew := b.opts.UseStats && est[ti] <= treeEst
+		if buildNew {
+			// Build on the new (smaller) table; output = new ++ tree.
+			root = exec.NewHashJoin(scans[ti], root, newKeys, shiftRefs(treeKeys, 0))
+			for sc, pos := range layout {
+				layout[sc] = pos + newWidth
+			}
+			addTable(ti, 0)
+		} else {
+			// Build on the accumulated tree; output = tree ++ new.
+			root = exec.NewHashJoin(root, scans[ti], treeKeys, shiftRefs(newKeys, 0))
+			addTable(ti, width)
+		}
+		width += newWidth
+		joined[ti] = true
+		if est[ti] < treeEst {
+			treeEst = est[ti] // a selective FK join keeps the smaller side's scale
+		}
+	}
+	return root, layout, nil
+}
+
+// shiftRefs returns the key expressions unchanged; kept as a named helper
+// for symmetry and future offsetting needs.
+func shiftRefs(keys []expr.Expr, delta int) []expr.Expr {
+	if delta == 0 {
+		return keys
+	}
+	out := make([]expr.Expr, len(keys))
+	for i, k := range keys {
+		c := k.(*expr.ColRef)
+		out[i] = &expr.ColRef{Index: c.Index + delta, Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildAggregate plans the aggregation above root. The choice between hash
+// and sort aggregation is statistics-driven: without stats the planner
+// must assume arbitrarily many groups and picks the sort strategy, with
+// stats it pre-sizes a hash table (Fig 12).
+func (b *builder) buildAggregate(root exec.Operator, layout map[int]int, groupBy []expr.Expr, aggs []*expr.Aggregate) (exec.Operator, error) {
+	rg := make([]expr.Expr, len(groupBy))
+	for i, g := range groupBy {
+		e, err := expr.Remap(g, layout)
+		if err != nil {
+			return nil, err
+		}
+		rg[i] = e
+	}
+	ra := make([]*expr.Aggregate, len(aggs))
+	for i, a := range aggs {
+		na := &expr.Aggregate{Kind: a.Kind, Distinct: a.Distinct}
+		if a.Arg != nil {
+			e, err := expr.Remap(a.Arg, layout)
+			if err != nil {
+				return nil, err
+			}
+			na.Arg = e
+		}
+		ra[i] = na
+	}
+	cols := make([]exec.Col, 0, len(rg)+len(ra))
+	for i, g := range groupBy {
+		cols = append(cols, exec.Col{Name: fmt.Sprintf("group%d", i), Type: inferType(g)})
+	}
+	for _, a := range aggs {
+		cols = append(cols, exec.Col{Name: a.String(), Type: aggResultType(a)})
+	}
+
+	// A global aggregate has exactly one group; the hash/sort strategy
+	// question only exists for GROUP BY queries.
+	if !b.opts.UseStats && len(groupBy) > 0 {
+		return exec.NewSortAgg(root, rg, ra, cols), nil
+	}
+	h := exec.NewHashAgg(root, rg, ra, cols)
+	if hint := b.estimateGroups(groupBy); hint > 0 {
+		h.SizeHint = hint
+	}
+	return h, nil
+}
+
+// estimateGroups pre-sizes the aggregation hash table: the product of the
+// grouping columns' distinct counts, bounded by the row count of any table
+// contributing a grouping column (grouping cannot produce more groups than
+// input rows) and by a fixed cap — an oversized hint would cost more to
+// allocate and clear than it saves.
+func (b *builder) estimateGroups(groupBy []expr.Expr) int {
+	const hintCap = 1 << 16
+	total := 1.0
+	bound := -1.0
+	for _, g := range groupBy {
+		c, ok := g.(*expr.ColRef)
+		if !ok {
+			return 0
+		}
+		info := b.scope[c.Index]
+		tbl := b.tables[info.table].tbl
+		st := tbl.Stats()
+		if st == nil || !st.Has(info.ordinal) {
+			return 0
+		}
+		total *= st.Col(info.ordinal).Distinct
+		rows := float64(tbl.RowCount())
+		if rows < 0 && st.RowCount > 0 {
+			rows = float64(st.RowCount)
+		}
+		if rows >= 0 && (bound < 0 || rows > bound) {
+			bound = rows
+		}
+	}
+	if bound >= 0 && total > bound {
+		total = bound
+	}
+	if total > hintCap {
+		return hintCap
+	}
+	return int(total)
+}

@@ -1,0 +1,186 @@
+package plan
+
+import (
+	"sort"
+
+	"nodb/internal/datum"
+	"nodb/internal/expr"
+	"nodb/internal/stats"
+)
+
+// nullDatum is the open bound marker for range estimation.
+func nullDatum() datum.Datum { return datum.Datum{} }
+
+// Default selectivities used when no statistics are available — the same
+// style of constants conventional optimizers fall back on.
+const (
+	defaultEqSel    = 0.005
+	defaultRangeSel = 1.0 / 3.0
+	defaultLikeSel  = 0.1
+	defaultBoolSel  = 0.33
+	defaultRowCount = 1e6
+)
+
+// estimateTable returns the expected output cardinality of scanning table
+// ti with the given pushed conjuncts.
+func (b *builder) estimateTable(ti int, conjuncts []expr.Expr) float64 {
+	te := b.tables[ti]
+	rows := float64(defaultRowCount)
+	if rc := te.tbl.RowCount(); rc >= 0 {
+		rows = float64(rc)
+	} else if st := te.tbl.Stats(); st != nil && st.RowCount > 0 {
+		rows = float64(st.RowCount)
+	}
+	if !b.opts.UseStats {
+		return rows
+	}
+	for _, c := range conjuncts {
+		rows *= b.conjunctSelectivity(ti, c)
+	}
+	return rows
+}
+
+// orderConjuncts sorts a table's pushed conjuncts most-selective-first when
+// statistics are in use. The in-situ scan evaluates conjuncts in order and
+// stops parsing a tuple at the first failure, so this ordering directly
+// reduces the number of attribute conversions (the Fig 12 effect).
+func (b *builder) orderConjuncts(ti int, conjuncts []expr.Expr) {
+	if !b.opts.UseStats || len(conjuncts) < 2 {
+		return
+	}
+	sel := make(map[expr.Expr]float64, len(conjuncts))
+	for _, c := range conjuncts {
+		sel[c] = b.conjunctSelectivity(ti, c)
+	}
+	sort.SliceStable(conjuncts, func(i, j int) bool {
+		return sel[conjuncts[i]] < sel[conjuncts[j]]
+	})
+}
+
+// conjunctSelectivity estimates the fraction of table ti's rows that
+// satisfy c. The conjunct references scope ordinals.
+func (b *builder) conjunctSelectivity(ti int, c expr.Expr) float64 {
+	st := b.tables[ti].tbl.Stats()
+	colStats := func(scopeOrd int) *stats.ColumnStats {
+		if st == nil {
+			return nil
+		}
+		return st.Col(b.scope[scopeOrd].ordinal)
+	}
+	switch n := c.(type) {
+	case *expr.BinOp:
+		col, konst, flipped := colConstSides(n)
+		if col == nil {
+			return defaultBoolSel
+		}
+		cs := colStats(col.Index)
+		op := n.Op
+		if flipped {
+			op = flipOp(op)
+		}
+		switch op {
+		case expr.Eq:
+			if cs != nil {
+				return cs.SelectivityEq(konst.D)
+			}
+			return defaultEqSel
+		case expr.Ne:
+			if cs != nil {
+				return 1 - cs.SelectivityEq(konst.D)
+			}
+			return 1 - defaultEqSel
+		case expr.Lt, expr.Le:
+			if cs != nil {
+				return cs.SelectivityRange(nullDatum(), konst.D)
+			}
+			return defaultRangeSel
+		case expr.Gt, expr.Ge:
+			if cs != nil {
+				return cs.SelectivityRange(konst.D, nullDatum())
+			}
+			return defaultRangeSel
+		}
+		return defaultBoolSel
+	case *expr.Between:
+		col, okc := n.E.(*expr.ColRef)
+		lo, okl := n.Lo.(*expr.Const)
+		hi, okh := n.Hi.(*expr.Const)
+		if okc && okl && okh {
+			if cs := colStats(col.Index); cs != nil {
+				return cs.SelectivityRange(lo.D, hi.D)
+			}
+		}
+		return defaultRangeSel * defaultRangeSel
+	case *expr.In:
+		if col, ok := n.E.(*expr.ColRef); ok {
+			if cs := colStats(col.Index); cs != nil {
+				total := 0.0
+				for _, d := range n.List {
+					total += cs.SelectivityEq(d)
+				}
+				if n.Negate {
+					total = 1 - total
+				}
+				return clamp01(total)
+			}
+		}
+		return clamp01(defaultEqSel * float64(len(n.List)))
+	case *expr.Like:
+		return defaultLikeSel
+	case *expr.Not:
+		return clamp01(1 - b.conjunctSelectivity(ti, n.E))
+	case *expr.IsNull:
+		if col, ok := n.E.(*expr.ColRef); ok {
+			if cs := colStats(col.Index); cs != nil {
+				f := cs.NullFraction()
+				if n.Negate {
+					f = 1 - f
+				}
+				return f
+			}
+		}
+		return 0.01
+	default:
+		return defaultBoolSel
+	}
+}
+
+// colConstSides extracts (column, constant) operands of a comparison in
+// either order; flipped reports the constant was on the left.
+func colConstSides(n *expr.BinOp) (*expr.ColRef, *expr.Const, bool) {
+	if c, ok := n.L.(*expr.ColRef); ok {
+		if k, ok := n.R.(*expr.Const); ok {
+			return c, k, false
+		}
+	}
+	if c, ok := n.R.(*expr.ColRef); ok {
+		if k, ok := n.L.(*expr.Const); ok {
+			return c, k, true
+		}
+	}
+	return nil, nil, false
+}
+
+func flipOp(op expr.Op) expr.Op {
+	switch op {
+	case expr.Lt:
+		return expr.Gt
+	case expr.Le:
+		return expr.Ge
+	case expr.Gt:
+		return expr.Lt
+	case expr.Ge:
+		return expr.Le
+	}
+	return op
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"nodb/internal/expr"
+)
+
+// factorOr hoists conjuncts common to every branch of a disjunction:
+//
+//	(A AND B) OR (A AND C)  =>  A, (B OR C)
+//
+// Queries like TPC-H Q19 repeat their equi-join predicate inside each OR
+// branch; factoring exposes it to the join planner and leaves only the
+// branch-specific residue as a filter. Non-OR expressions pass through
+// unchanged.
+func factorOr(c expr.Expr) []expr.Expr {
+	or, ok := c.(*expr.BinOp)
+	if !ok || or.Op != expr.Or {
+		return []expr.Expr{c}
+	}
+	branches := splitDisjuncts(or)
+	if len(branches) < 2 {
+		return []expr.Expr{c}
+	}
+	branchConjuncts := make([][]expr.Expr, len(branches))
+	for i, br := range branches {
+		branchConjuncts[i] = expr.SplitConjuncts(br)
+	}
+	// Common = conjuncts (by printed form) present in every branch.
+	counts := map[string]int{}
+	byText := map[string]expr.Expr{}
+	for _, bc := range branchConjuncts {
+		seen := map[string]bool{}
+		for _, cj := range bc {
+			text := cj.String()
+			if !seen[text] {
+				seen[text] = true
+				counts[text]++
+				byText[text] = cj
+			}
+		}
+	}
+	var common []expr.Expr
+	commonSet := map[string]bool{}
+	for text, n := range counts {
+		if n == len(branches) {
+			common = append(common, byText[text])
+			commonSet[text] = true
+		}
+	}
+	if len(common) == 0 {
+		return []expr.Expr{c}
+	}
+	// Rebuild the disjunction from the residues. An empty residue means
+	// that branch is implied by the common part, making the whole OR true.
+	var residueOr expr.Expr
+	allNonEmpty := true
+	for _, bc := range branchConjuncts {
+		var rest []expr.Expr
+		for _, cj := range bc {
+			if !commonSet[cj.String()] {
+				rest = append(rest, cj)
+			}
+		}
+		if len(rest) == 0 {
+			allNonEmpty = false
+			break
+		}
+		branch := expr.JoinConjuncts(rest)
+		if residueOr == nil {
+			residueOr = branch
+		} else {
+			residueOr = &expr.BinOp{Op: expr.Or, L: residueOr, R: branch}
+		}
+	}
+	out := common
+	if allNonEmpty && residueOr != nil {
+		out = append(out, residueOr)
+	}
+	return out
+}
+
+// splitDisjuncts flattens a tree of ORs.
+func splitDisjuncts(e expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.BinOp); ok && b.Op == expr.Or {
+		return append(splitDisjuncts(b.L), splitDisjuncts(b.R)...)
+	}
+	return []expr.Expr{e}
+}

@@ -1,0 +1,293 @@
+// Package plan turns parsed SQL into executable operator trees. It owns
+// name resolution, predicate and projection pushdown, join ordering, and
+// the statistics-driven choices (conjunct ordering, join build side,
+// aggregation strategy) whose impact the paper measures in Fig 12.
+//
+// The planner is engine-agnostic: raw in-situ tables (internal/core) and
+// loaded heap tables (internal/storage) both appear behind the Table
+// interface. Predicates pushed into Table.Scan reference *table ordinals*,
+// so an in-situ scan can use them to drive selective tokenizing/parsing,
+// while a heap scan simply evaluates them against decoded tuples.
+package plan
+
+import (
+	"fmt"
+
+	"nodb/internal/datum"
+	"nodb/internal/exec"
+	"nodb/internal/expr"
+	"nodb/internal/schema"
+	"nodb/internal/sqlparse"
+	"nodb/internal/stats"
+)
+
+// Table is an access method the planner can scan. Implementations exist
+// for in-situ raw files and loaded heap files.
+type Table interface {
+	// Name returns the table name (lower case).
+	Name() string
+	// Columns returns the schema in declaration order.
+	Columns() []schema.Column
+	// Stats returns collected statistics, or nil when none exist yet.
+	Stats() *stats.Table
+	// RowCount returns the known row count, or -1 when unknown.
+	RowCount() int64
+	// Scan creates a leaf operator emitting the table ordinals in cols
+	// (in that order) for tuples accepted by every conjunct. Conjunct
+	// expressions reference table ordinals; the slice is pre-ordered by
+	// the planner (most selective first when statistics are available).
+	Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error)
+}
+
+// Resolver maps table names to access methods.
+type Resolver interface {
+	Table(name string) (Table, error)
+}
+
+// Options tune the planner.
+type Options struct {
+	// UseStats enables statistics-driven decisions. When false the planner
+	// falls back to textual conjunct order, textual join order and
+	// sort-based aggregation — the conservative plan shapes a DBMS picks
+	// without ANALYZE data (Fig 12's "w/o statistics" line).
+	UseStats bool
+}
+
+// Result is a built physical plan.
+type Result struct {
+	Root exec.Operator
+	Cols []exec.Col
+}
+
+// Build plans a SELECT statement against the resolver.
+func Build(sel *sqlparse.Select, r Resolver, opts Options) (*Result, error) {
+	b := &builder{resolver: r, opts: opts}
+	return b.build(sel)
+}
+
+// colInfo is one column visible in the query scope.
+type colInfo struct {
+	table   int // index into builder.tables
+	ordinal int // ordinal within the table
+	name    string
+	alias   string // table alias (or name)
+	typ     datum.Type
+}
+
+type tableEntry struct {
+	ref    sqlparse.TableRef
+	tbl    Table
+	alias  string
+	offset int // scope ordinal of the table's first column
+}
+
+type builder struct {
+	resolver Resolver
+	opts     Options
+
+	tables []tableEntry
+	scope  []colInfo // global scope ordinals
+}
+
+func (b *builder) build(sel *sqlparse.Select) (*Result, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("plan: query has no FROM clause")
+	}
+	if len(sel.Items) == 0 {
+		return nil, fmt.Errorf("plan: empty select list")
+	}
+	// Resolve tables and build the scope.
+	seen := map[string]bool{}
+	for _, ref := range sel.From {
+		tbl, err := b.resolver.Table(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		alias := ref.Alias
+		if alias == "" {
+			alias = ref.Name
+		}
+		if seen[alias] {
+			return nil, fmt.Errorf("plan: duplicate table alias %q", alias)
+		}
+		seen[alias] = true
+		ti := len(b.tables)
+		b.tables = append(b.tables, tableEntry{ref: ref, tbl: tbl, alias: alias, offset: len(b.scope)})
+		for ord, c := range tbl.Columns() {
+			b.scope = append(b.scope, colInfo{
+				table: ti, ordinal: ord, name: c.Name, alias: alias, typ: c.Type,
+			})
+		}
+	}
+
+	// Resolve WHERE into conjuncts over scope ordinals. OR conjuncts get
+	// their common factors hoisted (TPC-H Q19 repeats the join predicate
+	// inside each OR branch; without factoring it the join would become a
+	// cross product).
+	var whereConjuncts []expr.Expr
+	if sel.Where != nil {
+		w, err := b.convertScalar(sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range expr.SplitConjuncts(w) {
+			whereConjuncts = append(whereConjuncts, factorOr(c)...)
+		}
+	}
+
+	// Expand * and resolve select items, collecting aggregates.
+	items, aggs, groupBy, err := b.resolveProjection(sel)
+	if err != nil {
+		return nil, err
+	}
+
+	// Classify conjuncts: single-table (pushed into scans), equi-join
+	// edges, residual (everything else).
+	pushed := make([][]expr.Expr, len(b.tables))
+	var joinEdges []joinEdge
+	var residual []expr.Expr
+	for _, c := range whereConjuncts {
+		if ti, single := b.singleTable(c); single {
+			pushed[ti] = append(pushed[ti], c)
+			continue
+		}
+		if e, ok := b.asJoinEdge(c); ok {
+			joinEdges = append(joinEdges, e)
+			continue
+		}
+		residual = append(residual, c)
+	}
+
+	// Columns the scans must OUTPUT (pushed-filter columns are consumed
+	// inside the scans and excluded unless needed again upstream — that is
+	// the projectivity pushdown Fig 8(b) exercises).
+	needed := newColSet(len(b.scope))
+	for _, g := range groupBy {
+		needed.addExpr(g)
+	}
+	for _, a := range aggs {
+		if a.Arg != nil {
+			needed.addExpr(a.Arg)
+		}
+	}
+	if len(aggs) == 0 && len(groupBy) == 0 {
+		for _, it := range items {
+			needed.addExpr(it.e)
+		}
+	}
+	for _, e := range joinEdges {
+		needed.add(e.lcol)
+		needed.add(e.rcol)
+	}
+	for _, c := range residual {
+		needed.addExpr(c)
+	}
+
+	root, layout, err := b.buildJoinTree(needed, pushed, joinEdges)
+	if err != nil {
+		return nil, err
+	}
+
+	// Residual filter (multi-table, non-equi).
+	if len(residual) > 0 {
+		re, err := expr.Remap(expr.JoinConjuncts(residual), layout)
+		if err != nil {
+			return nil, err
+		}
+		root = exec.NewFilter(root, re)
+	}
+
+	// Aggregation. Select items were rewritten during resolution to
+	// reference the aggregate output layout [groups..., aggs...].
+	aggregated := len(aggs) > 0 || len(groupBy) > 0
+	if aggregated {
+		root, err = b.buildAggregate(root, layout, groupBy, aggs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Final projection.
+	outCols := make([]exec.Col, len(items))
+	outExprs := make([]expr.Expr, len(items))
+	for i, it := range items {
+		e := it.e
+		if !aggregated {
+			e, err = expr.Remap(e, layout)
+			if err != nil {
+				return nil, err
+			}
+		}
+		outExprs[i] = e
+		outCols[i] = exec.Col{Name: it.name, Type: it.typ}
+	}
+	root = exec.NewProject(root, outExprs, outCols)
+
+	// ORDER BY over the projection output.
+	if len(sel.OrderBy) > 0 {
+		keys, err := b.resolveOrderBy(sel.OrderBy, sel, items)
+		if err != nil {
+			return nil, err
+		}
+		root = exec.NewSort(root, keys)
+	}
+
+	// LIMIT.
+	if sel.Limit >= 0 {
+		root = exec.NewLimit(root, sel.Limit)
+	}
+	return &Result{Root: root, Cols: outCols}, nil
+}
+
+// singleTable reports whether every column the conjunct references belongs
+// to one table, returning that table's index.
+func (b *builder) singleTable(c expr.Expr) (int, bool) {
+	cols := expr.DistinctColumns(c)
+	if len(cols) == 0 {
+		return 0, false
+	}
+	ti := b.scope[cols[0]].table
+	for _, sc := range cols[1:] {
+		if b.scope[sc].table != ti {
+			return 0, false
+		}
+	}
+	return ti, true
+}
+
+// joinEdge is an equi-join predicate between two tables, in scope ordinals.
+type joinEdge struct {
+	lt, rt     int // table indexes
+	lcol, rcol int // scope ordinals
+}
+
+// asJoinEdge recognizes "colA = colB" conjuncts across two tables.
+func (b *builder) asJoinEdge(c expr.Expr) (joinEdge, bool) {
+	bin, ok := c.(*expr.BinOp)
+	if !ok || bin.Op != expr.Eq {
+		return joinEdge{}, false
+	}
+	l, lok := bin.L.(*expr.ColRef)
+	r, rok := bin.R.(*expr.ColRef)
+	if !lok || !rok {
+		return joinEdge{}, false
+	}
+	lt, rt := b.scope[l.Index].table, b.scope[r.Index].table
+	if lt == rt {
+		return joinEdge{}, false
+	}
+	return joinEdge{lt: lt, rt: rt, lcol: l.Index, rcol: r.Index}, true
+}
+
+// colSet tracks needed scope columns.
+type colSet struct{ set []bool }
+
+func newColSet(n int) *colSet { return &colSet{set: make([]bool, n)} }
+
+func (s *colSet) addExpr(e expr.Expr) {
+	for _, c := range expr.DistinctColumns(e) {
+		s.set[c] = true
+	}
+}
+
+func (s *colSet) add(c int) { s.set[c] = true }

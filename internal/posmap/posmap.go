@@ -1,0 +1,654 @@
+// Package posmap implements the adaptive positional map of the NoDB paper
+// (§4.2): a byte-budgeted, incrementally populated index of attribute
+// positions inside a raw file, used to avoid re-tokenizing tuples on every
+// query.
+//
+// Layout. Tuple start offsets (the "end of line" map — what the paper's
+// cache-only variant keeps as its minimal map) are stored densely as int64
+// per tuple. Per-attribute positions are stored as uint32 offsets relative
+// to the tuple start, vertically partitioned into fixed-size chunks of
+// tuples (default 1024, sized to sit comfortably in CPU caches). A chunk of
+// one attribute is the unit of budget accounting, LRU eviction and disk
+// spill. This realizes the paper's "collection of chunks, partitioned
+// vertically and horizontally": the horizontal dimension is which
+// attributes have chunks at all, the vertical dimension is the tuple range
+// each chunk covers.
+//
+// A Map is not safe for concurrent use; the engine serializes access per
+// table, mirroring the per-backend structure of the PostgresRaw prototype.
+package posmap
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DefaultChunkRows is the number of tuples covered by one chunk.
+const DefaultChunkRows = 1024
+
+// NoPosition marks an absent entry inside a chunk's offset array.
+const noPosition = ^uint32(0)
+
+// Options configure a Map.
+type Options struct {
+	// Budget is the maximum number of bytes the per-attribute position
+	// chunks may occupy in memory; <= 0 means unlimited. Tuple start
+	// offsets are the paper's minimal end-of-line map and are always kept.
+	Budget int64
+	// ChunkRows overrides the vertical partition size (default 1024).
+	ChunkRows int
+	// SpillPath, when non-empty, enables writing evicted chunks to this
+	// file so their information survives eviction (paper §4.2
+	// "Maintenance": evicted positional information can be stored on disk).
+	SpillPath string
+}
+
+// Metrics counts the activity of a Map for instrumentation and benchmarks
+// (Fig 3's x-axis is the number of recorded pointers).
+type Metrics struct {
+	Pointers    int64 // live in-memory position entries
+	Recorded    int64 // total Record calls that stored a new entry
+	Hits        int64 // Lookup calls answered from memory
+	Misses      int64 // Lookup calls with no information
+	NearMisses  int64 // Lookup answered via a neighboring attribute
+	Evictions   int64 // chunks evicted
+	SpillWrites int64 // chunks written to the spill file
+	SpillLoads  int64 // chunks reloaded from the spill file
+}
+
+// Map is the adaptive positional map for one raw file.
+type Map struct {
+	numAttrs  int
+	chunkRows int
+	budget    int64
+
+	starts []int64 // tuple start offsets; index = row
+
+	attrs []attrChunks // per attribute
+
+	// chunksAt[i] counts the in-memory chunks covering chunk range i
+	// across all attributes; it lets Nearest reject rows with no
+	// positional information in O(1) instead of probing every attribute.
+	chunksAt []int32
+
+	// attrsAt[i] is the sorted list of attributes that have a chunk for
+	// range i — the paper's "plain array [with] the order of attributes
+	// in the map": Nearest finds the closest indexed attribute by binary
+	// search instead of probing every attribute.
+	attrsAt [][]int32
+
+	lru       *list.List // of *chunk, front = most recent
+	bytes     int64      // accounted bytes of live chunks
+	curScan   int64      // stamp of the scan currently populating the map
+	globalGen int64      // bumped on any chunk arrival/departure/BeginScan
+
+	spill     *os.File
+	spillPath string
+	spillIdx  map[chunkKey]spillLoc
+
+	m Metrics
+}
+
+type attrChunks struct {
+	chunks map[int]*chunk // chunk index -> chunk
+	gen    int64          // bumped when this attribute's chunk set changes
+}
+
+type chunkKey struct{ attr, idx int }
+
+type spillLoc struct {
+	off int64
+	n   int
+}
+
+type chunk struct {
+	key  chunkKey
+	offs []uint32 // len == chunkRows; noPosition marks absent entries
+	n    int      // number of valid entries
+	scan int64    // last scan that touched the chunk (eviction pinning)
+	elem *list.Element
+}
+
+// chunkBytes is the accounted size of one chunk.
+func (m *Map) chunkBytes() int64 { return int64(m.chunkRows)*4 + 64 }
+
+// New creates an empty positional map for a file with numAttrs attributes.
+func New(numAttrs int, opts Options) *Map {
+	cr := opts.ChunkRows
+	if cr <= 0 {
+		cr = DefaultChunkRows
+	}
+	return &Map{
+		numAttrs:  numAttrs,
+		chunkRows: cr,
+		budget:    opts.Budget,
+		attrs:     make([]attrChunks, numAttrs),
+		lru:       list.New(),
+		spillPath: opts.SpillPath,
+		spillIdx:  make(map[chunkKey]spillLoc),
+	}
+}
+
+// NumAttrs returns the attribute count the map was created with.
+func (m *Map) NumAttrs() int { return m.numAttrs }
+
+// NumTuples returns how many tuple start offsets have been recorded.
+func (m *Map) NumTuples() int { return len(m.starts) }
+
+// Metrics returns a copy of the activity counters.
+func (m *Map) Metrics() Metrics { return m.m }
+
+// MemoryBytes returns the accounted size of the in-memory attribute chunks.
+func (m *Map) MemoryBytes() int64 { return m.bytes }
+
+// RecordTupleStart stores the absolute file offset of tuple row. Rows must
+// be recorded in order without gaps; out-of-order calls are ignored unless
+// they extend the map by exactly one row.
+func (m *Map) RecordTupleStart(row int, off int64) {
+	if row == len(m.starts) {
+		m.starts = append(m.starts, off)
+	}
+}
+
+// TupleStart returns the absolute offset of tuple row.
+func (m *Map) TupleStart(row int) (int64, bool) {
+	if row < 0 || row >= len(m.starts) {
+		return 0, false
+	}
+	return m.starts[row], true
+}
+
+// Record stores the offset of attribute attr of tuple row, relative to the
+// tuple start. Recording is best-effort: if the budget cannot accommodate a
+// new chunk even after evictions, the entry is dropped silently — the map
+// is an auxiliary structure and queries remain correct without it.
+func (m *Map) Record(row, attr int, rel uint32) {
+	if attr < 0 || attr >= m.numAttrs || row < 0 || rel == noPosition {
+		return
+	}
+	c := m.chunkFor(attr, row/m.chunkRows, true)
+	if c == nil {
+		return
+	}
+	slot := row % m.chunkRows
+	if c.offs[slot] == noPosition {
+		c.offs[slot] = rel
+		c.n++
+		m.m.Pointers++
+		m.m.Recorded++
+	} else {
+		c.offs[slot] = rel
+	}
+	m.touch(c)
+}
+
+// Lookup returns the recorded relative offset of (row, attr).
+func (m *Map) Lookup(row, attr int) (uint32, bool) {
+	if attr < 0 || attr >= m.numAttrs || row < 0 {
+		return 0, false
+	}
+	c := m.chunkFor(attr, row/m.chunkRows, false)
+	if c == nil {
+		m.m.Misses++
+		return 0, false
+	}
+	rel := c.offs[row%m.chunkRows]
+	if rel == noPosition {
+		m.m.Misses++
+		return 0, false
+	}
+	m.m.Hits++
+	m.touch(c)
+	return rel, true
+}
+
+// Nearest returns the indexed attribute closest to attr (by attribute
+// distance) that has a recorded position for row, along with that position.
+// It prefers exact hits, then smaller distances, then lower attributes on
+// ties. This is the lookup the paper describes for incremental parsing:
+// "jump to the 8th attribute and parse it until it finds the 9th".
+func (m *Map) Nearest(row, attr int) (foundAttr int, rel uint32, ok bool) {
+	if row < 0 {
+		return 0, 0, false
+	}
+	ci := row / m.chunkRows
+	if ci >= len(m.chunksAt) || m.chunksAt[ci] == 0 {
+		return 0, 0, false // no positional information anywhere in range
+	}
+	if rel, ok := m.Lookup(row, attr); ok {
+		return attr, rel, true
+	}
+	// Walk the range's attribute order array outward from attr. A chunk
+	// can exist without holding this particular row (partially filled
+	// scans), so candidates are verified and probing is bounded.
+	list := m.attrsAt[ci]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < int32(attr) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	left, right := lo-1, lo
+	const maxProbes = 8
+	for probes := 0; probes < maxProbes && (left >= 0 || right < len(list)); probes++ {
+		var cand int32
+		switch {
+		case left < 0:
+			cand = list[right]
+			right++
+		case right >= len(list):
+			cand = list[left]
+			left--
+		case int32(attr)-list[left] <= list[right]-int32(attr):
+			cand = list[left]
+			left--
+		default:
+			cand = list[right]
+			right++
+		}
+		if rel, ok := m.lookupQuiet(row, int(cand)); ok {
+			m.m.NearMisses++
+			return int(cand), rel, true
+		}
+	}
+	return 0, 0, false
+}
+
+// lookupQuiet is Lookup without hit/miss accounting or LRU movement (used
+// by Nearest's probe loop so a navigation attempt neither inflates the
+// miss counters nor reorders the LRU for chunks it merely inspected).
+func (m *Map) lookupQuiet(row, attr int) (uint32, bool) {
+	c := m.chunkFor(attr, row/m.chunkRows, false)
+	if c == nil {
+		return 0, false
+	}
+	rel := c.offs[row%m.chunkRows]
+	if rel == noPosition {
+		return 0, false
+	}
+	return rel, true
+}
+
+// IndexedAttrs returns the sorted list of attributes that currently have at
+// least one in-memory chunk — the paper's "plain array [with] the order of
+// attributes in the map".
+func (m *Map) IndexedAttrs() []int {
+	var out []int
+	for a := range m.attrs {
+		if len(m.attrs[a].chunks) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// chunkFor returns the chunk for (attr, idx), optionally creating it. It
+// transparently reloads spilled chunks.
+func (m *Map) chunkFor(attr, idx int, create bool) *chunk {
+	ac := &m.attrs[attr]
+	if ac.chunks != nil {
+		if c, ok := ac.chunks[idx]; ok {
+			return c
+		}
+	}
+	key := chunkKey{attr, idx}
+	if loc, ok := m.spillIdx[key]; ok {
+		if c := m.loadSpilled(key, loc); c != nil {
+			return c
+		}
+	}
+	if !create {
+		return nil
+	}
+	if !m.makeRoom() {
+		return nil
+	}
+	c := &chunk{key: key, offs: make([]uint32, m.chunkRows)}
+	for i := range c.offs {
+		c.offs[i] = noPosition
+	}
+	if ac.chunks == nil {
+		ac.chunks = make(map[int]*chunk)
+	}
+	ac.chunks[idx] = c
+	c.elem = m.lru.PushFront(c)
+	m.bytes += m.chunkBytes()
+	m.chunkArrived(key.attr, idx)
+	return c
+}
+
+// chunkArrived / chunkLeft maintain the per-range chunk counts, the
+// per-range attribute order arrays and the per-attribute generation stamps
+// that validate cursor fast paths.
+func (m *Map) chunkArrived(attr, idx int) {
+	for len(m.chunksAt) <= idx {
+		m.chunksAt = append(m.chunksAt, 0)
+		m.attrsAt = append(m.attrsAt, nil)
+	}
+	m.chunksAt[idx]++
+	m.attrsAt[idx] = insortAttr(m.attrsAt[idx], int32(attr))
+	m.attrs[attr].gen++
+	m.globalGen++
+}
+
+func (m *Map) chunkLeft(attr, idx int) {
+	if idx < len(m.chunksAt) && m.chunksAt[idx] > 0 {
+		m.chunksAt[idx]--
+		m.attrsAt[idx] = removeAttr(m.attrsAt[idx], int32(attr))
+	}
+	m.attrs[attr].gen++
+	m.globalGen++
+}
+
+// insortAttr inserts a into the sorted list (no-op when present).
+func insortAttr(list []int32, a int32) []int32 {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo] == a {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[lo+1:], list[lo:])
+	list[lo] = a
+	return list
+}
+
+// removeAttr deletes a from the sorted list if present.
+func removeAttr(list []int32, a int32) []int32 {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo] == a {
+		copy(list[lo:], list[lo+1:])
+		return list[:len(list)-1]
+	}
+	return list
+}
+
+// makeRoom evicts least-recently-used chunks until one more chunk fits in
+// the budget. Chunks the current scan has touched are pinned: evicting
+// them would make a sequential scan cannibalize its own recordings and
+// churn forever; instead, when only pinned chunks remain, recording simply
+// stops for the rest of the scan and the map keeps a stable subset —
+// matching the paper's observation that a partial map yields stable
+// performance. Returns false when no room can be made.
+func (m *Map) makeRoom() bool {
+	if m.budget <= 0 {
+		return true
+	}
+	if m.chunkBytes() > m.budget {
+		return false
+	}
+	el := m.lru.Back()
+	for m.bytes+m.chunkBytes() > m.budget {
+		// Find the least recently used chunk not pinned by this scan.
+		for el != nil && el.Value.(*chunk).scan == m.curScan {
+			el = el.Prev()
+		}
+		if el == nil {
+			return false
+		}
+		victim := el.Value.(*chunk)
+		el = el.Prev()
+		m.evict(victim)
+	}
+	return true
+}
+
+// BeginScan marks the start of a scan; chunks touched from here on are
+// exempt from eviction until the next BeginScan.
+func (m *Map) BeginScan() {
+	m.curScan++
+	m.globalGen++ // unpinning may let previously failed creations succeed
+}
+
+// evict removes a chunk from memory, spilling it first when configured.
+func (m *Map) evict(c *chunk) {
+	if m.spillPath != "" {
+		m.spillOut(c)
+	}
+	m.lru.Remove(c.elem)
+	delete(m.attrs[c.key.attr].chunks, c.key.idx)
+	m.bytes -= m.chunkBytes()
+	m.m.Pointers -= int64(c.n)
+	m.m.Evictions++
+	m.chunkLeft(c.key.attr, c.key.idx)
+}
+
+// touch marks a chunk most-recently used and pins it for the current scan.
+func (m *Map) touch(c *chunk) {
+	c.scan = m.curScan
+	m.lru.MoveToFront(c.elem)
+}
+
+// spillOut appends the chunk to the spill file.
+func (m *Map) spillOut(c *chunk) {
+	if m.spill == nil {
+		f, err := os.OpenFile(m.spillPath, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+		if err != nil {
+			m.spillPath = "" // disable spilling on error
+			return
+		}
+		m.spill = f
+	}
+	off, err := m.spill.Seek(0, io.SeekEnd)
+	if err != nil {
+		return
+	}
+	buf := make([]byte, 4*len(c.offs))
+	for i, v := range c.offs {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	if _, err := m.spill.Write(buf); err != nil {
+		return
+	}
+	m.spillIdx[c.key] = spillLoc{off: off, n: c.n}
+	m.m.SpillWrites++
+}
+
+// loadSpilled reads a chunk back from the spill file into memory, evicting
+// others if needed to fit.
+func (m *Map) loadSpilled(key chunkKey, loc spillLoc) *chunk {
+	if m.spill == nil {
+		return nil
+	}
+	if !m.makeRoom() {
+		return nil
+	}
+	buf := make([]byte, 4*m.chunkRows)
+	if _, err := m.spill.ReadAt(buf, loc.off); err != nil {
+		return nil
+	}
+	c := &chunk{key: key, offs: make([]uint32, m.chunkRows), n: loc.n}
+	for i := range c.offs {
+		c.offs[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	ac := &m.attrs[key.attr]
+	if ac.chunks == nil {
+		ac.chunks = make(map[int]*chunk)
+	}
+	ac.chunks[key.idx] = c
+	c.elem = m.lru.PushFront(c)
+	m.bytes += m.chunkBytes()
+	m.m.Pointers += int64(c.n)
+	m.m.SpillLoads++
+	m.chunkArrived(key.attr, key.idx)
+	delete(m.spillIdx, key)
+	return c
+}
+
+// Drop discards all per-attribute positional information (and the spill
+// index), keeping tuple starts. The paper notes the map "may be dropped
+// fully or partly at any time without any loss of critical information".
+func (m *Map) Drop() {
+	for a := range m.attrs {
+		m.attrs[a].chunks = nil
+		m.attrs[a].gen++
+	}
+	m.lru.Init()
+	m.bytes = 0
+	m.m.Pointers = 0
+	m.chunksAt = m.chunksAt[:0]
+	m.attrsAt = m.attrsAt[:0]
+	m.spillIdx = make(map[chunkKey]spillLoc)
+}
+
+// Truncate discards all information from tuple row onward, used when a
+// file shrinks or is rewritten in place (paper §4.5: in-place updates may
+// require dropping and recreating the map).
+func (m *Map) Truncate(row int) {
+	if row < 0 {
+		row = 0
+	}
+	if row < len(m.starts) {
+		m.starts = m.starts[:row]
+	}
+	// Evict every chunk that touches a dropped row. The boundary chunk is
+	// dropped whole: losing a few valid entries below row is harmless for
+	// an auxiliary structure and keeps the invariant simple.
+	cutoff := row / m.chunkRows
+	for a := range m.attrs {
+		for idx, c := range m.attrs[a].chunks {
+			if idx >= cutoff {
+				m.evictNoSpill(c)
+			}
+		}
+	}
+	for key := range m.spillIdx {
+		if key.idx >= cutoff {
+			delete(m.spillIdx, key)
+		}
+	}
+}
+
+// evictNoSpill removes a chunk without writing it to the spill file.
+func (m *Map) evictNoSpill(c *chunk) {
+	m.lru.Remove(c.elem)
+	delete(m.attrs[c.key.attr].chunks, c.key.idx)
+	m.bytes -= m.chunkBytes()
+	m.m.Pointers -= int64(c.n)
+	m.m.Evictions++
+	m.chunkLeft(c.key.attr, c.key.idx)
+}
+
+// Close releases the spill file.
+func (m *Map) Close() error {
+	if m.spill != nil {
+		err := m.spill.Close()
+		m.spill = nil
+		return err
+	}
+	return nil
+}
+
+// String summarizes the map for debugging.
+func (m *Map) String() string {
+	return fmt.Sprintf("posmap{tuples=%d attrs=%d pointers=%d bytes=%d}",
+		len(m.starts), m.numAttrs, m.m.Pointers, m.bytes)
+}
+
+// Cursor is a scan-lifetime accessor for one attribute that exploits the
+// sequential row order of in-situ scans: the chunk map lookup and LRU
+// touch happen once per chunk transition (every ChunkRows rows) instead of
+// once per value. Behaviour matches Lookup/Record; a chunk evicted while
+// the cursor points at it keeps serving its (still correct) positions and
+// silently drops further writes, exactly like the map's best-effort
+// contract. Never retain a cursor across queries.
+type Cursor struct {
+	m    *Map
+	attr int
+	idx  int // current chunk index, -1 = none
+	c    *chunk
+	gen  int64 // attribute generation at the last seek
+
+	// Failed-creation cache: while nothing has entered or left the map
+	// (and no new scan started), a failed chunk creation cannot start
+	// succeeding, so Record can skip the eviction walk entirely.
+	failIdx int
+	failGen int64
+}
+
+// Cursor returns a sequential accessor for attr.
+func (m *Map) Cursor(attr int) *Cursor {
+	return &Cursor{m: m, attr: attr, idx: -1, failIdx: -1, failGen: -1}
+}
+
+// seek positions the cursor on row's chunk (creating it if create). The
+// fast path is valid while the map generation is unchanged — no chunk has
+// entered or left memory, so the cached pointer (including a cached "no
+// chunk here" result) is still accurate.
+func (cu *Cursor) seek(row int, create bool) bool {
+	idx := row / cu.m.chunkRows
+	if idx == cu.idx && cu.gen == cu.m.attrs[cu.attr].gen && (cu.c != nil || !create) {
+		return cu.c != nil
+	}
+	if create && idx == cu.failIdx && cu.failGen == cu.m.globalGen {
+		return false
+	}
+	cu.c = cu.m.chunkFor(cu.attr, idx, create)
+	cu.idx = idx
+	cu.gen = cu.m.attrs[cu.attr].gen
+	if cu.c != nil {
+		cu.c.scan = cu.m.curScan
+	} else if create {
+		cu.failIdx = idx
+		cu.failGen = cu.m.globalGen
+	}
+	return cu.c != nil
+}
+
+// Get returns the recorded relative offset of (row, attr).
+func (cu *Cursor) Get(row int) (uint32, bool) {
+	if cu.attr < 0 || cu.attr >= cu.m.numAttrs || row < 0 {
+		return 0, false
+	}
+	if !cu.seek(row, false) {
+		cu.m.m.Misses++
+		return 0, false
+	}
+	rel := cu.c.offs[row%cu.m.chunkRows]
+	if rel == noPosition {
+		cu.m.m.Misses++
+		return 0, false
+	}
+	cu.m.m.Hits++
+	return rel, true
+}
+
+// Record stores a relative offset (best effort, like Map.Record).
+func (cu *Cursor) Record(row int, rel uint32) {
+	if cu.attr < 0 || cu.attr >= cu.m.numAttrs || row < 0 || rel == noPosition {
+		return
+	}
+	if !cu.seek(row, true) {
+		return
+	}
+	slot := row % cu.m.chunkRows
+	if cu.c.offs[slot] == noPosition {
+		cu.c.offs[slot] = rel
+		cu.c.n++
+		cu.m.m.Pointers++
+		cu.m.m.Recorded++
+	} else {
+		cu.c.offs[slot] = rel
+	}
+}

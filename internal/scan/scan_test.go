@@ -1,0 +1,370 @@
+package scan
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nodb/internal/datum"
+)
+
+func readAllLines(t *testing.T, data string, chunk int) (lines []string, offsets []int64) {
+	t.Helper()
+	lr := NewLineReader(strings.NewReader(data), chunk)
+	for {
+		line, off, err := lr.Next()
+		if err == io.EOF {
+			return lines, offsets
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(line))
+		offsets = append(offsets, off)
+	}
+}
+
+func TestLineReaderBasic(t *testing.T) {
+	lines, offsets := readAllLines(t, "a,b\ncc,dd\ne,f\n", 64)
+	want := []string{"a,b", "cc,dd", "e,f"}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+	wantOff := []int64{0, 4, 10}
+	for i := range wantOff {
+		if offsets[i] != wantOff[i] {
+			t.Errorf("offset %d = %d, want %d", i, offsets[i], wantOff[i])
+		}
+	}
+}
+
+func TestLineReaderNoTrailingNewline(t *testing.T) {
+	lines, _ := readAllLines(t, "x,y\nlast,line", 64)
+	if len(lines) != 2 || lines[1] != "last,line" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestLineReaderCRLF(t *testing.T) {
+	lines, _ := readAllLines(t, "a,b\r\nc,d\r\n", 64)
+	if lines[0] != "a,b" || lines[1] != "c,d" {
+		t.Errorf("CRLF handling broken: %v", lines)
+	}
+}
+
+func TestLineReaderEmpty(t *testing.T) {
+	lines, _ := readAllLines(t, "", 64)
+	if len(lines) != 0 {
+		t.Errorf("empty file produced %v", lines)
+	}
+}
+
+func TestLineReaderLineLongerThanChunk(t *testing.T) {
+	long := strings.Repeat("x", 500)
+	data := long + "\nshort\n"
+	lines, offsets := readAllLines(t, data, 16) // chunk much smaller than the line
+	if len(lines) != 2 || lines[0] != long || lines[1] != "short" {
+		t.Fatalf("long line handling broken: %d lines", len(lines))
+	}
+	if offsets[1] != int64(len(long)+1) {
+		t.Errorf("offset after long line = %d", offsets[1])
+	}
+}
+
+func TestLineReaderOffsetsAcrossChunks(t *testing.T) {
+	// Many lines with a tiny chunk: offsets must remain absolute.
+	var sb strings.Builder
+	var wantOffsets []int64
+	for i := 0; i < 200; i++ {
+		wantOffsets = append(wantOffsets, int64(sb.Len()))
+		sb.WriteString(strings.Repeat("ab,", i%7+1))
+		sb.WriteString("\n")
+	}
+	_, offsets := readAllLines(t, sb.String(), 32)
+	if len(offsets) != 200 {
+		t.Fatalf("got %d lines", len(offsets))
+	}
+	for i := range wantOffsets {
+		if offsets[i] != wantOffsets[i] {
+			t.Fatalf("offset %d = %d, want %d", i, offsets[i], wantOffsets[i])
+		}
+	}
+}
+
+func TestTokenizeFull(t *testing.T) {
+	line := []byte("10,20,30")
+	pos, n := Tokenize(line, ',', -1, nil)
+	if n != 3 {
+		t.Fatalf("fields = %d", n)
+	}
+	want := []uint32{0, 3, 6, 9}
+	for i := range want {
+		if pos[i] != want[i] {
+			t.Fatalf("pos = %v, want %v", pos, want)
+		}
+	}
+	// Extract each field via the documented bounds.
+	for i, wantF := range []string{"10", "20", "30"} {
+		got := string(line[pos[i] : pos[i+1]-1])
+		if got != wantF {
+			t.Errorf("field %d = %q", i, got)
+		}
+	}
+}
+
+func TestTokenizeSelective(t *testing.T) {
+	line := []byte("a,bb,ccc,dddd,eeeee")
+	pos, n := Tokenize(line, ',', 2, nil)
+	if n != 3 {
+		t.Fatalf("selective fields = %d, want 3", n)
+	}
+	// Bounds must cover fields 0..2 plus the sentinel.
+	if len(pos) != 4 {
+		t.Fatalf("positions = %v", pos)
+	}
+	if got := string(line[pos[2] : pos[3]-1]); got != "ccc" {
+		t.Errorf("field 2 = %q", got)
+	}
+}
+
+func TestTokenizeShortRow(t *testing.T) {
+	line := []byte("only,two")
+	pos, n := Tokenize(line, ',', 5, nil)
+	if n != 2 {
+		t.Errorf("short row fields = %d, want 2", n)
+	}
+	if got := string(line[pos[1] : pos[2]-1]); got != "two" {
+		t.Errorf("field 1 = %q", got)
+	}
+}
+
+func TestTokenizeEmptyFields(t *testing.T) {
+	line := []byte(",,")
+	pos, n := Tokenize(line, ',', -1, nil)
+	if n != 3 {
+		t.Fatalf("empty fields = %d, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		if got := string(line[pos[i] : pos[i+1]-1]); got != "" {
+			t.Errorf("field %d = %q, want empty", i, got)
+		}
+	}
+}
+
+func TestFieldAt(t *testing.T) {
+	line := []byte("aa|bb|cc")
+	if got := string(FieldAt(line, 3, '|')); got != "bb" {
+		t.Errorf("FieldAt(3) = %q", got)
+	}
+	if got := string(FieldAt(line, 6, '|')); got != "cc" {
+		t.Errorf("FieldAt(6) = %q", got)
+	}
+	if got := FieldAt(line, 99, '|'); got != nil {
+		t.Errorf("FieldAt(out of range) = %q", got)
+	}
+}
+
+func TestSkipForward(t *testing.T) {
+	line := []byte("aa,bb,cc,dd")
+	pos, ok := SkipForward(line, 0, 2, ',')
+	if !ok || pos != 6 {
+		t.Errorf("SkipForward(0,2) = %d %v", pos, ok)
+	}
+	pos, ok = SkipForward(line, 3, 1, ',')
+	if !ok || pos != 6 {
+		t.Errorf("SkipForward(3,1) = %d %v", pos, ok)
+	}
+	if _, ok = SkipForward(line, 9, 1, ','); ok {
+		t.Error("SkipForward past end must fail")
+	}
+	pos, ok = SkipForward(line, 5, 0, ',')
+	if !ok || pos != 5 {
+		t.Error("SkipForward n=0 is identity")
+	}
+}
+
+func TestSkipBackward(t *testing.T) {
+	line := []byte("aa,bb,cc,dd")
+	cases := []struct {
+		from uint32
+		n    int
+		want uint32
+		ok   bool
+	}{
+		{9, 1, 6, true},
+		{9, 2, 3, true},
+		{9, 3, 0, true},
+		{6, 4, 0, false},
+		{3, 1, 0, true},
+		{0, 1, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := SkipBackward(line, tc.from, tc.n, ',')
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("SkipBackward(%d,%d) = %d,%v want %d,%v", tc.from, tc.n, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// Property: navigating to field j via SkipForward/SkipBackward from any
+// known field i must agree with full tokenization.
+func TestIncrementalNavigationMatchesTokenize(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nf := rng.Intn(12) + 1
+		fields := make([]string, nf)
+		for i := range fields {
+			fields[i] = strings.Repeat("v", rng.Intn(5)) // may be empty
+		}
+		line := []byte(strings.Join(fields, ","))
+		pos, n := Tokenize(line, ',', -1, nil)
+		if n != nf {
+			t.Fatalf("tokenize found %d of %d fields in %q", n, nf, line)
+		}
+		i, j := rng.Intn(nf), rng.Intn(nf)
+		var got uint32
+		var ok bool
+		switch {
+		case j > i:
+			got, ok = SkipForward(line, pos[i], j-i, ',')
+		case j < i:
+			got, ok = SkipBackward(line, pos[i], i-j, ',')
+		default:
+			got, ok = pos[i], true
+		}
+		if !ok || got != pos[j] {
+			t.Fatalf("nav %d->%d in %q: got %d,%v want %d", i, j, line, got, ok, pos[j])
+		}
+	}
+}
+
+func TestCountFields(t *testing.T) {
+	if CountFields([]byte("a,b,c"), ',') != 3 {
+		t.Error("CountFields")
+	}
+	if CountFields([]byte(""), ',') != 1 {
+		t.Error("empty line has one (empty) field")
+	}
+}
+
+// Property: writer then reader round-trips arbitrary delimiter-free rows.
+func TestWriterReaderRoundtrip(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		rows := make([][]string, 0, len(raw))
+		for _, r := range raw {
+			cleaned := strings.Map(func(c rune) rune {
+				if c == ',' || c == '\n' || c == '\r' {
+					return '_'
+				}
+				return c
+			}, string(r))
+			// Split into 1-3 fields deterministically.
+			n := len(cleaned)%3 + 1
+			fields := make([]string, n)
+			for i := range fields {
+				fields[i] = cleaned
+			}
+			rows = append(rows, fields)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, ',')
+		for _, r := range rows {
+			if err := w.WriteRow(r...); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		lr := NewLineReader(bytes.NewReader(buf.Bytes()), 17)
+		for _, r := range rows {
+			line, _, err := lr.Next()
+			if err != nil {
+				return false
+			}
+			pos, n := Tokenize(line, ',', -1, nil)
+			if n != len(r) {
+				return false
+			}
+			for i := range r {
+				if string(line[pos[i]:pos[i+1]-1]) != r[i] {
+					return false
+				}
+			}
+		}
+		_, _, err := lr.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterRejectsDelimiter(t *testing.T) {
+	w := NewWriter(io.Discard, ',')
+	if err := w.WriteRow("a,b"); err == nil {
+		t.Error("field containing delimiter must be rejected")
+	}
+	if err := w.WriteRow("a\nb"); err == nil {
+		t.Error("field containing newline must be rejected")
+	}
+}
+
+func TestWriteDatums(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, '|')
+	row := []datum.Datum{datum.NewInt(7), datum.NewText("x"), datum.NewNull(datum.Int)}
+	if err := w.WriteDatums(row); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "7|x|\n" {
+		t.Errorf("WriteDatums = %q", got)
+	}
+}
+
+func TestOpenCreateFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	w, f, err := CreateFile(path, ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRow("1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lr, rf, err := OpenFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	line, off, err := lr.Next()
+	if err != nil || off != 0 || string(line) != "1,2" {
+		t.Errorf("read back %q off %d err %v", line, off, err)
+	}
+	if _, _, err := OpenFile(filepath.Join(dir, "missing.csv"), 0); err == nil {
+		t.Error("missing file must error")
+	}
+	if _, _, err := CreateFile(filepath.Join(dir, "nodir", "x.csv"), ','); err == nil {
+		t.Error("uncreatable file must error")
+	}
+	_ = os.Remove(path)
+}

@@ -1,0 +1,231 @@
+// Package schema describes relational tables bound to raw data files.
+//
+// The NoDB model (paper §3.1) assumes the user declares the schema a priori
+// and marks tables as in-situ; automated schema discovery is out of scope.
+// A Table therefore carries both the logical description (columns, types)
+// and the physical binding (file path, format, delimiter).
+package schema
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"nodb/internal/datum"
+)
+
+// Format identifies the raw file format backing a table.
+type Format uint8
+
+// Supported raw formats.
+const (
+	CSV Format = iota
+	FITS
+)
+
+func (f Format) String() string {
+	switch f {
+	case CSV:
+		return "csv"
+	case FITS:
+		return "fits"
+	default:
+		return "unknown"
+	}
+}
+
+// Column is one attribute of a table.
+type Column struct {
+	Name string
+	Type datum.Type
+}
+
+// Table binds a relational schema to a raw data file.
+type Table struct {
+	Name      string
+	Columns   []Column
+	Path      string // raw file path
+	Format    Format
+	Delimiter byte // CSV field delimiter, default ','
+
+	byName map[string]int
+}
+
+// New creates a table descriptor and validates it.
+func New(name string, cols []Column, path string, format Format) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: empty table name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("schema: table %s has no columns", name)
+	}
+	t := &Table{
+		Name:      strings.ToLower(name),
+		Columns:   cols,
+		Path:      path,
+		Format:    format,
+		Delimiter: ',',
+		byName:    make(map[string]int, len(cols)),
+	}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if key == "" {
+			return nil, fmt.Errorf("schema: table %s column %d has no name", name, i)
+		}
+		if _, dup := t.byName[key]; dup {
+			return nil, fmt.Errorf("schema: table %s has duplicate column %q", name, c.Name)
+		}
+		t.byName[key] = i
+	}
+	return t, nil
+}
+
+// ColumnIndex returns the ordinal of a column by case-insensitive name, or
+// -1 if the column does not exist.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// ColumnNames returns the names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// NumColumns returns the column count.
+func (t *Table) NumColumns() int { return len(t.Columns) }
+
+// Catalog is a registry of tables, the in-situ equivalent of a database
+// catalog. It is not safe for concurrent mutation.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Register adds a table; it fails on duplicate names.
+func (c *Catalog) Register(t *Table) error {
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("schema: table %q already registered", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Drop removes a table if present.
+func (c *Catalog) Drop(name string) {
+	delete(c.tables, strings.ToLower(name))
+}
+
+// Lookup finds a table by case-insensitive name.
+func (c *Catalog) Lookup(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns all registered tables (unspecified order).
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// LoadFile reads a schema declaration file and registers its tables. The
+// format is intentionally simple, one table per stanza:
+//
+//	table lineitem from lineitem.csv
+//	  l_orderkey int
+//	  l_quantity float
+//	  l_shipdate date
+//	end
+//
+// Paths are resolved relative to dir. Lines beginning with '#' and blank
+// lines are ignored. This plays the role of PostgresRaw's CREATE TABLE ...
+// WITH (filename=...) DDL.
+func (c *Catalog) LoadFile(path, dir string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("schema: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	var (
+		name string
+		file string
+		cols []Column
+		line int
+	)
+	flush := func() error {
+		if name == "" {
+			return nil
+		}
+		p := file
+		if dir != "" && !strings.HasPrefix(p, "/") {
+			p = dir + "/" + p
+		}
+		format := CSV
+		if strings.HasSuffix(strings.ToLower(file), ".fits") {
+			format = FITS
+		}
+		t, err := New(name, cols, p, format)
+		if err != nil {
+			return err
+		}
+		if err := c.Register(t); err != nil {
+			return err
+		}
+		name, file, cols = "", "", nil
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case fields[0] == "table":
+			if err := flush(); err != nil {
+				return err
+			}
+			if len(fields) != 4 || fields[2] != "from" {
+				return fmt.Errorf("schema: %s:%d: want 'table NAME from FILE'", path, line)
+			}
+			name, file = fields[1], fields[3]
+		case fields[0] == "end":
+			if err := flush(); err != nil {
+				return err
+			}
+		default:
+			if name == "" {
+				return fmt.Errorf("schema: %s:%d: column outside table stanza", path, line)
+			}
+			if len(fields) != 2 {
+				return fmt.Errorf("schema: %s:%d: want 'NAME TYPE'", path, line)
+			}
+			typ, err := datum.ParseType(fields[1])
+			if err != nil {
+				return fmt.Errorf("schema: %s:%d: %w", path, line, err)
+			}
+			cols = append(cols, Column{Name: fields[0], Type: typ})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("schema: reading %s: %w", path, err)
+	}
+	return flush()
+}

@@ -1,0 +1,155 @@
+package schema
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nodb/internal/datum"
+)
+
+func mustTable(t *testing.T, name string, cols []Column) *Table {
+	t.Helper()
+	tbl, err := New(name, cols, "/tmp/"+name+".csv", CSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", []Column{{Name: "a", Type: datum.Int}}, "p", CSV); err == nil {
+		t.Error("empty table name should fail")
+	}
+	if _, err := New("t", nil, "p", CSV); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := New("t", []Column{{Name: "a", Type: datum.Int}, {Name: "A", Type: datum.Int}}, "p", CSV); err == nil {
+		t.Error("duplicate column (case-insensitive) should fail")
+	}
+	if _, err := New("t", []Column{{Name: "", Type: datum.Int}}, "p", CSV); err == nil {
+		t.Error("unnamed column should fail")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	tbl := mustTable(t, "orders", []Column{
+		{Name: "o_orderkey", Type: datum.Int},
+		{Name: "o_orderdate", Type: datum.Date},
+	})
+	if tbl.ColumnIndex("o_orderdate") != 1 {
+		t.Error("want index 1")
+	}
+	if tbl.ColumnIndex("O_ORDERKEY") != 0 {
+		t.Error("lookup must be case-insensitive")
+	}
+	if tbl.ColumnIndex("nope") != -1 {
+		t.Error("missing column must be -1")
+	}
+	if got := tbl.NumColumns(); got != 2 {
+		t.Errorf("NumColumns = %d", got)
+	}
+	names := tbl.ColumnNames()
+	if len(names) != 2 || names[0] != "o_orderkey" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}
+
+func TestCatalogRegisterLookupDrop(t *testing.T) {
+	c := NewCatalog()
+	tbl := mustTable(t, "T1", []Column{{Name: "a", Type: datum.Int}})
+	if err := c.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(tbl); err == nil {
+		t.Error("duplicate register should fail")
+	}
+	got, ok := c.Lookup("t1")
+	if !ok || got != tbl {
+		t.Error("lookup by lower-case name failed")
+	}
+	if _, ok := c.Lookup("missing"); ok {
+		t.Error("missing table should not be found")
+	}
+	if n := len(c.Tables()); n != 1 {
+		t.Errorf("Tables() len = %d", n)
+	}
+	c.Drop("T1")
+	if _, ok := c.Lookup("t1"); ok {
+		t.Error("dropped table still visible")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	decl := `
+# sample schema
+table nation from nation.csv
+  n_nationkey int
+  n_name text
+  n_regionkey int
+end
+
+table obs from stars.fits
+  mag float
+  dist float
+end
+`
+	path := filepath.Join(dir, "schema.nodb")
+	if err := os.WriteFile(path, []byte(decl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCatalog()
+	if err := c.LoadFile(path, dir); err != nil {
+		t.Fatal(err)
+	}
+	n, ok := c.Lookup("nation")
+	if !ok {
+		t.Fatal("nation not registered")
+	}
+	if n.Format != CSV || n.NumColumns() != 3 || n.Columns[1].Type != datum.Text {
+		t.Errorf("nation parsed wrong: %+v", n)
+	}
+	if n.Path != filepath.Join(dir, "nation.csv") {
+		t.Errorf("path not resolved against dir: %s", n.Path)
+	}
+	obs, ok := c.Lookup("obs")
+	if !ok || obs.Format != FITS {
+		t.Errorf("obs should be FITS format: %+v", obs)
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(body string) string {
+		p := filepath.Join(dir, "s.nodb")
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []string{
+		"col int\n",                        // column outside stanza
+		"table t x y\n",                    // malformed header
+		"table t from f.csv\n a b c\nend",  // malformed column
+		"table t from f.csv\n a blob\nend", // unknown type
+	}
+	for _, body := range cases {
+		c := NewCatalog()
+		if err := c.LoadFile(write(body), dir); err == nil {
+			t.Errorf("LoadFile(%q) should fail", body)
+		}
+	}
+	if err := NewCatalog().LoadFile(filepath.Join(dir, "nope.nodb"), dir); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if CSV.String() != "csv" || FITS.String() != "fits" {
+		t.Error("format names wrong")
+	}
+	if Format(99).String() != "unknown" {
+		t.Error("unknown format name wrong")
+	}
+}

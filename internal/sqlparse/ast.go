@@ -1,0 +1,311 @@
+// Package sqlparse implements the SQL front end: a hand-written lexer and
+// recursive-descent parser producing an unresolved AST. Name resolution
+// (identifiers to column ordinals) happens later in internal/plan, so the
+// AST here mirrors the query text.
+//
+// The dialect covers what the paper's workloads need: single-level
+// SELECT ... FROM (comma joins and INNER JOIN ... ON) ... WHERE ...
+// GROUP BY ... ORDER BY ... LIMIT, the COUNT/SUM/AVG/MIN/MAX aggregates,
+// arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN, LIKE, IS NULL, CASE
+// WHEN, date literals (date '1998-12-01') and interval arithmetic
+// (interval '90' day).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is any expression node of the unresolved AST.
+type Node interface {
+	String() string
+}
+
+// Ident is a possibly qualified column reference (t.col or col).
+type Ident struct {
+	Table string // empty when unqualified
+	Name  string
+}
+
+func (n *Ident) String() string {
+	if n.Table != "" {
+		return n.Table + "." + n.Name
+	}
+	return n.Name
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+func (n *IntLit) String() string { return fmt.Sprintf("%d", n.V) }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+func (n *FloatLit) String() string { return fmt.Sprintf("%g", n.V) }
+
+// StringLit is a quoted string literal.
+type StringLit struct{ V string }
+
+func (n *StringLit) String() string { return "'" + n.V + "'" }
+
+// DateLit is a date 'YYYY-MM-DD' literal.
+type DateLit struct{ V string }
+
+func (n *DateLit) String() string { return "date '" + n.V + "'" }
+
+// IntervalLit is an interval literal normalized to days.
+type IntervalLit struct{ Days int64 }
+
+func (n *IntervalLit) String() string { return fmt.Sprintf("interval '%d' day", n.Days) }
+
+// Binary is an infix operation; Op is one of
+// + - * / = <> < <= > >= AND OR.
+type Binary struct {
+	Op   string
+	L, R Node
+}
+
+func (n *Binary) String() string { return fmt.Sprintf("(%s %s %s)", n.L, n.Op, n.R) }
+
+// Unary is prefix NOT or -.
+type Unary struct {
+	Op string
+	E  Node
+}
+
+func (n *Unary) String() string { return fmt.Sprintf("(%s %s)", n.Op, n.E) }
+
+// Between is expr [NOT] BETWEEN lo AND hi.
+type Between struct {
+	E, Lo, Hi Node
+	Negate    bool
+}
+
+func (n *Between) String() string {
+	op := "BETWEEN"
+	if n.Negate {
+		op = "NOT BETWEEN"
+	}
+	return fmt.Sprintf("(%s %s %s AND %s)", n.E, op, n.Lo, n.Hi)
+}
+
+// In is expr [NOT] IN (list...). List elements must be literals.
+type In struct {
+	E      Node
+	List   []Node
+	Negate bool
+}
+
+func (n *In) String() string {
+	items := make([]string, len(n.List))
+	for i, e := range n.List {
+		items[i] = e.String()
+	}
+	op := "IN"
+	if n.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", n.E, op, strings.Join(items, ", "))
+}
+
+// Like is expr [NOT] LIKE 'pattern'.
+type Like struct {
+	E       Node
+	Pattern string
+	Negate  bool
+}
+
+func (n *Like) String() string {
+	op := "LIKE"
+	if n.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s '%s')", n.E, op, n.Pattern)
+}
+
+// IsNull is expr IS [NOT] NULL.
+type IsNull struct {
+	E      Node
+	Negate bool
+}
+
+func (n *IsNull) String() string {
+	if n.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.E)
+}
+
+// When is one CASE arm.
+type When struct {
+	Cond Node
+	Then Node
+}
+
+// Case is a searched CASE expression.
+type Case struct {
+	Whens []When
+	Else  Node
+}
+
+func (n *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range n.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if n.Else != nil {
+		fmt.Fprintf(&sb, " ELSE %s", n.Else)
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// FuncCall is an aggregate or scalar function call. Star marks COUNT(*);
+// Distinct marks COUNT(DISTINCT x) and friends.
+type FuncCall struct {
+	Name     string // lower-cased
+	Args     []Node
+	Star     bool
+	Distinct bool
+}
+
+func (n *FuncCall) String() string {
+	if n.Star {
+		return n.Name + "(*)"
+	}
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = a.String()
+	}
+	if n.Distinct {
+		return fmt.Sprintf("%s(DISTINCT %s)", n.Name, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("%s(%s)", n.Name, strings.Join(args, ", "))
+}
+
+// SelectItem is one output column: an expression with an optional alias,
+// or * (Star).
+type SelectItem struct {
+	Expr  Node
+	Alias string
+	Star  bool
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	if s.Alias != "" {
+		return fmt.Sprintf("%s AS %s", s.Expr, s.Alias)
+	}
+	return s.Expr.String()
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Node
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String()
+}
+
+// Insert is a parsed INSERT statement: INSERT INTO table VALUES (...), ...
+// Values must be literal expressions (the NoDB engine appends them to the
+// raw file; paper §4.5 "internal updates").
+type Insert struct {
+	Table string
+	Rows  [][]Node
+}
+
+func (ins *Insert) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "INSERT INTO %s VALUES ", ins.Table)
+	for ri, row := range ins.Rows {
+		if ri > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('(')
+		for ci, v := range row {
+			if ci > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// Select is a parsed SELECT statement.
+type Select struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Node // may be nil; JOIN ... ON conditions are folded in
+	GroupBy []Node
+	OrderBy []OrderItem
+	Limit   int64 // -1 when absent
+}
+
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.String())
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
+	}
+	return sb.String()
+}

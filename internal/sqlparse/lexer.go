@@ -1,0 +1,157 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkInt
+	tkFloat
+	tkString
+	tkOp    // = <> != < <= > >= + - * /
+	tkPunct // ( ) , . ;
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, idents lower-cased
+	pos  int
+}
+
+// keywords recognized by the lexer. Everything else is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "LIKE": true, "BETWEEN": true, "IS": true,
+	"NULL": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true, "ASC": true, "DESC": true, "JOIN": true, "INNER": true,
+	"ON": true, "DATE": true, "INTERVAL": true, "DAY": true, "MONTH": true,
+	"YEAR": true, "TRUE": true, "FALSE": true, "DISTINCT": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+}
+
+// lex splits input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			isFloat := false
+			for i < n && (input[i] >= '0' && input[i] <= '9') {
+				i++
+			}
+			if i < n && input[i] == '.' {
+				isFloat = true
+				i++
+				for i < n && input[i] >= '0' && input[i] <= '9' {
+					i++
+				}
+			}
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				isFloat = true
+				i++
+				if i < n && (input[i] == '+' || input[i] == '-') {
+					i++
+				}
+				for i < n && input[i] >= '0' && input[i] <= '9' {
+					i++
+				}
+			}
+			kind := tkInt
+			if isFloat {
+				kind = tkFloat
+			}
+			toks = append(toks, token{kind: kind, text: input[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					// '' escapes a quote.
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{kind: tkString, text: sb.String(), pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tkKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{kind: tkIdent, text: strings.ToLower(word), pos: start})
+			}
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{kind: tkOp, text: input[i : i+2], pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tkOp, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tkOp, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tkOp, text: ">", pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tkOp, text: "<>", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlparse: unexpected '!' at offset %d", i)
+			}
+		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, token{kind: tkOp, text: string(c), pos: i})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == ';':
+			toks = append(toks, token{kind: tkPunct, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,638 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one SELECT statement (optionally ';'-terminated).
+func Parse(sql string) (*Select, error) {
+	stmt, err := ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sqlparse: expected a SELECT statement")
+	}
+	return sel, nil
+}
+
+// Statement is any parsed SQL statement (*Select or *Insert).
+type Statement interface{ String() string }
+
+// ParseStatement parses one SELECT or INSERT statement.
+func ParseStatement(sql string) (Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	if t := p.peek(); t.kind == tkKeyword && t.text == "INSERT" {
+		stmt, err = p.parseInsert()
+	} else {
+		stmt, err = p.parseSelect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tkEOF {
+		return nil, p.errf("unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// parseInsert handles INSERT INTO table VALUES (lit, ...), (...).
+func (p *parser) parseInsert() (*Insert, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tkIdent {
+		return nil, p.errf("expected table name, got %q", t.text)
+	}
+	ins := &Insert{Table: t.text}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []Node
+		for {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) peek2() token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+// next consumes the current token; the trailing EOF token is sticky so the
+// parser can safely peek after errors at end of input.
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind != tkKeyword || t.text != kw {
+		return p.errf("expected %s, got %q", kw, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tkKeyword && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.kind == tkPunct && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+
+	// Select list.
+	for {
+		if p.peek().kind == tkOp && p.peek().text == "*" {
+			p.next()
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				t := p.next()
+				if t.kind != tkIdent {
+					return nil, p.errf("expected alias after AS, got %q", t.text)
+				}
+				item.Alias = t.text
+			} else if p.peek().kind == tkIdent {
+				item.Alias = p.next().text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+
+	// FROM.
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var joinConds []Node
+	parseTable := func() (TableRef, error) {
+		t := p.next()
+		if t.kind != tkIdent {
+			return TableRef{}, p.errf("expected table name, got %q", t.text)
+		}
+		ref := TableRef{Name: t.text}
+		if p.peek().kind == tkIdent {
+			ref.Alias = p.next().text
+		}
+		return ref, nil
+	}
+	for {
+		ref, err := parseTable()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		// INNER JOIN chains fold into the table list plus WHERE conjuncts.
+		for {
+			if p.acceptKeyword("INNER") {
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+			} else if !p.acceptKeyword("JOIN") {
+				break
+			}
+			jref, err := parseTable()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, jref)
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			joinConds = append(joinConds, cond)
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+
+	// WHERE.
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	for _, c := range joinConds {
+		if sel.Where == nil {
+			sel.Where = c
+		} else {
+			sel.Where = &Binary{Op: "AND", L: sel.Where, R: c}
+		}
+	}
+
+	// GROUP BY.
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, g)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+
+	// ORDER BY.
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+
+	// LIMIT.
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.kind != tkInt {
+			return nil, p.errf("expected integer after LIMIT, got %q", t.text)
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT: %v", err)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+// OR, AND, NOT, comparison/predicates, + -, * /, unary -, primary.
+
+func (p *parser) parseExpr() (Node, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Node, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Optional [NOT] before IN/LIKE/BETWEEN.
+	negate := false
+	if t := p.peek(); t.kind == tkKeyword && t.text == "NOT" {
+		if n2 := p.peek2(); n2.kind == tkKeyword && (n2.text == "IN" || n2.text == "LIKE" || n2.text == "BETWEEN") {
+			p.next()
+			negate = true
+		}
+	}
+	t := p.peek()
+	switch {
+	case t.kind == tkOp && (t.text == "=" || t.text == "<>" || t.text == "<" || t.text == "<=" || t.text == ">" || t.text == ">="):
+		p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: t.text, L: l, R: r}, nil
+	case t.kind == tkKeyword && t.text == "BETWEEN":
+		p.next()
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{E: l, Lo: lo, Hi: hi, Negate: negate}, nil
+	case t.kind == tkKeyword && t.text == "IN":
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var list []Node
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &In{E: l, List: list, Negate: negate}, nil
+	case t.kind == tkKeyword && t.text == "LIKE":
+		p.next()
+		s := p.next()
+		if s.kind != tkString {
+			return nil, p.errf("expected string pattern after LIKE, got %q", s.text)
+		}
+		return &Like{E: l, Pattern: s.text, Negate: negate}, nil
+	case t.kind == tkKeyword && t.text == "IS":
+		p.next()
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{E: l, Negate: neg}, nil
+	}
+	if negate {
+		return nil, p.errf("dangling NOT before %q", t.text)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Node, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkOp && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkOp && (t.text == "*" || t.text == "/") {
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if t := p.peek(); t.kind == tkOp && t.text == "-" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tkInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return &IntLit{V: v}, nil
+	case t.kind == tkFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.text)
+		}
+		return &FloatLit{V: v}, nil
+	case t.kind == tkString:
+		p.next()
+		return &StringLit{V: t.text}, nil
+	case t.kind == tkKeyword && t.text == "DATE":
+		p.next()
+		s := p.next()
+		if s.kind != tkString {
+			return nil, p.errf("expected string after DATE, got %q", s.text)
+		}
+		return &DateLit{V: s.text}, nil
+	case t.kind == tkKeyword && t.text == "INTERVAL":
+		p.next()
+		s := p.next()
+		var n int64
+		var err error
+		switch s.kind {
+		case tkString:
+			n, err = strconv.ParseInt(s.text, 10, 64)
+		case tkInt:
+			n, err = strconv.ParseInt(s.text, 10, 64)
+		default:
+			return nil, p.errf("expected quantity after INTERVAL, got %q", s.text)
+		}
+		if err != nil {
+			return nil, p.errf("bad interval quantity %q", s.text)
+		}
+		unit := p.next()
+		if unit.kind != tkKeyword {
+			return nil, p.errf("expected DAY/MONTH/YEAR after INTERVAL, got %q", unit.text)
+		}
+		switch unit.text {
+		case "DAY":
+			return &IntervalLit{Days: n}, nil
+		case "MONTH":
+			return &IntervalLit{Days: n * 30}, nil
+		case "YEAR":
+			return &IntervalLit{Days: n * 365}, nil
+		default:
+			return nil, p.errf("unsupported interval unit %q", unit.text)
+		}
+	case t.kind == tkKeyword && t.text == "CASE":
+		return p.parseCase()
+	case t.kind == tkKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.next()
+		if t.text == "TRUE" {
+			return &IntLit{V: 1}, nil
+		}
+		return &IntLit{V: 0}, nil
+	case t.kind == tkKeyword && t.text == "NULL":
+		p.next()
+		return &StringLit{V: ""}, nil // bare NULL literal; resolver maps empty to NULL
+	case t.kind == tkIdent:
+		// Function call or (qualified) identifier.
+		if p.peek2().kind == tkPunct && p.peek2().text == "(" {
+			name := p.next().text
+			p.next() // (
+			fc := &FuncCall{Name: name}
+			if p.acceptKeyword("DISTINCT") {
+				fc.Distinct = true
+			}
+			if p.peek().kind == tkOp && p.peek().text == "*" {
+				p.next()
+				fc.Star = true
+			} else if !(p.peek().kind == tkPunct && p.peek().text == ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, a)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		p.next()
+		id := &Ident{Name: t.text}
+		if p.peek().kind == tkPunct && p.peek().text == "." {
+			p.next()
+			col := p.next()
+			if col.kind != tkIdent {
+				return nil, p.errf("expected column after %q., got %q", t.text, col.text)
+			}
+			id.Table = t.text
+			id.Name = col.text
+		}
+		return id, nil
+	case t.kind == tkPunct && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("unexpected token %q", t.text)
+	}
+}
+
+func (p *parser) parseCase() (Node, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &Case{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

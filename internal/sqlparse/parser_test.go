@@ -1,0 +1,275 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *Select {
+	t.Helper()
+	sel, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return sel
+}
+
+func TestSimpleSelect(t *testing.T) {
+	sel := mustParse(t, "SELECT a, b FROM t")
+	if len(sel.Items) != 2 || len(sel.From) != 1 || sel.From[0].Name != "t" {
+		t.Fatalf("parsed: %+v", sel)
+	}
+	if sel.Where != nil || sel.Limit != -1 {
+		t.Error("no where/limit expected")
+	}
+}
+
+func TestStarAndAliases(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t x")
+	if !sel.Items[0].Star {
+		t.Error("star not parsed")
+	}
+	if sel.From[0].Alias != "x" {
+		t.Error("table alias not parsed")
+	}
+	sel = mustParse(t, "SELECT a AS y, b z FROM t")
+	if sel.Items[0].Alias != "y" || sel.Items[1].Alias != "z" {
+		t.Errorf("aliases: %+v", sel.Items)
+	}
+}
+
+func TestWhereComparisons(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a >= 10 AND b <> 'x' OR NOT c < 3.5")
+	s := sel.Where.String()
+	for _, frag := range []string{">=", "<>", "OR", "NOT", "3.5"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("where %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a + b * c = 7")
+	if got := sel.Where.String(); got != "((a + (b * c)) = 7)" {
+		t.Errorf("precedence: %s", got)
+	}
+	sel = mustParse(t, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	if got := sel.Where.String(); got != "((a = 1) OR ((b = 2) AND (c = 3)))" {
+		t.Errorf("bool precedence: %s", got)
+	}
+	sel = mustParse(t, "SELECT (a + b) * c FROM t")
+	if got := sel.Items[0].Expr.String(); got != "((a + b) * c)" {
+		t.Errorf("parens: %s", got)
+	}
+}
+
+func TestBetweenInLikeIsNull(t *testing.T) {
+	sel := mustParse(t, `SELECT a FROM t WHERE a BETWEEN 1 AND 10
+		AND b IN ('x', 'y') AND c NOT IN (1, 2)
+		AND d LIKE 'PROMO%' AND e NOT LIKE '%x%'
+		AND f IS NULL AND g IS NOT NULL AND h NOT BETWEEN 2 AND 4`)
+	s := sel.Where.String()
+	for _, frag := range []string{
+		"BETWEEN 1 AND 10", "IN ('x', 'y')", "NOT IN (1, 2)",
+		"LIKE 'PROMO%'", "NOT LIKE '%x%'", "IS NULL", "IS NOT NULL",
+		"NOT BETWEEN 2 AND 4",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("where %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestDateAndInterval(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE d >= date '1994-01-01' AND d < date '1994-01-01' + interval '90' day")
+	s := sel.Where.String()
+	if !strings.Contains(s, "date '1994-01-01'") {
+		t.Errorf("date literal missing: %s", s)
+	}
+	if !strings.Contains(s, "interval '90' day") {
+		t.Errorf("interval literal missing: %s", s)
+	}
+	// Interval units normalize to days.
+	sel = mustParse(t, "SELECT a FROM t WHERE d < date '1995-01-01' + interval '3' month")
+	if !strings.Contains(sel.Where.String(), "interval '90' day") {
+		t.Errorf("month interval: %s", sel.Where)
+	}
+	sel = mustParse(t, "SELECT a FROM t WHERE d < date '1995-01-01' + interval '1' year")
+	if !strings.Contains(sel.Where.String(), "interval '365' day") {
+		t.Errorf("year interval: %s", sel.Where)
+	}
+}
+
+func TestAggregatesAndGroupBy(t *testing.T) {
+	sel := mustParse(t, `SELECT l_returnflag, sum(l_quantity) AS sum_qty, count(*), avg(l_discount)
+		FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`)
+	if len(sel.GroupBy) != 1 || len(sel.OrderBy) != 1 {
+		t.Fatalf("group/order: %+v", sel)
+	}
+	fc, ok := sel.Items[1].Expr.(*FuncCall)
+	if !ok || fc.Name != "sum" || len(fc.Args) != 1 {
+		t.Errorf("sum call: %+v", sel.Items[1].Expr)
+	}
+	star, ok := sel.Items[2].Expr.(*FuncCall)
+	if !ok || !star.Star {
+		t.Errorf("count(*): %+v", sel.Items[2].Expr)
+	}
+}
+
+func TestCaseWhen(t *testing.T) {
+	sel := mustParse(t, `SELECT sum(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (1 - l_discount) ELSE 0 END) FROM x`)
+	fc := sel.Items[0].Expr.(*FuncCall)
+	c, ok := fc.Args[0].(*Case)
+	if !ok || len(c.Whens) != 1 || c.Else == nil {
+		t.Fatalf("case: %+v", fc.Args[0])
+	}
+}
+
+func TestJoins(t *testing.T) {
+	// Comma join.
+	sel := mustParse(t, "SELECT a FROM t1, t2 WHERE t1.k = t2.k")
+	if len(sel.From) != 2 {
+		t.Fatalf("comma join tables: %+v", sel.From)
+	}
+	// Explicit JOIN ON merges the condition into WHERE.
+	sel = mustParse(t, "SELECT a FROM t1 JOIN t2 ON t1.k = t2.k WHERE t1.v > 5")
+	if len(sel.From) != 2 {
+		t.Fatalf("join tables: %+v", sel.From)
+	}
+	s := sel.Where.String()
+	if !strings.Contains(s, "t1.k = t2.k") || !strings.Contains(s, "t1.v > 5") {
+		t.Errorf("join cond not folded: %s", s)
+	}
+	// INNER JOIN chains.
+	sel = mustParse(t, "SELECT a FROM t1 INNER JOIN t2 ON t1.k = t2.k INNER JOIN t3 ON t2.j = t3.j")
+	if len(sel.From) != 3 {
+		t.Fatalf("inner join chain: %+v", sel.From)
+	}
+}
+
+func TestQualifiedIdents(t *testing.T) {
+	sel := mustParse(t, "SELECT t.a FROM t WHERE t.b = 1")
+	id := sel.Items[0].Expr.(*Ident)
+	if id.Table != "t" || id.Name != "a" {
+		t.Errorf("qualified ident: %+v", id)
+	}
+}
+
+func TestOrderByLimitDesc(t *testing.T) {
+	sel := mustParse(t, "SELECT a, b FROM t ORDER BY a DESC, b ASC LIMIT 20")
+	if !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Error("desc flags wrong")
+	}
+	if sel.Limit != 20 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE s = 'it''s'")
+	if !strings.Contains(sel.Where.String(), "it's") {
+		t.Errorf("escaped quote: %s", sel.Where)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	sel := mustParse(t, "SELECT -a, 1 - -2 FROM t")
+	if got := sel.Items[0].Expr.String(); got != "(- a)" {
+		t.Errorf("unary minus: %s", got)
+	}
+}
+
+func TestRoundtripReparse(t *testing.T) {
+	queries := []string{
+		"SELECT a, b FROM t WHERE a > 5 GROUP BY a ORDER BY b DESC LIMIT 3",
+		"SELECT sum(x * (1 - y)) AS rev FROM f WHERE d BETWEEN date '1995-01-01' AND date '1996-01-01'",
+		"SELECT * FROM a, b WHERE a.k = b.k AND a.v IN (1, 2, 3)",
+		"SELECT CASE WHEN x LIKE 'a%' THEN 1 ELSE 0 END FROM t",
+		"SELECT count(*) FROM t WHERE x IS NOT NULL",
+	}
+	for _, q := range queries {
+		s1 := mustParse(t, q)
+		s2 := mustParse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("not stable:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE t SET x = 1",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a =",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t WHERE a LIKE 5",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT a FROM t WHERE a IN 1",
+		"SELECT a FROM t WHERE s = 'unterminated",
+		"SELECT a FROM t extra garbage ~",
+		"SELECT f(a FROM t",
+		"SELECT a FROM t WHERE NOT",
+		"SELECT CASE END FROM t",
+		"SELECT a FROM t JOIN u",
+		"SELECT a.b.c FROM t",
+		"SELECT a FROM t WHERE x ! 3",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestSemicolonTolerated(t *testing.T) {
+	mustParse(t, "SELECT a FROM t;")
+}
+
+func TestTPCHShapes(t *testing.T) {
+	// Representative subset of the TPC-H queries the paper runs (Fig 10).
+	queries := []string{
+		// Q1 shape.
+		`SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty,
+			sum(l_extendedprice) AS sum_base_price,
+			sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+			sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+			avg(l_quantity) AS avg_qty, count(*) AS count_order
+		FROM lineitem
+		WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+		GROUP BY l_returnflag, l_linestatus
+		ORDER BY l_returnflag, l_linestatus`,
+		// Q6 shape.
+		`SELECT sum(l_extendedprice * l_discount) AS revenue
+		FROM lineitem
+		WHERE l_shipdate >= date '1994-01-01'
+			AND l_shipdate < date '1994-01-01' + interval '1' year
+			AND l_discount BETWEEN 0.05 AND 0.07
+			AND l_quantity < 24`,
+		// Q3 shape.
+		`SELECT l_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue,
+			o_orderdate, o_shippriority
+		FROM customer, orders, lineitem
+		WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+			AND l_orderkey = o_orderkey AND o_orderdate < date '1995-03-15'
+			AND l_shipdate > date '1995-03-15'
+		GROUP BY l_orderkey, o_orderdate, o_shippriority
+		ORDER BY revenue DESC, o_orderdate LIMIT 10`,
+		// Q19 shape (OR of conjunct groups).
+		`SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+		FROM lineitem, part
+		WHERE (p_partkey = l_partkey AND p_brand = 'Brand#12'
+				AND l_quantity BETWEEN 1 AND 11)
+			OR (p_partkey = l_partkey AND p_brand = 'Brand#23'
+				AND l_quantity BETWEEN 10 AND 20)`,
+	}
+	for _, q := range queries {
+		sel := mustParse(t, q)
+		if len(sel.From) == 0 {
+			t.Errorf("no tables parsed for %q", q[:40])
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package stats implements on-the-fly statistics collection (paper §4.4):
+// while the in-situ scan parses a column for the first time, values stream
+// through a Collector that maintains min/max, null counts, a reservoir
+// sample, a bounded distinct set and — at Finalize — an equi-depth
+// histogram. The optimizer consumes these through the same estimation
+// interfaces a conventional DBMS exposes after ANALYZE.
+//
+// Statistics are only built for requested attributes ("PostgresRaw creates
+// statistics only on requested attributes") and are incrementally extended
+// as queries touch more columns.
+package stats
+
+import (
+	"math/rand"
+	"sort"
+
+	"nodb/internal/datum"
+)
+
+// Defaults for collection; exported so benchmarks can reason about cost.
+const (
+	// SampleSize is the reservoir size per column.
+	SampleSize = 1024
+	// DistinctLimit caps the exact distinct set; beyond it the estimate
+	// scales the sample's distinct ratio to the full count.
+	DistinctLimit = 4096
+	// HistogramBuckets is the number of equi-depth buckets.
+	HistogramBuckets = 64
+	// sampleFullUntil is how many values receive full treatment before
+	// the collector switches to row sampling; sampleStep is the stride
+	// afterwards. Counts and null counts stay exact for every value;
+	// min/max, the distinct set and the reservoir are computed from the
+	// sample, which is what keeps on-the-fly collection a small overhead
+	// on the first scan (paper §4.4: the scan feeds the statistics
+	// routines "a sample of the data" — exactly what ANALYZE does).
+	sampleFullUntil = 2048
+	sampleStep      = 16
+)
+
+// ColumnStats is the finalized statistics of one column.
+type ColumnStats struct {
+	Type     datum.Type
+	Count    int64 // non-null values observed
+	Nulls    int64
+	Min, Max datum.Datum
+	Distinct float64 // estimated number of distinct values
+
+	// bounds holds HistogramBuckets+1 equi-depth boundaries over the
+	// sample (numeric and date columns only).
+	bounds []float64
+}
+
+// NullFraction returns the fraction of NULLs among all observed rows.
+func (s *ColumnStats) NullFraction() float64 {
+	total := s.Count + s.Nulls
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Nulls) / float64(total)
+}
+
+// SelectivityEq estimates the fraction of rows with column = value.
+func (s *ColumnStats) SelectivityEq(v datum.Datum) float64 {
+	if s.Count == 0 || v.Null() {
+		return 0
+	}
+	if s.Distinct <= 0 {
+		return 0.1
+	}
+	// Out-of-range constants match nothing.
+	if !s.Min.Null() && datum.Compare(v, s.Min) < 0 {
+		return 0
+	}
+	if !s.Max.Null() && datum.Compare(v, s.Max) > 0 {
+		return 0
+	}
+	return (1 - s.NullFraction()) / s.Distinct
+}
+
+// SelectivityRange estimates the fraction of rows in [lo, hi]; pass a null
+// datum for an open bound. Uses the equi-depth histogram when available,
+// falling back to linear interpolation over [min,max].
+func (s *ColumnStats) SelectivityRange(lo, hi datum.Datum) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	f := func(v datum.Datum, def float64) float64 {
+		if v.Null() {
+			return def
+		}
+		return s.cdf(v.Float())
+	}
+	sel := f(hi, 1) - f(lo, 0)
+	if sel < 0 {
+		sel = 0
+	}
+	return sel * (1 - s.NullFraction())
+}
+
+// cdf returns the estimated fraction of non-null values <= x.
+func (s *ColumnStats) cdf(x float64) float64 {
+	if len(s.bounds) >= 2 {
+		b := s.bounds
+		if x < b[0] {
+			return 0
+		}
+		if x >= b[len(b)-1] {
+			return 1
+		}
+		// Find the bucket containing x.
+		i := sort.SearchFloat64s(b, x)
+		if i == 0 {
+			i = 1
+		}
+		lo, hi := b[i-1], b[i]
+		frac := 1.0
+		if hi > lo {
+			frac = (x - lo) / (hi - lo)
+		}
+		return (float64(i-1) + frac) / float64(len(b)-1)
+	}
+	// No histogram (e.g. text column): interpolate over min/max if numeric.
+	if s.Min.Null() || s.Max.Null() {
+		return 0.5
+	}
+	mn, mx := s.Min.Float(), s.Max.Float()
+	if mx <= mn {
+		if x >= mn {
+			return 1
+		}
+		return 0
+	}
+	switch {
+	case x < mn:
+		return 0
+	case x > mx:
+		return 1
+	default:
+		return (x - mn) / (mx - mn)
+	}
+}
+
+// Collector accumulates statistics for one column while a scan feeds it.
+type Collector struct {
+	typ         datum.Type
+	count       int64
+	nulls       int64
+	sampled     int64 // values that passed the sampling gate
+	fedDistinct int64 // values fed to the distinct set
+	min, max    datum.Datum
+
+	distinct     map[uint64]struct{}
+	distinctOver bool
+
+	sample []datum.Datum
+	rng    *rand.Rand
+}
+
+// NewCollector returns an empty collector for a column of type typ. seed
+// makes sampling deterministic for reproducible experiments.
+func NewCollector(typ datum.Type, seed int64) *Collector {
+	return &Collector{
+		typ:      typ,
+		distinct: make(map[uint64]struct{}, 256),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add feeds one value.
+func (c *Collector) Add(v datum.Datum) {
+	if v.Null() {
+		c.nulls++
+		return
+	}
+	c.count++
+	// Sampling gate for everything beyond exact counts.
+	if c.count > sampleFullUntil && c.count%sampleStep != 0 {
+		return
+	}
+	if c.min.Null() || datum.Compare(v, c.min) < 0 {
+		c.min = v
+	}
+	if c.max.Null() || datum.Compare(v, c.max) > 0 {
+		c.max = v
+	}
+	if !c.distinctOver {
+		c.fedDistinct++
+		c.distinct[v.Hash()] = struct{}{}
+		if len(c.distinct) > DistinctLimit {
+			c.distinctOver = true
+		}
+	}
+	c.sampled++
+	// Reservoir sampling (Algorithm R) over the sampled stream.
+	if len(c.sample) < SampleSize {
+		c.sample = append(c.sample, v)
+	} else if j := c.rng.Int63n(c.sampled); j < SampleSize {
+		c.sample[j] = v
+	}
+}
+
+// Finalize builds the ColumnStats snapshot.
+func (c *Collector) Finalize() *ColumnStats {
+	s := &ColumnStats{
+		Type:  c.typ,
+		Count: c.count,
+		Nulls: c.nulls,
+		Min:   c.min,
+		Max:   c.max,
+	}
+	d := float64(len(c.distinct))
+	switch {
+	case c.distinctOver:
+		// The set overflowed: scale the reservoir's distinct ratio up to
+		// the full population.
+		seen := make(map[uint64]struct{}, len(c.sample))
+		for _, v := range c.sample {
+			seen[v.Hash()] = struct{}{}
+		}
+		ratio := float64(len(seen)) / float64(len(c.sample))
+		s.Distinct = ratio * float64(c.count)
+		if s.Distinct < float64(DistinctLimit) {
+			s.Distinct = float64(DistinctLimit)
+		}
+	case c.fedDistinct > 0 && d > float64(c.fedDistinct)/2:
+		// The sampled stream is mostly unique — a high-cardinality column
+		// observed through the sampling gate; scale up to the population.
+		s.Distinct = d * float64(c.count) / float64(c.fedDistinct)
+	default:
+		// The sample saturated well below its size: the sample plausibly
+		// saw every distinct value (low-cardinality column).
+		s.Distinct = d
+	}
+	if numericish(c.typ) && len(c.sample) >= HistogramBuckets {
+		xs := make([]float64, len(c.sample))
+		for i, v := range c.sample {
+			xs[i] = v.Float()
+		}
+		sort.Float64s(xs)
+		s.bounds = make([]float64, HistogramBuckets+1)
+		for b := 0; b <= HistogramBuckets; b++ {
+			idx := b * (len(xs) - 1) / HistogramBuckets
+			s.bounds[b] = xs[idx]
+		}
+	}
+	return s
+}
+
+func numericish(t datum.Type) bool {
+	return t == datum.Int || t == datum.Float || t == datum.Date
+}
+
+// Table aggregates the statistics of one table: per-column stats plus the
+// row count discovered by the first full scan.
+type Table struct {
+	RowCount int64
+	cols     map[int]*ColumnStats
+}
+
+// NewTable returns an empty statistics registry.
+func NewTable() *Table {
+	return &Table{cols: make(map[int]*ColumnStats)}
+}
+
+// Set installs finalized stats for a column ordinal.
+func (t *Table) Set(col int, s *ColumnStats) { t.cols[col] = s }
+
+// Col returns the stats for a column, or nil if never collected.
+func (t *Table) Col(col int) *ColumnStats { return t.cols[col] }
+
+// Has reports whether stats exist for the column.
+func (t *Table) Has(col int) bool { return t.cols[col] != nil }
+
+// CoveredColumns returns how many columns have stats.
+func (t *Table) CoveredColumns() int { return len(t.cols) }
+
+// Drop discards all statistics (e.g. after external file updates).
+func (t *Table) Drop() {
+	t.cols = make(map[int]*ColumnStats)
+	t.RowCount = 0
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nodb/internal/datum"
+)
+
+func collectInts(vals []int64, nulls int) *ColumnStats {
+	c := NewCollector(datum.Int, 1)
+	for _, v := range vals {
+		c.Add(datum.NewInt(v))
+	}
+	for i := 0; i < nulls; i++ {
+		c.Add(datum.NewNull(datum.Int))
+	}
+	return c.Finalize()
+}
+
+func TestMinMaxCountNulls(t *testing.T) {
+	s := collectInts([]int64{5, -3, 12, 0}, 2)
+	if s.Count != 4 || s.Nulls != 2 {
+		t.Errorf("count/nulls = %d/%d", s.Count, s.Nulls)
+	}
+	if s.Min.Int() != -3 || s.Max.Int() != 12 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if got := s.NullFraction(); math.Abs(got-2.0/6.0) > 1e-9 {
+		t.Errorf("null fraction = %f", got)
+	}
+}
+
+func TestDistinctExact(t *testing.T) {
+	s := collectInts([]int64{1, 1, 2, 2, 3}, 0)
+	if s.Distinct != 3 {
+		t.Errorf("distinct = %f, want 3", s.Distinct)
+	}
+}
+
+func TestDistinctOverflowEstimate(t *testing.T) {
+	c := NewCollector(datum.Int, 1)
+	n := DistinctLimit * 4
+	for i := 0; i < n; i++ {
+		c.Add(datum.NewInt(int64(i))) // all distinct
+	}
+	s := c.Finalize()
+	// Everything is distinct; the estimate must be at least the limit and
+	// roughly near n (sample is all-distinct => ratio 1 => estimate = n).
+	if s.Distinct < float64(DistinctLimit) {
+		t.Errorf("distinct estimate %f below limit", s.Distinct)
+	}
+	if s.Distinct < float64(n)/2 {
+		t.Errorf("distinct estimate %f far below truth %d", s.Distinct, n)
+	}
+}
+
+func TestSelectivityEq(t *testing.T) {
+	s := collectInts([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0)
+	sel := s.SelectivityEq(datum.NewInt(5))
+	if math.Abs(sel-0.1) > 1e-9 {
+		t.Errorf("eq selectivity = %f, want 0.1", sel)
+	}
+	if s.SelectivityEq(datum.NewInt(99)) != 0 {
+		t.Error("out-of-range constant must be 0")
+	}
+	if s.SelectivityEq(datum.NewNull(datum.Int)) != 0 {
+		t.Error("null constant must be 0")
+	}
+}
+
+func TestSelectivityRangeUniform(t *testing.T) {
+	// Uniform 0..9999: range [0, 2499] ≈ 25%.
+	rng := rand.New(rand.NewSource(3))
+	c := NewCollector(datum.Int, 1)
+	for i := 0; i < 20000; i++ {
+		c.Add(datum.NewInt(rng.Int63n(10000)))
+	}
+	s := c.Finalize()
+	got := s.SelectivityRange(datum.NewNull(datum.Int), datum.NewInt(2499))
+	if math.Abs(got-0.25) > 0.05 {
+		t.Errorf("range selectivity = %f, want ~0.25", got)
+	}
+	full := s.SelectivityRange(datum.NewNull(datum.Int), datum.NewNull(datum.Int))
+	if math.Abs(full-1.0) > 1e-9 {
+		t.Errorf("open range selectivity = %f, want 1", full)
+	}
+	empty := s.SelectivityRange(datum.NewInt(20000), datum.NewNull(datum.Int))
+	if empty > 0.01 {
+		t.Errorf("impossible range selectivity = %f", empty)
+	}
+	inverted := s.SelectivityRange(datum.NewInt(5000), datum.NewInt(1000))
+	if inverted != 0 {
+		t.Errorf("inverted range must clamp to 0, got %f", inverted)
+	}
+}
+
+func TestSelectivityRangeSkewed(t *testing.T) {
+	// 90% of the mass at small values: the histogram must beat linear
+	// interpolation. Values: 9000 × [0,100), 1000 × [0,10000).
+	rng := rand.New(rand.NewSource(4))
+	c := NewCollector(datum.Int, 1)
+	for i := 0; i < 9000; i++ {
+		c.Add(datum.NewInt(rng.Int63n(100)))
+	}
+	for i := 0; i < 1000; i++ {
+		c.Add(datum.NewInt(rng.Int63n(10000)))
+	}
+	s := c.Finalize()
+	got := s.SelectivityRange(datum.NewNull(datum.Int), datum.NewInt(100))
+	if got < 0.7 {
+		t.Errorf("skewed selectivity = %f, want > 0.7 (linear would say ~0.01)", got)
+	}
+}
+
+func TestSelectivityWithNulls(t *testing.T) {
+	s := collectInts([]int64{1, 2, 3, 4}, 4) // 50% nulls
+	sel := s.SelectivityRange(datum.NewNull(datum.Int), datum.NewNull(datum.Int))
+	if math.Abs(sel-0.5) > 1e-9 {
+		t.Errorf("open range with 50%% nulls = %f, want 0.5", sel)
+	}
+}
+
+func TestTextColumnFallback(t *testing.T) {
+	c := NewCollector(datum.Text, 1)
+	for _, s := range []string{"a", "b", "c", "a"} {
+		c.Add(datum.NewText(s))
+	}
+	s := c.Finalize()
+	if s.Distinct != 3 {
+		t.Errorf("text distinct = %f", s.Distinct)
+	}
+	// Text has no histogram; cdf must not panic and eq still works.
+	if sel := s.SelectivityEq(datum.NewText("b")); sel <= 0 {
+		t.Errorf("text eq selectivity = %f", sel)
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	s := NewCollector(datum.Int, 1).Finalize()
+	if s.SelectivityEq(datum.NewInt(1)) != 0 {
+		t.Error("empty column eq must be 0")
+	}
+	if s.SelectivityRange(datum.NewNull(datum.Int), datum.NewNull(datum.Int)) != 0 {
+		t.Error("empty column range must be 0")
+	}
+	if s.NullFraction() != 0 {
+		t.Error("empty column null fraction must be 0")
+	}
+}
+
+func TestReservoirIsBounded(t *testing.T) {
+	c := NewCollector(datum.Int, 1)
+	for i := 0; i < SampleSize*10; i++ {
+		c.Add(datum.NewInt(int64(i)))
+	}
+	if len(c.sample) != SampleSize {
+		t.Errorf("sample size = %d, want %d", len(c.sample), SampleSize)
+	}
+}
+
+func TestDateHistogram(t *testing.T) {
+	c := NewCollector(datum.Date, 1)
+	base := datum.MustDate("1995-01-01").Int()
+	for i := int64(0); i < 2000; i++ {
+		c.Add(datum.NewDate(base + i%365))
+	}
+	s := c.Finalize()
+	// One quarter of the year ≈ 25%.
+	lo := datum.NewDate(base)
+	hi := datum.NewDate(base + 90)
+	got := s.SelectivityRange(lo, hi)
+	if math.Abs(got-0.25) > 0.08 {
+		t.Errorf("date range selectivity = %f, want ~0.25", got)
+	}
+}
+
+func TestTableRegistry(t *testing.T) {
+	tab := NewTable()
+	if tab.Has(0) {
+		t.Error("empty table has no stats")
+	}
+	s := collectInts([]int64{1, 2}, 0)
+	tab.Set(3, s)
+	tab.RowCount = 2
+	if !tab.Has(3) || tab.Col(3) != s || tab.CoveredColumns() != 1 {
+		t.Error("registry set/get broken")
+	}
+	if tab.Col(9) != nil {
+		t.Error("missing column must be nil")
+	}
+	tab.Drop()
+	if tab.Has(3) || tab.RowCount != 0 {
+		t.Error("Drop incomplete")
+	}
+}
+
+func TestCdfMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := NewCollector(datum.Float, 1)
+	for i := 0; i < 5000; i++ {
+		c.Add(datum.NewFloat(rng.NormFloat64() * 100))
+	}
+	s := c.Finalize()
+	prev := -1.0
+	for x := -400.0; x <= 400; x += 7 {
+		v := s.cdf(x)
+		if v < prev-1e-12 {
+			t.Fatalf("cdf not monotonic at %f: %f < %f", x, v, prev)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("cdf out of range at %f: %f", x, v)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,112 @@
+// Package storage implements the conventional load-first row-store that
+// the NoDB paper compares against: slotted 8 KB pages, heap files, a clock
+// buffer pool and a bulk CSV loader that doubles as ANALYZE. PostgresRaw
+// and this engine share the executor (internal/exec), so measured
+// differences between in-situ and loaded execution isolate raw-file access
+// versus database-page access — exactly the comparison in the paper's §5.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed page size, matching PostgreSQL's default.
+const PageSize = 8192
+
+// pageHeaderSize holds: kind(2) numSlots(2) freeEnd(2).
+const pageHeaderSize = 6
+
+// slotSize holds: offset(2) length(2).
+const slotSize = 4
+
+// Page kinds.
+const (
+	// KindData pages hold slotted tuples (or overflow descriptors).
+	KindData = 0
+	// KindOverflow pages hold raw segments of oversized tuples — the
+	// TOAST-style escape hatch for rows that do not fit in one page. The
+	// paper's §6 "Complex Database Schemas" attributes the Fig 13
+	// pathology to exactly this: wide attributes force the row store off
+	// its fast path while raw files degrade only linearly.
+	KindOverflow = 1
+)
+
+// MaxTupleSize is the largest tuple stored inline; larger tuples go
+// through overflow chains, paying extra page I/O and reassembly per row.
+const MaxTupleSize = PageSize - pageHeaderSize - slotSize - 1 // 1 = inline flag byte
+
+// OverflowCap is the payload capacity of one overflow page.
+const OverflowCap = PageSize - pageHeaderSize
+
+// Page is one slotted page. Tuples are appended from the end of the page
+// while the slot array grows from the front — the classic slotted layout.
+// PageSize (8192) fits in a uint16, so offsets are stored directly.
+type Page struct {
+	buf [PageSize]byte
+}
+
+// Reset makes the page an empty page of the given kind.
+func (p *Page) Reset() { p.ResetKind(KindData) }
+
+// ResetKind makes the page empty with an explicit kind.
+func (p *Page) ResetKind(kind int) {
+	binary.LittleEndian.PutUint16(p.buf[0:], uint16(kind))
+	p.setNumSlots(0)
+	p.setFreeEnd(PageSize)
+}
+
+// Kind returns the page kind.
+func (p *Page) Kind() int { return int(binary.LittleEndian.Uint16(p.buf[0:])) }
+
+func (p *Page) numSlots() int     { return int(binary.LittleEndian.Uint16(p.buf[2:])) }
+func (p *Page) setNumSlots(n int) { binary.LittleEndian.PutUint16(p.buf[2:], uint16(n)) }
+func (p *Page) freeEnd() int      { return int(binary.LittleEndian.Uint16(p.buf[4:])) }
+func (p *Page) setFreeEnd(v int)  { binary.LittleEndian.PutUint16(p.buf[4:], uint16(v)) }
+
+// OverflowPayload returns the writable payload region of an overflow page.
+func (p *Page) OverflowPayload() []byte { return p.buf[pageHeaderSize:] }
+
+// NumTuples returns the number of tuples stored in the page.
+func (p *Page) NumTuples() int { return p.numSlots() }
+
+// FreeSpace returns the bytes available for one more tuple (including its
+// slot entry).
+func (p *Page) FreeSpace() int {
+	used := pageHeaderSize + p.numSlots()*slotSize
+	return p.freeEnd() - used
+}
+
+// Insert appends a tuple, returning false when it does not fit.
+func (p *Page) Insert(tuple []byte) bool {
+	need := len(tuple) + slotSize
+	if p.FreeSpace() < need {
+		return false
+	}
+	n := p.numSlots()
+	off := p.freeEnd() - len(tuple)
+	copy(p.buf[off:], tuple)
+	slot := pageHeaderSize + n*slotSize
+	binary.LittleEndian.PutUint16(p.buf[slot:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[slot+2:], uint16(len(tuple)))
+	p.setNumSlots(n + 1)
+	p.setFreeEnd(off)
+	return true
+}
+
+// Tuple returns the bytes of tuple i (valid until the page is recycled).
+func (p *Page) Tuple(i int) ([]byte, error) {
+	if i < 0 || i >= p.numSlots() {
+		return nil, fmt.Errorf("storage: tuple %d out of range (page has %d)", i, p.numSlots())
+	}
+	slot := pageHeaderSize + i*slotSize
+	off := int(binary.LittleEndian.Uint16(p.buf[slot:]))
+	ln := int(binary.LittleEndian.Uint16(p.buf[slot+2:]))
+	if off+ln > PageSize || off < pageHeaderSize {
+		return nil, fmt.Errorf("storage: corrupt slot %d (off %d len %d)", i, off, ln)
+	}
+	return p.buf[off : off+ln], nil
+}
+
+// Bytes exposes the raw page for file I/O.
+func (p *Page) Bytes() []byte { return p.buf[:] }

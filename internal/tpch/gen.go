@@ -1,0 +1,365 @@
+// Package tpch provides a deterministic, scaled-down TPC-H data generator
+// (dbgen equivalent), the table schemas bound to the generated CSV files,
+// and the query subset the paper evaluates in §5.2 (Figs 9 and 10):
+// Q1, Q3, Q4, Q6, Q10, Q12, Q14 and Q19.
+//
+// Distributions follow the TPC-H specification in shape (uniform keys,
+// date ranges, the standard enumerated domains) without reproducing
+// dbgen's exact text grammar — comments are synthetic words. Cardinalities
+// scale linearly: SF 1 means 6M lineitem rows, the paper runs SF 10, and
+// this repository's experiments default to SF 0.01-0.1.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"nodb/internal/datum"
+	"nodb/internal/scan"
+)
+
+// Delimiter is the traditional TPC-H field separator.
+const Delimiter = '|'
+
+// Cardinalities at scale factor 1.
+const (
+	regionRows   = 5
+	nationRows   = 25
+	supplierBase = 10000
+	customerBase = 150000
+	partBase     = 200000
+	ordersBase   = 1500000
+)
+
+var (
+	regions      = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations      = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+	nationRegion = []int{0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1}
+	segments     = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities   = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes    = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructions = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	types1       = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	types2       = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	types3       = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	containers1  = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containers2  = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	words        = []string{"furiously", "quickly", "blithely", "carefully", "express", "pending", "final", "regular", "special", "ironic", "silent", "bold", "even", "sly", "deposits", "packages", "requests", "accounts", "theodolites", "pinto", "beans", "foxes", "ideas"}
+)
+
+// Sizes reports the per-table row counts at a scale factor.
+type Sizes struct {
+	Region, Nation, Supplier, Customer, Part, PartSupp, Orders int
+	LineitemApprox                                             int
+}
+
+// SizesAt returns the table cardinalities for sf.
+func SizesAt(sf float64) Sizes {
+	s := Sizes{
+		Region:   regionRows,
+		Nation:   nationRows,
+		Supplier: scaled(supplierBase, sf),
+		Customer: scaled(customerBase, sf),
+		Part:     scaled(partBase, sf),
+		Orders:   scaled(ordersBase, sf),
+	}
+	s.PartSupp = s.Part * 4
+	s.LineitemApprox = s.Orders * 4
+	return s
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate writes the eight TPC-H tables as '|'-separated CSV files into
+// dir (region.tbl, nation.tbl, ...). It is deterministic for a given seed
+// and scale factor.
+func Generate(dir string, sf float64, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("tpch: %w", err)
+	}
+	sz := SizesAt(sf)
+	rng := rand.New(rand.NewSource(seed))
+
+	if err := genRegion(dir); err != nil {
+		return err
+	}
+	if err := genNation(dir); err != nil {
+		return err
+	}
+	if err := genSupplier(dir, sz, rng); err != nil {
+		return err
+	}
+	if err := genCustomer(dir, sz, rng); err != nil {
+		return err
+	}
+	if err := genPart(dir, sz, rng); err != nil {
+		return err
+	}
+	if err := genPartSupp(dir, sz, rng); err != nil {
+		return err
+	}
+	return genOrdersLineitem(dir, sz, rng)
+}
+
+func comment(rng *rand.Rand) string {
+	n := rng.Intn(4) + 2
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += words[rng.Intn(len(words))]
+	}
+	return out
+}
+
+func money(rng *rand.Rand, lo, hi float64) string {
+	v := lo + rng.Float64()*(hi-lo)
+	return fmt.Sprintf("%.2f", v)
+}
+
+func phone(rng *rand.Rand, nation int) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+nation, rng.Intn(900)+100, rng.Intn(900)+100, rng.Intn(9000)+1000)
+}
+
+func openTable(dir, name string) (*scan.Writer, *os.File, error) {
+	return scan.CreateFile(filepath.Join(dir, name+".tbl"), Delimiter)
+}
+
+func closeTable(w *scan.Writer, f *os.File) error {
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func genRegion(dir string) error {
+	w, f, err := openTable(dir, "region")
+	if err != nil {
+		return err
+	}
+	for i, name := range regions {
+		if err := w.WriteRow(fmt.Sprint(i), name, "region of "+name); err != nil {
+			return err
+		}
+	}
+	return closeTable(w, f)
+}
+
+func genNation(dir string) error {
+	w, f, err := openTable(dir, "nation")
+	if err != nil {
+		return err
+	}
+	for i, name := range nations {
+		if err := w.WriteRow(fmt.Sprint(i), name, fmt.Sprint(nationRegion[i]), "nation of "+name); err != nil {
+			return err
+		}
+	}
+	return closeTable(w, f)
+}
+
+func genSupplier(dir string, sz Sizes, rng *rand.Rand) error {
+	w, f, err := openTable(dir, "supplier")
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= sz.Supplier; i++ {
+		nk := rng.Intn(nationRows)
+		if err := w.WriteRow(
+			fmt.Sprint(i),
+			fmt.Sprintf("Supplier#%09d", i),
+			fmt.Sprintf("addr %d %s", rng.Intn(999), words[rng.Intn(len(words))]),
+			fmt.Sprint(nk),
+			phone(rng, nk),
+			money(rng, -999.99, 9999.99),
+			comment(rng),
+		); err != nil {
+			return err
+		}
+	}
+	return closeTable(w, f)
+}
+
+func genCustomer(dir string, sz Sizes, rng *rand.Rand) error {
+	w, f, err := openTable(dir, "customer")
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= sz.Customer; i++ {
+		nk := rng.Intn(nationRows)
+		if err := w.WriteRow(
+			fmt.Sprint(i),
+			fmt.Sprintf("Customer#%09d", i),
+			fmt.Sprintf("addr %d %s", rng.Intn(999), words[rng.Intn(len(words))]),
+			fmt.Sprint(nk),
+			phone(rng, nk),
+			money(rng, -999.99, 9999.99),
+			segments[rng.Intn(len(segments))],
+			comment(rng),
+		); err != nil {
+			return err
+		}
+	}
+	return closeTable(w, f)
+}
+
+func genPart(dir string, sz Sizes, rng *rand.Rand) error {
+	w, f, err := openTable(dir, "part")
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= sz.Part; i++ {
+		mfgr := rng.Intn(5) + 1
+		brand := mfgr*10 + rng.Intn(5) + 1
+		if err := w.WriteRow(
+			fmt.Sprint(i),
+			words[rng.Intn(len(words))]+" "+words[rng.Intn(len(words))],
+			fmt.Sprintf("Manufacturer#%d", mfgr),
+			fmt.Sprintf("Brand#%d", brand),
+			types1[rng.Intn(len(types1))]+" "+types2[rng.Intn(len(types2))]+" "+types3[rng.Intn(len(types3))],
+			fmt.Sprint(rng.Intn(50)+1),
+			containers1[rng.Intn(len(containers1))]+" "+containers2[rng.Intn(len(containers2))],
+			money(rng, 900, 2000),
+			comment(rng),
+		); err != nil {
+			return err
+		}
+	}
+	return closeTable(w, f)
+}
+
+func genPartSupp(dir string, sz Sizes, rng *rand.Rand) error {
+	w, f, err := openTable(dir, "partsupp")
+	if err != nil {
+		return err
+	}
+	for p := 1; p <= sz.Part; p++ {
+		for j := 0; j < 4; j++ {
+			sk := (p+j*(sz.Supplier/4+1))%sz.Supplier + 1
+			if err := w.WriteRow(
+				fmt.Sprint(p),
+				fmt.Sprint(sk),
+				fmt.Sprint(rng.Intn(9999)+1),
+				money(rng, 1, 1000),
+				comment(rng),
+			); err != nil {
+				return err
+			}
+		}
+	}
+	return closeTable(w, f)
+}
+
+func genOrdersLineitem(dir string, sz Sizes, rng *rand.Rand) error {
+	ow, of, err := openTable(dir, "orders")
+	if err != nil {
+		return err
+	}
+	lw, lf, err := openTable(dir, "lineitem")
+	if err != nil {
+		return err
+	}
+	startDate := datum.MustDate("1992-01-01").Int()
+	endDate := datum.MustDate("1998-08-02").Int()
+	currentDate := datum.MustDate("1995-06-17").Int()
+
+	for o := 1; o <= sz.Orders; o++ {
+		custkey := rng.Intn(sz.Customer) + 1
+		orderDate := startDate + rng.Int63n(endDate-startDate-151)
+		nlines := rng.Intn(7) + 1
+		total := 0.0
+		allF, anyF := true, false
+
+		type line struct {
+			fields []string
+		}
+		lines := make([]line, 0, nlines)
+		for ln := 1; ln <= nlines; ln++ {
+			partkey := rng.Intn(sz.Part) + 1
+			suppkey := (partkey+ln*(sz.Supplier/4+1))%sz.Supplier + 1
+			qty := rng.Intn(50) + 1
+			price := float64(qty) * (900 + float64(partkey%1000)) / 10
+			discount := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			shipDate := orderDate + int64(rng.Intn(121)+1)
+			commitDate := orderDate + int64(rng.Intn(61)+30)
+			receiptDate := shipDate + int64(rng.Intn(30)+1)
+
+			var linestatus string
+			if shipDate > currentDate {
+				linestatus = "O"
+				allF = false
+			} else {
+				linestatus = "F"
+				anyF = true
+			}
+			var returnflag string
+			if receiptDate <= currentDate {
+				if rng.Intn(2) == 0 {
+					returnflag = "R"
+				} else {
+					returnflag = "A"
+				}
+			} else {
+				returnflag = "N"
+			}
+			total += price * (1 + tax) * (1 - discount)
+			lines = append(lines, line{fields: []string{
+				fmt.Sprint(o),
+				fmt.Sprint(partkey),
+				fmt.Sprint(suppkey),
+				fmt.Sprint(ln),
+				fmt.Sprint(qty),
+				fmt.Sprintf("%.2f", price),
+				fmt.Sprintf("%.2f", discount),
+				fmt.Sprintf("%.2f", tax),
+				returnflag,
+				linestatus,
+				datum.NewDate(shipDate).DateString(),
+				datum.NewDate(commitDate).DateString(),
+				datum.NewDate(receiptDate).DateString(),
+				instructions[rng.Intn(len(instructions))],
+				shipModes[rng.Intn(len(shipModes))],
+				comment(rng),
+			}})
+		}
+		status := "P"
+		if allF {
+			status = "F"
+		} else if !anyF {
+			status = "O"
+		}
+		if err := ow.WriteRow(
+			fmt.Sprint(o),
+			fmt.Sprint(custkey),
+			status,
+			fmt.Sprintf("%.2f", total),
+			datum.NewDate(orderDate).DateString(),
+			priorities[rng.Intn(len(priorities))],
+			fmt.Sprintf("Clerk#%09d", rng.Intn(1000)+1),
+			"0",
+			comment(rng),
+		); err != nil {
+			return err
+		}
+		for _, l := range lines {
+			if err := lw.WriteRow(l.fields...); err != nil {
+				return err
+			}
+		}
+	}
+	if err := closeTable(ow, of); err != nil {
+		return err
+	}
+	return closeTable(lw, lf)
+}

@@ -1,0 +1,114 @@
+package tpch
+
+// Queries holds the TPC-H query subset of the paper's Fig 10, with the
+// standard validation substitution parameters. Q4's EXISTS subquery is
+// rewritten as a join with COUNT(DISTINCT ...) — the standard semi-join
+// rewrite for engines without subqueries; it returns the same rows.
+var Queries = map[string]string{
+	"Q1": `SELECT l_returnflag, l_linestatus,
+		sum(l_quantity) AS sum_qty,
+		sum(l_extendedprice) AS sum_base_price,
+		sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+		sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+		avg(l_quantity) AS avg_qty,
+		avg(l_extendedprice) AS avg_price,
+		avg(l_discount) AS avg_disc,
+		count(*) AS count_order
+	FROM lineitem
+	WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+	GROUP BY l_returnflag, l_linestatus
+	ORDER BY l_returnflag, l_linestatus`,
+
+	"Q3": `SELECT l_orderkey,
+		sum(l_extendedprice * (1 - l_discount)) AS revenue,
+		o_orderdate, o_shippriority
+	FROM customer, orders, lineitem
+	WHERE c_mktsegment = 'BUILDING'
+		AND c_custkey = o_custkey
+		AND l_orderkey = o_orderkey
+		AND o_orderdate < date '1995-03-15'
+		AND l_shipdate > date '1995-03-15'
+	GROUP BY l_orderkey, o_orderdate, o_shippriority
+	ORDER BY revenue DESC, o_orderdate
+	LIMIT 10`,
+
+	"Q4": `SELECT o_orderpriority, count(DISTINCT o_orderkey) AS order_count
+	FROM orders, lineitem
+	WHERE l_orderkey = o_orderkey
+		AND o_orderdate >= date '1993-07-01'
+		AND o_orderdate < date '1993-07-01' + interval '3' month
+		AND l_commitdate < l_receiptdate
+	GROUP BY o_orderpriority
+	ORDER BY o_orderpriority`,
+
+	"Q6": `SELECT sum(l_extendedprice * l_discount) AS revenue
+	FROM lineitem
+	WHERE l_shipdate >= date '1994-01-01'
+		AND l_shipdate < date '1994-01-01' + interval '1' year
+		AND l_discount BETWEEN 0.05 AND 0.07
+		AND l_quantity < 24`,
+
+	"Q10": `SELECT c_custkey, c_name,
+		sum(l_extendedprice * (1 - l_discount)) AS revenue,
+		c_acctbal, n_name, c_address, c_phone, c_comment
+	FROM customer, orders, lineitem, nation
+	WHERE c_custkey = o_custkey
+		AND l_orderkey = o_orderkey
+		AND o_orderdate >= date '1993-10-01'
+		AND o_orderdate < date '1993-10-01' + interval '3' month
+		AND l_returnflag = 'R'
+		AND c_nationkey = n_nationkey
+	GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+	ORDER BY revenue DESC
+	LIMIT 20`,
+
+	"Q12": `SELECT l_shipmode,
+		sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+			THEN 1 ELSE 0 END) AS high_line_count,
+		sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+			THEN 1 ELSE 0 END) AS low_line_count
+	FROM orders, lineitem
+	WHERE o_orderkey = l_orderkey
+		AND l_shipmode IN ('MAIL', 'SHIP')
+		AND l_commitdate < l_receiptdate
+		AND l_shipdate < l_commitdate
+		AND l_receiptdate >= date '1994-01-01'
+		AND l_receiptdate < date '1994-01-01' + interval '1' year
+	GROUP BY l_shipmode
+	ORDER BY l_shipmode`,
+
+	"Q14": `SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+			THEN l_extendedprice * (1 - l_discount) ELSE 0 END)
+		/ sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+	FROM lineitem, part
+	WHERE l_partkey = p_partkey
+		AND l_shipdate >= date '1995-09-01'
+		AND l_shipdate < date '1995-09-01' + interval '1' month`,
+
+	"Q19": `SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+	FROM lineitem, part
+	WHERE (p_partkey = l_partkey
+			AND p_brand = 'Brand#12'
+			AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+			AND l_quantity >= 1 AND l_quantity <= 11
+			AND p_size BETWEEN 1 AND 5
+			AND l_shipmode IN ('AIR', 'REG AIR')
+			AND l_shipinstruct = 'DELIVER IN PERSON')
+		OR (p_partkey = l_partkey
+			AND p_brand = 'Brand#23'
+			AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+			AND l_quantity >= 10 AND l_quantity <= 20
+			AND p_size BETWEEN 1 AND 10
+			AND l_shipmode IN ('AIR', 'REG AIR')
+			AND l_shipinstruct = 'DELIVER IN PERSON')
+		OR (p_partkey = l_partkey
+			AND p_brand = 'Brand#34'
+			AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+			AND l_quantity >= 20 AND l_quantity <= 30
+			AND p_size BETWEEN 1 AND 15
+			AND l_shipmode IN ('AIR', 'REG AIR')
+			AND l_shipinstruct = 'DELIVER IN PERSON')`,
+}
+
+// QueryOrder lists the Fig 10 queries in the paper's order.
+var QueryOrder = []string{"Q1", "Q3", "Q4", "Q6", "Q10", "Q12", "Q14", "Q19"}

@@ -1,0 +1,86 @@
+package tpch
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"nodb/internal/datum"
+	"nodb/internal/schema"
+)
+
+// tableDef declares one TPC-H table's columns as (name, type) pairs.
+type tableDef struct {
+	name string
+	cols []schema.Column
+}
+
+func c(name string, t datum.Type) schema.Column { return schema.Column{Name: name, Type: t} }
+
+var tableDefs = []tableDef{
+	{"region", []schema.Column{
+		c("r_regionkey", datum.Int), c("r_name", datum.Text), c("r_comment", datum.Text),
+	}},
+	{"nation", []schema.Column{
+		c("n_nationkey", datum.Int), c("n_name", datum.Text),
+		c("n_regionkey", datum.Int), c("n_comment", datum.Text),
+	}},
+	{"supplier", []schema.Column{
+		c("s_suppkey", datum.Int), c("s_name", datum.Text), c("s_address", datum.Text),
+		c("s_nationkey", datum.Int), c("s_phone", datum.Text),
+		c("s_acctbal", datum.Float), c("s_comment", datum.Text),
+	}},
+	{"customer", []schema.Column{
+		c("c_custkey", datum.Int), c("c_name", datum.Text), c("c_address", datum.Text),
+		c("c_nationkey", datum.Int), c("c_phone", datum.Text),
+		c("c_acctbal", datum.Float), c("c_mktsegment", datum.Text), c("c_comment", datum.Text),
+	}},
+	{"part", []schema.Column{
+		c("p_partkey", datum.Int), c("p_name", datum.Text), c("p_mfgr", datum.Text),
+		c("p_brand", datum.Text), c("p_type", datum.Text), c("p_size", datum.Int),
+		c("p_container", datum.Text), c("p_retailprice", datum.Float), c("p_comment", datum.Text),
+	}},
+	{"partsupp", []schema.Column{
+		c("ps_partkey", datum.Int), c("ps_suppkey", datum.Int),
+		c("ps_availqty", datum.Int), c("ps_supplycost", datum.Float), c("ps_comment", datum.Text),
+	}},
+	{"orders", []schema.Column{
+		c("o_orderkey", datum.Int), c("o_custkey", datum.Int), c("o_orderstatus", datum.Text),
+		c("o_totalprice", datum.Float), c("o_orderdate", datum.Date),
+		c("o_orderpriority", datum.Text), c("o_clerk", datum.Text),
+		c("o_shippriority", datum.Int), c("o_comment", datum.Text),
+	}},
+	{"lineitem", []schema.Column{
+		c("l_orderkey", datum.Int), c("l_partkey", datum.Int), c("l_suppkey", datum.Int),
+		c("l_linenumber", datum.Int), c("l_quantity", datum.Float),
+		c("l_extendedprice", datum.Float), c("l_discount", datum.Float), c("l_tax", datum.Float),
+		c("l_returnflag", datum.Text), c("l_linestatus", datum.Text),
+		c("l_shipdate", datum.Date), c("l_commitdate", datum.Date), c("l_receiptdate", datum.Date),
+		c("l_shipinstruct", datum.Text), c("l_shipmode", datum.Text), c("l_comment", datum.Text),
+	}},
+}
+
+// Catalog builds a schema catalog over TPC-H .tbl files in dir (as written
+// by Generate).
+func Catalog(dir string) (*schema.Catalog, error) {
+	cat := schema.NewCatalog()
+	for _, def := range tableDefs {
+		tbl, err := schema.New(def.name, def.cols, filepath.Join(dir, def.name+".tbl"), schema.CSV)
+		if err != nil {
+			return nil, fmt.Errorf("tpch: %w", err)
+		}
+		tbl.Delimiter = Delimiter
+		if err := cat.Register(tbl); err != nil {
+			return nil, fmt.Errorf("tpch: %w", err)
+		}
+	}
+	return cat, nil
+}
+
+// TableNames lists the TPC-H tables in generation order.
+func TableNames() []string {
+	names := make([]string, len(tableDefs))
+	for i, d := range tableDefs {
+		names[i] = d.name
+	}
+	return names
+}

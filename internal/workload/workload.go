@@ -1,0 +1,176 @@
+// Package workload generates the micro-benchmark datasets and query
+// sequences of the paper's §5.1: wide integer CSV files (the 11 GB,
+// 7.5M x 150-attribute file, scaled down), random select-project queries,
+// epoch-shifting workloads (Fig 6), selectivity/projectivity sweeps
+// (Figs 7-8) and fixed-width text tables (Fig 13).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"nodb/internal/datum"
+	"nodb/internal/scan"
+	"nodb/internal/schema"
+)
+
+// MaxValue bounds generated integers: the paper draws from [0, 10^9).
+const MaxValue = 1_000_000_000
+
+// GenerateWide writes a CSV file of rows x attrs uniform integers in
+// [0, MaxValue), matching the paper's micro-benchmark file.
+func GenerateWide(path string, rows, attrs int, seed int64) error {
+	w, f, err := scan.CreateFile(path, ',')
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rng := rand.New(rand.NewSource(seed))
+	fields := make([]string, attrs)
+	for r := 0; r < rows; r++ {
+		for a := 0; a < attrs; a++ {
+			fields[a] = strconv.FormatInt(rng.Int63n(MaxValue), 10)
+		}
+		if err := w.WriteRow(fields...); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// GenerateWideText writes a CSV file of rows x attrs fixed-width text
+// values (Fig 13's attribute-width experiment). Values are letter blocks
+// of exactly width bytes.
+func GenerateWideText(path string, rows, attrs, width int, seed int64) error {
+	w, f, err := scan.CreateFile(path, ',')
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rng := rand.New(rand.NewSource(seed))
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	fields := make([]string, attrs)
+	buf := make([]byte, width)
+	for r := 0; r < rows; r++ {
+		for a := 0; a < attrs; a++ {
+			for i := range buf {
+				buf[i] = letters[rng.Intn(len(letters))]
+			}
+			fields[a] = string(buf)
+		}
+		if err := w.WriteRow(fields...); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// WideCatalog builds a catalog with one table named "wide" of attrs int
+// columns a1..aN over path.
+func WideCatalog(path string, attrs int) (*schema.Catalog, error) {
+	return catalogOf(path, attrs, datum.Int)
+}
+
+// WideTextCatalog is WideCatalog with text columns.
+func WideTextCatalog(path string, attrs int) (*schema.Catalog, error) {
+	return catalogOf(path, attrs, datum.Text)
+}
+
+func catalogOf(path string, attrs int, t datum.Type) (*schema.Catalog, error) {
+	cols := make([]schema.Column, attrs)
+	for i := range cols {
+		cols[i] = schema.Column{Name: AttrName(i), Type: t}
+	}
+	tbl, err := schema.New("wide", cols, path, schema.CSV)
+	if err != nil {
+		return nil, err
+	}
+	cat := schema.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// AttrName returns the name of attribute ordinal i (a1, a2, ...).
+func AttrName(i int) string { return fmt.Sprintf("a%d", i+1) }
+
+// RandomProjection builds one of the paper's random select-project
+// queries: k random attributes, no WHERE clause (100% selectivity). The
+// attributes are drawn from [loAttr, hiAttr) — Fig 6 restricts the range
+// per epoch; pass 0, attrs for the whole file.
+func RandomProjection(rng *rand.Rand, k, loAttr, hiAttr int) string {
+	n := hiAttr - loAttr
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)[:k]
+	names := make([]string, k)
+	for i, p := range perm {
+		names[i] = AttrName(loAttr + p)
+	}
+	return "SELECT " + strings.Join(names, ", ") + " FROM wide"
+}
+
+// SweepQuery builds one query of the Fig 7/8 sequence: one range predicate
+// on a1 with the given selectivity (fraction of MaxValue) and aggregations
+// (SUM) over the first projCount attributes after a1.
+func SweepQuery(selectivity float64, projCount, attrs int) string {
+	if projCount > attrs-1 {
+		projCount = attrs - 1
+	}
+	aggs := make([]string, projCount)
+	for i := 0; i < projCount; i++ {
+		aggs[i] = fmt.Sprintf("sum(%s)", AttrName(i+1))
+	}
+	threshold := int64(selectivity * MaxValue)
+	return fmt.Sprintf("SELECT %s FROM wide WHERE a1 <= %d",
+		strings.Join(aggs, ", "), threshold)
+}
+
+// MinMaxQuery aggregates MIN/MAX over projCount text attributes with a
+// LIKE predicate of roughly the given selectivity — the Fig 13 query shape
+// (Fig 7's sequence is numeric; text tables aggregate with MIN/MAX).
+func MinMaxQuery(projCount, attrs int, firstChar byte) string {
+	if projCount > attrs-1 {
+		projCount = attrs - 1
+	}
+	aggs := make([]string, projCount)
+	for i := 0; i < projCount; i++ {
+		aggs[i] = fmt.Sprintf("min(%s)", AttrName(i+1))
+	}
+	return fmt.Sprintf("SELECT %s FROM wide WHERE a1 >= '%c'",
+		strings.Join(aggs, ", "), firstChar)
+}
+
+// Epoch describes one phase of the Fig 6 shifting workload: queries drawn
+// from columns [LoAttr, HiAttr).
+type Epoch struct {
+	LoAttr, HiAttr int
+	Queries        int
+}
+
+// Fig6Epochs reproduces the paper's five epochs for a file with attrs
+// columns, scaled proportionally from the paper's 150-attribute layout
+// (1-50, 51-100, 1-100, 75-125, 85-135), with queriesPerEpoch each.
+func Fig6Epochs(attrs, queriesPerEpoch int) []Epoch {
+	frac := func(x int) int {
+		v := x * attrs / 150
+		if v < 1 {
+			v = 1
+		}
+		if v > attrs {
+			v = attrs
+		}
+		return v
+	}
+	return []Epoch{
+		{0, frac(50), queriesPerEpoch},
+		{frac(50), frac(100), queriesPerEpoch},
+		{0, frac(100), queriesPerEpoch},
+		{frac(74), frac(125), queriesPerEpoch},
+		{frac(84), frac(135), queriesPerEpoch},
+	}
+}

@@ -1,0 +1,286 @@
+// Package nodb is an in-situ SQL query engine for raw data files — a Go
+// implementation of the NoDB design (Alagiannis et al., "NoDB: Efficient
+// Query Execution on Raw Data Files", SIGMOD 2012) and its PostgresRaw
+// prototype.
+//
+// A DB executes SQL directly over CSV and FITS files with no loading step.
+// While queries run, the engine adaptively builds an in-memory positional
+// map (byte offsets of attributes inside the file), a binary value cache
+// and table statistics, so performance improves query over query and
+// converges to — and in many workloads beats — a conventional load-first
+// DBMS, without ever paying the load.
+//
+// Quick start:
+//
+//	cat := nodb.NewCatalog()
+//	err := cat.AddCSV("trips", "trips.csv",
+//		nodb.Col("city", nodb.Text),
+//		nodb.Col("distance_km", nodb.Float),
+//	)
+//	db, err := nodb.Open(cat, nodb.Options{})
+//	res, err := db.Query("SELECT city, avg(distance_km) FROM trips GROUP BY city")
+//	for _, row := range res.Rows {
+//		fmt.Println(row[0].Text(), row[1].Float())
+//	}
+//
+// The zero Options give the full PostgresRaw configuration (positional map
+// + cache + statistics). Alternative modes reproduce the paper's baselines
+// (map only, cache only, straw-man external files, conventional
+// load-first); see Mode.
+package nodb
+
+import (
+	"fmt"
+	"io"
+
+	"nodb/internal/core"
+	"nodb/internal/datum"
+	"nodb/internal/schema"
+)
+
+// Type identifies a column type.
+type Type = datum.Type
+
+// Column types.
+const (
+	Int   = datum.Int
+	Float = datum.Float
+	Text  = datum.Text
+	Date  = datum.Date
+	Bool  = datum.Bool
+)
+
+// Value is one typed SQL value (use Int()/Float()/Text()/Null()... to
+// inspect it).
+type Value = datum.Datum
+
+// Mode selects how the engine accesses tables.
+type Mode int
+
+// Engine modes, mirroring the paper's evaluation configurations.
+const (
+	// ModePMCache is full PostgresRaw: positional map and binary cache.
+	ModePMCache Mode = iota
+	// ModePM uses only the positional map.
+	ModePM
+	// ModeCache uses only the binary cache (plus the minimal end-of-line
+	// map).
+	ModeCache
+	// ModeExternalFiles keeps no auxiliary state: every query re-parses
+	// the raw file, like SQL "external tables".
+	ModeExternalFiles
+	// ModeLoadFirst bulk-loads files into an internal page store before
+	// the first query — the conventional DBMS the paper compares against.
+	ModeLoadFirst
+)
+
+func (m Mode) coreMode() core.Mode { return core.Mode(m) }
+
+// Options configure a DB. The zero value is the recommended PostgresRaw
+// configuration with unlimited budgets and statistics enabled.
+type Options struct {
+	// Mode selects the access strategy (default ModePMCache).
+	Mode Mode
+	// DisableStatistics turns off on-the-fly statistics collection and
+	// statistics-driven planning.
+	DisableStatistics bool
+	// PositionalMapBudget caps the positional map's memory in bytes
+	// (0 = unlimited).
+	PositionalMapBudget int64
+	// CacheBudget caps the binary cache in bytes (0 = unlimited).
+	CacheBudget int64
+	// SpillDir lets evicted positional-map chunks spill to disk files in
+	// this directory instead of being discarded.
+	SpillDir string
+	// DataDir is where ModeLoadFirst writes its page files (default:
+	// next to the raw files).
+	DataDir string
+}
+
+// ColumnDef declares one column of a table.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Col is shorthand for a ColumnDef.
+func Col(name string, t Type) ColumnDef { return ColumnDef{Name: name, Type: t} }
+
+// Catalog declares the tables a DB can query.
+type Catalog struct {
+	cat *schema.Catalog
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{cat: schema.NewCatalog()}
+}
+
+// AddCSV registers a comma-separated file as a table.
+func (c *Catalog) AddCSV(name, path string, cols ...ColumnDef) error {
+	return c.add(name, path, ',', schema.CSV, cols)
+}
+
+// AddDSV registers a delimiter-separated file (e.g. '|' for TPC-H .tbl
+// files) as a table.
+func (c *Catalog) AddDSV(name, path string, delimiter byte, cols ...ColumnDef) error {
+	return c.add(name, path, delimiter, schema.CSV, cols)
+}
+
+// AddFITS registers the first binary-table extension of a FITS file as a
+// table. Column names and types must match the file's TTYPEn/TFORMn
+// declarations (Int for J/K columns, Float for E/D).
+func (c *Catalog) AddFITS(name, path string, cols ...ColumnDef) error {
+	return c.add(name, path, ',', schema.FITS, cols)
+}
+
+// LoadSchemaFile registers tables from a schema declaration file (see
+// internal/schema.LoadFile for the format); relative data paths resolve
+// against dir.
+func (c *Catalog) LoadSchemaFile(path, dir string) error {
+	return c.cat.LoadFile(path, dir)
+}
+
+func (c *Catalog) add(name, path string, delim byte, format schema.Format, cols []ColumnDef) error {
+	scols := make([]schema.Column, len(cols))
+	for i, cd := range cols {
+		scols[i] = schema.Column{Name: cd.Name, Type: cd.Type}
+	}
+	tbl, err := schema.New(name, scols, path, format)
+	if err != nil {
+		return err
+	}
+	tbl.Delimiter = delim
+	return c.cat.Register(tbl)
+}
+
+// DB executes SQL over the catalog's raw files. A DB is not safe for
+// concurrent use (it models a single database backend).
+type DB struct {
+	eng *core.Engine
+}
+
+// Open creates a DB. No data is read until the first query touches a
+// table — the data-to-query time of a NoDB engine is zero.
+func Open(cat *Catalog, opts Options) (*DB, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("nodb: nil catalog")
+	}
+	eng, err := core.Open(cat.cat, core.Options{
+		Mode:        opts.Mode.coreMode(),
+		PMBudget:    opts.PositionalMapBudget,
+		CacheBudget: opts.CacheBudget,
+		Statistics:  !opts.DisableStatistics,
+		PMSpillDir:  opts.SpillDir,
+		DataDir:     opts.DataDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Column describes one result column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Columns []Column
+	Rows    [][]Value
+}
+
+// Query parses, plans and executes one SELECT statement.
+func (db *DB) Query(sql string) (*Result, error) {
+	res, err := db.eng.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Columns: make([]Column, len(res.Cols)),
+		Rows:    make([][]Value, len(res.Rows)),
+	}
+	for i, c := range res.Cols {
+		out.Columns[i] = Column{Name: c.Name, Type: c.Type}
+	}
+	for i, r := range res.Rows {
+		out.Rows[i] = r
+	}
+	return out, nil
+}
+
+// Stream plans one SELECT statement and invokes fn for every result row
+// without materializing the result set. The row slice is reused between
+// calls; copy it if you retain it.
+func (db *DB) Stream(sql string, fn func(row []Value) error) error {
+	op, _, err := db.eng.Prepare(sql)
+	if err != nil {
+		return err
+	}
+	if err := op.Open(); err != nil {
+		return err
+	}
+	defer op.Close()
+	for {
+		row, err := op.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// Exec runs any supported statement. For SELECT it behaves like Query;
+// for INSERT INTO ... VALUES it appends literal rows to the table's raw
+// CSV file (the paper's §4.5 "internal updates" — the raw file stays the
+// single source of truth and the adaptive structures extend on the next
+// query). It returns the result (empty for INSERT) and the row count
+// returned or inserted.
+func (db *DB) Exec(sql string) (*Result, int64, error) {
+	res, n, err := db.eng.Exec(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := &Result{Columns: make([]Column, len(res.Cols)), Rows: make([][]Value, len(res.Rows))}
+	for i, c := range res.Cols {
+		out.Columns[i] = Column{Name: c.Name, Type: c.Type}
+	}
+	for i, r := range res.Rows {
+		out.Rows[i] = r
+	}
+	return out, n, nil
+}
+
+// Load eagerly bulk-loads every table (ModeLoadFirst only); in-situ modes
+// never need it.
+func (db *DB) Load() error { return db.eng.Load() }
+
+// Prewarm uses idle time to populate a table's adaptive structures
+// (positional map, cache, statistics) for the given columns — all columns
+// when none are named — so the first real query arrives warm. This is the
+// paper's §7 auto-tuning opportunity; it is never required.
+func (db *DB) Prewarm(table string, columns ...string) error {
+	return db.eng.Prewarm(table, columns...)
+}
+
+// Invalidate drops all adaptive state of a table, forcing the next query
+// to rebuild it. Appends to raw files do NOT require this — they are
+// picked up automatically; call it after in-place edits.
+func (db *DB) Invalidate(table string) { db.eng.Invalidate(table) }
+
+// Metrics reports the adaptive-structure state of a raw table.
+type Metrics = core.TableMetrics
+
+// Metrics returns instrumentation counters for a table (zero value if the
+// table has not been queried yet).
+func (db *DB) Metrics(table string) Metrics { return db.eng.Metrics(table) }
+
+// Close releases all files and auxiliary structures.
+func (db *DB) Close() error { return db.eng.Close() }

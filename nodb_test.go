@@ -1,0 +1,155 @@
+package nodb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	dir := t.TempDir()
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "city%d,%d,%d.5\n", i%4, i, i*2)
+	}
+	path := filepath.Join(dir, "trips.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	if err := cat.AddCSV("trips", path,
+		Col("city", Text), Col("id", Int), Col("distance", Float)); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, err := Open(testCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	res, err := db.Query("SELECT city, count(*) AS n, avg(distance) FROM trips GROUP BY city ORDER BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if res.Columns[1].Name != "n" || res.Columns[1].Type != Int {
+		t.Errorf("columns = %+v", res.Columns)
+	}
+	if res.Rows[0][0].Text() != "city0" || res.Rows[0][1].Int() != 25 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+
+	// Adaptive state should exist after one query.
+	m := db.Metrics("trips")
+	if m.Rows != 100 || m.PMPointers == 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestPublicAPIStream(t *testing.T) {
+	db, err := Open(testCatalog(t), Options{Mode: ModePM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var n int
+	err = db.Stream("SELECT id FROM trips WHERE id < 10", func(row []Value) error {
+		n++
+		return nil
+	})
+	if err != nil || n != 10 {
+		t.Fatalf("streamed %d rows, err %v", n, err)
+	}
+	// Early-exit error propagates.
+	sentinel := fmt.Errorf("stop")
+	err = db.Stream("SELECT id FROM trips", func(row []Value) error { return sentinel })
+	if err != sentinel {
+		t.Errorf("stream error = %v", err)
+	}
+}
+
+func TestPublicAPIModes(t *testing.T) {
+	for _, mode := range []Mode{ModePMCache, ModePM, ModeCache, ModeExternalFiles, ModeLoadFirst} {
+		opts := Options{Mode: mode}
+		if mode == ModeLoadFirst {
+			opts.DataDir = t.TempDir()
+		}
+		db, err := Open(testCatalog(t), opts)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		res, err := db.Query("SELECT sum(id) FROM trips")
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Rows[0][0].Int() != 4950 {
+			t.Errorf("mode %v: sum = %v", mode, res.Rows[0][0])
+		}
+		db.Close()
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	if _, err := Open(nil, Options{}); err == nil {
+		t.Error("nil catalog must error")
+	}
+	db, err := Open(testCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Query("SELEC nonsense"); err == nil {
+		t.Error("bad SQL must error")
+	}
+	if _, err := db.Query("SELECT x FROM missing"); err == nil {
+		t.Error("missing table must error")
+	}
+	if err := db.Load(); err == nil {
+		t.Error("Load outside load-first mode must error")
+	}
+}
+
+func TestPublicAPIInvalidate(t *testing.T) {
+	db, err := Open(testCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Query("SELECT count(*) FROM trips"); err != nil {
+		t.Fatal(err)
+	}
+	db.Invalidate("trips")
+	if m := db.Metrics("trips"); m.PMPointers != 0 {
+		t.Error("invalidate did not clear the positional map")
+	}
+}
+
+func TestCatalogAddDSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.tbl")
+	if err := os.WriteFile(path, []byte("1|a\n2|b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	if err := cat.AddDSV("t", path, '|', Col("k", Int), Col("v", Text)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, err := db.Query("SELECT v FROM t WHERE k = 2")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Text() != "b" {
+		t.Errorf("dsv query = %v err %v", res, err)
+	}
+}
