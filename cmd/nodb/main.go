@@ -37,6 +37,7 @@ func main() {
 	noStats := flag.Bool("no-stats", false, "disable on-the-fly statistics")
 	pmBudget := flag.Int64("pm-budget", 0, "positional map budget in bytes (0 = unlimited)")
 	cacheBudget := flag.Int64("cache-budget", 0, "binary cache budget in bytes (0 = unlimited)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for cold CSV scans (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	if *schemaPath == "" {
@@ -58,6 +59,7 @@ func main() {
 		DisableStatistics:   *noStats,
 		PositionalMapBudget: *pmBudget,
 		CacheBudget:         *cacheBudget,
+		Parallelism:         *parallel,
 	})
 	if err != nil {
 		fatal(err)

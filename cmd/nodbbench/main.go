@@ -1,10 +1,13 @@
 // Command nodbbench regenerates the figures of the NoDB paper's evaluation
-// section (§5, Figs 3-13) and prints their series as text tables.
+// section (§5, Figs 3-13) and prints their series as text tables. It also
+// runs this repo's own experiments, currently "scan" — parallel partitioned
+// scan throughput vs worker count.
 //
 // Usage:
 //
 //	nodbbench -fig all                 # every figure at the default scale
 //	nodbbench -fig fig5,fig10          # a subset
+//	nodbbench -fig scan                # parallel-scan scaling microbenchmark
 //	nodbbench -fig fig7 -scale small   # laptop-scale quick run
 //	nodbbench -workdir /data/nodb      # keep datasets between runs
 //
@@ -23,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure ids (fig3..fig13, fig8a, fig8b) or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure ids (fig3..fig13, fig8a, fig8b, scan) or 'all'")
 	scale := flag.String("scale", "default", "experiment scale: small or default")
 	workDir := flag.String("workdir", "", "dataset/work directory (default: a temp dir, removed on exit)")
 	flag.Parse()

@@ -1,0 +1,3 @@
+module nodb
+
+go 1.24

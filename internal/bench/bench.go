@@ -17,6 +17,7 @@ import (
 
 	"nodb/internal/core"
 	"nodb/internal/exec"
+	"nodb/internal/schema"
 )
 
 // Config scales the experiments. Zero values take the Small defaults.
@@ -169,6 +170,16 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// paperOpen opens an engine for a paper-reproduction figure. The paper
+// benchmarks the single-backend PostgresRaw prototype, so the parallel
+// partitioned scan is pinned off regardless of the host's core count —
+// figure shapes must not depend on GOMAXPROCS. The "scan" figure sweeps
+// Parallelism explicitly instead.
+func paperOpen(cat *schema.Catalog, opts core.Options) (*core.Engine, error) {
+	opts.Parallelism = 1
+	return core.Open(cat, opts)
 }
 
 // timeQuery plans and streams a query to completion, returning the wall

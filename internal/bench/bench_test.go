@@ -259,10 +259,10 @@ func TestFig13WidthDegradation(t *testing.T) {
 
 func TestRegistryAndPrint(t *testing.T) {
 	ids := FigureIDs()
-	if len(ids) != 12 {
+	if len(ids) != 13 {
 		t.Fatalf("figures = %v", ids)
 	}
-	if ids[0] != "fig3" || ids[len(ids)-1] != "fig13" {
+	if ids[0] != "fig3" || ids[len(ids)-2] != "fig13" || ids[len(ids)-1] != "scan" {
 		t.Errorf("figure order = %v", ids)
 	}
 	if _, err := Run("nope", tiny(t)); err == nil {
@@ -278,6 +278,28 @@ func TestRegistryAndPrint(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("printed report missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+func TestScanScaleStructure(t *testing.T) {
+	rep, err := ScanScale(tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(scanScaleWorkers) {
+		t.Fatalf("scan rows = %d", len(rep.Rows))
+	}
+	for i, r := range rep.Rows {
+		if cell(t, r[0]) != float64(scanScaleWorkers[i]) {
+			t.Errorf("row %d workers = %s", i, r[0])
+		}
+		if cell(t, r[2]) <= 0 {
+			t.Errorf("row %d throughput = %s", i, r[2])
+		}
+	}
+	// The baseline row is by definition speedup 1.00x.
+	if rep.Rows[0][3] != "1.00x" {
+		t.Errorf("baseline speedup = %s", rep.Rows[0][3])
 	}
 }
 

@@ -111,7 +111,7 @@ func Fig11(cfg Config) (*Report, error) {
 	if err := cat.Register(tbl); err != nil {
 		return nil, err
 	}
-	e, err := core.Open(cat, core.Options{Mode: core.ModePMCache, Statistics: true})
+	e, err := paperOpen(cat, core.Options{Mode: core.ModePMCache, Statistics: true})
 	if err != nil {
 		return nil, err
 	}

@@ -84,7 +84,7 @@ func Fig3(cfg Config) (*Report, error) {
 		if f == 0 {
 			budget = 0 // unlimited
 		}
-		e, err := core.Open(cat, core.Options{Mode: core.ModePM, PMBudget: budget})
+		e, err := paperOpen(cat, core.Options{Mode: core.ModePM, PMBudget: budget})
 		if err != nil {
 			return nil, err
 		}
@@ -166,7 +166,7 @@ func Fig4(cfg Config) (*Report, error) {
 }
 
 func runSequenceAvg(cat *schema.Catalog, queries []string) (time.Duration, error) {
-	e, err := core.Open(cat, core.Options{Mode: core.ModePM})
+	e, err := paperOpen(cat, core.Options{Mode: core.ModePM})
 	if err != nil {
 		return 0, err
 	}
@@ -214,7 +214,7 @@ func Fig5(cfg Config) (*Report, error) {
 	}
 	times := make([][]time.Duration, len(variants))
 	for vi, v := range variants {
-		e, err := core.Open(cat, v.opts)
+		e, err := paperOpen(cat, v.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +260,7 @@ func Fig6(cfg Config) (*Report, error) {
 	cacheBudget := int64(cfg.Rows) * int64(cfg.Attrs) * 8 * 2 / 3
 
 	epochs := workload.Fig6Epochs(cfg.Attrs, cfg.SeqQueries)
-	e, err := core.Open(cat, core.Options{Mode: core.ModePMCache, CacheBudget: cacheBudget})
+	e, err := paperOpen(cat, core.Options{Mode: core.ModePMCache, CacheBudget: cacheBudget})
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Runner regenerates one figure of the paper.
@@ -23,6 +24,7 @@ var Figures = map[string]Runner{
 	"fig11": Fig11,
 	"fig12": Fig12,
 	"fig13": Fig13,
+	"scan":  ScanScale, // not in the paper: parallel-scan scaling
 }
 
 // FigureIDs lists the figure ids in presentation order.
@@ -44,6 +46,10 @@ func FigureIDs() []string {
 }
 
 func splitID(id string) (int, string) {
+	if !strings.HasPrefix(id, "fig") {
+		// Non-paper figures (e.g. "scan") sort after the paper's.
+		return 1 << 20, id
+	}
 	n := 0
 	i := 3 // skip "fig"
 	for ; i < len(id) && id[i] >= '0' && id[i] <= '9'; i++ {

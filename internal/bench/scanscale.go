@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nodb/internal/core"
+)
+
+// scanScaleWorkers is the worker-count sweep of the scan-scaling figure.
+var scanScaleWorkers = []int{1, 2, 4, 8}
+
+// ScanScale measures the parallel partitioned in-situ scan (not a paper
+// figure — this repo's extension): cold full-scan throughput over the
+// TPC-H lineitem file as the worker count grows. Every point uses a fresh
+// engine so each run pays the complete first-query cost: selective
+// tokenizing and parsing plus positional-map, cache and shard-merge work.
+// Expected shape: near-linear rows/sec scaling up to the machine's core
+// count, flat beyond it (and flat throughout on a single-core host).
+func ScanScale(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	cat, err := tpchData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// A parse-heavy aggregation over five lineitem columns: measures the
+	// raw access path, not result materialization.
+	query := `SELECT count(l_orderkey), sum(l_quantity), sum(l_extendedprice),
+		sum(l_discount), max(l_shipdate) FROM lineitem`
+
+	rep := &Report{
+		ID:     "scan",
+		Title:  "Parallel in-situ scan scaling: cold lineitem full scan vs workers",
+		Header: []string{"workers", "time_ms", "krows_per_s", "speedup"},
+	}
+	rep.AddNote("TPC-H SF %g; GOMAXPROCS %d", cfg.TPCHScale, runtime.GOMAXPROCS(0))
+
+	var base time.Duration
+	for _, w := range scanScaleWorkers {
+		e, err := core.Open(cat, core.Options{Mode: core.ModePMCache, Parallelism: w})
+		if err != nil {
+			return nil, err
+		}
+		d, _, err := timeQuery(e, query)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		rows := e.Metrics("lineitem").Rows
+		e.Close()
+		if w == scanScaleWorkers[0] {
+			base = d
+		}
+		krows := float64(rows) / d.Seconds() / 1000
+		rep.AddRow(fmt.Sprint(w), ms(d),
+			fmt.Sprintf("%.1f", krows),
+			fmt.Sprintf("%.2fx", float64(base)/float64(d)))
+	}
+	return rep, nil
+}

@@ -43,7 +43,7 @@ func runLoadedOpts(cat *schema.Catalog, dataDir string, queries []string, opts c
 	opts.Mode = core.ModeLoadFirst
 	opts.DataDir = dataDir
 	opts.Statistics = true
-	e, err := core.Open(cat, opts)
+	e, err := paperOpen(cat, opts)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -65,7 +65,7 @@ func runLoadedOpts(cat *schema.Catalog, dataDir string, queries []string, opts c
 
 // runInSitu measures per-query times for an in-situ engine mode.
 func runInSitu(cat *schema.Catalog, opts core.Options, queries []string) ([]time.Duration, error) {
-	e, err := core.Open(cat, opts)
+	e, err := paperOpen(cat, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +91,7 @@ func runExternalTempLoad(cat *schema.Catalog, dataDir string, queries []string) 
 	}
 	var times []time.Duration
 	for _, q := range queries {
-		e, err := core.Open(cat, core.Options{Mode: core.ModeLoadFirst, DataDir: dataDir})
+		e, err := paperOpen(cat, core.Options{Mode: core.ModeLoadFirst, DataDir: dataDir})
 		if err != nil {
 			return nil, err
 		}

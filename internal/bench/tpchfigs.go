@@ -83,7 +83,7 @@ func Fig10(cfg Config) (*Report, error) {
 				return nil, err
 			}
 		}
-		e, err := core.Open(cat, opts)
+		e, err := paperOpen(cat, opts)
 		if err != nil {
 			return nil, err
 		}

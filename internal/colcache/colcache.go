@@ -202,6 +202,32 @@ func (c *Cache) DropAll() {
 	}
 }
 
+// Absorb merges a worker shard — a private Cache populated with
+// partition-local row numbers during a parallel partitioned scan — into c,
+// shifting every row by rowOffset. Values transfer through the view Put
+// path, so c's budget and eviction policy still govern what survives. The
+// shard must not be used afterwards.
+func (c *Cache) Absorb(sh *Cache, rowOffset int) {
+	if sh == nil {
+		return
+	}
+	for col, e := range sh.cols {
+		src := View{c: sh, e: e, gen: sh.gen}
+		dst := c.View(col, e.typ)
+		if !dst.Valid() {
+			continue
+		}
+		for r := 0; r < len(e.present)*64; r++ {
+			if !bitGet(e.present, r) {
+				continue
+			}
+			if d, ok := src.Get(r); ok {
+				dst.Put(rowOffset+r, d)
+			}
+		}
+	}
+}
+
 // Truncate discards cached values at and beyond row for every column, used
 // when the backing file shrinks. Entries keep rows below the cut.
 func (c *Cache) Truncate(row int) {

@@ -362,3 +362,55 @@ func BenchmarkCacheGet(b *testing.B) {
 		c.Get(0, i&(1<<16-1))
 	}
 }
+
+func TestAbsorb(t *testing.T) {
+	main := New(0)
+	main.Put(0, 0, datum.Int, datum.NewInt(100))
+	main.Put(1, 0, datum.Text, datum.NewText("zero"))
+
+	sh := New(0)
+	sh.Put(0, 0, datum.Int, datum.NewInt(101))
+	sh.Put(0, 1, datum.Int, datum.NewNull(datum.Int))
+	sh.Put(1, 0, datum.Text, datum.NewText("one"))
+	// Sparse shard rows survive the shift.
+	sh.Put(1, 70, datum.Text, datum.NewText("far"))
+
+	main.Absorb(sh, 1)
+
+	if v, ok := main.Get(0, 0); !ok || v.Int() != 100 {
+		t.Errorf("pre-existing value lost: %v %v", v, ok)
+	}
+	if v, ok := main.Get(0, 1); !ok || v.Int() != 101 {
+		t.Errorf("absorbed int = %v,%v", v, ok)
+	}
+	if v, ok := main.Get(0, 2); !ok || !v.Null() {
+		t.Errorf("absorbed null = %v,%v", v, ok)
+	}
+	if v, ok := main.Get(1, 1); !ok || v.Text() != "one" {
+		t.Errorf("absorbed text = %v,%v", v, ok)
+	}
+	if v, ok := main.Get(1, 71); !ok || v.Text() != "far" {
+		t.Errorf("absorbed sparse row = %v,%v", v, ok)
+	}
+	if _, ok := main.Get(0, 3); ok {
+		t.Error("row 3 should be absent")
+	}
+	// Nil shard is a no-op.
+	main.Absorb(nil, 5)
+	if main.CoveredRows(0) != 3 {
+		t.Errorf("covered rows = %d", main.CoveredRows(0))
+	}
+}
+
+func TestAbsorbRespectsBudget(t *testing.T) {
+	main := New(entryOverhead + 64) // room for roughly one small column
+	sh := New(0)
+	for r := 0; r < 4; r++ {
+		sh.Put(0, r, datum.Int, datum.NewInt(int64(r)))
+		sh.Put(1, r, datum.Int, datum.NewInt(int64(r)))
+	}
+	main.Absorb(sh, 0)
+	if main.Bytes() > main.Budget() {
+		t.Errorf("budget exceeded: %d > %d", main.Bytes(), main.Budget())
+	}
+}

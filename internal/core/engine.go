@@ -89,6 +89,14 @@ type Options struct {
 	PoolFrames int
 	// ScanChunkSize overrides the raw-file read chunk (default 1 MB).
 	ScanChunkSize int
+	// Parallelism is how many worker goroutines a cold in-situ CSV scan may
+	// use to process newline-aligned file partitions concurrently
+	// (0 = GOMAXPROCS, 1 = always sequential). Warm scans — any positional
+	// map or cache content present — run sequentially to exploit the
+	// adaptive structures, and so do budgeted configurations (PMBudget or
+	// CacheBudget set), whose memory caps per-worker shards would not
+	// respect. Results are identical for every setting.
+	Parallelism int
 }
 
 // Engine executes SQL over the tables of a catalog.

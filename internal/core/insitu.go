@@ -35,6 +35,15 @@ type inSituScan struct {
 
 	cols []exec.Col // output schema
 
+	// Partition-worker configuration (parallel scan): when section is set,
+	// Open scans it instead of opening rt's file; base is the absolute file
+	// offset of the section's first byte, and shard suppresses finish's
+	// publication into shared state (parallelScan merges shards itself).
+	section io.Reader
+	base    int64
+	shard   bool
+	drained bool // worker reached EOF cleanly; set by the worker goroutine
+
 	f  *os.File
 	lr *scan.LineReader
 
@@ -96,11 +105,15 @@ func (s *inSituScan) Columns() []exec.Col { return s.cols }
 // Open starts the sequential file pass and attaches statistics collectors
 // for needed columns that lack statistics.
 func (s *inSituScan) Open() error {
-	lr, f, err := scan.OpenFile(s.rt.tbl.Path, s.rt.opts.ScanChunkSize)
-	if err != nil {
-		return err
+	if s.section != nil {
+		s.lr, s.f = scan.NewLineReaderAt(s.section, s.base, s.rt.opts.ScanChunkSize), nil
+	} else {
+		lr, f, err := scan.OpenFile(s.rt.tbl.Path, s.rt.opts.ScanChunkSize)
+		if err != nil {
+			return err
+		}
+		s.lr, s.f = lr, f
 	}
-	s.lr, s.f = lr, f
 	s.row = 0
 	s.curGen = 0
 	for i := range s.gen {
@@ -218,6 +231,22 @@ func (s *inSituScan) Next() (exec.Row, error) {
 	}
 }
 
+// rowError locates a parse failure. The row is 0-based and — inside a
+// partition worker — partition-local until parallelScan rebases it to the
+// absolute file row at the point the error surfaces (all earlier
+// partitions have drained by then, so their row counts are final).
+type rowError struct {
+	tbl, col string
+	row      int
+	cause    error
+}
+
+func (e *rowError) Error() string {
+	return fmt.Sprintf("core: %s row %d column %s: %v", e.tbl, e.row+1, e.col, e.cause)
+}
+
+func (e *rowError) Unwrap() error { return e.cause }
+
 // value returns the datum of table ordinal col for the current tuple,
 // parsing it from line (or the cache) on first access.
 func (s *inSituScan) value(line []byte, col int) (datum.Datum, error) {
@@ -243,8 +272,10 @@ func (s *inSituScan) value(line []byte, col int) (datum.Datum, error) {
 		var err error
 		v, err = datum.ParseBytes(s.rt.types[col], field)
 		if err != nil {
-			return datum.Datum{}, fmt.Errorf("core: %s row %d column %s: %w",
-				s.rt.tbl.Name, s.row+1, s.rt.tbl.Columns[col].Name, err)
+			return datum.Datum{}, &rowError{
+				tbl: s.rt.tbl.Name, col: s.rt.tbl.Columns[col].Name,
+				row: s.row, cause: err,
+			}
 		}
 	}
 	s.rt.fieldsParsed++
@@ -370,6 +401,11 @@ func (s *inSituScan) navigate(line []byte, fromAttr int, fromRel uint32, col int
 // count and publishes any newly collected statistics.
 func (s *inSituScan) finish() {
 	s.rt.rows = int64(s.row)
+	if s.shard {
+		// Partition worker: the shadow table keeps the local row count;
+		// collectors stay attached for parallelScan to merge and publish.
+		return
+	}
 	if s.rt.st != nil {
 		s.rt.st.RowCount = int64(s.row)
 		for col, c := range s.collectors {

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"nodb/internal/datum"
+	"nodb/internal/exec"
+	"nodb/internal/expr"
+	"nodb/internal/scan"
+	"nodb/internal/stats"
+)
+
+// batchRows is how many qualifying tuples a partition worker groups into
+// one channel transfer.
+const batchRows = 256
+
+// batchChanCap bounds how many batches a worker may run ahead of
+// consumption; together with batchRows it caps the memory a fast worker
+// can pin while an earlier partition is still draining.
+const batchChanCap = 4
+
+// parallelScan is the partitioned raw-file access method: the file splits
+// into newline-aligned byte ranges (scan.Split), each scanned by a worker
+// goroutine running the exact selective-tokenize / selective-parse pipeline
+// of the sequential inSituScan — but over a private positional-map shard
+// and cache shard, so the per-tuple hot path takes no locks. Rows merge
+// back into file order through exec.OrderedBatchSource; when the pass
+// completes, shards merge into the shared structures (posmap.AbsorbShard,
+// colcache.Absorb, stats.Collector.Merge) so later queries still get the
+// paper's adaptive-indexing benefit. Results are bit-identical to the
+// sequential scan for any worker count.
+//
+// Parallel partitioning only runs on cold tables (rawTable.scanWorkers):
+// once the positional map or cache hold content, the sequential pass
+// exploits them instead.
+type parallelScan struct {
+	rt        *rawTable
+	outCols   []int
+	conjuncts []expr.Expr
+	workers   int
+
+	f      *os.File
+	done   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+	shards []*inSituScan // per partition, in file order
+	merged bool          // shards already folded into rt (finish or stop)
+}
+
+// newParallelScan builds the operator; workers must be >= 2.
+func newParallelScan(rt *rawTable, outCols []int, conjuncts []expr.Expr, workers int) exec.Operator {
+	cols := make([]exec.Col, len(outCols))
+	for i, c := range outCols {
+		cols[i] = exec.Col{Name: rt.tbl.Columns[c].Name, Type: rt.tbl.Columns[c].Type}
+	}
+	p := &parallelScan{rt: rt, outCols: outCols, conjuncts: conjuncts, workers: workers}
+	src := exec.NewOrderedBatchSource(cols, p.start, p.finish, p.stop)
+	src.OnError(p.rebaseErr)
+	return src
+}
+
+// rebaseErr converts a partition-local row number in a worker's parse
+// error into the absolute file row. By the time partition part's error is
+// consumed, every earlier partition has drained, so their row counts are
+// final (and the channel closes ordered those writes before this read).
+func (p *parallelScan) rebaseErr(part int, err error) error {
+	var re *rowError
+	if !errors.As(err, &re) {
+		return err
+	}
+	for _, s := range p.shards[:part] {
+		re.row += s.row
+	}
+	return err
+}
+
+// start partitions the file and launches one worker per range.
+func (p *parallelScan) start() ([]<-chan exec.RowBatch, error) {
+	f, err := os.Open(p.rt.tbl.Path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	parts, err := scan.Split(f, fi.Size(), p.workers)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	p.f = f
+	p.done = make(chan struct{})
+	p.once = sync.Once{}
+	p.merged = false
+	p.shards = make([]*inSituScan, len(parts))
+	chans := make([]<-chan exec.RowBatch, len(parts))
+	for i, part := range parts {
+		ch := make(chan exec.RowBatch, batchChanCap)
+		chans[i] = ch
+		sh := newInSituScan(p.rt.shard(), p.outCols, p.conjuncts)
+		sh.shard = true
+		sh.section = io.NewSectionReader(f, part.Start, part.End-part.Start)
+		sh.base = part.Start
+		p.shards[i] = sh
+		p.wg.Add(1)
+		go p.worker(sh, ch)
+	}
+	return chans, nil
+}
+
+// worker drains one partition through its private scan, batching qualifying
+// rows into the channel. Row storage is arena-allocated per batch so the
+// consumer owns each batch outright.
+func (p *parallelScan) worker(s *inSituScan, ch chan<- exec.RowBatch) {
+	defer p.wg.Done()
+	defer close(ch)
+	if err := s.Open(); err != nil {
+		p.send(ch, exec.RowBatch{Err: err})
+		return
+	}
+	defer s.Close()
+	width := len(p.outCols)
+	arena := make([]datum.Datum, 0, batchRows*width)
+	rows := make([]exec.Row, 0, batchRows)
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			s.drained = true
+			break
+		}
+		if err != nil {
+			p.send(ch, exec.RowBatch{Err: err})
+			return
+		}
+		off := len(arena)
+		arena = append(arena, r...)
+		rows = append(rows, arena[off:len(arena):len(arena)])
+		if len(rows) == batchRows {
+			if !p.send(ch, exec.RowBatch{Rows: rows}) {
+				return
+			}
+			arena = make([]datum.Datum, 0, batchRows*width)
+			rows = make([]exec.Row, 0, batchRows)
+		}
+	}
+	if len(rows) > 0 {
+		p.send(ch, exec.RowBatch{Rows: rows})
+	}
+}
+
+// send delivers a batch unless the scan is being torn down.
+func (p *parallelScan) send(ch chan<- exec.RowBatch, b exec.RowBatch) bool {
+	select {
+	case ch <- b:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// finish runs once every partition drained cleanly: it merges all shards
+// and publishes the row count and statistics, exactly what the sequential
+// scan's finish does.
+func (p *parallelScan) finish() error {
+	p.wg.Wait()
+	total, merged := p.mergeShards(len(p.shards))
+	rt := p.rt
+	rt.rows = int64(total)
+	if rt.st != nil {
+		rt.st.RowCount = int64(total)
+		for col, c := range merged {
+			if c != nil {
+				rt.st.Set(col, c.Finalize())
+			}
+		}
+	}
+	return nil
+}
+
+// mergeShards folds shards[0..n) — in file order, offsetting rows by the
+// partitions before them — into the shared positional map, cache and
+// counters, returning the total row count and the combined statistics
+// collectors. It runs at most once per scan.
+func (p *parallelScan) mergeShards(n int) (int, []*stats.Collector) {
+	if p.merged {
+		return 0, nil
+	}
+	p.merged = true
+	rt := p.rt
+	if rt.pm != nil {
+		rt.pm.BeginScan() // pin merged chunks like a sequential pass would
+	}
+	total := 0
+	var merged []*stats.Collector
+	for _, s := range p.shards[:n] {
+		sh := s.rt
+		if rt.pm != nil {
+			rt.pm.AbsorbShard(sh.pm, total)
+		}
+		if rt.cache != nil {
+			rt.cache.Absorb(sh.cache, total)
+		}
+		rt.shortRows += sh.shortRows
+		rt.tuplesParsed += sh.tuplesParsed
+		rt.fieldsParsed += sh.fieldsParsed
+		rt.fieldsFromMap += sh.fieldsFromMap
+		rt.fieldsFromScan += sh.fieldsFromScan
+		rt.cacheHits += sh.cacheHits
+		rt.cacheMisses += sh.cacheMisses
+		switch {
+		case s.collectors == nil:
+		case merged == nil:
+			merged = s.collectors
+		default:
+			for col, c := range s.collectors {
+				if c == nil {
+					continue
+				}
+				if merged[col] == nil {
+					merged[col] = c
+				} else {
+					merged[col].Merge(c)
+				}
+			}
+		}
+		total += s.row
+	}
+	return total, merged
+}
+
+// stop tears the workers down (idempotent; also runs after a clean drain).
+// When the scan is abandoned before a full drain — LIMIT, error, early
+// Close — the completed prefix of partitions still merges back, mirroring
+// how an aborted sequential scan keeps the recordings it made before
+// stopping. Row count and statistics stay unpublished (the file was not
+// fully seen), just like a sequential scan that never reached finish.
+func (p *parallelScan) stop() error {
+	if p.done == nil {
+		return nil
+	}
+	p.once.Do(func() { close(p.done) })
+	p.wg.Wait()
+	prefix := 0
+	for prefix < len(p.shards) && p.shards[prefix] != nil && p.shards[prefix].drained {
+		prefix++
+	}
+	p.mergeShards(prefix) // no-op after a clean finish
+	if p.f != nil {
+		err := p.f.Close()
+		p.f = nil
+		return err
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"nodb/internal/colcache"
 	"nodb/internal/datum"
@@ -115,7 +116,55 @@ func (rt *rawTable) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, erro
 	if rt.cacheCovers(needed) {
 		return newCacheScan(rt, cols, conjuncts), nil
 	}
+	if w := rt.scanWorkers(); w > 1 {
+		return newParallelScan(rt, cols, conjuncts, w), nil
+	}
 	return newInSituScan(rt, cols, conjuncts), nil
+}
+
+// scanWorkers decides how many partition workers the next raw-file pass may
+// use. Parallel partitioning requires a cold table: once the positional map
+// or cache hold content, the sequential pass exploits it (nearest-neighbor
+// navigation, per-value cache hits) and owns it without synchronization, so
+// warm scans stay single-threaded.
+func (rt *rawTable) scanWorkers() int {
+	n := rt.opts.Parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 2 {
+		return 1
+	}
+	// Budgets exist to cap the engine's memory footprint, but worker shards
+	// are unbounded until they merge — a budgeted configuration therefore
+	// keeps the sequential path, whose structures never exceed the limits.
+	if rt.opts.PMBudget > 0 || rt.opts.CacheBudget > 0 {
+		return 1
+	}
+	if rt.pm != nil && (rt.pm.NumTuples() > 0 || rt.pm.MemoryBytes() > 0) {
+		return 1
+	}
+	if rt.cache != nil && len(rt.cache.CachedColumns()) > 0 {
+		return 1
+	}
+	return n
+}
+
+// shard returns a private view of the table for one partition worker: the
+// same schema, options and shared (read-only during the scan) statistics,
+// but fresh unbounded auxiliary structures and counters, so nothing on the
+// worker's per-tuple hot path is shared. parallelScan merges shards back
+// into rt when the pass completes; the shared budgets apply at merge time.
+func (rt *rawTable) shard() *rawTable {
+	sh := &rawTable{tbl: rt.tbl, opts: rt.opts, rows: -1, types: rt.types, st: rt.st}
+	if rt.pm != nil {
+		sh.pm = posmap.New(rt.tbl.NumColumns(), posmap.Options{ChunkRows: rt.opts.PMChunkRows})
+		sh.recordAttrs = rt.recordAttrs
+	}
+	if rt.cache != nil {
+		sh.cache = colcache.New(0)
+	}
+	return sh
 }
 
 // neededColumns unions output and conjunct columns.

@@ -414,3 +414,84 @@ func TestCount(t *testing.T) {
 		t.Errorf("Count = %d err %v", n, err)
 	}
 }
+
+func TestOrderedBatchSource(t *testing.T) {
+	cols := []Col{{Name: "x", Type: datum.Int}}
+	mkRow := func(v int) Row { return Row{datum.NewInt(int64(v))} }
+	var finished int
+	src := NewOrderedBatchSource(cols,
+		func() ([]<-chan RowBatch, error) {
+			// Three producers finishing out of order; partition order must
+			// still come out.
+			chans := make([]chan RowBatch, 3)
+			for i := range chans {
+				chans[i] = make(chan RowBatch, 2)
+			}
+			go func() {
+				chans[2] <- RowBatch{Rows: []Row{mkRow(5), mkRow(6)}}
+				close(chans[2])
+				chans[0] <- RowBatch{Rows: []Row{mkRow(0), mkRow(1)}}
+				chans[0] <- RowBatch{Rows: []Row{mkRow(2)}}
+				close(chans[0])
+				chans[1] <- RowBatch{Rows: []Row{mkRow(3), mkRow(4)}}
+				close(chans[1])
+			}()
+			out := make([]<-chan RowBatch, 3)
+			for i, c := range chans {
+				out[i] = c
+			}
+			return out, nil
+		},
+		func() error { finished++; return nil },
+		nil)
+	if src.Columns()[0].Name != "x" {
+		t.Fatal("columns lost")
+	}
+	rows, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].Int() != int64(i) {
+			t.Fatalf("row %d = %v (order broken)", i, r)
+		}
+	}
+	if finished != 1 {
+		t.Errorf("finish ran %d times", finished)
+	}
+	// EOF is sticky and does not re-run finish.
+	if _, err := src.Next(); err != io.EOF {
+		t.Errorf("second EOF = %v", err)
+	}
+	if finished != 1 {
+		t.Errorf("finish re-ran: %d", finished)
+	}
+}
+
+func TestOrderedBatchSourceError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	var stopped, finished bool
+	src := NewOrderedBatchSource(nil,
+		func() ([]<-chan RowBatch, error) {
+			ch := make(chan RowBatch, 2)
+			ch <- RowBatch{Rows: []Row{{datum.NewInt(1)}}}
+			ch <- RowBatch{Err: boom}
+			close(ch)
+			return []<-chan RowBatch{ch}, nil
+		},
+		func() error { finished = true; return nil },
+		func() error { stopped = true; return nil })
+	_, err := Drain(src)
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if finished {
+		t.Error("finish must not run after an error")
+	}
+	if !stopped {
+		t.Error("stop must run on Close")
+	}
+}

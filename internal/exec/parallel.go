@@ -1,0 +1,110 @@
+package exec
+
+import "io"
+
+// RowBatch groups rows into one channel transfer between a producer
+// goroutine and the operator tree, amortizing synchronization across many
+// tuples. Err, when set, aborts the scan; a batch carrying an error must be
+// the producer's last send.
+type RowBatch struct {
+	Rows []Row
+	Err  error
+}
+
+// OrderedBatchSource is a leaf operator that merges per-partition row-batch
+// channels back into one ordered stream: channel i is drained to completion
+// before channel i+1 is touched, so concurrent producers (partition workers
+// of a parallel scan) yield exactly the row order of a sequential pass.
+// Producers must close their channel after the last batch; bounded channel
+// capacity is what keeps a worker from running unboundedly ahead of
+// consumption.
+type OrderedBatchSource struct {
+	cols   []Col
+	start  func() ([]<-chan RowBatch, error)
+	finish func() error
+	stop   func() error
+
+	mapErr func(partition int, err error) error
+
+	chans    []<-chan RowBatch
+	cur      int
+	batch    []Row
+	bi       int
+	finished bool
+}
+
+// NewOrderedBatchSource builds the operator from callbacks: start launches
+// the producers and returns their channels in consumption order; finish
+// runs exactly once when every channel is drained without error (e.g. to
+// merge worker state back into shared structures); stop runs on Close and
+// must make all producers terminate. finish and stop may be nil.
+func NewOrderedBatchSource(cols []Col, start func() ([]<-chan RowBatch, error), finish, stop func() error) *OrderedBatchSource {
+	return &OrderedBatchSource{cols: cols, start: start, finish: finish, stop: stop}
+}
+
+// OnError installs a translator invoked when a producer batch carries an
+// error; partition is the channel index it arrived on. Because channel i's
+// error is only observed after channels 0..i-1 drained completely, the
+// translator can safely rebase partition-local context (e.g. row numbers)
+// against the finished earlier partitions.
+func (o *OrderedBatchSource) OnError(fn func(partition int, err error) error) {
+	o.mapErr = fn
+}
+
+// Open launches the producers.
+func (o *OrderedBatchSource) Open() error {
+	chans, err := o.start()
+	if err != nil {
+		return err
+	}
+	o.chans = chans
+	o.cur, o.bi = 0, 0
+	o.batch = nil
+	o.finished = false
+	return nil
+}
+
+// Next returns the next row in partition order.
+func (o *OrderedBatchSource) Next() (Row, error) {
+	for {
+		if o.bi < len(o.batch) {
+			r := o.batch[o.bi]
+			o.bi++
+			return r, nil
+		}
+		if o.cur >= len(o.chans) {
+			if !o.finished {
+				o.finished = true
+				if o.finish != nil {
+					if err := o.finish(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return nil, io.EOF
+		}
+		b, ok := <-o.chans[o.cur]
+		if !ok {
+			o.cur++
+			continue
+		}
+		if b.Err != nil {
+			if o.mapErr != nil {
+				return nil, o.mapErr(o.cur, b.Err)
+			}
+			return nil, b.Err
+		}
+		o.batch, o.bi = b.Rows, 0
+	}
+}
+
+// Close stops the producers.
+func (o *OrderedBatchSource) Close() error {
+	if o.stop != nil {
+		return o.stop()
+	}
+	return nil
+}
+
+// Columns returns the source schema.
+func (o *OrderedBatchSource) Columns() []Col { return o.cols }

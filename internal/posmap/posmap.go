@@ -496,6 +496,36 @@ func (m *Map) loadSpilled(key chunkKey, loc spillLoc) *chunk {
 	return c
 }
 
+// AbsorbShard merges a worker shard — a private Map populated with
+// partition-local row numbers during a parallel partitioned scan — into m,
+// shifting every row by rowOffset. Tuple start offsets in the shard are
+// already absolute file offsets and must be contiguous with m's (shards
+// merge in partition order). Attribute positions transfer through Record's
+// best-effort path, so m's budget and eviction policy still govern what
+// survives. The shard must not be used afterwards.
+func (m *Map) AbsorbShard(sh *Map, rowOffset int) {
+	if sh == nil {
+		return
+	}
+	for i, off := range sh.starts {
+		m.RecordTupleStart(rowOffset+i, off)
+	}
+	for a := range sh.attrs {
+		if len(sh.attrs[a].chunks) == 0 {
+			continue
+		}
+		cu := m.Cursor(a)
+		for idx, c := range sh.attrs[a].chunks {
+			base := idx * sh.chunkRows
+			for slot, rel := range c.offs {
+				if rel != noPosition {
+					cu.Record(rowOffset+base+slot, rel)
+				}
+			}
+		}
+	}
+}
+
 // Drop discards all per-attribute positional information (and the spill
 // index), keeping tuple starts. The paper notes the map "may be dropped
 // fully or partly at any time without any loss of critical information".

@@ -423,3 +423,80 @@ func BenchmarkMapLookup(b *testing.B) {
 		m.Lookup(i&(1<<16-1), 0)
 	}
 }
+
+func TestAbsorbShard(t *testing.T) {
+	// Main map covers rows 0-4 of 3 attributes; two shards cover the rest,
+	// as partition workers would build them with local row numbers.
+	m := New(3, Options{ChunkRows: 4})
+	for r := 0; r < 5; r++ {
+		m.RecordTupleStart(r, int64(r*10))
+		for a := 0; a < 3; a++ {
+			m.Record(r, a, uint32(a*2))
+		}
+	}
+	sh1 := New(3, Options{ChunkRows: 4})
+	for r := 0; r < 3; r++ {
+		sh1.RecordTupleStart(r, int64(50+r*10))
+		sh1.Record(r, 1, uint32(100+r))
+	}
+	sh2 := New(3, Options{ChunkRows: 4})
+	sh2.RecordTupleStart(0, 80)
+	sh2.Record(0, 2, 7)
+
+	m.AbsorbShard(sh1, 5)
+	m.AbsorbShard(sh2, 8)
+
+	if m.NumTuples() != 9 {
+		t.Fatalf("tuples = %d", m.NumTuples())
+	}
+	for r := 0; r < 9; r++ {
+		off, ok := m.TupleStart(r)
+		if !ok || off != int64(r*10) {
+			t.Errorf("tuple %d start = %d,%v", r, off, ok)
+		}
+	}
+	for r := 5; r < 8; r++ {
+		if rel, ok := m.Lookup(r, 1); !ok || rel != uint32(100+r-5) {
+			t.Errorf("row %d attr 1 = %d,%v", r, rel, ok)
+		}
+		if _, ok := m.Lookup(r, 0); ok {
+			t.Errorf("row %d attr 0 should be absent", r)
+		}
+	}
+	if rel, ok := m.Lookup(8, 2); !ok || rel != 7 {
+		t.Errorf("row 8 attr 2 = %d,%v", rel, ok)
+	}
+	// Pre-existing rows are untouched.
+	if rel, ok := m.Lookup(2, 2); !ok || rel != 4 {
+		t.Errorf("row 2 attr 2 = %d,%v", rel, ok)
+	}
+	// Pointer accounting covers absorbed entries.
+	want := int64(5*3 + 3 + 1)
+	if got := m.Metrics().Pointers; got != want {
+		t.Errorf("pointers = %d, want %d", got, want)
+	}
+	// Nil shard is a no-op.
+	m.AbsorbShard(nil, 9)
+	if m.NumTuples() != 9 {
+		t.Error("nil shard changed the map")
+	}
+}
+
+func TestAbsorbShardRespectsBudget(t *testing.T) {
+	// Destination budget fits exactly one chunk; absorbing two attributes
+	// keeps the map within budget instead of overflowing.
+	m := New(2, Options{ChunkRows: 8, Budget: int64(8)*4 + 64})
+	sh := New(2, Options{ChunkRows: 8})
+	for r := 0; r < 8; r++ {
+		sh.RecordTupleStart(r, int64(r))
+		sh.Record(r, 0, 1)
+		sh.Record(r, 1, 2)
+	}
+	m.AbsorbShard(sh, 0)
+	if m.MemoryBytes() > int64(8)*4+64 {
+		t.Errorf("budget exceeded: %d", m.MemoryBytes())
+	}
+	if m.NumTuples() != 8 {
+		t.Errorf("tuple starts must always merge: %d", m.NumTuples())
+	}
+}

@@ -40,6 +40,15 @@ func NewLineReader(f io.Reader, chunkSize int) *LineReader {
 	return &LineReader{f: f, buf: make([]byte, chunkSize)}
 }
 
+// NewLineReaderAt wraps r like NewLineReader but reports line offsets
+// relative to base — the absolute file position of r's first byte. Used by
+// partition workers scanning an io.SectionReader of a larger file.
+func NewLineReaderAt(r io.Reader, base int64, chunkSize int) *LineReader {
+	lr := NewLineReader(r, chunkSize)
+	lr.bufOffset = base
+	return lr
+}
+
 // OpenFile opens path and returns a LineReader over it along with the file
 // handle (caller closes).
 func OpenFile(path string, chunkSize int) (*LineReader, *os.File, error) {
@@ -102,6 +111,76 @@ func (lr *LineReader) fill() {
 	if err != nil {
 		lr.eof = true
 	}
+}
+
+// Range is a half-open byte range [Start, End) of a raw file, aligned so
+// that every line belongs to exactly one range (the one containing its
+// first byte).
+type Range struct {
+	Start, End int64
+}
+
+// Split partitions [0, size) into at most n line-aligned ranges of roughly
+// equal size: every interior boundary is placed just past the first '\n'
+// at or beyond the even split point, probed with small ReadAt calls, so a
+// line starting before a boundary is wholly contained in the range before
+// it. Ranges are never empty; fewer than n come back when lines are longer
+// than an even share (or the file is small). A zero-size file yields one
+// empty range so callers keep a uniform one-worker path.
+func Split(r io.ReaderAt, size int64, n int) ([]Range, error) {
+	if n < 1 {
+		n = 1
+	}
+	if size <= 0 {
+		return []Range{{0, 0}}, nil
+	}
+	bounds := make([]int64, 1, n+1)
+	buf := make([]byte, 4096)
+	for i := 1; i < n; i++ {
+		target := size * int64(i) / int64(n)
+		if target <= bounds[len(bounds)-1] {
+			continue
+		}
+		b, err := nextLineStart(r, target, size, buf)
+		if err != nil {
+			return nil, fmt.Errorf("scan: probing split point %d: %w", target, err)
+		}
+		if b > bounds[len(bounds)-1] && b < size {
+			bounds = append(bounds, b)
+		}
+	}
+	bounds = append(bounds, size)
+	parts := make([]Range, len(bounds)-1)
+	for i := range parts {
+		parts[i] = Range{Start: bounds[i], End: bounds[i+1]}
+	}
+	return parts, nil
+}
+
+// nextLineStart returns the offset just past the first '\n' at or after
+// from, or size when no newline follows.
+func nextLineStart(r io.ReaderAt, from, size int64, buf []byte) (int64, error) {
+	for off := from; off < size; {
+		want := int64(len(buf))
+		if rest := size - off; rest < want {
+			want = rest
+		}
+		n, err := r.ReadAt(buf[:want], off)
+		if i := bytes.IndexByte(buf[:n], '\n'); i >= 0 {
+			return off + int64(i) + 1, nil
+		}
+		off += int64(n)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return size, nil
 }
 
 // Tokenize appends to dst the start offsets of fields 0..upTo within line,

@@ -2,6 +2,7 @@ package scan
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -367,4 +368,117 @@ func TestOpenCreateFile(t *testing.T) {
 		t.Error("uncreatable file must error")
 	}
 	_ = os.Remove(path)
+}
+
+func checkSplit(t *testing.T, data string, n int) []Range {
+	t.Helper()
+	r := strings.NewReader(data)
+	parts, err := Split(r, int64(len(data)), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) == 0 || len(parts) > max(n, 1) {
+		t.Fatalf("split(%d bytes, %d) = %d parts", len(data), n, len(parts))
+	}
+	if parts[0].Start != 0 || parts[len(parts)-1].End != int64(len(data)) {
+		t.Fatalf("parts do not cover the file: %v", parts)
+	}
+	for i, p := range parts {
+		if p.End < p.Start {
+			t.Fatalf("inverted range %v", p)
+		}
+		if i > 0 {
+			if p.Start != parts[i-1].End {
+				t.Fatalf("gap/overlap between %v and %v", parts[i-1], p)
+			}
+			if p.Start == p.End {
+				t.Fatalf("empty interior range %v in %v", p, parts)
+			}
+			// Interior boundaries sit just past a newline, so every line
+			// belongs wholly to the range containing its first byte.
+			if data[p.Start-1] != '\n' {
+				t.Fatalf("boundary %d not line-aligned (prev byte %q)", p.Start, data[p.Start-1])
+			}
+		}
+	}
+	return parts
+}
+
+func TestSplitAlignsToLines(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "%d,%s\n", i, strings.Repeat("v", i%17))
+	}
+	data := sb.String()
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 1000} {
+		parts := checkSplit(t, data, n)
+		// Reading every range with a section reader must reproduce the file's
+		// line sequence exactly.
+		var lines []string
+		for _, p := range parts {
+			lr := NewLineReaderAt(
+				io.NewSectionReader(strings.NewReader(data), p.Start, p.End-p.Start), p.Start, 16)
+			for {
+				line, off, err := lr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(data[off:off+int64(len(line))]) != string(line) {
+					t.Fatalf("offset %d does not point at line %q", off, line)
+				}
+				lines = append(lines, string(line))
+			}
+		}
+		want, _ := readAllLines(t, data, 64)
+		if len(lines) != len(want) {
+			t.Fatalf("n=%d: %d lines via ranges, want %d", n, len(lines), len(want))
+		}
+		for i := range want {
+			if lines[i] != want[i] {
+				t.Fatalf("n=%d: line %d = %q, want %q", n, i, lines[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSplitEdgeShapes(t *testing.T) {
+	// Empty file: one empty range so callers keep a uniform worker path.
+	parts, err := Split(strings.NewReader(""), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || parts[0] != (Range{0, 0}) {
+		t.Fatalf("empty split = %v", parts)
+	}
+	// Single line, no trailing newline: cannot split.
+	if parts = checkSplit(t, "only-one-line", 8); len(parts) != 1 {
+		t.Fatalf("unsplittable line gave %v", parts)
+	}
+	// One giant line followed by short ones: boundaries skip the giant.
+	data := strings.Repeat("x", 4096) + "\n" + "a\nb\nc\n"
+	checkSplit(t, data, 8)
+	// No trailing newline on the last line.
+	checkSplit(t, "1,a\n2,b\n3,c", 2)
+	// n < 1 behaves like 1.
+	if parts = checkSplit(t, "a\nb\n", 0); len(parts) != 1 {
+		t.Fatalf("n=0 split = %v", parts)
+	}
+}
+
+func TestSplitRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var sb strings.Builder
+		for i, n := 0, rng.Intn(40); i < n; i++ {
+			sb.WriteString(strings.Repeat("f", rng.Intn(300)))
+			sb.WriteByte('\n')
+		}
+		if rng.Intn(2) == 0 {
+			sb.WriteString("tail-without-newline")
+		}
+		checkSplit(t, sb.String(), 1+rng.Intn(12))
+	}
 }

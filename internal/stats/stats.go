@@ -199,6 +199,55 @@ func (c *Collector) Add(v datum.Datum) {
 	}
 }
 
+// Merge folds another collector for the same column into c, combining the
+// partition-local collectors of a parallel scan before Finalize. Counts,
+// nulls and min/max combine exactly; the distinct set unions (saturating at
+// the limit) and o's reservoir re-samples into c's, preserving the
+// approximate-sample contract of single-threaded collection.
+func (c *Collector) Merge(o *Collector) {
+	if o == nil {
+		return
+	}
+	c.count += o.count
+	c.nulls += o.nulls
+	c.fedDistinct += o.fedDistinct
+	if !o.min.Null() && (c.min.Null() || datum.Compare(o.min, c.min) < 0) {
+		c.min = o.min
+	}
+	if !o.max.Null() && (c.max.Null() || datum.Compare(o.max, c.max) > 0) {
+		c.max = o.max
+	}
+	if o.distinctOver {
+		c.distinctOver = true
+	}
+	if !c.distinctOver {
+		for h := range o.distinct {
+			c.distinct[h] = struct{}{}
+		}
+		if len(c.distinct) > DistinctLimit {
+			c.distinctOver = true
+		}
+	}
+	// Reservoir merge, weighted by the gated-stream sizes the two samples
+	// represent (o.sampled values stand behind o's reservoir, not just
+	// len(o.sample)): free slots fill directly, then each remaining item of
+	// o replaces a random slot with probability o.sampled/total, so neither
+	// partition dominates the merged sample.
+	rest := o.sample
+	for len(c.sample) < SampleSize && len(rest) > 0 {
+		c.sample = append(c.sample, rest[0])
+		rest = rest[1:]
+	}
+	if total := c.sampled + o.sampled; len(rest) > 0 && total > 0 {
+		for _, v := range rest {
+			if c.rng.Int63n(total) < o.sampled {
+				c.sample[c.rng.Int63n(int64(len(c.sample)))] = v
+			}
+		}
+	}
+	c.sampled += o.sampled
+}
+
 // Finalize builds the ColumnStats snapshot.
 func (c *Collector) Finalize() *ColumnStats {
 	s := &ColumnStats{

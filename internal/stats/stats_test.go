@@ -215,3 +215,60 @@ func TestCdfMonotonic(t *testing.T) {
 		prev = v
 	}
 }
+
+func TestCollectorMerge(t *testing.T) {
+	// Split one value stream across three partition collectors; the merged
+	// result must match a single collector exactly on the exact statistics
+	// (counts, nulls, min/max, exact distinct).
+	whole := NewCollector(datum.Int, 1)
+	parts := []*Collector{NewCollector(datum.Int, 1), NewCollector(datum.Int, 2), NewCollector(datum.Int, 3)}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 900; i++ {
+		var v datum.Datum
+		if i%13 == 0 {
+			v = datum.NewNull(datum.Int)
+		} else {
+			v = datum.NewInt(int64(rng.Intn(200) - 100))
+		}
+		whole.Add(v)
+		parts[i/300].Add(v)
+	}
+	merged := parts[0]
+	merged.Merge(parts[1])
+	merged.Merge(parts[2])
+	merged.Merge(nil) // no-op
+
+	a, b := whole.Finalize(), merged.Finalize()
+	if a.Count != b.Count || a.Nulls != b.Nulls {
+		t.Errorf("count/nulls: seq %d/%d merged %d/%d", a.Count, a.Nulls, b.Count, b.Nulls)
+	}
+	if datum.Compare(a.Min, b.Min) != 0 || datum.Compare(a.Max, b.Max) != 0 {
+		t.Errorf("min/max: seq %v/%v merged %v/%v", a.Min, a.Max, b.Min, b.Max)
+	}
+	if a.Distinct != b.Distinct {
+		t.Errorf("distinct: seq %v merged %v", a.Distinct, b.Distinct)
+	}
+	if len(merged.sample) > SampleSize {
+		t.Errorf("merged sample overflowed: %d", len(merged.sample))
+	}
+}
+
+func TestCollectorMergeOverflowSaturates(t *testing.T) {
+	a := NewCollector(datum.Int, 1)
+	b := NewCollector(datum.Int, 2)
+	for i := 0; i < DistinctLimit; i++ {
+		a.Add(datum.NewInt(int64(i)))
+		b.Add(datum.NewInt(int64(i + DistinctLimit)))
+	}
+	a.Merge(b)
+	if !a.distinctOver {
+		t.Error("union past the limit must mark overflow")
+	}
+	s := a.Finalize()
+	if s.Count != 2*DistinctLimit {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.Distinct < float64(DistinctLimit) {
+		t.Errorf("distinct estimate = %v", s.Distinct)
+	}
+}

@@ -299,3 +299,46 @@ func TestSizesScale(t *testing.T) {
 		t.Error("sizes must be at least 1")
 	}
 }
+
+// TestAllQueriesParallelEquivalence runs every Fig 10 query on engines that
+// differ only in scan parallelism; results must be byte-identical (exact
+// datum comparison — same rows, same order, same float bits, because the
+// merged stream reproduces file order exactly).
+func TestAllQueriesParallelEquivalence(t *testing.T) {
+	pairs := []struct {
+		label    string
+		seq, par core.Options
+	}{
+		{"pm", core.Options{Mode: core.ModePM, Parallelism: 1},
+			core.Options{Mode: core.ModePM, Parallelism: 8}},
+		{"pm+c stats", core.Options{Mode: core.ModePMCache, Statistics: true, Parallelism: 1},
+			core.Options{Mode: core.ModePMCache, Statistics: true, Parallelism: 8}},
+	}
+	for _, p := range pairs {
+		seq := engineFor(t, p.seq)
+		par := engineFor(t, p.par)
+		for _, name := range QueryOrder {
+			q := Queries[name]
+			a, err := seq.Query(q)
+			if err != nil {
+				t.Fatalf("%s %s (sequential): %v", p.label, name, err)
+			}
+			b, err := par.Query(q)
+			if err != nil {
+				t.Fatalf("%s %s (parallel): %v", p.label, name, err)
+			}
+			if len(a.Rows) != len(b.Rows) {
+				t.Fatalf("%s %s: %d vs %d rows", p.label, name, len(a.Rows), len(b.Rows))
+			}
+			for i := range a.Rows {
+				for j := range a.Rows[i] {
+					x, y := a.Rows[i][j], b.Rows[i][j]
+					if x.Null() != y.Null() || (!x.Null() && datum.Compare(x, y) != 0) {
+						t.Fatalf("%s %s row %d col %d: %v vs %v (must be byte-identical)",
+							p.label, name, i, j, x, y)
+					}
+				}
+			}
+		}
+	}
+}

@@ -95,6 +95,14 @@ type Options struct {
 	// DataDir is where ModeLoadFirst writes its page files (default:
 	// next to the raw files).
 	DataDir string
+	// Parallelism is how many worker goroutines a cold CSV scan may use to
+	// process newline-aligned file partitions concurrently (0 = GOMAXPROCS,
+	// 1 = always sequential). Query results are identical for every
+	// setting; warm scans that can exploit the positional map or cache run
+	// sequentially regardless, as do configurations with a positional-map
+	// or cache budget (the budgets cap memory that per-worker shards would
+	// otherwise exceed).
+	Parallelism int
 }
 
 // ColumnDef declares one column of a table.
@@ -173,6 +181,7 @@ func Open(cat *Catalog, opts Options) (*DB, error) {
 		Statistics:  !opts.DisableStatistics,
 		PMSpillDir:  opts.SpillDir,
 		DataDir:     opts.DataDir,
+		Parallelism: opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -153,3 +153,50 @@ func TestCatalogAddDSV(t *testing.T) {
 		t.Errorf("dsv query = %v err %v", res, err)
 	}
 }
+
+func TestPublicAPIParallelism(t *testing.T) {
+	cat := testCatalog(t)
+	queries := []string{
+		"SELECT city, count(*), sum(distance) FROM trips GROUP BY city ORDER BY city",
+		"SELECT id FROM trips WHERE distance > 50",
+	}
+	var ref [][]string
+	for _, w := range []int{1, 2, 8} {
+		db, err := Open(cat, Options{Parallelism: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got [][]string
+		for _, q := range queries {
+			res, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("workers %d query %q: %v", w, q, err)
+			}
+			for _, r := range res.Rows {
+				row := make([]string, len(r))
+				for i, v := range r {
+					row[i] = v.String()
+				}
+				got = append(got, row)
+			}
+		}
+		if m := db.Metrics("trips"); m.Rows != 100 || m.PMPointers == 0 {
+			t.Errorf("workers %d: adaptive structures missing: %+v", w, m)
+		}
+		db.Close()
+		if w == 1 {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers %d: %d rows, want %d", w, len(got), len(ref))
+		}
+		for i := range ref {
+			for j := range ref[i] {
+				if got[i][j] != ref[i][j] {
+					t.Fatalf("workers %d row %d: %v, want %v", w, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
