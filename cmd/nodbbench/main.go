@@ -1,34 +1,86 @@
 // Command nodbbench regenerates the figures of the NoDB paper's evaluation
 // section (§5, Figs 3-13) and prints their series as text tables. It also
-// runs this repo's own experiments, currently "scan" — parallel partitioned
-// scan throughput vs worker count.
+// runs this repo's own experiments: "scan" — parallel partitioned scan
+// throughput vs worker count — and "exec" — vectorized batch execution vs
+// row-at-a-time.
 //
 // Usage:
 //
 //	nodbbench -fig all                 # every figure at the default scale
 //	nodbbench -fig fig5,fig10          # a subset
-//	nodbbench -fig scan                # parallel-scan scaling microbenchmark
+//	nodbbench -fig scan,exec           # this repo's perf microbenchmarks
 //	nodbbench -fig fig7 -scale small   # laptop-scale quick run
 //	nodbbench -workdir /data/nodb      # keep datasets between runs
+//	nodbbench -out ""                  # skip the BENCH_exec.json artifact
+//
+// Besides the text tables, each run writes a machine-readable summary
+// (elapsed time and named metrics — rows/sec, speedups — per figure) to
+// BENCH_exec.json, so the performance trajectory is comparable across
+// revisions without parsing table text.
 //
 // Datasets are generated (deterministically) under the work directory on
 // first use and reused afterwards.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"nodb/internal/bench"
 )
 
+// jsonFigure is one figure's entry in the BENCH_exec.json artifact. Runs
+// merge by figure id — regenerating a subset updates only those entries —
+// so each entry carries its own provenance.
+type jsonFigure struct {
+	ID             string             `json:"id"`
+	Title          string             `json:"title"`
+	Scale          string             `json:"scale"`
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	GeneratedAt    string             `json:"generated_at"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Metrics        map[string]float64 `json:"metrics,omitempty"`
+}
+
+// jsonOutput is the BENCH_exec.json schema.
+type jsonOutput struct {
+	Figures []jsonFigure `json:"figures"`
+}
+
+// mergeFigures folds this run's figures into the existing artifact (if
+// any): entries are replaced by id, other figures' results survive, new
+// ids append in run order.
+func mergeFigures(path string, ran []jsonFigure) jsonOutput {
+	var out jsonOutput
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &out) // a malformed artifact starts fresh
+	}
+	for _, f := range ran {
+		replaced := false
+		for i := range out.Figures {
+			if out.Figures[i].ID == f.ID {
+				out.Figures[i] = f
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			out.Figures = append(out.Figures, f)
+		}
+	}
+	return out
+}
+
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure ids (fig3..fig13, fig8a, fig8b, scan) or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure ids (fig3..fig13, fig8a, fig8b, scan, exec) or 'all'")
 	scale := flag.String("scale", "default", "experiment scale: small or default")
 	workDir := flag.String("workdir", "", "dataset/work directory (default: a temp dir, removed on exit)")
+	out := flag.String("out", "BENCH_exec.json", "machine-readable results file (empty = don't write)")
 	flag.Parse()
 
 	dir := *workDir
@@ -60,6 +112,7 @@ func main() {
 		ids = strings.Split(*fig, ",")
 	}
 
+	var ran []jsonFigure
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
@@ -68,7 +121,28 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
 		rep.Print(os.Stdout)
-		fmt.Printf("[%s regenerated in %.1fs]\n\n", id, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", id, elapsed.Seconds())
+		ran = append(ran, jsonFigure{
+			ID:             rep.ID,
+			Title:          rep.Title,
+			Scale:          *scale,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+			ElapsedSeconds: elapsed.Seconds(),
+			Metrics:        rep.Metrics,
+		})
+	}
+	if *out != "" {
+		result := mergeFigures(*out, ran)
+		data, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d figures, %d updated)\n", *out, len(result.Figures), len(ran))
 	}
 }
 

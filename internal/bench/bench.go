@@ -108,18 +108,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Report is one regenerated figure: a titled table of series.
+// Report is one regenerated figure: a titled table of series, plus named
+// scalar metrics (rows/sec and the like) that cmd/nodbbench serializes to
+// BENCH_exec.json so the perf trajectory is machine-comparable across
+// revisions.
 type Report struct {
 	ID     string // "fig3", "fig8a", ...
 	Title  string
 	Header []string
 	Rows   [][]string
 	Notes  []string
+
+	Metrics map[string]float64
 }
 
 // AddRow appends one data row.
 func (r *Report) AddRow(cells ...string) {
 	r.Rows = append(r.Rows, cells)
+}
+
+// AddMetric records one named scalar for machine-readable output.
+func (r *Report) AddMetric(name string, value float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = value
 }
 
 // AddNote appends a free-text observation (printed under the table).

@@ -259,10 +259,10 @@ func TestFig13WidthDegradation(t *testing.T) {
 
 func TestRegistryAndPrint(t *testing.T) {
 	ids := FigureIDs()
-	if len(ids) != 13 {
+	if len(ids) != 14 {
 		t.Fatalf("figures = %v", ids)
 	}
-	if ids[0] != "fig3" || ids[len(ids)-2] != "fig13" || ids[len(ids)-1] != "scan" {
+	if ids[0] != "fig3" || ids[len(ids)-3] != "fig13" || ids[len(ids)-2] != "exec" || ids[len(ids)-1] != "scan" {
 		t.Errorf("figure order = %v", ids)
 	}
 	if _, err := Run("nope", tiny(t)); err == nil {

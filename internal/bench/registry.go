@@ -25,6 +25,7 @@ var Figures = map[string]Runner{
 	"fig12": Fig12,
 	"fig13": Fig13,
 	"scan":  ScanScale, // not in the paper: parallel-scan scaling
+	"exec":  ExecFig,   // not in the paper: vectorized vs row execution
 }
 
 // FigureIDs lists the figure ids in presentation order.

@@ -56,6 +56,8 @@ func ScanScale(cfg Config) (*Report, error) {
 		rep.AddRow(fmt.Sprint(w), ms(d),
 			fmt.Sprintf("%.1f", krows),
 			fmt.Sprintf("%.2fx", float64(base)/float64(d)))
+		rep.AddMetric(fmt.Sprintf("w%d_rows_per_s", w), krows*1000)
+		rep.AddMetric(fmt.Sprintf("w%d_speedup", w), float64(base)/float64(d))
 	}
 	return rep, nil
 }

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nodb/internal/exec"
+)
+
+// batchEquivQueries covers every shape the vectorized pipeline handles —
+// typed filter fast paths, BETWEEN/IN/LIKE/IS NULL, projection arithmetic,
+// hash and sort aggregation input, ORDER BY (row fallback above batches),
+// LIMIT truncation, and a residual (non-pushable) conjunct.
+var batchEquivQueries = []string{
+	"SELECT id, name FROM wide WHERE a = 3",
+	"SELECT id, c FROM wide WHERE b >= 300 AND c < 150.5",
+	"SELECT id, b + 1, c * 2.0 FROM wide WHERE id BETWEEN 40 AND 90",
+	"SELECT id FROM wide WHERE a IN (1, 4) AND name LIKE 'name1%'",
+	"SELECT id FROM wide WHERE b IS NULL",
+	"SELECT count(*), sum(b), avg(c), min(d), max(name) FROM wide",
+	"SELECT a, count(*), sum(c) FROM wide GROUP BY a ORDER BY a",
+	"SELECT id, d FROM wide WHERE d >= date '1995-03-01' ORDER BY id DESC LIMIT 9",
+	"SELECT id FROM wide WHERE 1 = 1 AND id < 25",
+}
+
+// batchLimitQueries terminate the scan early. They must return identical
+// rows, but cumulative metrics are excluded from comparison: a truncated
+// batch scan has materialized (and counted) up to one batch of rows beyond
+// the limit, where the row path stops mid-tuple — the same reason the
+// parallel-scan tests exclude partial-progress counters after LIMIT.
+var batchLimitQueries = []string{
+	"SELECT id FROM wide LIMIT 5",
+	"SELECT id, name FROM wide WHERE a = 3 LIMIT 4",
+}
+
+// runQuerySequence executes the query list twice — the first pass scans
+// raw (cold), the second exploits whatever the mode cached — snapshotting
+// rows and metrics after every query.
+func runQuerySequence(t *testing.T, e *Engine, queries []string) ([]*Result, []TableMetrics) {
+	t.Helper()
+	var results []*Result
+	var metrics []TableMetrics
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range queries {
+			results = append(results, mustQuery(t, e, q))
+			metrics = append(metrics, e.Metrics("wide"))
+		}
+	}
+	return results, metrics
+}
+
+// TestBatchRowEquivalence is the tentpole regression: for every in-situ
+// mode, the vectorized batch pipeline must produce byte-identical rows AND
+// byte-identical adaptive-structure metrics to row-at-a-time execution,
+// on both cold (raw-file) and warm (cache/positional-map) scans.
+func TestBatchRowEquivalence(t *testing.T) {
+	cat := buildFixture(t, t.TempDir(), 700)
+	modes := []Options{
+		{Mode: ModePMCache},
+		{Mode: ModePMCache, Statistics: true},
+		{Mode: ModePM},
+		{Mode: ModeCache},
+		{Mode: ModeExternalFiles},
+		{Mode: ModePMCache, CacheBudget: 1 << 14}, // eviction pressure
+	}
+	for _, base := range modes {
+		rowOpts := base
+		rowOpts.DisableVectorized = true
+		rowOpts.Parallelism = 1
+		batchOpts := base
+		batchOpts.Parallelism = 1
+		rowEng := openEngine(t, cat, rowOpts)
+		batchEng := openEngine(t, cat, batchOpts)
+		rowRes, rowM := runQuerySequence(t, rowEng, batchEquivQueries)
+		batchRes, batchM := runQuerySequence(t, batchEng, batchEquivQueries)
+		for i := range rowRes {
+			q := batchEquivQueries[i%len(batchEquivQueries)]
+			if !rowsEqual(rowRes[i].Rows, batchRes[i].Rows) {
+				t.Fatalf("mode %+v query %q (pass %d): rows differ\nrow:   %v\nbatch: %v",
+					base, q, i/len(batchEquivQueries), rowRes[i].Rows, batchRes[i].Rows)
+			}
+			if rowM[i] != batchM[i] {
+				t.Errorf("mode %+v query %q (pass %d): metrics differ\nrow:   %+v\nbatch: %+v",
+					base, q, i/len(batchEquivQueries), rowM[i], batchM[i])
+			}
+		}
+		for _, q := range batchLimitQueries {
+			a := mustQuery(t, rowEng, q)
+			b := mustQuery(t, batchEng, q)
+			if !rowsEqual(a.Rows, b.Rows) {
+				t.Fatalf("mode %+v query %q: rows differ\nrow:   %v\nbatch: %v", base, q, a.Rows, b.Rows)
+			}
+		}
+	}
+}
+
+// TestBatchRowEquivalenceParallel sweeps the worker counts of the
+// partitioned scan under the batch pipeline: results must match the
+// row-path sequential reference for workers 1, 2 and 8.
+func TestBatchRowEquivalenceParallel(t *testing.T) {
+	cat := buildFixture(t, t.TempDir(), 900)
+	queries := []string{
+		"SELECT id, a, b FROM wide WHERE a = 3",
+		"SELECT count(*), sum(b), avg(c) FROM wide",
+		"SELECT a, count(*), min(d) FROM wide GROUP BY a ORDER BY a",
+	}
+	rowEng := openEngine(t, cat, Options{Mode: ModePMCache, DisableVectorized: true, Parallelism: 1})
+	var ref []*Result
+	for _, q := range queries {
+		ref = append(ref, mustQuery(t, rowEng, q))
+	}
+	refM := rowEng.Metrics("wide")
+	for _, w := range parallelWorkerCounts {
+		e := openEngine(t, cat, Options{Mode: ModePMCache, Parallelism: w})
+		for qi, q := range queries {
+			res := mustQuery(t, e, q)
+			if !rowsEqual(ref[qi].Rows, res.Rows) {
+				t.Fatalf("workers %d query %q: batch rows differ from row reference", w, q)
+			}
+		}
+		if m := e.Metrics("wide"); m != refM {
+			t.Errorf("workers %d: metrics differ\nrow ref: %+v\nbatch:   %+v", w, refM, m)
+		}
+	}
+}
+
+// TestBatchEdgeCaseCSVs runs the malformed-shape corpus (short rows,
+// quotes, no trailing newline, embedded empty lines) through both paths.
+func TestBatchEdgeCaseCSVs(t *testing.T) {
+	long := strings.Repeat("y", 300)
+	cases := map[string]string{
+		"empty":              "",
+		"single line":        "1,alpha\n",
+		"single no newline":  "1,alpha",
+		"no trailing":        "1,a\n2,b\n3,c",
+		"empty lines inside": "1,a\n\n3,c\n",
+		"long lines":         "1," + long + "\n2,short\n",
+		"quoted fields":      "1,\"hello world\"\n2,\"mid \"\" quote\"\n3,\"tail\n",
+		"short rows":         "1\n2,b\n3\n",
+	}
+	queries := []string{
+		"SELECT k, v FROM edge",
+		"SELECT k FROM edge WHERE k >= 2",
+		"SELECT count(*), max(v) FROM edge",
+		"SELECT k FROM edge WHERE v IS NULL",
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			cat := edgeCatalog(t, content)
+			rowEng := openEngine(t, cat, Options{Mode: ModePMCache, DisableVectorized: true, ScanChunkSize: 64})
+			batchEng := openEngine(t, cat, Options{Mode: ModePMCache, ScanChunkSize: 64})
+			for pass := 0; pass < 2; pass++ {
+				for _, q := range queries {
+					a := mustQuery(t, rowEng, q)
+					b := mustQuery(t, batchEng, q)
+					if !rowsEqual(a.Rows, b.Rows) {
+						t.Fatalf("query %q pass %d: rows differ\nrow:   %v\nbatch: %v", q, pass, a.Rows, b.Rows)
+					}
+					am, bm := rowEng.Metrics("edge"), batchEng.Metrics("edge")
+					if am != bm {
+						t.Errorf("query %q pass %d: metrics differ\nrow:   %+v\nbatch: %+v", q, pass, am, bm)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSizeSweep pins that the batch height knob never changes
+// results — including degenerate one-row batches.
+func TestBatchSizeSweep(t *testing.T) {
+	cat := buildFixture(t, t.TempDir(), 300)
+	queries := append(append([]string{}, batchEquivQueries...), batchLimitQueries...)
+	var ref []*Result
+	for _, size := range []int{0, 1, 3, 57, 4096} {
+		e := openEngine(t, cat, Options{Mode: ModePMCache, BatchSize: size, Parallelism: 1})
+		var res []*Result
+		for pass := 0; pass < 2; pass++ {
+			for _, q := range queries {
+				res = append(res, mustQuery(t, e, q))
+			}
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for i := range res {
+			if !rowsEqual(ref[i].Rows, res[i].Rows) {
+				t.Fatalf("batch size %d query %q: rows differ", size, queries[i%len(queries)])
+			}
+		}
+	}
+}
+
+// TestVectorizedPlanShape pins that the batch pipeline is the DEFAULT for
+// scan queries, and that DisableVectorized restores the Volcano tree.
+func TestVectorizedPlanShape(t *testing.T) {
+	cat := buildFixture(t, t.TempDir(), 50)
+	e := openEngine(t, cat, Options{Mode: ModePMCache})
+	op, _, err := e.Prepare("SELECT id, c FROM wide WHERE a = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*exec.BatchRows); !ok {
+		t.Errorf("vectorized engine should plan a batch pipeline, got %T", op)
+	}
+	rowEng := openEngine(t, cat, Options{Mode: ModePMCache, DisableVectorized: true})
+	op, _, err = rowEng.Prepare("SELECT id, c FROM wide WHERE a = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*exec.BatchRows); ok {
+		t.Error("DisableVectorized engine must not plan a batch pipeline")
+	}
+	// Load-first heap scans are row-only leaves: the plan must quietly fall
+	// back even on a vectorized engine.
+	lf := openEngine(t, cat, Options{Mode: ModeLoadFirst})
+	res := mustQuery(t, lf, "SELECT id, c FROM wide WHERE a = 3")
+	ref := mustQuery(t, e, "SELECT id, c FROM wide WHERE a = 3")
+	if !rowsEqual(res.Rows, ref.Rows) {
+		t.Error("load-first row fallback diverged from vectorized in-situ result")
+	}
+}
+
+// TestBatchErrorPropagation: a malformed value must surface the same
+// located error through the batch pipeline.
+func TestBatchErrorPropagation(t *testing.T) {
+	cat := edgeCatalog(t, "1,a\n2,b\nbroken,c\n4,d\n")
+	for _, w := range parallelWorkerCounts {
+		e := openEngine(t, cat, Options{Mode: ModePMCache, Parallelism: w})
+		_, err := e.Query("SELECT k FROM edge")
+		if err == nil {
+			t.Fatalf("workers %d: malformed int must error through the batch path", w)
+		} else if !strings.Contains(err.Error(), "row 3") {
+			t.Errorf("workers %d: error should locate absolute row 3: %v", w, err)
+		}
+	}
+}

@@ -97,6 +97,16 @@ type Options struct {
 	// CacheBudget set), whose memory caps per-worker shards would not
 	// respect. Results are identical for every setting.
 	Parallelism int
+	// BatchSize is how many rows a vectorized batch carries between
+	// operators (0 = exec.DefaultBatchSize). Results are identical for any
+	// setting >= 1.
+	BatchSize int
+	// DisableVectorized forces row-at-a-time (Volcano) execution
+	// everywhere. The default — vectorized batches from the scans through
+	// filter, projection, limit and hash-aggregation input — produces
+	// byte-identical results; this switch exists for comparison and as an
+	// escape hatch.
+	DisableVectorized bool
 }
 
 // Engine executes SQL over the tables of a catalog.
@@ -164,7 +174,8 @@ func (e *Engine) Prepare(sql string) (exec.Operator, []exec.Col, error) {
 		return nil, nil, err
 	}
 	res, err := plan.Build(sel, e, plan.Options{
-		UseStats: e.opts.Statistics,
+		UseStats:  e.opts.Statistics,
+		Vectorize: !e.opts.DisableVectorized,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -71,7 +71,11 @@ type inSituScan struct {
 	collecting bool
 	useNearest bool  // consult pm.Nearest (map had content before this scan)
 	nearHint   []int // per column: last attribute Nearest resolved to (-1 none)
+	needed     []int // distinct table ordinals the query touches
 	maxNeeded  int   // highest table ordinal the query touches
+
+	batchSize int
+	batcher   *exec.RowBatcher // lazily built by NextBatch, reused per call
 }
 
 func newInSituScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *inSituScan {
@@ -82,6 +86,7 @@ func newInSituScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *inSituSc
 		rowBuf:    make(exec.Row, rt.tbl.NumColumns()),
 		gen:       make([]int, rt.tbl.NumColumns()),
 		out:       make(exec.Row, len(outCols)),
+		batchSize: rt.batchSize(),
 	}
 	s.cols = make([]exec.Col, len(outCols))
 	for i, c := range outCols {
@@ -91,7 +96,8 @@ func newInSituScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *inSituSc
 	for i, c := range conjuncts {
 		s.conjCols[i] = expr.DistinctColumns(c)
 	}
-	for _, c := range neededColumns(outCols, conjuncts) {
+	s.needed = neededColumns(outCols, conjuncts)
+	for _, c := range s.needed {
 		if c > s.maxNeeded {
 			s.maxNeeded = c
 		}
@@ -119,10 +125,16 @@ func (s *inSituScan) Open() error {
 	for i := range s.gen {
 		s.gen[i] = -1
 	}
+	// The per-column accessor slices below are allocated once per scan
+	// operator and refilled on every Open, so repeated opens of the same
+	// prepared scan do not re-allocate.
 	width := len(s.rowBuf)
 	if s.rt.pm != nil && s.rt.recordAttrs {
 		s.rt.pm.BeginScan()
-		s.pmCursors = make([]*posmap.Cursor, width)
+		if s.pmCursors == nil {
+			s.pmCursors = make([]*posmap.Cursor, width)
+			s.nearHint = make([]int, width)
+		}
 		for c := 0; c < width; c++ {
 			s.pmCursors[c] = s.rt.pm.Cursor(c)
 		}
@@ -130,7 +142,6 @@ func (s *inSituScan) Open() error {
 		// left positions behind; during the very first scan the per-tuple
 		// prefix map is always at least as good.
 		s.useNearest = s.rt.pm.Metrics().Pointers > 0
-		s.nearHint = make([]int, width)
 		for i := range s.nearHint {
 			s.nearHint[i] = -1
 		}
@@ -139,17 +150,27 @@ func (s *inSituScan) Open() error {
 		s.useNearest = false
 	}
 	if s.rt.cache != nil {
-		s.cacheViews = make([]colcache.View, width)
-		for _, c := range neededColumns(s.outCols, s.conjuncts) {
+		if s.cacheViews == nil {
+			s.cacheViews = make([]colcache.View, width)
+		}
+		for i := range s.cacheViews {
+			s.cacheViews[i] = colcache.View{}
+		}
+		for _, c := range s.needed {
 			s.cacheViews[c] = s.rt.cache.View(c, s.rt.types[c])
 		}
 	} else {
 		s.cacheViews = nil
 	}
 	if s.rt.st != nil {
-		s.collectors = make([]*stats.Collector, width)
+		if s.collectors == nil {
+			s.collectors = make([]*stats.Collector, width)
+		}
+		for i := range s.collectors {
+			s.collectors[i] = nil
+		}
 		s.collecting = false
-		for _, c := range neededColumns(s.outCols, s.conjuncts) {
+		for _, c := range s.needed {
 			if !s.rt.st.Has(c) {
 				s.collectors[c] = stats.NewCollector(s.rt.types[c], int64(c)+1)
 				s.collecting = true
@@ -229,6 +250,19 @@ func (s *inSituScan) Next() (exec.Row, error) {
 		s.row++
 		return s.out, nil
 	}
+}
+
+// NextBatch implements exec.BatchOperator: it runs the identical selective
+// tokenize/parse/navigate pipeline as Next — so every adaptive structure
+// and metric evolves byte-identically — and accumulates qualifying tuples
+// into a reused column-major batch (exec.RowBatcher does the packing),
+// amortizing the per-tuple operator interface so everything above runs
+// vectorized. The batcher only packs; Open/Close stay on the scan itself.
+func (s *inSituScan) NextBatch() (*exec.Batch, error) {
+	if s.batcher == nil {
+		s.batcher = exec.NewRowBatcher(s, s.batchSize)
+	}
+	return s.batcher.NextBatch()
 }
 
 // rowError locates a parse failure. The row is 0-based and — inside a
@@ -425,11 +459,17 @@ type cacheScan struct {
 	conjuncts []expr.Expr
 	conjCols  [][]int
 	cols      []exec.Col
+	needed    []int
 
 	row    int
 	rowBuf exec.Row
 	out    exec.Row
 	views  []colcache.View
+
+	batchSize int
+	batch     *exec.Batch // table-width working columns (needed ones filled)
+	outBatch  *exec.Batch // outCols-ordered aliases of batch's columns
+	selBuf    []int
 }
 
 func newCacheScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *cacheScan {
@@ -439,6 +479,7 @@ func newCacheScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *cacheScan
 		conjuncts: conjuncts,
 		rowBuf:    make(exec.Row, rt.tbl.NumColumns()),
 		out:       make(exec.Row, len(outCols)),
+		batchSize: rt.batchSize(),
 	}
 	s.cols = make([]exec.Col, len(outCols))
 	for i, c := range outCols {
@@ -448,6 +489,7 @@ func newCacheScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *cacheScan
 	for i, c := range conjuncts {
 		s.conjCols[i] = expr.DistinctColumns(c)
 	}
+	s.needed = neededColumns(outCols, conjuncts)
 	return s
 }
 
@@ -457,8 +499,13 @@ func (s *cacheScan) Columns() []exec.Col { return s.cols }
 // Open resets the cursor and acquires column views.
 func (s *cacheScan) Open() error {
 	s.row = 0
-	s.views = make([]colcache.View, len(s.rowBuf))
-	for _, c := range neededColumns(s.outCols, s.conjuncts) {
+	if s.views == nil {
+		s.views = make([]colcache.View, len(s.rowBuf))
+	}
+	for i := range s.views {
+		s.views[i] = colcache.View{}
+	}
+	for _, c := range s.needed {
 		s.views[c] = s.rt.cache.View(c, s.rt.types[c])
 		if !s.views[c].Valid() {
 			return fmt.Errorf("core: cache scan lost column %d (concurrent eviction?)", c)
@@ -509,5 +556,71 @@ func (s *cacheScan) Next() (exec.Row, error) {
 		}
 		s.row++
 		return s.out, nil
+	}
+}
+
+// NextBatch implements exec.BatchOperator: it fills table-width column
+// vectors densely from the cache (colcache.View.GetBatch), narrows a
+// selection vector conjunct by conjunct with expr.FilterBatch, and hands
+// out an output batch whose columns alias the filled vectors — no per-row
+// lookups, no value movement. Cache-hit accounting mirrors the row path
+// exactly: each conjunct charges its columns only for rows that survived
+// the conjuncts before it, and output columns only for qualifying rows.
+func (s *cacheScan) NextBatch() (*exec.Batch, error) {
+	if s.batch == nil {
+		// Table-width column table, but only needed columns ever allocate.
+		s.batch = &exec.Batch{Cols: make([][]datum.Datum, len(s.rowBuf))}
+		s.outBatch = &exec.Batch{Cols: make([][]datum.Datum, len(s.outCols))}
+	}
+	for {
+		if int64(s.row) >= s.rt.rows {
+			return nil, io.EOF
+		}
+		n := s.batchSize
+		if rem := int(s.rt.rows) - s.row; rem < n {
+			n = rem
+		}
+		b := s.batch
+		for _, c := range s.needed {
+			if cap(b.Cols[c]) < n {
+				b.Cols[c] = make([]datum.Datum, n)
+			}
+			b.Cols[c] = b.Cols[c][:n]
+			if !s.views[c].GetBatch(s.row, n, b.Cols[c]) {
+				return nil, fmt.Errorf("core: cache scan lost column %d rows %d..%d (concurrent eviction?)", c, s.row, s.row+n-1)
+			}
+		}
+		b.N = n
+		var sel []int
+		live := n
+		for i, conj := range s.conjuncts {
+			s.rt.cacheHits += int64(live * len(s.conjCols[i]))
+			var err error
+			if sel == nil {
+				sel, err = expr.FilterBatch(conj, b.Cols, n, nil, s.selBuf[:0])
+				s.selBuf = sel
+			} else {
+				sel, err = expr.FilterBatch(conj, b.Cols, n, sel, sel[:0])
+			}
+			if err != nil {
+				return nil, err
+			}
+			live = len(sel)
+			if live == 0 {
+				break
+			}
+		}
+		s.row += n
+		if live == 0 && len(s.conjuncts) > 0 {
+			continue
+		}
+		s.rt.cacheHits += int64(live * len(s.outCols))
+		out := s.outBatch
+		for i, c := range s.outCols {
+			out.Cols[i] = b.Cols[c]
+		}
+		out.N = n
+		out.Sel = sel
+		return out, nil
 	}
 }

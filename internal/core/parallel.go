@@ -7,7 +7,6 @@ import (
 	"os"
 	"sync"
 
-	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
 	"nodb/internal/scan"
@@ -27,7 +26,7 @@ const batchChanCap = 4
 // into newline-aligned byte ranges (scan.Split), each scanned by a worker
 // goroutine running the exact selective-tokenize / selective-parse pipeline
 // of the sequential inSituScan — but over a private positional-map shard
-// and cache shard, so the per-tuple hot path takes no locks. Rows merge
+// and cache shard, so the per-tuple hot path takes no locks. Batches merge
 // back into file order through exec.OrderedBatchSource; when the pass
 // completes, shards merge into the shared structures (posmap.AbsorbShard,
 // colcache.Absorb, stats.Collector.Merge) so later queries still get the
@@ -79,7 +78,7 @@ func (p *parallelScan) rebaseErr(part int, err error) error {
 }
 
 // start partitions the file and launches one worker per range.
-func (p *parallelScan) start() ([]<-chan exec.RowBatch, error) {
+func (p *parallelScan) start() ([]<-chan exec.BatchMsg, error) {
 	f, err := os.Open(p.rt.tbl.Path)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -99,9 +98,9 @@ func (p *parallelScan) start() ([]<-chan exec.RowBatch, error) {
 	p.once = sync.Once{}
 	p.merged = false
 	p.shards = make([]*inSituScan, len(parts))
-	chans := make([]<-chan exec.RowBatch, len(parts))
+	chans := make([]<-chan exec.BatchMsg, len(parts))
 	for i, part := range parts {
-		ch := make(chan exec.RowBatch, batchChanCap)
+		ch := make(chan exec.BatchMsg, batchChanCap)
 		chans[i] = ch
 		sh := newInSituScan(p.rt.shard(), p.outCols, p.conjuncts)
 		sh.shard = true
@@ -114,20 +113,20 @@ func (p *parallelScan) start() ([]<-chan exec.RowBatch, error) {
 	return chans, nil
 }
 
-// worker drains one partition through its private scan, batching qualifying
-// rows into the channel. Row storage is arena-allocated per batch so the
-// consumer owns each batch outright.
-func (p *parallelScan) worker(s *inSituScan, ch chan<- exec.RowBatch) {
+// worker drains one partition through its private scan, accumulating
+// qualifying rows into column-major batches. Each batch is freshly
+// allocated so the consumer owns it outright; the merged stream hands them
+// straight to the vectorized executor without exploding into rows.
+func (p *parallelScan) worker(s *inSituScan, ch chan<- exec.BatchMsg) {
 	defer p.wg.Done()
 	defer close(ch)
 	if err := s.Open(); err != nil {
-		p.send(ch, exec.RowBatch{Err: err})
+		p.send(ch, exec.BatchMsg{Err: err})
 		return
 	}
 	defer s.Close()
 	width := len(p.outCols)
-	arena := make([]datum.Datum, 0, batchRows*width)
-	rows := make([]exec.Row, 0, batchRows)
+	b := exec.NewBatch(width, batchRows)
 	for {
 		r, err := s.Next()
 		if err == io.EOF {
@@ -135,29 +134,29 @@ func (p *parallelScan) worker(s *inSituScan, ch chan<- exec.RowBatch) {
 			break
 		}
 		if err != nil {
-			p.send(ch, exec.RowBatch{Err: err})
+			p.send(ch, exec.BatchMsg{Err: err})
 			return
 		}
-		off := len(arena)
-		arena = append(arena, r...)
-		rows = append(rows, arena[off:len(arena):len(arena)])
-		if len(rows) == batchRows {
-			if !p.send(ch, exec.RowBatch{Rows: rows}) {
+		for j := range b.Cols {
+			b.Cols[j] = append(b.Cols[j], r[j])
+		}
+		b.N++
+		if b.N == batchRows {
+			if !p.send(ch, exec.BatchMsg{B: b}) {
 				return
 			}
-			arena = make([]datum.Datum, 0, batchRows*width)
-			rows = make([]exec.Row, 0, batchRows)
+			b = exec.NewBatch(width, batchRows)
 		}
 	}
-	if len(rows) > 0 {
-		p.send(ch, exec.RowBatch{Rows: rows})
+	if b.N > 0 {
+		p.send(ch, exec.BatchMsg{B: b})
 	}
 }
 
 // send delivers a batch unless the scan is being torn down.
-func (p *parallelScan) send(ch chan<- exec.RowBatch, b exec.RowBatch) bool {
+func (p *parallelScan) send(ch chan<- exec.BatchMsg, m exec.BatchMsg) bool {
 	select {
-	case ch <- b:
+	case ch <- m:
 		return true
 	case <-p.done:
 		return false

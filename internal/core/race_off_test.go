@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation distorts timing comparisons.
+const raceEnabled = false

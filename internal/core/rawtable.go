@@ -48,6 +48,14 @@ type rawTable struct {
 func (rt *rawTable) cacheHit()  { rt.cacheHits++ }
 func (rt *rawTable) cacheMiss() { rt.cacheMisses++ }
 
+// batchSize is the vectorized batch height for this table's scans.
+func (rt *rawTable) batchSize() int {
+	if rt.opts.BatchSize > 0 {
+		return rt.opts.BatchSize
+	}
+	return exec.DefaultBatchSize
+}
+
 func newRawTable(tbl *schema.Table, opts *Options) (*rawTable, error) {
 	if tbl.Format != schema.CSV {
 		return nil, fmt.Errorf("core: table %s: format %s is not handled by the CSV engine (use fits.Attach for FITS tables)", tbl.Name, tbl.Format)

@@ -74,6 +74,8 @@ type HashAgg struct {
 	// see Fig 12). Zero means no hint.
 	SizeHint int
 
+	bsrc BatchOperator // vectorized input; takes precedence over child
+
 	groups map[uint64][]*hashGroup
 	order  []*hashGroup // emission in first-seen order
 	i      int
@@ -89,8 +91,17 @@ func NewHashAgg(child Operator, groupBy []expr.Expr, aggs []*expr.Aggregate, col
 	return &HashAgg{aggSpec: aggSpec{child: child, groupBy: groupBy, aggs: aggs, cols: cols}}
 }
 
-// Open consumes the child and builds all groups.
+// SetBatchInput makes the aggregation consume column-major batches from b
+// instead of rows from its child: grouping keys and aggregate arguments
+// evaluate via expr.EvalBatch once per batch per expression, and only the
+// hash probe remains per-row.
+func (h *HashAgg) SetBatchInput(b BatchOperator) { h.bsrc = b }
+
+// Open consumes the input and builds all groups.
 func (h *HashAgg) Open() error {
+	if h.bsrc != nil {
+		return h.openBatches()
+	}
 	if err := h.child.Open(); err != nil {
 		return err
 	}
@@ -141,6 +152,82 @@ func (h *HashAgg) Open() error {
 		}
 	}
 	return nil
+}
+
+// openBatches is the vectorized build: group-by expressions and aggregate
+// arguments are evaluated column-at-a-time over each input batch, then the
+// per-row remainder is only the hash-table probe and state update.
+func (h *HashAgg) openBatches() error {
+	if err := h.bsrc.Open(); err != nil {
+		return err
+	}
+	defer h.bsrc.Close()
+	size := 64
+	if h.SizeHint > 0 {
+		size = h.SizeHint
+	}
+	h.groups = make(map[uint64][]*hashGroup, size)
+	h.order = h.order[:0]
+	h.i = 0
+
+	var global *hashGroup
+	if len(h.groupBy) == 0 {
+		global = &hashGroup{key: Row{}, states: h.newStates()}
+		h.order = append(h.order, global)
+	}
+
+	keyScratch := make([][]datum.Datum, len(h.groupBy))
+	argScratch := make([][]datum.Datum, len(h.aggs))
+	keyVecs := make([][]datum.Datum, len(h.groupBy))
+	argVecs := make([][]datum.Datum, len(h.aggs))
+	keyBuf := make(Row, len(h.groupBy))
+	for {
+		b, err := h.bsrc.NextBatch()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for gi, g := range h.groupBy {
+			if keyVecs[gi], err = evalVec(g, b, &keyScratch[gi]); err != nil {
+				return err
+			}
+		}
+		for ai, ag := range h.aggs {
+			if ag.Kind == expr.AggCountStar || ag.Arg == nil {
+				continue
+			}
+			if argVecs[ai], err = evalVec(ag.Arg, b, &argScratch[ai]); err != nil {
+				return err
+			}
+		}
+		feedPos := func(i int) {
+			g := global
+			if g == nil {
+				for gi := range h.groupBy {
+					keyBuf[gi] = keyVecs[gi][i]
+				}
+				g = h.findOrCreate(keyBuf)
+			}
+			for ai, ag := range h.aggs {
+				if ag.Kind == expr.AggCountStar || ag.Arg == nil {
+					g.states[ai].Add(datum.NewBool(true))
+					continue
+				}
+				g.states[ai].Add(argVecs[ai][i])
+			}
+		}
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				feedPos(i)
+			}
+		} else {
+			for _, i := range b.Sel {
+				feedPos(i)
+			}
+		}
+	}
 }
 
 func (h *HashAgg) findOrCreate(key Row) *hashGroup {

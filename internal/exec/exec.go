@@ -45,8 +45,12 @@ func CloneRow(r Row) Row {
 }
 
 // Drain runs an operator to completion and returns all rows (copied).
-// It opens and closes the operator.
+// It opens and closes the operator. A batch pipeline (BatchRows root)
+// drains batch-at-a-time, copying rows straight out of the batches.
 func Drain(op Operator) ([]Row, error) {
+	if br, ok := op.(*BatchRows); ok {
+		return DrainBatches(br.Batch())
+	}
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
@@ -65,7 +69,11 @@ func Drain(op Operator) ([]Row, error) {
 }
 
 // Count runs an operator to completion, returning only the row count.
+// A batch pipeline counts whole batches without materializing rows.
 func Count(op Operator) (int64, error) {
+	if br, ok := op.(*BatchRows); ok {
+		return countBatches(br.Batch())
+	}
 	if err := op.Open(); err != nil {
 		return 0, err
 	}
@@ -80,6 +88,25 @@ func Count(op Operator) (int64, error) {
 			return 0, err
 		}
 		n++
+	}
+}
+
+// countBatches drains a batch operator, summing live rows.
+func countBatches(op BatchOperator) (int64, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	var n int64
+	for {
+		b, err := op.NextBatch()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		n += int64(b.Live())
 	}
 }
 

@@ -417,26 +417,33 @@ func TestCount(t *testing.T) {
 
 func TestOrderedBatchSource(t *testing.T) {
 	cols := []Col{{Name: "x", Type: datum.Int}}
-	mkRow := func(v int) Row { return Row{datum.NewInt(int64(v))} }
+	mkBatch := func(vals ...int) *Batch {
+		b := NewBatch(1, len(vals))
+		for _, v := range vals {
+			b.Cols[0] = append(b.Cols[0], datum.NewInt(int64(v)))
+		}
+		b.N = len(vals)
+		return b
+	}
 	var finished int
 	src := NewOrderedBatchSource(cols,
-		func() ([]<-chan RowBatch, error) {
+		func() ([]<-chan BatchMsg, error) {
 			// Three producers finishing out of order; partition order must
 			// still come out.
-			chans := make([]chan RowBatch, 3)
+			chans := make([]chan BatchMsg, 3)
 			for i := range chans {
-				chans[i] = make(chan RowBatch, 2)
+				chans[i] = make(chan BatchMsg, 2)
 			}
 			go func() {
-				chans[2] <- RowBatch{Rows: []Row{mkRow(5), mkRow(6)}}
+				chans[2] <- BatchMsg{B: mkBatch(5, 6)}
 				close(chans[2])
-				chans[0] <- RowBatch{Rows: []Row{mkRow(0), mkRow(1)}}
-				chans[0] <- RowBatch{Rows: []Row{mkRow(2)}}
+				chans[0] <- BatchMsg{B: mkBatch(0, 1)}
+				chans[0] <- BatchMsg{B: mkBatch(2)}
 				close(chans[0])
-				chans[1] <- RowBatch{Rows: []Row{mkRow(3), mkRow(4)}}
+				chans[1] <- BatchMsg{B: mkBatch(3, 4)}
 				close(chans[1])
 			}()
-			out := make([]<-chan RowBatch, 3)
+			out := make([]<-chan BatchMsg, 3)
 			for i, c := range chans {
 				out[i] = c
 			}
@@ -475,12 +482,15 @@ func TestOrderedBatchSourceError(t *testing.T) {
 	boom := fmt.Errorf("boom")
 	var stopped, finished bool
 	src := NewOrderedBatchSource(nil,
-		func() ([]<-chan RowBatch, error) {
-			ch := make(chan RowBatch, 2)
-			ch <- RowBatch{Rows: []Row{{datum.NewInt(1)}}}
-			ch <- RowBatch{Err: boom}
+		func() ([]<-chan BatchMsg, error) {
+			one := NewBatch(1, 1)
+			one.Cols[0] = append(one.Cols[0], datum.NewInt(1))
+			one.N = 1
+			ch := make(chan BatchMsg, 2)
+			ch <- BatchMsg{B: one}
+			ch <- BatchMsg{Err: boom}
 			close(ch)
-			return []<-chan RowBatch{ch}, nil
+			return []<-chan BatchMsg{ch}, nil
 		},
 		func() error { finished = true; return nil },
 		func() error { stopped = true; return nil })

@@ -2,34 +2,35 @@ package exec
 
 import "io"
 
-// RowBatch groups rows into one channel transfer between a producer
-// goroutine and the operator tree, amortizing synchronization across many
-// tuples. Err, when set, aborts the scan; a batch carrying an error must be
-// the producer's last send.
-type RowBatch struct {
-	Rows []Row
-	Err  error
+// BatchMsg is one channel transfer between a producer goroutine and the
+// operator tree: a column-major batch owned by the consumer, amortizing
+// synchronization across many tuples. Err, when set, aborts the scan; a
+// message carrying an error must be the producer's last send.
+type BatchMsg struct {
+	B   *Batch
+	Err error
 }
 
-// OrderedBatchSource is a leaf operator that merges per-partition row-batch
-// channels back into one ordered stream: channel i is drained to completion
-// before channel i+1 is touched, so concurrent producers (partition workers
-// of a parallel scan) yield exactly the row order of a sequential pass.
-// Producers must close their channel after the last batch; bounded channel
-// capacity is what keeps a worker from running unboundedly ahead of
-// consumption.
+// OrderedBatchSource is a leaf operator that merges per-partition batch
+// channels back into one ordered stream: channel i is drained to
+// completion before channel i+1 is touched, so concurrent producers
+// (partition workers of a parallel scan) yield exactly the row order of a
+// sequential pass. It serves both executor interfaces: NextBatch hands the
+// merged batches straight to a vectorized pipeline, Next explodes them
+// into rows for row-only consumers. Producers must close their channel
+// after the last batch; bounded channel capacity is what keeps a worker
+// from running unboundedly ahead of consumption.
 type OrderedBatchSource struct {
 	cols   []Col
-	start  func() ([]<-chan RowBatch, error)
+	start  func() ([]<-chan BatchMsg, error)
 	finish func() error
 	stop   func() error
 
 	mapErr func(partition int, err error) error
 
-	chans    []<-chan RowBatch
+	chans    []<-chan BatchMsg
 	cur      int
-	batch    []Row
-	bi       int
+	rows     *BatchRows // lazy row view over NextBatch, for row consumers
 	finished bool
 }
 
@@ -38,7 +39,7 @@ type OrderedBatchSource struct {
 // runs exactly once when every channel is drained without error (e.g. to
 // merge worker state back into shared structures); stop runs on Close and
 // must make all producers terminate. finish and stop may be nil.
-func NewOrderedBatchSource(cols []Col, start func() ([]<-chan RowBatch, error), finish, stop func() error) *OrderedBatchSource {
+func NewOrderedBatchSource(cols []Col, start func() ([]<-chan BatchMsg, error), finish, stop func() error) *OrderedBatchSource {
 	return &OrderedBatchSource{cols: cols, start: start, finish: finish, stop: stop}
 }
 
@@ -58,20 +59,15 @@ func (o *OrderedBatchSource) Open() error {
 		return err
 	}
 	o.chans = chans
-	o.cur, o.bi = 0, 0
-	o.batch = nil
+	o.cur = 0
+	o.rows = nil
 	o.finished = false
 	return nil
 }
 
-// Next returns the next row in partition order.
-func (o *OrderedBatchSource) Next() (Row, error) {
+// NextBatch returns the next producer batch in partition order.
+func (o *OrderedBatchSource) NextBatch() (*Batch, error) {
 	for {
-		if o.bi < len(o.batch) {
-			r := o.batch[o.bi]
-			o.bi++
-			return r, nil
-		}
 		if o.cur >= len(o.chans) {
 			if !o.finished {
 				o.finished = true
@@ -83,19 +79,28 @@ func (o *OrderedBatchSource) Next() (Row, error) {
 			}
 			return nil, io.EOF
 		}
-		b, ok := <-o.chans[o.cur]
+		m, ok := <-o.chans[o.cur]
 		if !ok {
 			o.cur++
 			continue
 		}
-		if b.Err != nil {
+		if m.Err != nil {
 			if o.mapErr != nil {
-				return nil, o.mapErr(o.cur, b.Err)
+				return nil, o.mapErr(o.cur, m.Err)
 			}
-			return nil, b.Err
+			return nil, m.Err
 		}
-		o.batch, o.bi = b.Rows, 0
+		return m.B, nil
 	}
+}
+
+// Next returns the next row in partition order, exploding batches through
+// a row adapter over this source's own NextBatch.
+func (o *OrderedBatchSource) Next() (Row, error) {
+	if o.rows == nil {
+		o.rows = NewBatchRows(o)
+	}
+	return o.rows.Next()
 }
 
 // Close stops the producers.

@@ -1,0 +1,593 @@
+package expr
+
+// Vectorized expression evaluation. EvalBatch and FilterBatch walk the
+// same expression trees as Eval, but over column-major batches of values,
+// amortizing the per-row interface dispatch that dominates row-at-a-time
+// execution. Hot shapes — comparisons and arithmetic over Int/Float/Date
+// columns against constants — run in typed loops; everything else falls
+// back to gathering one row and calling Eval, so the two paths always
+// agree on semantics (SQL three-valued logic included).
+
+import (
+	"sync"
+
+	"nodb/internal/datum"
+)
+
+// vecPool recycles scratch vectors between EvalBatch calls — a deep
+// expression over a 1k-row batch would otherwise allocate two fresh
+// vectors per binary node per batch.
+var vecPool = sync.Pool{New: func() any { return new([]datum.Datum) }}
+
+// selPool recycles selection-index scratch (evalLogicBatch's needR).
+var selPool = sync.Pool{New: func() any { return new([]int) }}
+
+func getVec(n int) *[]datum.Datum {
+	vp := vecPool.Get().(*[]datum.Datum)
+	if cap(*vp) < n {
+		*vp = make([]datum.Datum, n)
+	}
+	*vp = (*vp)[:n]
+	return vp
+}
+
+func putVec(vp *[]datum.Datum) {
+	vecPool.Put(vp)
+}
+
+// EvalBatch evaluates e at every live position of a column-major batch,
+// writing the result for position i into out[i]. cols is the row layout
+// (ColRef ordinals index it), n the batch height; sel, when non-nil, lists
+// the live positions in ascending order (dead positions of out are left
+// untouched). out must have length >= n.
+func EvalBatch(e Expr, cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
+	switch node := e.(type) {
+	case *Const:
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				out[i] = node.D
+			}
+		} else {
+			for _, i := range sel {
+				out[i] = node.D
+			}
+		}
+		return nil
+	case *ColRef:
+		if node.Index < 0 || node.Index >= len(cols) {
+			// Defer to Eval for its precise error message.
+			return evalBatchFallback(e, cols, n, sel, out)
+		}
+		col := cols[node.Index]
+		if sel == nil {
+			copy(out[:n], col[:n])
+		} else {
+			for _, i := range sel {
+				out[i] = col[i]
+			}
+		}
+		return nil
+	case *BinOp:
+		switch node.Op {
+		case Add, Sub, Mul, Div:
+			return evalArithBatch(node, cols, n, sel, out)
+		case Eq, Ne, Lt, Le, Gt, Ge:
+			return evalCompareBatch(node, cols, n, sel, out)
+		case And, Or:
+			return evalLogicBatch(node, cols, n, sel, out)
+		}
+	case *Not:
+		if err := EvalBatch(node.E, cols, n, sel, out); err != nil {
+			return err
+		}
+		forEachLive(n, sel, func(i int) {
+			if !out[i].Null() {
+				out[i] = datum.NewBool(!out[i].Bool())
+			} else {
+				out[i] = datum.NewNull(datum.Bool)
+			}
+		})
+		return nil
+	case *Neg:
+		if err := EvalBatch(node.E, cols, n, sel, out); err != nil {
+			return err
+		}
+		forEachLive(n, sel, func(i int) {
+			v := out[i]
+			if v.Null() {
+				return
+			}
+			if v.T == datum.Int {
+				out[i] = datum.NewInt(-v.Int())
+			} else {
+				out[i] = datum.NewFloat(-v.Float())
+			}
+		})
+		return nil
+	}
+	return evalBatchFallback(e, cols, n, sel, out)
+}
+
+// forEachLive invokes fn for every live position.
+func forEachLive(n int, sel []int, fn func(i int)) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+	} else {
+		for _, i := range sel {
+			fn(i)
+		}
+	}
+}
+
+// evalBatchFallback gathers one row per live position and evaluates e with
+// the scalar interpreter — the semantic reference for every fast path.
+// Columns shorter than the batch (a producer may leave columns the query
+// never references unfilled) read as zero datums; the expression cannot
+// reference them, or the producer would have filled them.
+func evalBatchFallback(e Expr, cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
+	row := make([]datum.Datum, len(cols))
+	var ferr error
+	forEachLive(n, sel, func(i int) {
+		if ferr != nil {
+			return
+		}
+		for j := range cols {
+			if i < len(cols[j]) {
+				row[j] = cols[j][i]
+			} else {
+				row[j] = datum.Datum{}
+			}
+		}
+		v, err := e.Eval(row)
+		if err != nil {
+			ferr = err
+			return
+		}
+		out[i] = v
+	})
+	return ferr
+}
+
+// evalArithBatch computes an arithmetic BinOp over vectors: both sides are
+// evaluated into scratch vectors, then combined with an Int/Float inline
+// loop (falling back to evalArith for the mixed/date cases).
+func evalArithBatch(b *BinOp, cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
+	lvp, rvp, err := evalSides(b, cols, n, sel)
+	if err != nil {
+		return err
+	}
+	defer putVec(lvp)
+	defer putVec(rvp)
+	lv, rv := *lvp, *rvp
+	var ferr error
+	forEachLive(n, sel, func(i int) {
+		if ferr != nil {
+			return
+		}
+		l, r := lv[i], rv[i]
+		if l.Null() || r.Null() {
+			out[i] = datum.NewNull(resultType(b.Op, l, r))
+			return
+		}
+		switch {
+		case l.T == datum.Int && r.T == datum.Int && b.Op != Div:
+			switch b.Op {
+			case Add:
+				out[i] = datum.NewInt(l.Int() + r.Int())
+			case Sub:
+				out[i] = datum.NewInt(l.Int() - r.Int())
+			case Mul:
+				out[i] = datum.NewInt(l.Int() * r.Int())
+			}
+		case l.T == datum.Float && r.T == datum.Float && b.Op != Div:
+			switch b.Op {
+			case Add:
+				out[i] = datum.NewFloat(l.Float() + r.Float())
+			case Sub:
+				out[i] = datum.NewFloat(l.Float() - r.Float())
+			case Mul:
+				out[i] = datum.NewFloat(l.Float() * r.Float())
+			}
+		default:
+			v, err := evalArith(b.Op, l, r)
+			if err != nil {
+				ferr = err
+				return
+			}
+			out[i] = v
+		}
+	})
+	return ferr
+}
+
+// evalCompareBatch computes a comparison BinOp into boolean datums.
+func evalCompareBatch(b *BinOp, cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
+	lvp, rvp, err := evalSides(b, cols, n, sel)
+	if err != nil {
+		return err
+	}
+	defer putVec(lvp)
+	defer putVec(rvp)
+	lv, rv := *lvp, *rvp
+	forEachLive(n, sel, func(i int) {
+		l, r := lv[i], rv[i]
+		if l.Null() || r.Null() {
+			out[i] = datum.NewNull(datum.Bool)
+			return
+		}
+		out[i] = datum.NewBool(cmpMatches(b.Op, datum.Compare(l, r)))
+	})
+	return nil
+}
+
+// evalLogicBatch computes AND/OR with SQL three-valued logic over vectors.
+// Like the scalar evalLogic, the right side is only evaluated where the
+// left did not short-circuit (false for AND, true for OR), so expressions
+// whose right side can error — 1/x guarded by x <> 0 — behave identically
+// on both paths.
+func evalLogicBatch(b *BinOp, cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
+	lvp := getVec(n)
+	defer putVec(lvp)
+	lv := *lvp
+	if err := EvalBatch(b.L, cols, n, sel, lv); err != nil {
+		return err
+	}
+	and := b.Op == And
+	needRP := selPool.Get().(*[]int)
+	needR := (*needRP)[:0]
+	defer func() {
+		*needRP = needR
+		selPool.Put(needRP)
+	}()
+	forEachLive(n, sel, func(i int) {
+		l := lv[i]
+		if !l.Null() {
+			if and && !l.Bool() {
+				out[i] = datum.NewBool(false)
+				return
+			}
+			if !and && l.Bool() {
+				out[i] = datum.NewBool(true)
+				return
+			}
+		}
+		needR = append(needR, i)
+	})
+	if len(needR) == 0 {
+		return nil
+	}
+	rvp := getVec(n)
+	defer putVec(rvp)
+	rv := *rvp
+	if err := EvalBatch(b.R, cols, n, needR, rv); err != nil {
+		return err
+	}
+	for _, i := range needR {
+		l, r := lv[i], rv[i]
+		rn := r.Null()
+		if and {
+			switch {
+			case !rn && !r.Bool():
+				out[i] = datum.NewBool(false)
+			case l.Null() || rn:
+				out[i] = datum.NewNull(datum.Bool)
+			default:
+				out[i] = datum.NewBool(l.Bool() && r.Bool())
+			}
+			continue
+		}
+		switch {
+		case !rn && r.Bool():
+			out[i] = datum.NewBool(true)
+		case l.Null() || rn:
+			out[i] = datum.NewNull(datum.Bool)
+		default:
+			out[i] = datum.NewBool(l.Bool() || r.Bool())
+		}
+	}
+	return nil
+}
+
+// evalSides evaluates both operands of a BinOp into pooled scratch
+// vectors; on success the caller must putVec both (on error they are
+// already back in the pool).
+func evalSides(b *BinOp, cols [][]datum.Datum, n int, sel []int) (*[]datum.Datum, *[]datum.Datum, error) {
+	lv := getVec(n)
+	rv := getVec(n)
+	if err := EvalBatch(b.L, cols, n, sel, *lv); err != nil {
+		putVec(lv)
+		putVec(rv)
+		return nil, nil, err
+	}
+	if err := EvalBatch(b.R, cols, n, sel, *rv); err != nil {
+		putVec(lv)
+		putVec(rv)
+		return nil, nil, err
+	}
+	return lv, rv, nil
+}
+
+// cmpMatches maps a datum.Compare result onto a comparison operator.
+func cmpMatches(op Op, c int) bool {
+	switch op {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	}
+	return false
+}
+
+// FilterBatch narrows a selection vector to the live positions where e
+// evaluates to true (NULL drops the row, like TruthyResult). sel lists the
+// candidate positions (nil = all of 0..n); the surviving positions are
+// appended to buf (pass buf[:0] to reuse capacity) and returned in
+// ascending order. Narrowing in place — FilterBatch(e, cols, n, s, s[:0])
+// — is safe because survivors are a subsequence of the input.
+func FilterBatch(e Expr, cols [][]datum.Datum, n int, sel []int, buf []int) ([]int, error) {
+	switch node := e.(type) {
+	case *BinOp:
+		switch node.Op {
+		case And:
+			// Sequential narrowing implements AND exactly for filtering:
+			// false and NULL both drop, so operand order only affects which
+			// work is skipped, never the outcome.
+			s, err := FilterBatch(node.L, cols, n, sel, buf)
+			if err != nil || len(s) == 0 {
+				// An empty survivor set must not flow on as a nil selection —
+				// nil means "all rows live" to the next conjunct.
+				return s, err
+			}
+			return FilterBatch(node.R, cols, n, s, s[:0])
+		case Eq, Ne, Lt, Le, Gt, Ge:
+			if out, ok, err := filterCompareFast(node, cols, n, sel, buf); ok {
+				return out, err
+			}
+			return filterGeneric(e, cols, n, sel, buf)
+		}
+	case *Between:
+		if out, ok, err := filterBetweenFast(node, cols, n, sel, buf); ok {
+			return out, err
+		}
+	case *In:
+		if c, ok := node.E.(*ColRef); ok && c.Index >= 0 && c.Index < len(cols) {
+			col := cols[c.Index]
+			appendLive(n, sel, &buf, func(i int) bool {
+				v := col[i]
+				if v.Null() {
+					return false
+				}
+				found := false
+				for _, d := range node.List {
+					if datum.Equal(v, d) {
+						found = true
+						break
+					}
+				}
+				return found != node.Negate
+			})
+			return buf, nil
+		}
+	case *IsNull:
+		if c, ok := node.E.(*ColRef); ok && c.Index >= 0 && c.Index < len(cols) {
+			col := cols[c.Index]
+			appendLive(n, sel, &buf, func(i int) bool {
+				return col[i].Null() != node.Negate
+			})
+			return buf, nil
+		}
+	}
+	return filterGeneric(e, cols, n, sel, buf)
+}
+
+// filterGeneric evaluates e as a vector and keeps the truthy positions.
+func filterGeneric(e Expr, cols [][]datum.Datum, n int, sel []int, buf []int) ([]int, error) {
+	vp := getVec(n)
+	defer putVec(vp)
+	vals := *vp
+	if err := EvalBatch(e, cols, n, sel, vals); err != nil {
+		return nil, err
+	}
+	appendLive(n, sel, &buf, func(i int) bool {
+		return !vals[i].Null() && vals[i].Bool()
+	})
+	return buf, nil
+}
+
+// appendLive appends every live position passing keep to *buf.
+func appendLive(n int, sel []int, buf *[]int, keep func(i int) bool) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				*buf = append(*buf, i)
+			}
+		}
+	} else {
+		for _, i := range sel {
+			if keep(i) {
+				*buf = append(*buf, i)
+			}
+		}
+	}
+}
+
+// filterCompareFast handles "col <op> const" and "const <op> col" with
+// typed loops. ok=false means the shape did not match and the caller must
+// fall back.
+func filterCompareFast(b *BinOp, cols [][]datum.Datum, n int, sel []int, buf []int) ([]int, bool, error) {
+	op := b.Op
+	var colRef *ColRef
+	var k datum.Datum
+	if c, ok := b.L.(*ColRef); ok {
+		if r, ok := b.R.(*Const); ok {
+			colRef, k = c, r.D
+		}
+	} else if c, ok := b.R.(*ColRef); ok {
+		if l, ok := b.L.(*Const); ok {
+			colRef, k = c, l.D
+			op = flipOp(op)
+		}
+	}
+	if colRef == nil || colRef.Index < 0 || colRef.Index >= len(cols) {
+		return nil, false, nil
+	}
+	if k.Null() {
+		return buf, true, nil // NULL comparand: nothing qualifies
+	}
+	col := cols[colRef.Index]
+	switch k.T {
+	case datum.Int:
+		kv := k.Int()
+		appendLive(n, sel, &buf, func(i int) bool {
+			d := col[i]
+			if d.Null() {
+				return false
+			}
+			if d.T == datum.Int {
+				return cmpMatches(op, cmpInt64(d.Int(), kv))
+			}
+			return cmpMatches(op, datum.Compare(d, k))
+		})
+	case datum.Float:
+		kv := k.Float()
+		appendLive(n, sel, &buf, func(i int) bool {
+			d := col[i]
+			if d.Null() {
+				return false
+			}
+			switch d.T {
+			case datum.Int, datum.Float:
+				return cmpMatches(op, cmpFloat64(d.Float(), kv))
+			}
+			return cmpMatches(op, datum.Compare(d, k))
+		})
+	case datum.Date:
+		kv := k.Int()
+		appendLive(n, sel, &buf, func(i int) bool {
+			d := col[i]
+			if d.Null() {
+				return false
+			}
+			if d.T == datum.Date {
+				return cmpMatches(op, cmpInt64(d.Int(), kv))
+			}
+			return cmpMatches(op, datum.Compare(d, k))
+		})
+	default:
+		appendLive(n, sel, &buf, func(i int) bool {
+			d := col[i]
+			if d.Null() {
+				return false
+			}
+			return cmpMatches(op, datum.Compare(d, k))
+		})
+	}
+	return buf, true, nil
+}
+
+// filterBetweenFast handles "col BETWEEN const AND const" with a typed
+// loop; ok=false means fall back.
+func filterBetweenFast(b *Between, cols [][]datum.Datum, n int, sel []int, buf []int) ([]int, bool, error) {
+	c, ok := b.E.(*ColRef)
+	if !ok || c.Index < 0 || c.Index >= len(cols) {
+		return nil, false, nil
+	}
+	loC, ok := b.Lo.(*Const)
+	if !ok {
+		return nil, false, nil
+	}
+	hiC, ok := b.Hi.(*Const)
+	if !ok {
+		return nil, false, nil
+	}
+	lo, hi := loC.D, hiC.D
+	if lo.Null() || hi.Null() {
+		return buf, true, nil
+	}
+	col := cols[c.Index]
+	if (lo.T == datum.Int || lo.T == datum.Date) && hi.T == lo.T {
+		lov, hiv := lo.Int(), hi.Int()
+		t := lo.T
+		appendLive(n, sel, &buf, func(i int) bool {
+			d := col[i]
+			if d.Null() {
+				return false
+			}
+			if d.T == t {
+				v := d.Int()
+				return v >= lov && v <= hiv
+			}
+			return datum.Compare(d, lo) >= 0 && datum.Compare(d, hi) <= 0
+		})
+		return buf, true, nil
+	}
+	if lo.T == datum.Float && hi.T == datum.Float {
+		lov, hiv := lo.Float(), hi.Float()
+		appendLive(n, sel, &buf, func(i int) bool {
+			d := col[i]
+			if d.Null() {
+				return false
+			}
+			switch d.T {
+			case datum.Int, datum.Float:
+				v := d.Float()
+				return v >= lov && v <= hiv
+			}
+			return datum.Compare(d, lo) >= 0 && datum.Compare(d, hi) <= 0
+		})
+		return buf, true, nil
+	}
+	appendLive(n, sel, &buf, func(i int) bool {
+		d := col[i]
+		if d.Null() {
+			return false
+		}
+		return datum.Compare(d, lo) >= 0 && datum.Compare(d, hi) <= 0
+	})
+	return buf, true, nil
+}
+
+// flipOp mirrors a comparison when its operands swap sides.
+func flipOp(op Op) Op {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	}
+	return op // Eq, Ne are symmetric
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,235 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"nodb/internal/datum"
+)
+
+// randomBatch builds column-major test data: int, float, text, date, bool
+// columns with NULLs mixed in.
+func randomBatch(rng *rand.Rand, n int) [][]datum.Datum {
+	cols := make([][]datum.Datum, 5)
+	for j := range cols {
+		cols[j] = make([]datum.Datum, n)
+	}
+	for i := 0; i < n; i++ {
+		cols[0][i] = datum.NewInt(int64(rng.Intn(50) - 10))
+		cols[1][i] = datum.NewFloat(float64(rng.Intn(400))/16 - 5)
+		cols[2][i] = datum.NewText(string(rune('a' + rng.Intn(5))))
+		cols[3][i] = datum.NewDate(int64(10000 + rng.Intn(400)))
+		cols[4][i] = datum.NewBool(rng.Intn(2) == 0)
+		if rng.Intn(6) == 0 {
+			j := rng.Intn(5)
+			t := []datum.Type{datum.Int, datum.Float, datum.Text, datum.Date, datum.Bool}[j]
+			cols[j][i] = datum.NewNull(t)
+		}
+	}
+	return cols
+}
+
+// exprsUnderTest is the shape zoo the batch kernels must agree with Eval
+// on: typed fast paths, flipped constants, BETWEEN, IN, IS NULL, logic,
+// arithmetic, CASE (fallback path) and LIKE (fallback path).
+func exprsUnderTest() []Expr {
+	col := func(i int) Expr { return &ColRef{Index: i} }
+	ci := func(v int64) Expr { return &Const{D: datum.NewInt(v)} }
+	cf := func(v float64) Expr { return &Const{D: datum.NewFloat(v)} }
+	return []Expr{
+		&BinOp{Op: Lt, L: col(0), R: ci(17)},
+		&BinOp{Op: Ge, L: col(0), R: ci(0)},
+		&BinOp{Op: Eq, L: col(0), R: ci(3)},
+		&BinOp{Op: Ne, L: col(2), R: &Const{D: datum.NewText("c")}},
+		&BinOp{Op: Gt, L: ci(17), R: col(0)}, // flipped const side
+		&BinOp{Op: Le, L: col(1), R: cf(8.5)},
+		&BinOp{Op: Lt, L: col(1), R: ci(9)},  // float col vs int const
+		&BinOp{Op: Ge, L: col(0), R: cf(.5)}, // int col vs float const
+		&BinOp{Op: Lt, L: col(3), R: &Const{D: datum.NewDate(10200)}},
+		&BinOp{Op: Lt, L: col(0), R: col(1)}, // col vs col
+		&Between{E: col(0), Lo: ci(5), Hi: ci(30)},
+		&Between{E: col(3), Lo: &Const{D: datum.NewDate(10100)}, Hi: &Const{D: datum.NewDate(10300)}},
+		&Between{E: col(1), Lo: cf(1), Hi: cf(12)},
+		&In{E: col(0), List: []datum.Datum{datum.NewInt(1), datum.NewInt(4), datum.NewInt(9)}},
+		&In{E: col(2), List: []datum.Datum{datum.NewText("a"), datum.NewText("d")}, Negate: true},
+		&IsNull{E: col(1)},
+		&IsNull{E: col(0), Negate: true},
+		&Not{E: &BinOp{Op: Lt, L: col(0), R: ci(10)}},
+		&Neg{E: col(0)},
+		&BinOp{Op: And,
+			L: &BinOp{Op: Ge, L: col(0), R: ci(0)},
+			R: &BinOp{Op: Lt, L: col(1), R: cf(10)}},
+		&BinOp{Op: Or,
+			L: &BinOp{Op: Lt, L: col(0), R: ci(-5)},
+			R: &BinOp{Op: Gt, L: col(1), R: cf(15)}},
+		&BinOp{Op: Add, L: col(0), R: ci(7)},
+		&BinOp{Op: Mul, L: col(1), R: cf(3)},
+		&BinOp{Op: Sub, L: col(3), R: ci(30)}, // date - int days
+		&BinOp{Op: Div, L: col(1), R: cf(4)},
+		&BinOp{Op: Add, L: col(0), R: col(1)}, // int + float promotion
+		&Like{E: col(2), Pattern: "a%"},
+		&Case{Whens: []When{{Cond: &BinOp{Op: Lt, L: col(0), R: ci(0)}, Then: ci(-1)}}, Else: ci(1)},
+		col(4),
+		&Const{D: datum.NewInt(42)},
+	}
+}
+
+// TestEvalBatchMatchesEval compares EvalBatch against per-row Eval for
+// every expression shape, with and without a selection vector.
+func TestEvalBatchMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 257
+	cols := randomBatch(rng, n)
+	var sel []int
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) != 0 {
+			sel = append(sel, i)
+		}
+	}
+	row := make([]datum.Datum, len(cols))
+	for ei, e := range exprsUnderTest() {
+		for _, s := range [][]int{nil, sel} {
+			out := make([]datum.Datum, n)
+			if err := EvalBatch(e, cols, n, s, out); err != nil {
+				t.Fatalf("expr %d (%s): EvalBatch: %v", ei, e, err)
+			}
+			iter := s
+			if iter == nil {
+				iter = make([]int, n)
+				for i := range iter {
+					iter[i] = i
+				}
+			}
+			for _, i := range iter {
+				for j := range cols {
+					row[j] = cols[j][i]
+				}
+				want, err := e.Eval(row)
+				if err != nil {
+					t.Fatalf("expr %d (%s): Eval: %v", ei, e, err)
+				}
+				got := out[i]
+				if want.Null() != got.Null() || (!want.Null() && datum.Compare(want, got) != 0) {
+					t.Fatalf("expr %d (%s) row %d: Eval=%v EvalBatch=%v", ei, e, i, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestFilterBatchMatchesTruthy compares FilterBatch's surviving selection
+// against TruthyResult row by row.
+func TestFilterBatchMatchesTruthy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 193
+	cols := randomBatch(rng, n)
+	var sel []int
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) != 0 {
+			sel = append(sel, i)
+		}
+	}
+	row := make([]datum.Datum, len(cols))
+	for ei, e := range exprsUnderTest() {
+		if _, ok := e.(*Neg); ok {
+			continue // not a predicate
+		}
+		if b, ok := e.(*BinOp); ok && b.Op >= Add && b.Op <= Div {
+			continue // not a predicate
+		}
+		for _, s := range [][]int{nil, sel} {
+			got, err := FilterBatch(e, cols, n, s, nil)
+			if err != nil {
+				t.Fatalf("expr %d (%s): FilterBatch: %v", ei, e, err)
+			}
+			iter := s
+			if iter == nil {
+				iter = make([]int, n)
+				for i := range iter {
+					iter[i] = i
+				}
+			}
+			var want []int
+			for _, i := range iter {
+				for j := range cols {
+					row[j] = cols[j][i]
+				}
+				ok, err := TruthyResult(e, row)
+				if err != nil {
+					t.Fatalf("expr %d (%s): TruthyResult: %v", ei, e, err)
+				}
+				if ok {
+					want = append(want, i)
+				}
+			}
+			if len(want) != len(got) {
+				t.Fatalf("expr %d (%s): %d vs %d survivors", ei, e, len(want), len(got))
+			}
+			for k := range want {
+				if want[k] != got[k] {
+					t.Fatalf("expr %d (%s): survivor %d: %d vs %d", ei, e, k, want[k], got[k])
+				}
+			}
+		}
+	}
+}
+
+// TestFilterBatchInPlace pins the documented aliasing guarantee: narrowing
+// a selection into its own storage is safe.
+func TestFilterBatchInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 100
+	cols := randomBatch(rng, n)
+	e1 := &BinOp{Op: Ge, L: &ColRef{Index: 0}, R: &Const{D: datum.NewInt(0)}}
+	e2 := &BinOp{Op: Lt, L: &ColRef{Index: 0}, R: &Const{D: datum.NewInt(20)}}
+	sel, err := FilterBatch(e1, cols, n, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := append([]int(nil), sel...)
+	refOut, err := FilterBatch(e2, cols, n, ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPlace, err := FilterBatch(e2, cols, n, sel, sel[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inPlace) != len(refOut) {
+		t.Fatalf("in-place narrowing lost rows: %d vs %d", len(inPlace), len(refOut))
+	}
+	for i := range refOut {
+		if inPlace[i] != refOut[i] {
+			t.Fatalf("in-place narrowing diverged at %d: %d vs %d", i, inPlace[i], refOut[i])
+		}
+	}
+}
+
+// TestLogicBatchShortCircuit pins that the right side of AND/OR is not
+// evaluated where the left short-circuits — data-dependent errors guarded
+// by the left operand must not fire, exactly like scalar Eval.
+func TestLogicBatchShortCircuit(t *testing.T) {
+	n := 4
+	cols := [][]datum.Datum{{
+		datum.NewInt(0), datum.NewInt(2), datum.NewInt(0), datum.NewInt(5),
+	}}
+	div := &BinOp{Op: Gt,
+		L: &BinOp{Op: Div, L: &Const{D: datum.NewFloat(10)}, R: &ColRef{Index: 0}},
+		R: &Const{D: datum.NewFloat(1)}}
+	guardAnd := &BinOp{Op: And,
+		L: &BinOp{Op: Ne, L: &ColRef{Index: 0}, R: &Const{D: datum.NewInt(0)}},
+		R: div}
+	out := make([]datum.Datum, n)
+	if err := EvalBatch(guardAnd, cols, n, nil, out); err != nil {
+		t.Fatalf("guarded AND must not divide by zero: %v", err)
+	}
+	guardOr := &BinOp{Op: Or,
+		L: &BinOp{Op: Eq, L: &ColRef{Index: 0}, R: &Const{D: datum.NewInt(0)}},
+		R: div}
+	if err := EvalBatch(guardOr, cols, n, nil, out); err != nil {
+		t.Fatalf("guarded OR must not divide by zero: %v", err)
+	}
+	if sel, err := FilterBatch(guardAnd, cols, n, nil, nil); err != nil || len(sel) != 2 {
+		t.Fatalf("guarded AND filter: sel=%v err=%v", sel, err)
+	}
+}

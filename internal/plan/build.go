@@ -206,11 +206,13 @@ func indexOf(xs []int, v int) int {
 	return -1
 }
 
-// buildAggregate plans the aggregation above root. The choice between hash
-// and sort aggregation is statistics-driven: without stats the planner
-// must assume arbitrarily many groups and picks the sort strategy, with
-// stats it pre-sizes a hash table (Fig 12).
-func (b *builder) buildAggregate(root exec.Operator, layout map[int]int, groupBy []expr.Expr, aggs []*expr.Aggregate) (exec.Operator, error) {
+// buildAggregate plans the aggregation above root (when broot is non-nil,
+// root is its row-adapter mirror: hash aggregation then consumes the
+// batches directly, sort aggregation reads the mirrored rows). The choice
+// between hash and sort aggregation is statistics-driven: without stats
+// the planner must assume arbitrarily many groups and picks the sort
+// strategy, with stats it pre-sizes a hash table (Fig 12).
+func (b *builder) buildAggregate(root exec.Operator, broot exec.BatchOperator, layout map[int]int, groupBy []expr.Expr, aggs []*expr.Aggregate) (exec.Operator, error) {
 	rg := make([]expr.Expr, len(groupBy))
 	for i, g := range groupBy {
 		e, err := expr.Remap(g, layout)
@@ -245,6 +247,9 @@ func (b *builder) buildAggregate(root exec.Operator, layout map[int]int, groupBy
 		return exec.NewSortAgg(root, rg, ra, cols), nil
 	}
 	h := exec.NewHashAgg(root, rg, ra, cols)
+	if broot != nil {
+		h.SetBatchInput(broot)
+	}
 	if hint := b.estimateGroups(groupBy); hint > 0 {
 		h.SizeHint = hint
 	}

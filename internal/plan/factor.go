@@ -39,10 +39,15 @@ func factorOr(c expr.Expr) []expr.Expr {
 			}
 		}
 	}
+	// Collect common conjuncts in the first branch's textual order — map
+	// iteration order would make the pushed-conjunct order (and therefore
+	// the scan's selective-parsing skips) vary between otherwise identical
+	// plans.
 	var common []expr.Expr
 	commonSet := map[string]bool{}
-	for text, n := range counts {
-		if n == len(branches) {
+	for _, cj := range branchConjuncts[0] {
+		text := cj.String()
+		if counts[text] == len(branches) && !commonSet[text] {
 			common = append(common, byText[text])
 			commonSet[text] = true
 		}

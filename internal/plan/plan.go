@@ -51,6 +51,13 @@ type Options struct {
 	// sort-based aggregation — the conservative plan shapes a DBMS picks
 	// without ANALYZE data (Fig 12's "w/o statistics" line).
 	UseStats bool
+	// Vectorize builds a batch-at-a-time pipeline above batch-capable scan
+	// leaves: filters, projections and limits run over column-major
+	// batches (exec.Batch) and hash aggregation consumes batches directly.
+	// Row-only leaves (heap scans, FITS) and row-only operators (sort,
+	// join) keep the Volcano path, bridged by adapters. Results are
+	// identical either way.
+	Vectorize bool
 }
 
 // Result is a built physical plan.
@@ -188,23 +195,41 @@ func (b *builder) build(sel *sqlparse.Select) (*Result, error) {
 		return nil, err
 	}
 
+	// Batch pipeline: when the join tree's root is a batch-capable leaf (a
+	// single-table scan — in-situ, cache or parallel), the hot operators
+	// below stack on the vectorized interface; broot carries that pipeline
+	// and root always mirrors it through a row adapter, so a consumer that
+	// reads rows sees the identical (filtered) stream.
+	var broot exec.BatchOperator
+	if b.opts.Vectorize {
+		if bo, ok := exec.AsBatch(root); ok {
+			broot = bo
+		}
+	}
+
 	// Residual filter (multi-table, non-equi).
 	if len(residual) > 0 {
 		re, err := expr.Remap(expr.JoinConjuncts(residual), layout)
 		if err != nil {
 			return nil, err
 		}
-		root = exec.NewFilter(root, re)
+		if broot != nil {
+			broot = exec.NewBatchFilter(broot, re)
+			root = exec.NewBatchRows(broot)
+		} else {
+			root = exec.NewFilter(root, re)
+		}
 	}
 
 	// Aggregation. Select items were rewritten during resolution to
 	// reference the aggregate output layout [groups..., aggs...].
 	aggregated := len(aggs) > 0 || len(groupBy) > 0
 	if aggregated {
-		root, err = b.buildAggregate(root, layout, groupBy, aggs)
+		root, err = b.buildAggregate(root, broot, layout, groupBy, aggs)
 		if err != nil {
 			return nil, err
 		}
+		broot = nil // aggregation emits rows
 	}
 
 	// Final projection.
@@ -221,20 +246,31 @@ func (b *builder) build(sel *sqlparse.Select) (*Result, error) {
 		outExprs[i] = e
 		outCols[i] = exec.Col{Name: it.name, Type: it.typ}
 	}
-	root = exec.NewProject(root, outExprs, outCols)
+	if broot != nil {
+		broot = exec.NewBatchProject(broot, outExprs, outCols)
+		root = exec.NewBatchRows(broot)
+	} else {
+		root = exec.NewProject(root, outExprs, outCols)
+	}
 
-	// ORDER BY over the projection output.
+	// ORDER BY over the projection output (sort materializes rows, so the
+	// batch pipeline ends here when present; root already mirrors it).
 	if len(sel.OrderBy) > 0 {
 		keys, err := b.resolveOrderBy(sel.OrderBy, sel, items)
 		if err != nil {
 			return nil, err
 		}
+		broot = nil
 		root = exec.NewSort(root, keys)
 	}
 
 	// LIMIT.
 	if sel.Limit >= 0 {
-		root = exec.NewLimit(root, sel.Limit)
+		if broot != nil {
+			root = exec.NewBatchRows(exec.NewBatchLimit(broot, sel.Limit))
+		} else {
+			root = exec.NewLimit(root, sel.Limit)
+		}
 	}
 	return &Result{Root: root, Cols: outCols}, nil
 }

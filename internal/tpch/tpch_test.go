@@ -300,6 +300,64 @@ func TestSizesScale(t *testing.T) {
 	}
 }
 
+// TestAllQueriesBatchEquivalence runs every Fig 10 query on engines that
+// differ only in vectorized-vs-row execution; results must be
+// byte-identical (exact datum comparison, same float bits) and the
+// adaptive-structure metrics of every table must match after each query —
+// the batch pipeline may not change what the scans parse, map or cache.
+// Every TPC-H LIMIT sits above an ORDER BY, so no query truncates a scan
+// and cumulative metrics are comparable throughout.
+func TestAllQueriesBatchEquivalence(t *testing.T) {
+	configs := []struct {
+		label      string
+		row, batch core.Options
+	}{
+		{"pm+c stats", core.Options{Mode: core.ModePMCache, Statistics: true, DisableVectorized: true, Parallelism: 1},
+			core.Options{Mode: core.ModePMCache, Statistics: true, Parallelism: 1}},
+		{"pm nostats", core.Options{Mode: core.ModePM, DisableVectorized: true, Parallelism: 1},
+			core.Options{Mode: core.ModePM, Parallelism: 1}},
+		{"external", core.Options{Mode: core.ModeExternalFiles, DisableVectorized: true, Parallelism: 1},
+			core.Options{Mode: core.ModeExternalFiles, Parallelism: 1}},
+	}
+	for _, cfg := range configs {
+		rowEng := engineFor(t, cfg.row)
+		batchEng := engineFor(t, cfg.batch)
+		// Two passes: the first runs cold over the raw files, the second
+		// exploits whatever positional-map/cache state the mode built.
+		for pass := 0; pass < 2; pass++ {
+			for _, name := range QueryOrder {
+				q := Queries[name]
+				a, err := rowEng.Query(q)
+				if err != nil {
+					t.Fatalf("%s %s pass %d (row): %v", cfg.label, name, pass, err)
+				}
+				b, err := batchEng.Query(q)
+				if err != nil {
+					t.Fatalf("%s %s pass %d (batch): %v", cfg.label, name, pass, err)
+				}
+				if len(a.Rows) != len(b.Rows) {
+					t.Fatalf("%s %s pass %d: %d vs %d rows", cfg.label, name, pass, len(a.Rows), len(b.Rows))
+				}
+				for i := range a.Rows {
+					for j := range a.Rows[i] {
+						x, y := a.Rows[i][j], b.Rows[i][j]
+						if x.Null() != y.Null() || (!x.Null() && datum.Compare(x, y) != 0) {
+							t.Fatalf("%s %s pass %d row %d col %d: %v vs %v (must be byte-identical)",
+								cfg.label, name, pass, i, j, x, y)
+						}
+					}
+				}
+				for _, tbl := range TableNames() {
+					if am, bm := rowEng.Metrics(tbl), batchEng.Metrics(tbl); am != bm {
+						t.Errorf("%s %s pass %d table %s: metrics differ\nrow:   %+v\nbatch: %+v",
+							cfg.label, name, pass, tbl, am, bm)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestAllQueriesParallelEquivalence runs every Fig 10 query on engines that
 // differ only in scan parallelism; results must be byte-identical (exact
 // datum comparison — same rows, same order, same float bits, because the

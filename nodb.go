@@ -103,6 +103,14 @@ type Options struct {
 	// or cache budget (the budgets cap memory that per-worker shards would
 	// otherwise exceed).
 	Parallelism int
+	// BatchSize is how many rows one vectorized execution batch carries
+	// between operators (0 = 1024). Results are identical for any
+	// setting >= 1.
+	BatchSize int
+	// DisableVectorized forces row-at-a-time execution instead of the
+	// default vectorized batch pipeline. Results are identical; the switch
+	// exists for measurement and as an escape hatch.
+	DisableVectorized bool
 }
 
 // ColumnDef declares one column of a table.
@@ -175,13 +183,15 @@ func Open(cat *Catalog, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("nodb: nil catalog")
 	}
 	eng, err := core.Open(cat.cat, core.Options{
-		Mode:        opts.Mode.coreMode(),
-		PMBudget:    opts.PositionalMapBudget,
-		CacheBudget: opts.CacheBudget,
-		Statistics:  !opts.DisableStatistics,
-		PMSpillDir:  opts.SpillDir,
-		DataDir:     opts.DataDir,
-		Parallelism: opts.Parallelism,
+		Mode:              opts.Mode.coreMode(),
+		PMBudget:          opts.PositionalMapBudget,
+		CacheBudget:       opts.CacheBudget,
+		Statistics:        !opts.DisableStatistics,
+		PMSpillDir:        opts.SpillDir,
+		DataDir:           opts.DataDir,
+		Parallelism:       opts.Parallelism,
+		BatchSize:         opts.BatchSize,
+		DisableVectorized: opts.DisableVectorized,
 	})
 	if err != nil {
 		return nil, err
