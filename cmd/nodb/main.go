@@ -12,7 +12,10 @@
 //	  l_quantity float
 //	end
 //
-// Inside the shell, end statements with Enter. Meta commands:
+// Inside the shell, end statements with Enter. Results stream: rows print
+// as the engine produces them, so a huge result starts appearing
+// immediately, and Ctrl-C cancels the running statement (not the shell).
+// Meta commands:
 //
 //	\metrics TABLE   adaptive-structure state (positional map, cache)
 //	\q               quit
@@ -20,9 +23,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -119,40 +124,46 @@ func parseMode(name string) (nodb.Mode, error) {
 	}
 }
 
+// runStatement executes one statement through the streaming cursor API:
+// rows print incrementally as the engine produces them (a huge result
+// never materializes in memory), and Ctrl-C cancels the statement via its
+// context.
 func runStatement(db *nodb.DB, sql string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	res, n, err := db.Exec(sql)
+	stmt, err := db.PrepareContext(ctx, sql)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-	if len(res.Columns) == 0 {
-		fmt.Printf("INSERT %d (%.3f ms)\n", n, float64(elapsed.Microseconds())/1000)
+	if !stmt.Select() {
+		n, err := stmt.ExecContext(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("INSERT %d (%.3f ms)\n", n, float64(time.Since(start).Microseconds())/1000)
 		return nil
 	}
 
-	widths := make([]int, len(res.Columns))
-	header := make([]string, len(res.Columns))
-	for i, c := range res.Columns {
+	rows, err := stmt.QueryContext(ctx)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+
+	cols := rows.Columns()
+	widths := make([]int, len(cols))
+	header := make([]string, len(cols))
+	for i, c := range cols {
 		header[i] = c.Name
 		widths[i] = len(c.Name)
-	}
-	cells := make([][]string, len(res.Rows))
-	for ri, row := range res.Rows {
-		cells[ri] = make([]string, len(row))
-		for ci, v := range row {
-			s := v.Format()
-			if v.Null() {
-				s = "NULL"
-			}
-			cells[ri][ci] = s
-			if len(s) > widths[ci] {
-				widths[ci] = len(s)
-			}
+		if widths[i] < 8 {
+			widths[i] = 8
 		}
 	}
-	printRow := func(cols []string) {
-		for i, s := range cols {
+	printRow := func(cells []string) {
+		for i, s := range cells {
 			if i > 0 {
 				fmt.Print(" | ")
 			}
@@ -166,15 +177,28 @@ func runStatement(db *nodb.DB, sql string) error {
 		seps[i] = strings.Repeat("-", widths[i])
 	}
 	printRow(seps)
-	const maxShow = 50
-	for ri, row := range cells {
-		if ri == maxShow {
-			fmt.Printf("... (%d more rows)\n", len(cells)-maxShow)
-			break
+
+	n := 0
+	cells := make([]string, len(cols))
+	for rows.Next() {
+		for ci, v := range rows.Values() {
+			if v.Null() {
+				cells[ci] = "NULL"
+			} else {
+				cells[ci] = v.Format()
+			}
 		}
-		printRow(row)
+		printRow(cells)
+		n++
 	}
-	fmt.Printf("(%d rows, %.3f ms)\n", len(res.Rows), float64(elapsed.Microseconds())/1000)
+	if err := rows.Err(); err != nil {
+		if ctx.Err() != nil {
+			fmt.Printf("(cancelled after %d rows, %.3f ms)\n", n, float64(time.Since(start).Microseconds())/1000)
+			return nil
+		}
+		return err
+	}
+	fmt.Printf("(%d rows, %.3f ms)\n", n, float64(time.Since(start).Microseconds())/1000)
 	return nil
 }
 

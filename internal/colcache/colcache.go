@@ -411,6 +411,20 @@ func (c *Cache) View(col int, typ datum.Type) View {
 	return View{c: c, e: e, gen: c.gen}
 }
 
+// ReadView returns a read-only handle for col without any side effects: no
+// entry creation, no LRU movement, no metric updates. Multiple goroutines
+// may hold and Get through ReadViews of the same cache concurrently as long
+// as no writer is active — which is what lets fully-cached scans of one
+// table run in parallel under a shared table lock. The returned view is
+// invalid if the column has no entry; calling Put on it is a bug.
+func (c *Cache) ReadView(col int) View {
+	e, ok := c.cols[col]
+	if !ok {
+		return View{}
+	}
+	return View{c: c, e: e, gen: c.gen}
+}
+
 // Valid reports whether the view is attached to an entry.
 func (v View) Valid() bool { return v.e != nil }
 

@@ -20,15 +20,24 @@
 // how PostgresRaw reuses PostgreSQL's query stack above its raw-file scan
 // operator.
 //
-// An Engine is not safe for concurrent use: it models a single DBMS
-// backend, which is also how the paper benchmarks PostgresRaw.
+// An Engine is safe for concurrent use. Sessions share the adaptive
+// structures through per-table locks: scans that record into the
+// positional map, cache or statistics hold a table exclusively (making the
+// first parse of a cold table single-flight — concurrent queries wait and
+// then reuse what it built), while fully cached read-only scans share it
+// and run in parallel. Statements are prepared through an LRU cache keyed
+// on normalized SQL; executions are bounded by a context.Context observed
+// at scan-progress boundaries.
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
+	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/fits"
 	"nodb/internal/plan"
@@ -107,17 +116,26 @@ type Options struct {
 	// byte-identical results; this switch exists for comparison and as an
 	// escape hatch.
 	DisableVectorized bool
+	// PlanCacheSize caps the prepared-statement LRU cache (entries, not
+	// bytes; 0 = 256). The cache holds parameterized parse results shared
+	// by all sessions; physical plans always re-build per execution so
+	// parameter values drive the statistics decisions.
+	PlanCacheSize int
 }
 
-// Engine executes SQL over the tables of a catalog.
+// Engine executes SQL over the tables of a catalog. It is safe for
+// concurrent use (see the package comment for the locking regime).
 type Engine struct {
 	cat  *schema.Catalog
 	opts Options
 
+	mu      sync.Mutex // guards the lazy per-table maps below
 	raw     map[string]*rawTable
 	rawFITS map[string]*fits.InSitu
 	loaded  map[string]*loadedTable
 	pool    *storage.Pool
+
+	stmts *stmtCache
 }
 
 // Open creates an engine over the catalog. Raw tables are never read until
@@ -129,6 +147,7 @@ func Open(cat *schema.Catalog, opts Options) (*Engine, error) {
 		raw:     make(map[string]*rawTable),
 		rawFITS: make(map[string]*fits.InSitu),
 		loaded:  make(map[string]*loadedTable),
+		stmts:   newStmtCache(opts.PlanCacheSize),
 	}
 	if opts.Mode == ModeLoadFirst {
 		frames := opts.PoolFrames
@@ -152,10 +171,109 @@ type Result struct {
 	Rows []exec.Row
 }
 
-// Query parses, plans and runs a SELECT statement, returning the
-// materialized result.
-func (e *Engine) Query(sql string) (*Result, error) {
-	op, cols, err := e.Prepare(sql)
+// Prepared is a parsed, parameterized statement shared by every session
+// that prepares the same (normalized) SQL. It is immutable; executions
+// bind parameter values and build a fresh physical plan each time, so the
+// statistics-driven choices reflect the actual values.
+type Prepared struct {
+	e    *Engine
+	sel  *sqlparse.Select // exactly one of sel / ins is set
+	ins  *sqlparse.Insert
+	text string // normalized SQL (the cache key)
+
+	numParams  int
+	paramNames []string
+}
+
+// IsSelect reports whether the statement returns rows.
+func (p *Prepared) IsSelect() bool { return p.sel != nil }
+
+// NumParams returns how many positional parameters ($n / ?) the statement
+// takes.
+func (p *Prepared) NumParams() int { return p.numParams }
+
+// ParamNames returns the named (:name) parameters in order of first
+// appearance.
+func (p *Prepared) ParamNames() []string { return p.paramNames }
+
+// Text returns the normalized statement text.
+func (p *Prepared) Text() string { return p.text }
+
+// PrepareStmt parses sql (or returns the cached parse of an equivalent
+// statement) without planning or executing it.
+func (e *Engine) PrepareStmt(sql string) (*Prepared, error) {
+	key, err := sqlparse.Normalize(sql)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := e.stmts.get(key); ok {
+		return p, nil
+	}
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{e: e, text: key}
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		p.sel, p.numParams, p.paramNames = s, s.NumParams, s.ParamNames
+	case *sqlparse.Insert:
+		p.ins, p.numParams, p.paramNames = s, s.NumParams, s.ParamNames
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+	e.stmts.put(key, p)
+	return p, nil
+}
+
+// Plan binds the parameters and builds the physical plan of a prepared
+// SELECT, returning the root operator (not yet opened) for callers that
+// stream rows themselves. The operator tree belongs to this execution
+// only; ctx bounds it.
+func (p *Prepared) Plan(ctx context.Context, params []datum.Datum, named map[string]datum.Datum) (exec.Operator, []exec.Col, error) {
+	if p.sel == nil {
+		return nil, nil, fmt.Errorf("core: statement returns no rows; use Exec")
+	}
+	if err := checkBindings(p, params, named); err != nil {
+		return nil, nil, err
+	}
+	res, err := plan.Build(p.sel, p.e, plan.Options{
+		UseStats:    p.e.opts.Statistics,
+		Vectorize:   !p.e.opts.DisableVectorized,
+		Ctx:         ctx,
+		Params:      params,
+		NamedParams: named,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Root, res.Cols, nil
+}
+
+// checkBindings validates parameter arity up front, so the error does not
+// depend on which placeholder the planner happens to reach first.
+func checkBindings(p *Prepared, params []datum.Datum, named map[string]datum.Datum) error {
+	if len(params) != p.numParams {
+		return fmt.Errorf("core: statement takes %d positional parameters; got %d", p.numParams, len(params))
+	}
+	for _, n := range p.paramNames {
+		if _, ok := named[n]; !ok {
+			return fmt.Errorf("core: no binding for parameter :%s", n)
+		}
+	}
+	return nil
+}
+
+// QueryContext parses (through the statement cache), plans and runs a
+// SELECT statement with the given parameter bindings, returning the
+// materialized result. Cancelling ctx aborts the scan at the next progress
+// boundary.
+func (e *Engine) QueryContext(ctx context.Context, sql string, params []datum.Datum, named map[string]datum.Datum) (*Result, error) {
+	p, err := e.PrepareStmt(sql)
+	if err != nil {
+		return nil, err
+	}
+	op, cols, err := p.Plan(ctx, params, named)
 	if err != nil {
 		return nil, err
 	}
@@ -166,21 +284,22 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	return &Result{Cols: cols, Rows: rows}, nil
 }
 
+// Query parses, plans and runs a SELECT statement, returning the
+// materialized result. It is QueryContext with a background context and no
+// parameters.
+func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryContext(context.Background(), sql, nil, nil)
+}
+
 // Prepare parses and plans a SELECT statement, returning the root operator
-// (not yet opened) for callers that want to stream rows themselves.
+// (not yet opened) for callers that want to stream rows themselves. It is
+// PrepareStmt + Plan with a background context and no parameters.
 func (e *Engine) Prepare(sql string) (exec.Operator, []exec.Col, error) {
-	sel, err := sqlparse.Parse(sql)
+	p, err := e.PrepareStmt(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := plan.Build(sel, e, plan.Options{
-		UseStats:  e.opts.Statistics,
-		Vectorize: !e.opts.DisableVectorized,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Root, res.Cols, nil
+	return p.Plan(context.Background(), nil, nil)
 }
 
 // Table implements plan.Resolver.
@@ -205,6 +324,8 @@ func (e *Engine) Table(name string) (plan.Table, error) {
 // table. The binary cache is the relevant auxiliary structure for binary
 // formats; it is enabled in every in-situ mode that caches.
 func (e *Engine) fitsFor(tbl *schema.Table) (*fits.InSitu, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if ft, ok := e.rawFITS[tbl.Name]; ok {
 		return ft, nil
 	}
@@ -218,6 +339,8 @@ func (e *Engine) fitsFor(tbl *schema.Table) (*fits.InSitu, error) {
 
 // rawFor returns (creating on first use) the in-situ state of a table.
 func (e *Engine) rawFor(tbl *schema.Table) (*rawTable, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if rt, ok := e.raw[tbl.Name]; ok {
 		return rt, nil
 	}
@@ -229,8 +352,12 @@ func (e *Engine) rawFor(tbl *schema.Table) (*rawTable, error) {
 	return rt, nil
 }
 
-// loadedFor returns the loaded relation, bulk-loading it on first use.
+// loadedFor returns the loaded relation, bulk-loading it on first use. The
+// engine mutex is held across the load, so concurrent first queries load a
+// table exactly once.
 func (e *Engine) loadedFor(tbl *schema.Table) (*loadedTable, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if lt, ok := e.loaded[tbl.Name]; ok {
 		return lt, nil
 	}
@@ -264,15 +391,23 @@ func (e *Engine) Load() error {
 
 // Invalidate drops all auxiliary state of a table (positional map, cache,
 // statistics, loaded heap), forcing the next query to rebuild it. Used
-// after in-place external updates (paper §4.5).
+// after in-place external updates (paper §4.5). It waits for scans of the
+// table in flight.
 func (e *Engine) Invalidate(name string) {
-	if rt, ok := e.raw[name]; ok {
-		rt.invalidate()
+	e.mu.Lock()
+	rt := e.raw[name]
+	lt := e.loaded[name]
+	delete(e.loaded, name)
+	e.mu.Unlock()
+	if rt != nil {
+		if err := rt.lk.Lock(context.Background()); err == nil {
+			rt.invalidate()
+			rt.lk.Unlock()
+		}
 	}
-	if lt, ok := e.loaded[name]; ok {
+	if lt != nil {
 		lt.rel.Heap.Close()
 		_ = os.Remove(lt.rel.Heap.Path())
-		delete(e.loaded, name)
 	}
 }
 
@@ -296,17 +431,23 @@ type TableMetrics struct {
 }
 
 // Metrics returns a snapshot for a raw table (zero value if the table has
-// not been touched or the engine is load-first).
+// not been touched or the engine is load-first). It waits for a recording
+// scan of the table in flight, so the snapshot is consistent.
 func (e *Engine) Metrics(name string) TableMetrics {
+	e.mu.Lock()
 	rt, ok := e.raw[name]
+	e.mu.Unlock()
 	if !ok {
 		return TableMetrics{}
 	}
 	return rt.metrics()
 }
 
-// Close releases all per-table resources.
+// Close releases all per-table resources. Queries still running have
+// undefined behavior, as with database handles generally.
 func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var first error
 	for _, rt := range e.raw {
 		if err := rt.close(); err != nil && first == nil {

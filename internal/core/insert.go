@@ -1,46 +1,64 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"nodb/internal/datum"
+	"nodb/internal/exec"
 	"nodb/internal/expr"
 	"nodb/internal/scan"
 	"nodb/internal/schema"
 	"nodb/internal/sqlparse"
 )
 
-// Exec runs any supported statement. SELECTs return their result; INSERTs
-// append to the raw file and return a Result with no columns whose Rows
-// length is 0 (use the returned count instead).
+// Exec runs any supported statement with a background context and no
+// parameters; see ExecContext.
+func (e *Engine) Exec(sql string) (*Result, int64, error) {
+	return e.ExecContext(context.Background(), sql, nil, nil)
+}
+
+// ExecContext runs any supported statement. SELECTs return their result;
+// INSERTs append to the raw file and return a Result with no columns whose
+// Rows length is 0 (use the returned count instead).
 //
 // INSERT is the paper's "internal update" (§4.5): new tuples are appended
 // to the raw data file itself — the file stays the single source of truth
 // — and the auxiliary structures (positional map, cache, statistics row
 // count) simply extend on the next query, exactly like an external append.
-func (e *Engine) Exec(sql string) (*Result, int64, error) {
-	stmt, err := sqlparse.ParseStatement(sql)
+// The append holds the table's lock exclusively, so it never interleaves
+// with a scan of the same table.
+func (e *Engine) ExecContext(ctx context.Context, sql string, params []datum.Datum, named map[string]datum.Datum) (*Result, int64, error) {
+	p, err := e.PrepareStmt(sql)
 	if err != nil {
 		return nil, 0, err
 	}
-	switch s := stmt.(type) {
-	case *sqlparse.Select:
-		res, err := e.Query(sql)
+	return e.ExecPrepared(ctx, p, params, named)
+}
+
+// ExecPrepared runs a prepared statement with the given bindings.
+func (e *Engine) ExecPrepared(ctx context.Context, p *Prepared, params []datum.Datum, named map[string]datum.Datum) (*Result, int64, error) {
+	if p.sel != nil {
+		op, cols, err := p.Plan(ctx, params, named)
 		if err != nil {
 			return nil, 0, err
 		}
-		return res, int64(len(res.Rows)), nil
-	case *sqlparse.Insert:
-		n, err := e.execInsert(s)
-		return &Result{}, n, err
-	default:
-		return nil, 0, fmt.Errorf("core: unsupported statement %T", stmt)
+		rows, err := exec.Drain(op)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &Result{Cols: cols, Rows: rows}, int64(len(rows)), nil
 	}
+	if err := checkBindings(p, params, named); err != nil {
+		return nil, 0, err
+	}
+	n, err := e.execInsert(ctx, p.ins, params, named)
+	return &Result{}, n, err
 }
 
 // execInsert validates and appends rows to the table's raw CSV file.
-func (e *Engine) execInsert(ins *sqlparse.Insert) (int64, error) {
+func (e *Engine) execInsert(ctx context.Context, ins *sqlparse.Insert, params []datum.Datum, named map[string]datum.Datum) (int64, error) {
 	tbl, ok := e.cat.Lookup(ins.Table)
 	if !ok {
 		return 0, fmt.Errorf("core: table %q does not exist", ins.Table)
@@ -61,7 +79,7 @@ func (e *Engine) execInsert(ins *sqlparse.Insert) (int64, error) {
 		}
 		out := make([]datum.Datum, len(row))
 		for ci, node := range row {
-			v, err := evalInsertValue(node)
+			v, err := evalInsertValue(node, params, named)
 			if err != nil {
 				return 0, fmt.Errorf("core: INSERT row %d column %s: %w", ri+1, tbl.Columns[ci].Name, err)
 			}
@@ -73,6 +91,17 @@ func (e *Engine) execInsert(ins *sqlparse.Insert) (int64, error) {
 		}
 		converted = append(converted, out)
 	}
+
+	// The append holds the table exclusively so it cannot interleave with
+	// a scan reading the file.
+	rt, err := e.rawFor(tbl)
+	if err != nil {
+		return 0, err
+	}
+	if err := rt.lk.Lock(ctx); err != nil {
+		return 0, err
+	}
+	defer rt.lk.Unlock()
 
 	// Append to the raw file. The in-situ state observes this as a file
 	// growth on the next query (refresh() treats growth as an append).
@@ -94,9 +123,9 @@ func (e *Engine) execInsert(ins *sqlparse.Insert) (int64, error) {
 }
 
 // evalInsertValue evaluates a literal value node: plain literals, date
-// literals, and unary minus. Column references and other expressions are
-// rejected.
-func evalInsertValue(node sqlparse.Node) (datum.Datum, error) {
+// literals, parameter placeholders, and unary minus. Column references and
+// other expressions are rejected.
+func evalInsertValue(node sqlparse.Node, params []datum.Datum, named map[string]datum.Datum) (datum.Datum, error) {
 	switch n := node.(type) {
 	case *sqlparse.IntLit:
 		return datum.NewInt(n.V), nil
@@ -109,11 +138,23 @@ func evalInsertValue(node sqlparse.Node) (datum.Datum, error) {
 		return datum.NewText(n.V), nil
 	case *sqlparse.DateLit:
 		return datum.DateFromString(n.V)
+	case *sqlparse.Placeholder:
+		if n.Name != "" {
+			d, ok := named[n.Name]
+			if !ok {
+				return datum.Datum{}, fmt.Errorf("no binding for parameter :%s", n.Name)
+			}
+			return d, nil
+		}
+		if n.Ordinal < 1 || n.Ordinal > len(params) {
+			return datum.Datum{}, fmt.Errorf("no binding for parameter $%d (have %d)", n.Ordinal, len(params))
+		}
+		return params[n.Ordinal-1], nil
 	case *sqlparse.Unary:
 		if n.Op != "-" {
 			return datum.Datum{}, fmt.Errorf("INSERT values must be literals")
 		}
-		v, err := evalInsertValue(n.E)
+		v, err := evalInsertValue(n.E, params, named)
 		if err != nil {
 			return datum.Datum{}, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -28,12 +29,19 @@ import (
 //   - records newly discovered positions into the map and parsed values
 //     into the binary cache, and feeds statistics collectors (§4.3, §4.4).
 type inSituScan struct {
+	ctx       context.Context
 	rt        *rawTable
 	outCols   []int
 	conjuncts []expr.Expr
 	conjCols  [][]int // per conjunct, the table ordinals it reads
 
 	cols []exec.Col // output schema
+
+	// c holds this scan's private instrumentation counters; they flush
+	// into rt.counters once, at Close, so the per-tuple hot path never
+	// touches shared memory.
+	c    scanCounters
+	tick int // cancellation check pacing
 
 	// Partition-worker configuration (parallel scan): when section is set,
 	// Open scans it instead of opening rt's file; base is the absolute file
@@ -75,11 +83,16 @@ type inSituScan struct {
 	maxNeeded  int   // highest table ordinal the query touches
 
 	batchSize int
+	budget    int64            // LIMIT pushdown row budget; -1 = none
 	batcher   *exec.RowBatcher // lazily built by NextBatch, reused per call
 }
 
-func newInSituScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *inSituScan {
+func newInSituScan(ctx context.Context, rt *rawTable, outCols []int, conjuncts []expr.Expr) *inSituScan {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &inSituScan{
+		ctx:       ctx,
 		rt:        rt,
 		outCols:   outCols,
 		conjuncts: conjuncts,
@@ -87,6 +100,7 @@ func newInSituScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *inSituSc
 		gen:       make([]int, rt.tbl.NumColumns()),
 		out:       make(exec.Row, len(outCols)),
 		batchSize: rt.batchSize(),
+		budget:    -1,
 	}
 	s.cols = make([]exec.Col, len(outCols))
 	for i, c := range outCols {
@@ -107,6 +121,14 @@ func newInSituScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *inSituSc
 
 // Columns implements exec.Operator.
 func (s *inSituScan) Columns() []exec.Col { return s.cols }
+
+// SetRowBudget implements exec.RowBudgeter (applied by the batch path).
+func (s *inSituScan) SetRowBudget(n int64) {
+	s.budget = n
+	if s.batcher != nil {
+		s.batcher.SetRowBudget(n)
+	}
+}
 
 // Open starts the sequential file pass and attaches statistics collectors
 // for needed columns that lack statistics.
@@ -180,8 +202,9 @@ func (s *inSituScan) Open() error {
 	return nil
 }
 
-// Close releases the file handle.
+// Close releases the file handle and publishes the scan's counters.
 func (s *inSituScan) Close() error {
+	s.rt.counters.add(&s.c)
 	if s.f != nil {
 		err := s.f.Close()
 		s.f = nil
@@ -190,9 +213,16 @@ func (s *inSituScan) Close() error {
 	return nil
 }
 
-// Next produces the next qualifying tuple's output columns.
+// Next produces the next qualifying tuple's output columns. Cancellation
+// is observed every 256 input tuples, so even a highly selective predicate
+// over a huge file aborts promptly.
 func (s *inSituScan) Next() (exec.Row, error) {
 	for {
+		if s.tick++; s.tick&255 == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		line, off, err := s.lr.Next()
 		if err == io.EOF {
 			s.finish()
@@ -205,7 +235,7 @@ func (s *inSituScan) Next() (exec.Row, error) {
 			s.rt.pm.RecordTupleStart(s.row, off)
 		}
 		s.curGen++
-		s.rt.tuplesParsed++
+		s.c.tuplesParsed++
 		s.tupPos = s.tupPos[:0]
 		s.tupShort = false
 
@@ -261,6 +291,9 @@ func (s *inSituScan) Next() (exec.Row, error) {
 func (s *inSituScan) NextBatch() (*exec.Batch, error) {
 	if s.batcher == nil {
 		s.batcher = exec.NewRowBatcher(s, s.batchSize)
+		if s.budget >= 0 {
+			s.batcher.SetRowBudget(s.budget)
+		}
 	}
 	return s.batcher.NextBatch()
 }
@@ -289,18 +322,18 @@ func (s *inSituScan) value(line []byte, col int) (datum.Datum, error) {
 	}
 	if s.cacheViews != nil && s.cacheViews[col].Valid() {
 		if v, ok := s.cacheViews[col].Get(s.row); ok {
-			s.rt.cacheHit()
+			s.c.cacheHits++
 			s.rowBuf[col] = v
 			s.gen[col] = s.curGen
 			return v, nil
 		}
-		s.rt.cacheMiss()
+		s.c.cacheMisses++
 	}
 	field, ok := s.locateField(line, col)
 	var v datum.Datum
 	if !ok {
 		// Short row: missing trailing fields read as NULL.
-		s.rt.shortRows++
+		s.c.shortRows++
 		v = datum.NewNull(s.rt.types[col])
 	} else {
 		var err error
@@ -312,7 +345,7 @@ func (s *inSituScan) value(line []byte, col int) (datum.Datum, error) {
 			}
 		}
 	}
-	s.rt.fieldsParsed++
+	s.c.fieldsParsed++
 	if s.cacheViews != nil && s.cacheViews[col].Valid() {
 		s.cacheViews[col].Put(s.row, v)
 	}
@@ -333,7 +366,7 @@ func (s *inSituScan) locateField(line []byte, col int) ([]byte, bool) {
 	if s.pmCursors != nil {
 		if rel, ok := s.pmCursors[col].Get(s.row); ok {
 			if int(rel) <= len(line) {
-				s.rt.fieldsFromMap++
+				s.c.fieldsFromMap++
 				return scan.FieldAt(line, rel, delim), true
 			}
 		}
@@ -344,7 +377,7 @@ func (s *inSituScan) locateField(line []byte, col int) ([]byte, bool) {
 			if h := s.nearHint[col]; h >= 0 {
 				if rel, ok := s.pmCursors[h].Get(s.row); ok && int(rel) <= len(line) {
 					if pos, ok := s.navigate(line, h, rel, col); ok {
-						s.rt.fieldsFromMap++
+						s.c.fieldsFromMap++
 						return scan.FieldAt(line, pos, delim), true
 					}
 					return nil, false // short row
@@ -353,7 +386,7 @@ func (s *inSituScan) locateField(line []byte, col int) ([]byte, bool) {
 			if nearAttr, rel, ok := s.rt.pm.Nearest(s.row, col); ok && int(rel) <= len(line) {
 				s.nearHint[col] = nearAttr
 				if pos, ok := s.navigate(line, nearAttr, rel, col); ok {
-					s.rt.fieldsFromMap++
+					s.c.fieldsFromMap++
 					return scan.FieldAt(line, pos, delim), true
 				}
 				return nil, false // short row
@@ -366,7 +399,7 @@ func (s *inSituScan) locateField(line []byte, col int) ([]byte, bool) {
 	// query). The prefix is shared across the tuple's column accesses, so
 	// each character is examined at most once.
 	pos, ok := s.prefixPos(line, col)
-	s.rt.fieldsFromScan++
+	s.c.fieldsFromScan++
 	if !ok {
 		return nil, false
 	}
@@ -434,14 +467,14 @@ func (s *inSituScan) navigate(line []byte, fromAttr int, fromRel uint32, col int
 // finish runs once the scan has seen the whole file: it fixes the row
 // count and publishes any newly collected statistics.
 func (s *inSituScan) finish() {
-	s.rt.rows = int64(s.row)
+	s.rt.rows.Store(int64(s.row))
 	if s.shard {
 		// Partition worker: the shadow table keeps the local row count;
 		// collectors stay attached for parallelScan to merge and publish.
 		return
 	}
 	if s.rt.st != nil {
-		s.rt.st.RowCount = int64(s.row)
+		s.rt.st.SetRowCount(int64(s.row))
 		for col, c := range s.collectors {
 			if c != nil {
 				s.rt.st.Set(col, c.Finalize())
@@ -452,34 +485,50 @@ func (s *inSituScan) finish() {
 }
 
 // cacheScan serves a query entirely from the binary cache, never touching
-// the raw file (the optimal regime of Fig 6's third epoch).
+// the raw file (the optimal regime of Fig 6's third epoch). In readonly
+// mode (unbudgeted caches) it runs under a shared table lock concurrently
+// with other cache scans: views are acquired without LRU side effects and
+// every shared-state update is confined to the private counters.
 type cacheScan struct {
+	ctx       context.Context
 	rt        *rawTable
 	outCols   []int
 	conjuncts []expr.Expr
 	conjCols  [][]int
 	cols      []exec.Col
 	needed    []int
+	readonly  bool
 
 	row    int
+	nrows  int64 // rt.rows snapshot, stable for the scan's lifetime
 	rowBuf exec.Row
 	out    exec.Row
 	views  []colcache.View
 
+	c    scanCounters
+	tick int
+
 	batchSize int
+	budget    int64       // LIMIT pushdown; -1 = none
+	produced  int64       // live rows delivered by NextBatch
 	batch     *exec.Batch // table-width working columns (needed ones filled)
 	outBatch  *exec.Batch // outCols-ordered aliases of batch's columns
 	selBuf    []int
 }
 
-func newCacheScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *cacheScan {
+func newCacheScan(ctx context.Context, rt *rawTable, outCols []int, conjuncts []expr.Expr) *cacheScan {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &cacheScan{
+		ctx:       ctx,
 		rt:        rt,
 		outCols:   outCols,
 		conjuncts: conjuncts,
 		rowBuf:    make(exec.Row, rt.tbl.NumColumns()),
 		out:       make(exec.Row, len(outCols)),
 		batchSize: rt.batchSize(),
+		budget:    -1,
 	}
 	s.cols = make([]exec.Col, len(outCols))
 	for i, c := range outCols {
@@ -496,9 +545,14 @@ func newCacheScan(rt *rawTable, outCols []int, conjuncts []expr.Expr) *cacheScan
 // Columns implements exec.Operator.
 func (s *cacheScan) Columns() []exec.Col { return s.cols }
 
+// SetRowBudget implements exec.RowBudgeter (applied by the batch path).
+func (s *cacheScan) SetRowBudget(n int64) { s.budget = n }
+
 // Open resets the cursor and acquires column views.
 func (s *cacheScan) Open() error {
 	s.row = 0
+	s.produced = 0
+	s.nrows = s.rt.rows.Load()
 	if s.views == nil {
 		s.views = make([]colcache.View, len(s.rowBuf))
 	}
@@ -506,7 +560,11 @@ func (s *cacheScan) Open() error {
 		s.views[i] = colcache.View{}
 	}
 	for _, c := range s.needed {
-		s.views[c] = s.rt.cache.View(c, s.rt.types[c])
+		if s.readonly {
+			s.views[c] = s.rt.cache.ReadView(c)
+		} else {
+			s.views[c] = s.rt.cache.View(c, s.rt.types[c])
+		}
 		if !s.views[c].Valid() {
 			return fmt.Errorf("core: cache scan lost column %d (concurrent eviction?)", c)
 		}
@@ -514,13 +572,21 @@ func (s *cacheScan) Open() error {
 	return nil
 }
 
-// Close implements exec.Operator.
-func (s *cacheScan) Close() error { return nil }
+// Close publishes the scan's counters.
+func (s *cacheScan) Close() error {
+	s.rt.counters.add(&s.c)
+	return nil
+}
 
 // Next emits the next qualifying row from the cache.
 func (s *cacheScan) Next() (exec.Row, error) {
 	for {
-		if int64(s.row) >= s.rt.rows {
+		if s.tick++; s.tick&255 == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if int64(s.row) >= s.nrows {
 			return nil, io.EOF
 		}
 		qualifies := true
@@ -531,7 +597,7 @@ func (s *cacheScan) Next() (exec.Row, error) {
 					return nil, fmt.Errorf("core: cache scan lost column %d row %d (concurrent eviction?)", c, s.row)
 				}
 				s.rowBuf[c] = v
-				s.rt.cacheHit()
+				s.c.cacheHits++
 			}
 			ok, err := expr.TruthyResult(conj, s.rowBuf)
 			if err != nil {
@@ -552,7 +618,7 @@ func (s *cacheScan) Next() (exec.Row, error) {
 				return nil, fmt.Errorf("core: cache scan lost column %d row %d", c, s.row)
 			}
 			s.out[i] = v
-			s.rt.cacheHit()
+			s.c.cacheHits++
 		}
 		s.row++
 		return s.out, nil
@@ -573,12 +639,25 @@ func (s *cacheScan) NextBatch() (*exec.Batch, error) {
 		s.outBatch = &exec.Batch{Cols: make([][]datum.Datum, len(s.outCols))}
 	}
 	for {
-		if int64(s.row) >= s.rt.rows {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
+		if int64(s.row) >= s.nrows {
+			return nil, io.EOF
+		}
+		if s.budget >= 0 && s.produced >= s.budget {
 			return nil, io.EOF
 		}
 		n := s.batchSize
-		if rem := int(s.rt.rows) - s.row; rem < n {
+		if rem := int(s.nrows) - s.row; rem < n {
 			n = rem
+		}
+		if s.budget >= 0 && len(s.conjuncts) == 0 {
+			// Unfiltered batches are all live: never materialize past the
+			// budget.
+			if rem := s.budget - s.produced; int64(n) > rem {
+				n = int(rem)
+			}
 		}
 		b := s.batch
 		for _, c := range s.needed {
@@ -594,7 +673,7 @@ func (s *cacheScan) NextBatch() (*exec.Batch, error) {
 		var sel []int
 		live := n
 		for i, conj := range s.conjuncts {
-			s.rt.cacheHits += int64(live * len(s.conjCols[i]))
+			s.c.cacheHits += int64(live * len(s.conjCols[i]))
 			var err error
 			if sel == nil {
 				sel, err = expr.FilterBatch(conj, b.Cols, n, nil, s.selBuf[:0])
@@ -614,7 +693,8 @@ func (s *cacheScan) NextBatch() (*exec.Batch, error) {
 		if live == 0 && len(s.conjuncts) > 0 {
 			continue
 		}
-		s.rt.cacheHits += int64(live * len(s.outCols))
+		s.c.cacheHits += int64(live * len(s.outCols))
+		s.produced += int64(live)
 		out := s.outBatch
 		for i, c := range s.outCols {
 			out.Cols[i] = b.Cols[c]

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// tableLock is a context-aware readers-writer lock serializing access to
+// one raw table's adaptive structures (positional map, binary cache,
+// per-table state). Scans that record into those structures hold it
+// exclusively for their whole lifetime — which is also what makes the
+// first touch of a cold table single-flight: concurrent sessions block
+// here while one pays the parse, then re-decide their access method
+// against the structures it built (typically a pure cache scan). Fully
+// cached read-only scans share the lock, so warm traffic runs in parallel.
+//
+// Acquisition is abortable: a caller whose context is cancelled while
+// waiting gives up with ctx.Err() instead of queueing forever behind a
+// long scan. Writers take priority over new readers, so a cold scan is
+// never starved by a stream of cache readers.
+type tableLock struct {
+	mu      sync.Mutex
+	writer  bool
+	readers int
+	waitW   int           // writers waiting (blocks new readers: writer preference)
+	wait    chan struct{} // closed and replaced on every state change (broadcast)
+}
+
+func newTableLock() *tableLock { return &tableLock{wait: make(chan struct{})} }
+
+// broadcast wakes every waiter; each re-checks the state.
+func (l *tableLock) broadcast() {
+	close(l.wait)
+	l.wait = make(chan struct{})
+}
+
+// Lock acquires the lock exclusively, aborting with ctx.Err() on
+// cancellation.
+func (l *tableLock) Lock(ctx context.Context) error {
+	l.mu.Lock()
+	l.waitW++
+	for l.writer || l.readers > 0 {
+		ch := l.wait
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			l.mu.Lock()
+			l.waitW--
+			l.broadcast() // readers held back by waitW may proceed
+			l.mu.Unlock()
+			return ctx.Err()
+		}
+		l.mu.Lock()
+	}
+	l.waitW--
+	l.writer = true
+	l.mu.Unlock()
+	return nil
+}
+
+// Unlock releases an exclusive hold.
+func (l *tableLock) Unlock() {
+	l.mu.Lock()
+	l.writer = false
+	l.broadcast()
+	l.mu.Unlock()
+}
+
+// RLock acquires the lock shared, aborting with ctx.Err() on cancellation.
+func (l *tableLock) RLock(ctx context.Context) error {
+	l.mu.Lock()
+	for l.writer || l.waitW > 0 {
+		ch := l.wait
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		l.mu.Lock()
+	}
+	l.readers++
+	l.mu.Unlock()
+	return nil
+}
+
+// RUnlock releases a shared hold.
+func (l *tableLock) RUnlock() {
+	l.mu.Lock()
+	l.readers--
+	if l.readers == 0 {
+		l.broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// Downgrade atomically converts a held exclusive lock into a shared one,
+// admitting other readers without ever releasing the table: the state
+// verified under the exclusive hold (e.g. "the cache fully covers this
+// query") cannot be invalidated in between.
+func (l *tableLock) Downgrade() {
+	l.mu.Lock()
+	l.writer = false
+	l.readers++
+	l.broadcast()
+	l.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -37,6 +38,7 @@ const batchChanCap = 4
 // once the positional map or cache hold content, the sequential pass
 // exploits them instead.
 type parallelScan struct {
+	ctx       context.Context
 	rt        *rawTable
 	outCols   []int
 	conjuncts []expr.Expr
@@ -50,13 +52,18 @@ type parallelScan struct {
 	merged bool          // shards already folded into rt (finish or stop)
 }
 
-// newParallelScan builds the operator; workers must be >= 2.
-func newParallelScan(rt *rawTable, outCols []int, conjuncts []expr.Expr, workers int) exec.Operator {
+// newParallelScan builds the operator; workers must be >= 2. Workers
+// observe ctx cancellation inside their partition scans and the merged
+// stream surfaces the context error.
+func newParallelScan(ctx context.Context, rt *rawTable, outCols []int, conjuncts []expr.Expr, workers int) exec.Operator {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cols := make([]exec.Col, len(outCols))
 	for i, c := range outCols {
 		cols[i] = exec.Col{Name: rt.tbl.Columns[c].Name, Type: rt.tbl.Columns[c].Type}
 	}
-	p := &parallelScan{rt: rt, outCols: outCols, conjuncts: conjuncts, workers: workers}
+	p := &parallelScan{ctx: ctx, rt: rt, outCols: outCols, conjuncts: conjuncts, workers: workers}
 	src := exec.NewOrderedBatchSource(cols, p.start, p.finish, p.stop)
 	src.OnError(p.rebaseErr)
 	return src
@@ -102,7 +109,7 @@ func (p *parallelScan) start() ([]<-chan exec.BatchMsg, error) {
 	for i, part := range parts {
 		ch := make(chan exec.BatchMsg, batchChanCap)
 		chans[i] = ch
-		sh := newInSituScan(p.rt.shard(), p.outCols, p.conjuncts)
+		sh := newInSituScan(p.ctx, p.rt.shard(), p.outCols, p.conjuncts)
 		sh.shard = true
 		sh.section = io.NewSectionReader(f, part.Start, part.End-part.Start)
 		sh.base = part.Start
@@ -153,12 +160,15 @@ func (p *parallelScan) worker(s *inSituScan, ch chan<- exec.BatchMsg) {
 	}
 }
 
-// send delivers a batch unless the scan is being torn down.
+// send delivers a batch unless the scan is being torn down or the query's
+// context is cancelled (the consumer might no longer be draining).
 func (p *parallelScan) send(ch chan<- exec.BatchMsg, m exec.BatchMsg) bool {
 	select {
 	case ch <- m:
 		return true
 	case <-p.done:
+		return false
+	case <-p.ctx.Done():
 		return false
 	}
 }
@@ -168,11 +178,23 @@ func (p *parallelScan) send(ch chan<- exec.BatchMsg, m exec.BatchMsg) bool {
 // scan's finish does.
 func (p *parallelScan) finish() error {
 	p.wg.Wait()
+	// A cancelled context can race a worker's final error send (send's
+	// select drops the message when ctx.Done fires first), making an
+	// aborted pass look like a clean drain. Never publish totals from such
+	// a pass: surface the cancellation; Close merges the drained prefix.
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
+	for i, s := range p.shards {
+		if !s.drained {
+			return fmt.Errorf("core: %s: partition %d ended without draining or reporting an error", p.rt.tbl.Name, i)
+		}
+	}
 	total, merged := p.mergeShards(len(p.shards))
 	rt := p.rt
-	rt.rows = int64(total)
+	rt.rows.Store(int64(total))
 	if rt.st != nil {
-		rt.st.RowCount = int64(total)
+		rt.st.SetRowCount(int64(total))
 		for col, c := range merged {
 			if c != nil {
 				rt.st.Set(col, c.Finalize())
@@ -205,13 +227,17 @@ func (p *parallelScan) mergeShards(n int) (int, []*stats.Collector) {
 		if rt.cache != nil {
 			rt.cache.Absorb(sh.cache, total)
 		}
-		rt.shortRows += sh.shortRows
-		rt.tuplesParsed += sh.tuplesParsed
-		rt.fieldsParsed += sh.fieldsParsed
-		rt.fieldsFromMap += sh.fieldsFromMap
-		rt.fieldsFromScan += sh.fieldsFromScan
-		rt.cacheHits += sh.cacheHits
-		rt.cacheMisses += sh.cacheMisses
+		// The worker flushed its scan counters into its private shard table
+		// at Close; fold them into the shared table here.
+		rt.counters.add(&scanCounters{
+			shortRows:      sh.counters.shortRows.Load(),
+			tuplesParsed:   sh.counters.tuplesParsed.Load(),
+			fieldsParsed:   sh.counters.fieldsParsed.Load(),
+			fieldsFromMap:  sh.counters.fieldsFromMap.Load(),
+			fieldsFromScan: sh.counters.fieldsFromScan.Load(),
+			cacheHits:      sh.counters.cacheHits.Load(),
+			cacheMisses:    sh.counters.cacheMisses.Load(),
+		})
 		switch {
 		case s.collectors == nil:
 		case merged == nil:

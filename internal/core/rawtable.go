@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 
 	"nodb/internal/colcache"
 	"nodb/internal/datum"
@@ -19,21 +21,49 @@ import (
 // rawTable is the in-situ state of one raw file: the adaptive positional
 // map, the binary cache and on-the-fly statistics. It implements
 // plan.Table.
+//
+// Concurrency: the adaptive structures are shared by every session, so
+// access is mediated by lk. Scans that record into them (in-situ and
+// parallel passes) hold lk exclusively for their lifetime; fully cached
+// read-only scans hold it shared and run in parallel. Statistics carry
+// their own internal lock (planning reads them lock-free with respect to
+// lk), the row count and cumulative counters are atomics.
 type rawTable struct {
 	tbl  *schema.Table
 	opts *Options
+
+	lk *tableLock
 
 	pm          *posmap.Map     // nil in ModeExternalFiles
 	recordAttrs bool            // false in ModeCache (minimal map only)
 	cache       *colcache.Cache // nil unless caching enabled
 	st          *stats.Table    // nil unless Statistics
 
-	rows     int64 // -1 until the first complete scan
-	fileSize int64 // size observed at last scan, for append detection
+	rows     atomic.Int64 // -1 until the first complete scan
+	fileSize int64        // size observed at last scan (guarded by lk exclusive)
 
 	types []datum.Type
 
-	// Cumulative scan counters (see TableMetrics).
+	// Cumulative scan counters (see TableMetrics). Scans accumulate into
+	// private scanCounters on their hot path and flush here once at Close,
+	// so Metrics can read concurrently without slowing the parse loop.
+	counters tableCounters
+}
+
+// tableCounters are the cumulative per-table instrumentation counters.
+type tableCounters struct {
+	shortRows      atomic.Int64
+	tuplesParsed   atomic.Int64
+	fieldsParsed   atomic.Int64
+	fieldsFromMap  atomic.Int64
+	fieldsFromScan atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+}
+
+// scanCounters are one scan's private (unsynchronized) counters; add
+// publishes them into the shared cumulative counters.
+type scanCounters struct {
 	shortRows      int64
 	tuplesParsed   int64
 	fieldsParsed   int64
@@ -43,10 +73,16 @@ type rawTable struct {
 	cacheMisses    int64
 }
 
-// cacheHit and cacheMiss count view-based cache traffic (views bypass the
-// cache's own counters for speed).
-func (rt *rawTable) cacheHit()  { rt.cacheHits++ }
-func (rt *rawTable) cacheMiss() { rt.cacheMisses++ }
+func (tc *tableCounters) add(c *scanCounters) {
+	tc.shortRows.Add(c.shortRows)
+	tc.tuplesParsed.Add(c.tuplesParsed)
+	tc.fieldsParsed.Add(c.fieldsParsed)
+	tc.fieldsFromMap.Add(c.fieldsFromMap)
+	tc.fieldsFromScan.Add(c.fieldsFromScan)
+	tc.cacheHits.Add(c.cacheHits)
+	tc.cacheMisses.Add(c.cacheMisses)
+	*c = scanCounters{}
+}
 
 // batchSize is the vectorized batch height for this table's scans.
 func (rt *rawTable) batchSize() int {
@@ -60,7 +96,8 @@ func newRawTable(tbl *schema.Table, opts *Options) (*rawTable, error) {
 	if tbl.Format != schema.CSV {
 		return nil, fmt.Errorf("core: table %s: format %s is not handled by the CSV engine (use fits.Attach for FITS tables)", tbl.Name, tbl.Format)
 	}
-	rt := &rawTable{tbl: tbl, opts: opts, rows: -1}
+	rt := &rawTable{tbl: tbl, opts: opts, lk: newTableLock()}
+	rt.rows.Store(-1)
 	rt.types = make([]datum.Type, tbl.NumColumns())
 	for i, c := range tbl.Columns {
 		rt.types[i] = c.Type
@@ -111,23 +148,15 @@ func (rt *rawTable) Columns() []schema.Column { return rt.tbl.Columns }
 func (rt *rawTable) Stats() *stats.Table { return rt.st }
 
 // RowCount implements plan.Table.
-func (rt *rawTable) RowCount() int64 { return rt.rows }
+func (rt *rawTable) RowCount() int64 { return rt.rows.Load() }
 
-// Scan implements plan.Table. It checks for external file changes, then
-// chooses between a pure cache scan (no file access; paper Fig 6 third
-// epoch) and the full in-situ scan.
-func (rt *rawTable) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
-	if err := rt.refresh(); err != nil {
-		return nil, err
-	}
-	needed := neededColumns(cols, conjuncts)
-	if rt.cacheCovers(needed) {
-		return newCacheScan(rt, cols, conjuncts), nil
-	}
-	if w := rt.scanWorkers(); w > 1 {
-		return newParallelScan(rt, cols, conjuncts, w), nil
-	}
-	return newInSituScan(rt, cols, conjuncts), nil
+// Scan implements plan.Table. The returned operator defers the access
+// method choice — pure cache scan, parallel partitioned pass, or
+// sequential in-situ pass — until Open, when it acquires the table lock
+// and can decide against the structures as they exist at execution time
+// (by then a concurrent session may already have warmed the table).
+func (rt *rawTable) Scan(ctx context.Context, cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
+	return newTableScan(ctx, rt, cols, conjuncts), nil
 }
 
 // scanWorkers decides how many partition workers the next raw-file pass may
@@ -164,7 +193,8 @@ func (rt *rawTable) scanWorkers() int {
 // worker's per-tuple hot path is shared. parallelScan merges shards back
 // into rt when the pass completes; the shared budgets apply at merge time.
 func (rt *rawTable) shard() *rawTable {
-	sh := &rawTable{tbl: rt.tbl, opts: rt.opts, rows: -1, types: rt.types, st: rt.st}
+	sh := &rawTable{tbl: rt.tbl, opts: rt.opts, lk: newTableLock(), types: rt.types, st: rt.st}
+	sh.rows.Store(-1)
 	if rt.pm != nil {
 		sh.pm = posmap.New(rt.tbl.NumColumns(), posmap.Options{ChunkRows: rt.opts.PMChunkRows})
 		sh.recordAttrs = rt.recordAttrs
@@ -197,23 +227,33 @@ func neededColumns(cols []int, conjuncts []expr.Expr) []int {
 }
 
 // cacheCovers reports whether every needed column is fully cached for all
-// known rows.
+// known rows. Callers must hold lk.
 func (rt *rawTable) cacheCovers(needed []int) bool {
-	if rt.cache == nil || rt.rows < 0 {
+	rows := rt.rows.Load()
+	if rt.cache == nil || rows < 0 {
 		return false
 	}
 	for _, c := range needed {
-		if !rt.cache.FullyCovers(c, int(rt.rows)) {
+		if !rt.cache.FullyCovers(c, int(rows)) {
 			return false
 		}
 	}
 	return true
 }
 
+// fileUnchanged reports whether the backing file still has the size the
+// last refresh observed — the precondition for serving a query without
+// the exclusive reconciliation pass. Callers must hold lk (shared is
+// enough: fileSize only changes under the exclusive hold).
+func (rt *rawTable) fileUnchanged() bool {
+	fi, err := os.Stat(rt.tbl.Path)
+	return err == nil && fi.Size() == rt.fileSize && rt.fileSize > 0
+}
+
 // refresh stats the backing file and reconciles auxiliary structures with
 // external changes: growth is treated as an append (structures cover the
 // old prefix and extend on the next scan); shrinkage or replacement drops
-// everything (paper §4.5).
+// everything (paper §4.5). Callers must hold lk exclusively.
 func (rt *rawTable) refresh() error {
 	fi, err := os.Stat(rt.tbl.Path)
 	if err != nil {
@@ -225,7 +265,7 @@ func (rt *rawTable) refresh() error {
 		return nil
 	case size > rt.fileSize && rt.fileSize > 0:
 		// Append: row count becomes unknown; prefix structures stay.
-		rt.rows = -1
+		rt.rows.Store(-1)
 	case size < rt.fileSize:
 		rt.invalidate()
 	}
@@ -233,7 +273,8 @@ func (rt *rawTable) refresh() error {
 	return nil
 }
 
-// invalidate drops every auxiliary structure.
+// invalidate drops every auxiliary structure. Callers must hold lk
+// exclusively (Engine.Invalidate acquires it).
 func (rt *rawTable) invalidate() {
 	if rt.pm != nil {
 		rt.pm.Drop()
@@ -245,18 +286,24 @@ func (rt *rawTable) invalidate() {
 	if rt.st != nil {
 		rt.st.Drop()
 	}
-	rt.rows = -1
+	rt.rows.Store(-1)
 	rt.fileSize = 0
 }
 
+// metrics snapshots the instrumentation counters. It takes the table lock
+// shared, so it waits for a recording scan in progress (counters flush at
+// scan close) and returns a consistent picture.
 func (rt *rawTable) metrics() TableMetrics {
+	if err := rt.lk.RLock(context.Background()); err == nil {
+		defer rt.lk.RUnlock()
+	}
 	m := TableMetrics{
-		Rows:           rt.rows,
-		ShortRows:      rt.shortRows,
-		TuplesParsed:   rt.tuplesParsed,
-		FieldsParsed:   rt.fieldsParsed,
-		FieldsFromMap:  rt.fieldsFromMap,
-		FieldsFromScan: rt.fieldsFromScan,
+		Rows:           rt.rows.Load(),
+		ShortRows:      rt.counters.shortRows.Load(),
+		TuplesParsed:   rt.counters.tuplesParsed.Load(),
+		FieldsParsed:   rt.counters.fieldsParsed.Load(),
+		FieldsFromMap:  rt.counters.fieldsFromMap.Load(),
+		FieldsFromScan: rt.counters.fieldsFromScan.Load(),
 	}
 	if rt.pm != nil {
 		pm := rt.pm.Metrics()
@@ -268,8 +315,8 @@ func (rt *rawTable) metrics() TableMetrics {
 		cm := rt.cache.Metrics()
 		m.CacheBytes = rt.cache.Bytes()
 		m.CacheUsage = rt.cache.Usage()
-		m.CacheHits = cm.Hits + rt.cacheHits
-		m.CacheMisses = cm.Misses + rt.cacheMisses
+		m.CacheHits = cm.Hits + rt.counters.cacheHits.Load()
+		m.CacheMisses = cm.Misses + rt.counters.cacheMisses.Load()
 	}
 	if rt.st != nil {
 		m.StatsColumns = rt.st.CoveredColumns()
@@ -300,12 +347,13 @@ func (lt *loadedTable) Columns() []schema.Column { return lt.tbl.Columns }
 func (lt *loadedTable) Stats() *stats.Table { return lt.rel.Stats }
 
 // RowCount implements plan.Table.
-func (lt *loadedTable) RowCount() int64 { return lt.rel.Stats.RowCount }
+func (lt *loadedTable) RowCount() int64 { return lt.rel.Stats.RowCount() }
 
 // Scan implements plan.Table: a sequential page scan with the conjuncts
 // evaluated against decoded tuples, projecting the requested ordinals.
 // Tuples are deformed only up to the last needed column, as row stores do.
-func (lt *loadedTable) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
+// Cancellation is observed every few hundred rows.
+func (lt *loadedTable) Scan(ctx context.Context, cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
 	pred := expr.JoinConjuncts(conjuncts)
 	outCols := make([]exec.Col, len(cols))
 	for i, c := range cols {
@@ -318,6 +366,7 @@ func (lt *loadedTable) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, e
 		}
 	}
 	var it *storage.Iterator
+	var tick int
 	out := make(exec.Row, len(cols))
 	return exec.NewSource(outCols,
 		func() error {
@@ -326,6 +375,11 @@ func (lt *loadedTable) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, e
 		},
 		func() (exec.Row, error) {
 			for {
+				if tick++; tick&255 == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				row, err := it.Next()
 				if err != nil {
 					return nil, err

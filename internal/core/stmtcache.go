@@ -1,0 +1,62 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultStmtCacheSize is how many prepared statements the engine keeps
+// when Options.PlanCacheSize is zero.
+const defaultStmtCacheSize = 256
+
+// stmtCache is a concurrency-safe LRU of prepared statements keyed on
+// normalized SQL. Entries are parse results (parameterized ASTs), which are
+// immutable and therefore safely shared by every session; physical plans
+// are NOT cached — they re-build per execution so late-bound parameter
+// values drive the statistics decisions (conjunct order, selective-parsing
+// field sets, join order) each time.
+type stmtCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // of *stmtEntry; front = most recent
+}
+
+type stmtEntry struct {
+	key  string
+	prep *Prepared
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	if capacity <= 0 {
+		capacity = defaultStmtCacheSize
+	}
+	return &stmtCache{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+func (c *stmtCache) get(key string) (*Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*stmtEntry).prep, true
+}
+
+func (c *stmtCache) put(key string, p *Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*stmtEntry).prep = p
+		return
+	}
+	c.m[key] = c.lru.PushFront(&stmtEntry{key: key, prep: p})
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.m, tail.Value.(*stmtEntry).key)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"io"
+
+	"nodb/internal/exec"
+	"nodb/internal/expr"
+)
+
+// tableScan is the leaf operator for a raw CSV table. It defers the access
+// method decision to Open, where it holds the table lock:
+//
+//   - If the binary cache fully covers the query, it runs a pure cache
+//     scan. Without a cache budget that scan is read-only, so the lock is
+//     downgraded to shared and any number of such scans proceed in
+//     parallel.
+//   - Otherwise it runs the recording pass — parallel partitioned on a
+//     cold table, sequential in-situ when warm — under the exclusive lock.
+//
+// Exclusive acquisition is what makes cold tables single-flight: N
+// sessions arriving at an untouched file queue here, exactly one pays the
+// first parse, and the rest re-decide afterwards (and typically downgrade
+// to shared cache scans). Lock waits abort when ctx is cancelled, and the
+// scan itself re-checks ctx at batch (and every-few-rows) boundaries.
+//
+// tableScan implements both executor interfaces; every inner access method
+// is natively batch-capable.
+type tableScan struct {
+	ctx       context.Context
+	rt        *rawTable
+	outCols   []int
+	conjuncts []expr.Expr
+	cols      []exec.Col
+	budget    int64 // LIMIT pushdown; -1 = none
+
+	inner  exec.Operator
+	innerB exec.BatchOperator
+	unlock func()
+	tick   int
+}
+
+func newTableScan(ctx context.Context, rt *rawTable, outCols []int, conjuncts []expr.Expr) *tableScan {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cols := make([]exec.Col, len(outCols))
+	for i, c := range outCols {
+		cols[i] = exec.Col{Name: rt.tbl.Columns[c].Name, Type: rt.tbl.Columns[c].Type}
+	}
+	return &tableScan{ctx: ctx, rt: rt, outCols: outCols, conjuncts: conjuncts, cols: cols, budget: -1}
+}
+
+// SetRowBudget implements exec.RowBudgeter; the budget is forwarded to
+// whichever access method Open selects.
+func (t *tableScan) SetRowBudget(n int64) { t.budget = n }
+
+// Columns implements exec.Operator.
+func (t *tableScan) Columns() []exec.Col { return t.cols }
+
+// Open acquires the table, decides the access method and opens it.
+func (t *tableScan) Open() error {
+	rt := t.rt
+	// Fast path: when the unbudgeted cache may already cover the query, try
+	// a shared acquisition first — a covered query records nothing, so any
+	// number of such sessions scan in parallel. The checks re-run under the
+	// hold (file size unchanged, cache covers); if either fails, fall back
+	// to the exclusive path, which refreshes and re-decides.
+	if rt.cache != nil && rt.opts.CacheBudget <= 0 {
+		if err := rt.lk.RLock(t.ctx); err != nil {
+			return err
+		}
+		if rt.fileUnchanged() && rt.cacheCovers(neededColumns(t.outCols, t.conjuncts)) {
+			cs := newCacheScan(t.ctx, rt, t.outCols, t.conjuncts)
+			cs.readonly = true
+			if t.budget >= 0 {
+				cs.SetRowBudget(t.budget)
+			}
+			if err := cs.Open(); err != nil {
+				cs.Close()
+				rt.lk.RUnlock()
+				return err
+			}
+			t.inner, t.innerB = cs, cs
+			t.unlock = rt.lk.RUnlock
+			return nil
+		}
+		rt.lk.RUnlock()
+	}
+	if err := rt.lk.Lock(t.ctx); err != nil {
+		return err
+	}
+	unlock := rt.lk.Unlock
+	ok := false
+	defer func() {
+		if !ok {
+			unlock()
+		}
+	}()
+	if err := rt.refresh(); err != nil {
+		return err
+	}
+	var inner exec.Operator
+	if rt.cacheCovers(neededColumns(t.outCols, t.conjuncts)) {
+		cs := newCacheScan(t.ctx, rt, t.outCols, t.conjuncts)
+		if rt.opts.CacheBudget <= 0 {
+			// An unbudgeted cache never evicts, so the scan mutates nothing
+			// shared: downgrade to a shared hold and let cache readers run
+			// in parallel. (With a budget, reads churn the LRU and may
+			// create entries, so the scan keeps the exclusive hold.)
+			cs.readonly = true
+			rt.lk.Downgrade()
+			unlock = rt.lk.RUnlock
+		}
+		inner = cs
+	} else if w := rt.scanWorkers(); w > 1 {
+		inner = newParallelScan(t.ctx, rt, t.outCols, t.conjuncts, w)
+	} else {
+		inner = newInSituScan(t.ctx, rt, t.outCols, t.conjuncts)
+	}
+	if t.budget >= 0 {
+		inner.(exec.RowBudgeter).SetRowBudget(t.budget)
+	}
+	if err := inner.Open(); err != nil {
+		inner.Close()
+		return err
+	}
+	t.inner = inner
+	t.innerB = inner.(exec.BatchOperator)
+	t.unlock = unlock
+	ok = true
+	return nil
+}
+
+// Next implements exec.Operator, re-checking cancellation every 64 rows.
+func (t *tableScan) Next() (exec.Row, error) {
+	if t.inner == nil {
+		return nil, io.EOF
+	}
+	if t.tick++; t.tick&63 == 0 {
+		if err := t.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return t.inner.Next()
+}
+
+// NextBatch implements exec.BatchOperator, re-checking cancellation at
+// every batch boundary.
+func (t *tableScan) NextBatch() (*exec.Batch, error) {
+	if t.innerB == nil {
+		return nil, io.EOF
+	}
+	if err := t.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.innerB.NextBatch()
+}
+
+// Close tears the inner scan down and releases the table.
+func (t *tableScan) Close() error {
+	var err error
+	if t.inner != nil {
+		err = t.inner.Close()
+		t.inner, t.innerB = nil, nil
+	}
+	if t.unlock != nil {
+		t.unlock()
+		t.unlock = nil
+	}
+	return err
+}

@@ -84,6 +84,17 @@ type BatchOperator interface {
 	Columns() []Col
 }
 
+// RowBudgeter is implemented by batch producers that can stop early once
+// the consumer needs at most n more live rows. The planner pushes a bare
+// LIMIT down through count-preserving operators (projections) as a row
+// budget, so the scan stops at the limit instead of materializing one full
+// batch past it. A budget is an upper bound on useful output, never a
+// change of results: producers may still deliver complete batches whose
+// tail the limit above truncates.
+type RowBudgeter interface {
+	SetRowBudget(n int64)
+}
+
 // BatchRows adapts a BatchOperator into the row Operator interface, for
 // row-only consumers (sort, join, client drains) above a batch pipeline.
 type BatchRows struct {
@@ -135,9 +146,11 @@ func (a *BatchRows) Columns() []Col { return a.child.Columns() }
 // RowBatcher adapts a row Operator into the batch interface, so a row-only
 // leaf can feed a vectorized pipeline.
 type RowBatcher struct {
-	child Operator
-	size  int
-	b     *Batch
+	child    Operator
+	size     int
+	b        *Batch
+	budget   int64 // max rows to produce in total; -1 = unlimited
+	produced int64
 }
 
 // NewRowBatcher wraps a row operator, grouping size rows per batch
@@ -146,20 +159,39 @@ func NewRowBatcher(child Operator, size int) *RowBatcher {
 	if size <= 0 {
 		size = DefaultBatchSize
 	}
-	return &RowBatcher{child: child, size: size}
+	return &RowBatcher{child: child, size: size, budget: -1}
 }
 
-// Open opens the child.
-func (r *RowBatcher) Open() error { return r.child.Open() }
+// SetRowBudget implements RowBudgeter: NextBatch stops pulling the child
+// once n rows have been produced, so a pushed-down LIMIT does not pay for
+// rows past the limit.
+func (r *RowBatcher) SetRowBudget(n int64) { r.budget = n }
 
-// NextBatch accumulates up to size child rows into a column-major batch.
+// Open opens the child.
+func (r *RowBatcher) Open() error {
+	r.produced = 0
+	return r.child.Open()
+}
+
+// NextBatch accumulates up to size child rows into a column-major batch,
+// never exceeding the remaining row budget.
 func (r *RowBatcher) NextBatch() (*Batch, error) {
 	if r.b == nil {
 		r.b = NewBatch(len(r.child.Columns()), r.size)
 	}
+	target := r.size
+	if r.budget >= 0 {
+		rem := r.budget - r.produced
+		if rem <= 0 {
+			return nil, io.EOF
+		}
+		if int64(target) > rem {
+			target = int(rem)
+		}
+	}
 	b := r.b
 	b.Reset()
-	for b.N < r.size {
+	for b.N < target {
 		row, err := r.child.Next()
 		if err == io.EOF {
 			break
@@ -175,6 +207,7 @@ func (r *RowBatcher) NextBatch() (*Batch, error) {
 	if b.N == 0 {
 		return nil, io.EOF
 	}
+	r.produced += int64(b.N)
 	return b, nil
 }
 

@@ -39,40 +39,53 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []expr.Expr) *HashJoi
 	}
 }
 
-// Open materializes the build side.
+// Open materializes the build side. The build input is fully closed before
+// the probe side opens, so at most one scan is live at any moment — scans
+// of concurrent sessions serialize on per-table locks, and holding one
+// table while acquiring another would risk an ABBA deadlock between
+// queries visiting the tables in opposite orders (or a self-deadlock on a
+// self-join).
 func (j *HashJoin) Open() error {
 	if err := j.left.Open(); err != nil {
 		return err
 	}
-	defer j.left.Close()
 	j.table = make(map[uint64][]buildRow, 256)
 	var keyBuf Row
-	for {
-		r, err := j.left.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		keyBuf = keyBuf[:0]
-		skip := false
-		for _, k := range j.leftKeys {
-			v, err := k.Eval(r)
+	build := func() error {
+		for {
+			r, err := j.left.Next()
+			if err == io.EOF {
+				return nil
+			}
 			if err != nil {
 				return err
 			}
-			if v.Null() {
-				skip = true // NULL keys never join
-				break
+			keyBuf = keyBuf[:0]
+			skip := false
+			for _, k := range j.leftKeys {
+				v, err := k.Eval(r)
+				if err != nil {
+					return err
+				}
+				if v.Null() {
+					skip = true // NULL keys never join
+					break
+				}
+				keyBuf = append(keyBuf, v)
 			}
-			keyBuf = append(keyBuf, v)
+			if skip {
+				continue
+			}
+			h := hashKey(keyBuf)
+			j.table[h] = append(j.table[h], buildRow{key: CloneRow(keyBuf), row: CloneRow(r)})
 		}
-		if skip {
-			continue
-		}
-		h := hashKey(keyBuf)
-		j.table[h] = append(j.table[h], buildRow{key: CloneRow(keyBuf), row: CloneRow(r)})
+	}
+	if err := build(); err != nil {
+		j.left.Close()
+		return err
+	}
+	if err := j.left.Close(); err != nil {
+		return err
 	}
 	j.probe = nil
 	j.matches = nil

@@ -32,6 +32,8 @@ type OrderedBatchSource struct {
 	cur      int
 	rows     *BatchRows // lazy row view over NextBatch, for row consumers
 	finished bool
+	budget   int64 // stop after this many live rows; -1 = unlimited
+	seen     int64
 }
 
 // NewOrderedBatchSource builds the operator from callbacks: start launches
@@ -40,8 +42,15 @@ type OrderedBatchSource struct {
 // merge worker state back into shared structures); stop runs on Close and
 // must make all producers terminate. finish and stop may be nil.
 func NewOrderedBatchSource(cols []Col, start func() ([]<-chan BatchMsg, error), finish, stop func() error) *OrderedBatchSource {
-	return &OrderedBatchSource{cols: cols, start: start, finish: finish, stop: stop}
+	return &OrderedBatchSource{cols: cols, start: start, finish: finish, stop: stop, budget: -1}
 }
+
+// SetRowBudget implements RowBudgeter: once the merged stream has delivered
+// n live rows, NextBatch reports EOF without draining the remaining
+// producers (Close tears them down). The finish callback does not run on a
+// budget cut — the file was not fully seen, exactly like a row-at-a-time
+// scan abandoned by a LIMIT.
+func (o *OrderedBatchSource) SetRowBudget(n int64) { o.budget = n }
 
 // OnError installs a translator invoked when a producer batch carries an
 // error; partition is the channel index it arrived on. Because channel i's
@@ -62,11 +71,15 @@ func (o *OrderedBatchSource) Open() error {
 	o.cur = 0
 	o.rows = nil
 	o.finished = false
+	o.seen = 0
 	return nil
 }
 
 // NextBatch returns the next producer batch in partition order.
 func (o *OrderedBatchSource) NextBatch() (*Batch, error) {
+	if o.budget >= 0 && o.seen >= o.budget {
+		return nil, io.EOF
+	}
 	for {
 		if o.cur >= len(o.chans) {
 			if !o.finished {
@@ -90,6 +103,7 @@ func (o *OrderedBatchSource) NextBatch() (*Batch, error) {
 			}
 			return nil, m.Err
 		}
+		o.seen += int64(m.B.Live())
 		return m.B, nil
 	}
 }

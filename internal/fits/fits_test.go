@@ -1,6 +1,7 @@
 package fits
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"os"
@@ -181,7 +182,7 @@ func TestInSituScanMatchesProcedural(t *testing.T) {
 	}
 
 	scanAvg := func() float64 {
-		op, err := s.Scan([]int{0}, nil)
+		op, err := s.Scan(context.Background(), []int{0}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +231,7 @@ func TestInSituScanWithPredicate(t *testing.T) {
 	defer s.Close()
 	// WHERE id < 10 — predicate over column 2, output column 0.
 	pred := &expr.BinOp{Op: expr.Lt, L: &expr.ColRef{Index: 2}, R: &expr.Const{D: datum.NewInt(10)}}
-	op, err := s.Scan([]int{0}, []expr.Expr{pred})
+	op, err := s.Scan(context.Background(), []int{0}, []expr.Expr{pred})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,12 +253,12 @@ func TestInSituPartialCacheThenFull(t *testing.T) {
 	defer s.Close()
 	// Scan column 0 only; then a query over columns 0 and 1 must re-read
 	// the file (column 1 uncached) and still be correct.
-	op, _ := s.Scan([]int{0}, nil)
+	op, _ := s.Scan(context.Background(), []int{0}, nil)
 	if _, err := exec.Drain(op); err != nil {
 		t.Fatal(err)
 	}
 	afterFirst := s.RowsScanned()
-	op2, _ := s.Scan([]int{0, 1}, nil)
+	op2, _ := s.Scan(context.Background(), []int{0, 1}, nil)
 	rows, err := exec.Drain(op2)
 	if err != nil {
 		t.Fatal(err)

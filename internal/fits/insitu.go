@@ -1,8 +1,10 @@
 package fits
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"nodb/internal/colcache"
 	"nodb/internal/datum"
@@ -25,6 +27,11 @@ type InSitu struct {
 	t     *Table
 	cols  []schema.Column
 	cache *colcache.Cache
+
+	// mu serializes scans: every pass either fills the cache or refreshes
+	// its LRU state, so FITS tables admit one scan at a time (concurrent
+	// sessions queue; CSV tables carry the finer-grained locking).
+	mu sync.Mutex
 
 	rowsScanned int64 // cumulative, for instrumentation
 }
@@ -68,10 +75,17 @@ func (s *InSitu) RowCount() int64 { return s.t.NRows }
 
 // RowsScanned reports how many physical rows have been read from the file
 // so far (cache hits excluded).
-func (s *InSitu) RowsScanned() int64 { return s.rowsScanned }
+func (s *InSitu) RowsScanned() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rowsScanned
+}
 
 // Scan implements plan.Table.
-func (s *InSitu) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
+func (s *InSitu) Scan(ctx context.Context, cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	needed := map[int]bool{}
 	for _, c := range cols {
 		needed[c] = true
@@ -91,24 +105,23 @@ func (s *InSitu) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error) 
 	}
 	pred := expr.JoinConjuncts(conjuncts)
 
-	cached := true
-	for c := range needed {
-		if !s.cache.FullyCovers(c, int(s.t.NRows)) {
-			cached = false
-			break
-		}
-	}
-
 	width := len(s.cols)
 	rowBuf := make(exec.Row, width)
 	out := make(exec.Row, len(cols))
 	row := 0
+	tick := 0
+	cached := false
 	var rd *Reader
 	var readBuf []datum.Datum
 	views := make([]colcache.View, width)
 
 	next := func() (exec.Row, error) {
 		for {
+			if tick++; tick&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if int64(row) >= s.t.NRows {
 				return nil, io.EOF
 			}
@@ -151,8 +164,20 @@ func (s *InSitu) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error) 
 			return out, nil
 		}
 	}
+	locked := false
 	open := func() error {
+		// One scan at a time: the cache decision and the pass that may
+		// fill it happen under the same hold, so it cannot go stale.
+		s.mu.Lock()
+		locked = true
 		row = 0
+		cached = true
+		for c := range needed {
+			if !s.cache.FullyCovers(c, int(s.t.NRows)) {
+				cached = false
+				break
+			}
+		}
 		for _, c := range neededList {
 			views[c] = s.cache.View(c, s.cols[c].Type)
 		}
@@ -161,7 +186,16 @@ func (s *InSitu) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error) 
 		}
 		return nil
 	}
-	return exec.NewSource(outCols, open, next, nil), nil
+	closeFn := func() error {
+		// Tolerate Close after a failed or absent Open (executor teardown
+		// paths close every operator).
+		if locked {
+			locked = false
+			s.mu.Unlock()
+		}
+		return nil
+	}
+	return exec.NewSource(outCols, open, next, closeFn), nil
 }
 
 // CacheBytes reports the current cache footprint.

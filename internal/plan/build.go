@@ -66,7 +66,7 @@ func (b *builder) buildJoinTree(needed *colSet, pushed [][]expr.Expr, edges []jo
 			}
 			conjuncts[i] = rc
 		}
-		op, err := te.tbl.Scan(scanCols[ti], conjuncts)
+		op, err := te.tbl.Scan(b.opts.Ctx, scanCols[ti], conjuncts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -278,8 +278,8 @@ func (b *builder) estimateGroups(groupBy []expr.Expr) int {
 		}
 		total *= st.Col(info.ordinal).Distinct
 		rows := float64(tbl.RowCount())
-		if rows < 0 && st.RowCount > 0 {
-			rows = float64(st.RowCount)
+		if rows < 0 && st.RowCount() > 0 {
+			rows = float64(st.RowCount())
 		}
 		if rows >= 0 && (bound < 0 || rows > bound) {
 			bound = rows

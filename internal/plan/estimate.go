@@ -28,8 +28,8 @@ func (b *builder) estimateTable(ti int, conjuncts []expr.Expr) float64 {
 	rows := float64(defaultRowCount)
 	if rc := te.tbl.RowCount(); rc >= 0 {
 		rows = float64(rc)
-	} else if st := te.tbl.Stats(); st != nil && st.RowCount > 0 {
-		rows = float64(st.RowCount)
+	} else if st := te.tbl.Stats(); st != nil && st.RowCount() > 0 {
+		rows = float64(st.RowCount())
 	}
 	if !b.opts.UseStats {
 		return rows

@@ -11,6 +11,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"nodb/internal/datum"
@@ -36,7 +37,10 @@ type Table interface {
 	// (in that order) for tuples accepted by every conjunct. Conjunct
 	// expressions reference table ordinals; the slice is pre-ordered by
 	// the planner (most selective first when statistics are available).
-	Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error)
+	// ctx bounds the execution the operator belongs to: implementations
+	// observe its cancellation at scan-progress boundaries and abort the
+	// pass with ctx.Err().
+	Scan(ctx context.Context, cols []int, conjuncts []expr.Expr) (exec.Operator, error)
 }
 
 // Resolver maps table names to access methods.
@@ -58,6 +62,19 @@ type Options struct {
 	// join) keep the Volcano path, bridged by adapters. Results are
 	// identical either way.
 	Vectorize bool
+	// Ctx bounds the execution the plan is built for; it flows into every
+	// scan leaf so a cancelled context aborts running scans promptly. Nil
+	// means context.Background().
+	Ctx context.Context
+	// Params bind the statement's positional placeholders: Params[i-1] is
+	// the value of $i (and of the i-th ?). Binding happens during planning
+	// — placeholders become ordinary literals — so every statistics-driven
+	// decision (conjunct order, selective-parsing field sets, join order)
+	// is made for the actual values of this execution, not for a generic
+	// plan shape.
+	Params []datum.Datum
+	// NamedParams bind :name placeholders (keys are lower-case).
+	NamedParams map[string]datum.Datum
 }
 
 // Result is a built physical plan.
@@ -68,6 +85,9 @@ type Result struct {
 
 // Build plans a SELECT statement against the resolver.
 func Build(sel *sqlparse.Select, r Resolver, opts Options) (*Result, error) {
+	if opts.Ctx == nil {
+		opts.Ctx = context.Background()
+	}
 	b := &builder{resolver: r, opts: opts}
 	return b.build(sel)
 }
@@ -201,13 +221,17 @@ func (b *builder) build(sel *sqlparse.Select) (*Result, error) {
 	// and root always mirrors it through a row adapter, so a consumer that
 	// reads rows sees the identical (filtered) stream.
 	var broot exec.BatchOperator
+	var bleaf exec.RowBudgeter // the scan leaf, when it accepts a row budget
 	if b.opts.Vectorize {
 		if bo, ok := exec.AsBatch(root); ok {
 			broot = bo
+			bleaf, _ = bo.(exec.RowBudgeter)
 		}
 	}
 
-	// Residual filter (multi-table, non-equi).
+	// Residual filter (multi-table, non-equi). A residual filter breaks
+	// the live-row-count correspondence between the leaf and the pipeline
+	// top, so LIMIT pushdown must not reach past it.
 	if len(residual) > 0 {
 		re, err := expr.Remap(expr.JoinConjuncts(residual), layout)
 		if err != nil {
@@ -216,6 +240,7 @@ func (b *builder) build(sel *sqlparse.Select) (*Result, error) {
 		if broot != nil {
 			broot = exec.NewBatchFilter(broot, re)
 			root = exec.NewBatchRows(broot)
+			bleaf = nil
 		} else {
 			root = exec.NewFilter(root, re)
 		}
@@ -264,9 +289,16 @@ func (b *builder) build(sel *sqlparse.Select) (*Result, error) {
 		root = exec.NewSort(root, keys)
 	}
 
-	// LIMIT.
+	// LIMIT. When the batch pipeline between the scan leaf and the limit
+	// preserves live-row counts (projections only, conjuncts evaluated
+	// inside the scan), the limit also flows into the leaf as a row
+	// budget: the scan stops at the limit instead of materializing one
+	// full batch past it.
 	if sel.Limit >= 0 {
 		if broot != nil {
+			if bleaf != nil {
+				bleaf.SetRowBudget(sel.Limit)
+			}
 			root = exec.NewBatchRows(exec.NewBatchLimit(broot, sel.Limit))
 		} else {
 			root = exec.NewLimit(root, sel.Limit)

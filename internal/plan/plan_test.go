@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -31,7 +32,7 @@ func (m *memTable) Columns() []schema.Column { return m.cols }
 func (m *memTable) Stats() *stats.Table      { return m.st }
 func (m *memTable) RowCount() int64          { return int64(len(m.rows)) }
 
-func (m *memTable) Scan(cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
+func (m *memTable) Scan(_ context.Context, cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
 	m.lastScanCols = append([]int(nil), cols...)
 	m.lastScanConjuncts = append([]expr.Expr(nil), conjuncts...)
 	pred := expr.JoinConjuncts(conjuncts)
@@ -277,7 +278,7 @@ func TestStatsPlanSameResults(t *testing.T) {
 	// Attach stats built from the data.
 	u := r["users"]
 	st := stats.NewTable()
-	st.RowCount = int64(len(u.rows))
+	st.SetRowCount(int64(len(u.rows)))
 	for ci := range u.cols {
 		col := stats.NewCollector(u.cols[ci].Type, 1)
 		for _, row := range u.rows {
@@ -311,7 +312,7 @@ func TestConjunctOrderingWithStats(t *testing.T) {
 	r := testTables()
 	u := r["users"]
 	st := stats.NewTable()
-	st.RowCount = 4
+	st.SetRowCount(4)
 	for ci := range u.cols {
 		col := stats.NewCollector(u.cols[ci].Type, 1)
 		for _, row := range u.rows {
@@ -562,7 +563,7 @@ func TestEstimateTableDefaults(t *testing.T) {
 	r := testTables()
 	u := r["users"]
 	st := stats.NewTable()
-	st.RowCount = 4
+	st.SetRowCount(4)
 	col := stats.NewCollector(datum.Int, 1)
 	for _, row := range u.rows {
 		col.Add(row[1])

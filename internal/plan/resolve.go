@@ -57,6 +57,12 @@ func (b *builder) convertScalar(n sqlparse.Node) (expr.Expr, error) {
 	case *sqlparse.IntervalLit:
 		// Intervals act as day counts in date arithmetic.
 		return &expr.Const{D: datum.NewInt(node.Days)}, nil
+	case *sqlparse.Placeholder:
+		d, err := b.bindPlaceholder(node)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Const{D: d}, nil
 	case *sqlparse.Binary:
 		l, err := b.convertScalar(node.L)
 		if err != nil {
@@ -157,6 +163,24 @@ func (b *builder) convertScalar(n sqlparse.Node) (expr.Expr, error) {
 	default:
 		return nil, fmt.Errorf("plan: cannot convert %T", n)
 	}
+}
+
+// bindPlaceholder resolves a parameter placeholder against the bindings of
+// this execution. Binding during planning (late binding) means the literal
+// value participates in every statistics-driven decision, so re-executing a
+// prepared statement with different values re-optimizes for them.
+func (b *builder) bindPlaceholder(p *sqlparse.Placeholder) (datum.Datum, error) {
+	if p.Name != "" {
+		d, ok := b.opts.NamedParams[p.Name]
+		if !ok {
+			return datum.Datum{}, fmt.Errorf("plan: no binding for parameter :%s", p.Name)
+		}
+		return d, nil
+	}
+	if p.Ordinal < 1 || p.Ordinal > len(b.opts.Params) {
+		return datum.Datum{}, fmt.Errorf("plan: no binding for parameter $%d (have %d)", p.Ordinal, len(b.opts.Params))
+	}
+	return b.opts.Params[p.Ordinal-1], nil
 }
 
 func binOp(op string) (expr.Op, error) {

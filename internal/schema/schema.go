@@ -145,15 +145,17 @@ func (c *Catalog) Tables() []*Table {
 // LoadFile reads a schema declaration file and registers its tables. The
 // format is intentionally simple, one table per stanza:
 //
-//	table lineitem from lineitem.csv
+//	table lineitem from lineitem.tbl delim pipe
 //	  l_orderkey int
 //	  l_quantity float
 //	  l_shipdate date
 //	end
 //
-// Paths are resolved relative to dir. Lines beginning with '#' and blank
-// lines are ignored. This plays the role of PostgresRaw's CREATE TABLE ...
-// WITH (filename=...) DDL.
+// The optional "delim X" suffix sets the field delimiter: a single literal
+// character or one of the names comma, pipe, tab, semicolon, space
+// (default comma). Paths are resolved relative to dir. Lines beginning
+// with '#' and blank lines are ignored. This plays the role of
+// PostgresRaw's CREATE TABLE ... WITH (filename=...) DDL.
 func (c *Catalog) LoadFile(path, dir string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -163,10 +165,11 @@ func (c *Catalog) LoadFile(path, dir string) error {
 
 	sc := bufio.NewScanner(f)
 	var (
-		name string
-		file string
-		cols []Column
-		line int
+		name  string
+		file  string
+		delim byte
+		cols  []Column
+		line  int
 	)
 	flush := func() error {
 		if name == "" {
@@ -184,10 +187,11 @@ func (c *Catalog) LoadFile(path, dir string) error {
 		if err != nil {
 			return err
 		}
+		t.Delimiter = delim
 		if err := c.Register(t); err != nil {
 			return err
 		}
-		name, file, cols = "", "", nil
+		name, file, cols, delim = "", "", nil, ','
 		return nil
 	}
 	for sc.Scan() {
@@ -202,10 +206,21 @@ func (c *Catalog) LoadFile(path, dir string) error {
 			if err := flush(); err != nil {
 				return err
 			}
-			if len(fields) != 4 || fields[2] != "from" {
-				return fmt.Errorf("schema: %s:%d: want 'table NAME from FILE'", path, line)
+			ok := (len(fields) == 4 || len(fields) == 6) && fields[2] == "from"
+			if !ok {
+				return fmt.Errorf("schema: %s:%d: want 'table NAME from FILE [delim X]'", path, line)
 			}
-			name, file = fields[1], fields[3]
+			name, file, delim = fields[1], fields[3], ','
+			if len(fields) == 6 {
+				if fields[4] != "delim" {
+					return fmt.Errorf("schema: %s:%d: want 'delim X', got %q", path, line, fields[4])
+				}
+				d, err := parseDelim(fields[5])
+				if err != nil {
+					return fmt.Errorf("schema: %s:%d: %w", path, line, err)
+				}
+				delim = d
+			}
 		case fields[0] == "end":
 			if err := flush(); err != nil {
 				return err
@@ -228,4 +243,25 @@ func (c *Catalog) LoadFile(path, dir string) error {
 		return fmt.Errorf("schema: reading %s: %w", path, err)
 	}
 	return flush()
+}
+
+// parseDelim reads a delimiter spec: a single literal character or a name
+// for characters that cannot appear as a schema-file field.
+func parseDelim(s string) (byte, error) {
+	switch strings.ToLower(s) {
+	case "comma":
+		return ',', nil
+	case "pipe":
+		return '|', nil
+	case "tab":
+		return '\t', nil
+	case "semicolon":
+		return ';', nil
+	case "space":
+		return ' ', nil
+	}
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	return 0, fmt.Errorf("bad delimiter %q", s)
 }

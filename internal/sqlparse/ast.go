@@ -59,6 +59,22 @@ type IntervalLit struct{ Days int64 }
 
 func (n *IntervalLit) String() string { return fmt.Sprintf("interval '%d' day", n.Days) }
 
+// Placeholder is a query parameter awaiting a binding: ? (auto-numbered in
+// order of appearance), $n (explicit 1-based ordinal) or :name (named).
+// Values are supplied at execution time, so one prepared statement serves
+// many bindings.
+type Placeholder struct {
+	Ordinal int    // 1-based position; 0 for named placeholders
+	Name    string // lower-cased name; empty for positional placeholders
+}
+
+func (n *Placeholder) String() string {
+	if n.Name != "" {
+		return ":" + n.Name
+	}
+	return fmt.Sprintf("$%d", n.Ordinal)
+}
+
 // Binary is an infix operation; Op is one of
 // + - * / = <> < <= > >= AND OR.
 type Binary struct {
@@ -235,6 +251,12 @@ func (o OrderItem) String() string {
 type Insert struct {
 	Table string
 	Rows  [][]Node
+
+	// NumParams is the number of positional parameters ($n / ?) the
+	// statement takes; ParamNames lists its :name parameters in order of
+	// first appearance.
+	NumParams  int
+	ParamNames []string
 }
 
 func (ins *Insert) String() string {
@@ -264,6 +286,12 @@ type Select struct {
 	GroupBy []Node
 	OrderBy []OrderItem
 	Limit   int64 // -1 when absent
+
+	// NumParams is the number of positional parameters ($n / ?) the
+	// statement takes; ParamNames lists its :name parameters in order of
+	// first appearance.
+	NumParams  int
+	ParamNames []string
 }
 
 func (s *Select) String() string {

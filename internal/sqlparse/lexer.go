@@ -17,6 +17,7 @@ const (
 	tkString
 	tkOp    // = <> != < <= > >= + - * /
 	tkPunct // ( ) , . ;
+	tkParam // ? $1 :name
 )
 
 type token struct {
@@ -140,12 +141,66 @@ func lex(input string) ([]token, error) {
 		case c == '(' || c == ')' || c == ',' || c == '.' || c == ';':
 			toks = append(toks, token{kind: tkPunct, text: string(c), pos: i})
 			i++
+		case c == '?':
+			// Auto-numbered positional parameter.
+			toks = append(toks, token{kind: tkParam, text: "?", pos: i})
+			i++
+		case c == '$':
+			start := i
+			i++
+			for i < n && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+			if i == start+1 {
+				return nil, fmt.Errorf("sqlparse: expected digits after '$' at offset %d", start)
+			}
+			toks = append(toks, token{kind: tkParam, text: input[start:i], pos: start})
+		case c == ':':
+			start := i
+			i++
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			if i == start+1 {
+				return nil, fmt.Errorf("sqlparse: expected name after ':' at offset %d", start)
+			}
+			// Named parameters are case-insensitive like identifiers.
+			toks = append(toks, token{kind: tkParam, text: ":" + strings.ToLower(input[start+1:i]), pos: start})
 		default:
 			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
 		}
 	}
 	toks = append(toks, token{kind: tkEOF, pos: n})
 	return toks, nil
+}
+
+// Normalize returns a canonical single-line spelling of sql: keywords
+// upper-cased, identifiers lower-cased, whitespace collapsed, string
+// literals re-quoted. Statements that normalize identically parse
+// identically, which makes the result a correct prepared-statement cache
+// key.
+func Normalize(sql string) (string, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for i, t := range toks {
+		if t.kind == tkEOF {
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if t.kind == tkString {
+			sb.WriteByte('\'')
+			sb.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			sb.WriteByte('\'')
+			continue
+		}
+		sb.WriteString(t.text)
+	}
+	return sb.String(), nil
 }
 
 func isIdentStart(c byte) bool {

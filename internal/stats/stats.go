@@ -13,6 +13,7 @@ package stats
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"nodb/internal/datum"
 )
@@ -300,9 +301,12 @@ func numericish(t datum.Type) bool {
 }
 
 // Table aggregates the statistics of one table: per-column stats plus the
-// row count discovered by the first full scan.
+// row count discovered by the first full scan. It is safe for concurrent
+// use: a finishing scan publishes stats while other sessions plan against
+// them. Individual *ColumnStats are immutable once installed.
 type Table struct {
-	RowCount int64
+	mu       sync.RWMutex
+	rowCount int64
 	cols     map[int]*ColumnStats
 }
 
@@ -311,20 +315,49 @@ func NewTable() *Table {
 	return &Table{cols: make(map[int]*ColumnStats)}
 }
 
+// RowCount returns the table row count discovered by the first full scan
+// (0 until then).
+func (t *Table) RowCount() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rowCount
+}
+
+// SetRowCount publishes the row count.
+func (t *Table) SetRowCount(n int64) {
+	t.mu.Lock()
+	t.rowCount = n
+	t.mu.Unlock()
+}
+
 // Set installs finalized stats for a column ordinal.
-func (t *Table) Set(col int, s *ColumnStats) { t.cols[col] = s }
+func (t *Table) Set(col int, s *ColumnStats) {
+	t.mu.Lock()
+	t.cols[col] = s
+	t.mu.Unlock()
+}
 
 // Col returns the stats for a column, or nil if never collected.
-func (t *Table) Col(col int) *ColumnStats { return t.cols[col] }
+func (t *Table) Col(col int) *ColumnStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.cols[col]
+}
 
 // Has reports whether stats exist for the column.
-func (t *Table) Has(col int) bool { return t.cols[col] != nil }
+func (t *Table) Has(col int) bool { return t.Col(col) != nil }
 
 // CoveredColumns returns how many columns have stats.
-func (t *Table) CoveredColumns() int { return len(t.cols) }
+func (t *Table) CoveredColumns() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.cols)
+}
 
 // Drop discards all statistics (e.g. after external file updates).
 func (t *Table) Drop() {
+	t.mu.Lock()
 	t.cols = make(map[int]*ColumnStats)
-	t.RowCount = 0
+	t.rowCount = 0
+	t.mu.Unlock()
 }

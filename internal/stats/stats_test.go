@@ -183,7 +183,7 @@ func TestTableRegistry(t *testing.T) {
 	}
 	s := collectInts([]int64{1, 2}, 0)
 	tab.Set(3, s)
-	tab.RowCount = 2
+	tab.SetRowCount(2)
 	if !tab.Has(3) || tab.Col(3) != s || tab.CoveredColumns() != 1 {
 		t.Error("registry set/get broken")
 	}
@@ -191,7 +191,7 @@ func TestTableRegistry(t *testing.T) {
 		t.Error("missing column must be nil")
 	}
 	tab.Drop()
-	if tab.Has(3) || tab.RowCount != 0 {
+	if tab.Has(3) || tab.RowCount() != 0 {
 		t.Error("Drop incomplete")
 	}
 }

@@ -82,7 +82,7 @@ func LoadCSV(tbl *schema.Table, heapPath string, pool *Pool) (*Relation, error) 
 		return nil, err
 	}
 	st := stats.NewTable()
-	st.RowCount = rows
+	st.SetRowCount(rows)
 	for i := range collectors {
 		st.Set(i, collectors[i].Finalize())
 	}

@@ -3,12 +3,18 @@ package storage
 import (
 	"fmt"
 	"os"
+	"sync"
 )
 
 // Pool is a clock-replacement buffer pool shared by every heap file of a
-// loaded database. It is not safe for concurrent use (single-backend
-// execution model, like one PostgreSQL worker).
+// loaded database. It is safe for concurrent use: one mutex guards the
+// frame table, clock hand and counters (page reads happen under it too —
+// a fine-grained per-frame latch would be the next step if load-first
+// concurrency ever matters). Pinned frames are never evicted, so page
+// bytes returned by Get stay valid until Release without holding the
+// mutex.
 type Pool struct {
+	mu     sync.Mutex
 	frames []frame
 	lookup map[PageID]int
 	hand   int
@@ -46,6 +52,8 @@ func NewPool(n int) *Pool {
 
 // Register adds an open file to the pool's file table, returning its id.
 func (p *Pool) Register(f *os.File) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	id := p.nextID
 	p.nextID++
 	p.files[id] = f
@@ -54,6 +62,8 @@ func (p *Pool) Register(f *os.File) uint32 {
 
 // Unregister forgets a file and invalidates its cached pages.
 func (p *Pool) Unregister(id uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	delete(p.files, id)
 	for i := range p.frames {
 		if p.frames[i].valid && p.frames[i].id.File == id {
@@ -66,6 +76,8 @@ func (p *Pool) Unregister(id uint32) {
 
 // Get pins the page and returns it. The caller must Release it.
 func (p *Pool) Get(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if i, ok := p.lookup[id]; ok {
 		p.hits++
 		p.frames[i].used = true
@@ -99,6 +111,8 @@ func (p *Pool) Get(id PageID) (*Page, error) {
 
 // Release unpins a page previously returned by Get.
 func (p *Pool) Release(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if i, ok := p.lookup[id]; ok && p.frames[i].pins > 0 {
 		p.frames[i].pins--
 	}
@@ -124,6 +138,8 @@ func (p *Pool) victim() (int, error) {
 
 // HitRate returns the fraction of Get calls served from memory.
 func (p *Pool) HitRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	total := p.hits + p.misses
 	if total == 0 {
 		return 0

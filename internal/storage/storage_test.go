@@ -469,8 +469,8 @@ func TestLoadCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rel.Heap.Close()
-	if rel.Stats.RowCount != 1000 {
-		t.Errorf("RowCount = %d", rel.Stats.RowCount)
+	if rel.Stats.RowCount() != 1000 {
+		t.Errorf("RowCount = %d", rel.Stats.RowCount())
 	}
 	if s := rel.Stats.Col(0); s == nil || s.Min.Int() != 0 || s.Max.Int() != 999 {
 		t.Errorf("id stats = %+v", s)

@@ -2,7 +2,9 @@ package tpch
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
+	"strings"
 
 	"nodb/internal/datum"
 	"nodb/internal/schema"
@@ -74,6 +76,23 @@ func Catalog(dir string) (*schema.Catalog, error) {
 		}
 	}
 	return cat, nil
+}
+
+// WriteSchemaFile writes a schema declaration file (the
+// schema.Catalog.LoadFile format) describing the TPC-H tables, with data
+// paths relative to the schema file, for tools configured through schema
+// files — the nodb shell and the database/sql driver DSN.
+func WriteSchemaFile(path string) error {
+	var sb strings.Builder
+	sb.WriteString("# TPC-H over raw .tbl files (pipe-delimited)\n")
+	for _, def := range tableDefs {
+		fmt.Fprintf(&sb, "table %s from %s.tbl delim pipe\n", def.name, def.name)
+		for _, col := range def.cols {
+			fmt.Fprintf(&sb, "  %s %s\n", col.Name, strings.ToLower(col.Type.String()))
+		}
+		sb.WriteString("end\n")
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
 // TableNames lists the TPC-H tables in generation order.

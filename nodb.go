@@ -30,8 +30,8 @@
 package nodb
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"nodb/internal/core"
 	"nodb/internal/datum"
@@ -111,6 +111,9 @@ type Options struct {
 	// default vectorized batch pipeline. Results are identical; the switch
 	// exists for measurement and as an escape hatch.
 	DisableVectorized bool
+	// PlanCacheSize caps the prepared-statement cache (entries; 0 = 256).
+	// Statements are cached by normalized SQL and shared across sessions.
+	PlanCacheSize int
 }
 
 // ColumnDef declares one column of a table.
@@ -170,8 +173,15 @@ func (c *Catalog) add(name, path string, delim byte, format schema.Format, cols 
 	return c.cat.Register(tbl)
 }
 
-// DB executes SQL over the catalog's raw files. A DB is not safe for
-// concurrent use (it models a single database backend).
+// DB executes SQL over the catalog's raw files. A DB is safe for
+// concurrent use: sessions share the adaptive structures (positional map,
+// binary cache, statistics) through per-table synchronization — a cold
+// table is parsed exactly once no matter how many queries arrive at it
+// (single-flight), and fully cached tables serve any number of readers in
+// parallel. Executions are bounded by contexts; see QueryContext.
+//
+// For stdlib integration, the nodb/driver package registers this engine as
+// a database/sql driver named "nodb".
 type DB struct {
 	eng *core.Engine
 }
@@ -192,6 +202,7 @@ func Open(cat *Catalog, opts Options) (*DB, error) {
 		Parallelism:       opts.Parallelism,
 		BatchSize:         opts.BatchSize,
 		DisableVectorized: opts.DisableVectorized,
+		PlanCacheSize:     opts.PlanCacheSize,
 	})
 	if err != nil {
 		return nil, err
@@ -211,7 +222,10 @@ type Result struct {
 	Rows    [][]Value
 }
 
-// Query parses, plans and executes one SELECT statement.
+// Query parses, plans and executes one SELECT statement, materializing the
+// result. It is a convenience wrapper over QueryContext; prefer the
+// context API (with a streaming Rows cursor) for large results and for
+// cancellation.
 func (db *DB) Query(sql string) (*Result, error) {
 	res, err := db.eng.Query(sql)
 	if err != nil {
@@ -232,28 +246,19 @@ func (db *DB) Query(sql string) (*Result, error) {
 
 // Stream plans one SELECT statement and invokes fn for every result row
 // without materializing the result set. The row slice is reused between
-// calls; copy it if you retain it.
+// calls; copy it if you retain it. It is a wrapper over QueryContext.
 func (db *DB) Stream(sql string, fn func(row []Value) error) error {
-	op, _, err := db.eng.Prepare(sql)
+	rows, err := db.QueryContext(context.Background(), sql)
 	if err != nil {
 		return err
 	}
-	if err := op.Open(); err != nil {
-		return err
-	}
-	defer op.Close()
-	for {
-		row, err := op.Next()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		if err := fn(row); err != nil {
+	defer rows.Close()
+	for rows.Next() {
+		if err := fn(rows.Values()); err != nil {
 			return err
 		}
 	}
+	return rows.Err()
 }
 
 // Exec runs any supported statement. For SELECT it behaves like Query;
@@ -261,7 +266,7 @@ func (db *DB) Stream(sql string, fn func(row []Value) error) error {
 // CSV file (the paper's §4.5 "internal updates" — the raw file stays the
 // single source of truth and the adaptive structures extend on the next
 // query). It returns the result (empty for INSERT) and the row count
-// returned or inserted.
+// returned or inserted. It is a wrapper over ExecContext.
 func (db *DB) Exec(sql string) (*Result, int64, error) {
 	res, n, err := db.eng.Exec(sql)
 	if err != nil {
