@@ -5,11 +5,17 @@
 //
 //	nodb -schema schema.nodb [-mode pm+cache|pm|cache|external-files|load-first] [-q "SELECT ..."]
 //
-// The schema file declares tables over CSV/FITS files:
+// The schema file declares tables over raw files in any registered format
+// — CSV (default), FITS binary tables and JSON-Lines ship built in. The
+// format comes from an explicit "format" clause or the file extension:
 //
-//	table lineitem from lineitem.tbl
+//	table lineitem from lineitem.tbl delim pipe format csv
 //	  l_orderkey int
 //	  l_quantity float
+//	end
+//	table events from events.jsonl format jsonl
+//	  user text
+//	  ms int
 //	end
 //
 // Inside the shell, end statements with Enter. Results stream: rows print
@@ -18,6 +24,7 @@
 // Meta commands:
 //
 //	\metrics TABLE   adaptive-structure state (positional map, cache)
+//	\formats         registered raw formats
 //	\q               quit
 package main
 
@@ -99,6 +106,8 @@ func main() {
 				continue
 			}
 			printMetrics(db.Metrics(table))
+		case line == `\formats`:
+			fmt.Println(strings.Join(nodb.Formats(), ", "))
 		default:
 			if err := runStatement(db, line); err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)

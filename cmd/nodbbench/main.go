@@ -77,10 +77,11 @@ func mergeFigures(path string, ran []jsonFigure) jsonOutput {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure ids (fig3..fig13, fig8a, fig8b, scan, exec) or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure ids (fig3..fig13, fig8a, fig8b, scan, exec, formats) or 'all'")
 	scale := flag.String("scale", "default", "experiment scale: small or default")
 	workDir := flag.String("workdir", "", "dataset/work directory (default: a temp dir, removed on exit)")
 	out := flag.String("out", "BENCH_exec.json", "machine-readable results file (empty = don't write)")
+	formatsOut := flag.String("formats-out", "BENCH_formats.json", "results file for the per-format figure (empty = don't write)")
 	flag.Parse()
 
 	dir := *workDir
@@ -133,17 +134,36 @@ func main() {
 			Metrics:        rep.Metrics,
 		})
 	}
-	if *out != "" {
-		result := mergeFigures(*out, ran)
-		data, err := json.MarshalIndent(result, "", "  ")
-		if err != nil {
-			fatal(err)
+	// The per-format figure keeps its own artifact (BENCH_formats.json),
+	// so the cross-format throughput trajectory is trackable without
+	// touching the executor figures' file.
+	var execFigs, formatFigs []jsonFigure
+	for _, f := range ran {
+		if f.ID == "formats" {
+			formatFigs = append(formatFigs, f)
+		} else {
+			execFigs = append(execFigs, f)
 		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s (%d figures, %d updated)\n", *out, len(result.Figures), len(ran))
 	}
+	writeArtifact(*out, execFigs)
+	writeArtifact(*formatsOut, formatFigs)
+}
+
+// writeArtifact merges the run's figures into path (no-op when nothing
+// ran for it or path is empty).
+func writeArtifact(path string, ran []jsonFigure) {
+	if path == "" || len(ran) == 0 {
+		return
+	}
+	result := mergeFigures(path, ran)
+	data, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d figures, %d updated)\n", path, len(result.Figures), len(ran))
 }
 
 func fatal(err error) {

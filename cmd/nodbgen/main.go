@@ -1,15 +1,18 @@
 // Command nodbgen generates the datasets used by the experiments and
-// examples: wide micro-benchmark CSV files, TPC-H tables and FITS binary
-// tables. All generators are deterministic for a given seed.
+// examples: wide micro-benchmark CSV files, TPC-H tables, FITS binary
+// tables and JSON-Lines event files. All generators are deterministic for
+// a given seed.
 //
 // Usage:
 //
 //	nodbgen micro -rows 100000 -attrs 150 -out wide.csv
 //	nodbgen tpch  -sf 0.1 -dir ./tpch
 //	nodbgen fits  -rows 500000 -cols 16 -out obs.fits
+//	nodbgen jsonl -rows 500000 -cols 8 -out events.jsonl
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -79,13 +82,36 @@ func main() {
 		check(w.Close())
 		fmt.Printf("wrote %s (%d rows x %d float columns)\n", *out, *rows, *cols)
 
+	case "jsonl":
+		fs := flag.NewFlagSet("jsonl", flag.ExitOnError)
+		rows := fs.Int("rows", 100000, "number of rows")
+		cols := fs.Int("cols", 8, "number of float64 fields (plus an int id)")
+		out := fs.String("out", "events.jsonl", "output file")
+		seed := fs.Int64("seed", 42, "random seed")
+		fs.Parse(os.Args[2:])
+		f, err := os.Create(*out)
+		check(err)
+		w := bufio.NewWriterSize(f, 1<<20)
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *rows; i++ {
+			fmt.Fprintf(w, `{"id": %d`, i)
+			for j := 0; j < *cols; j++ {
+				fmt.Fprintf(w, `, "v_%02d": %g`, j, rng.NormFloat64()*3+20)
+			}
+			fmt.Fprintln(w, "}")
+		}
+		check(w.Flush())
+		check(f.Close())
+		fmt.Printf("wrote %s (%d rows, id + %d float fields)\n", *out, *rows, *cols)
+		fmt.Printf("declare it with: table events from %s format jsonl / id int, v_00..v_%02d float\n", *out, *cols-1)
+
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nodbgen micro|tpch|fits [flags]")
+	fmt.Fprintln(os.Stderr, "usage: nodbgen micro|tpch|fits|jsonl [flags]")
 	os.Exit(2)
 }
 

@@ -19,7 +19,9 @@
 // Keys:
 //
 //	schema        (required) path to a schema declaration file; see the
-//	              nodb.Catalog.LoadSchemaFile format
+//	              nodb.Catalog.LoadSchemaFile format. Stanzas may carry a
+//	              "format csv|fits|jsonl" clause (any registered raw
+//	              format), so FITS and JSON-Lines tables are one DSN away
 //	dir           directory data paths resolve against (default: the
 //	              schema file's directory)
 //	mode          pm+cache | pm | cache | external-files | load-first

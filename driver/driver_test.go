@@ -449,3 +449,79 @@ func queryStrings(t *testing.T, db *sql.DB, q string, args ...any) [][]string {
 	}
 	return out
 }
+
+// TestDriverJSONLTable: a JSON-Lines table declared through the schema
+// file's "format" clause is queryable end-to-end through database/sql —
+// the acceptance check for the pluggable raw-format source API.
+func TestDriverJSONLTable(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		if i%9 == 0 {
+			fmt.Fprintf(&sb, `{"city": "city%d", "id": %d, "extra": [1, {"x": "}"}], "amount": null}`+"\n", i%5, i)
+		} else {
+			fmt.Fprintf(&sb, `{"id": %d, "city": "city%d", "amount": %d.25}`+"\n", i, i%5, i)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sales.jsonl"), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schemaPath := filepath.Join(dir, "schema.nodb")
+	schemaText := `table sales from sales.jsonl format jsonl
+  id int
+  city text
+  amount float
+end
+`
+	if err := os.WriteFile(schemaPath, []byte(schemaText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := openDB(t, "schema="+schemaPath+";parallelism=4")
+
+	var n int
+	if err := db.QueryRow("SELECT count(*) FROM sales").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Errorf("count = %d", n)
+	}
+	// Parameterized aggregate over the pooled, shared engine.
+	rows, err := db.Query(
+		"SELECT city, count(*), sum(amount) FROM sales WHERE id >= ? GROUP BY city ORDER BY city", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	got := 0
+	for rows.Next() {
+		var city string
+		var cnt int
+		var sum sql.NullFloat64
+		if err := rows.Scan(&city, &cnt, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(city, "city") || cnt == 0 {
+			t.Errorf("row = %s %d %v", city, cnt, sum)
+		}
+		got++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("groups = %d", got)
+	}
+	// NULL amounts (explicit JSON null) surface as sql NULL.
+	var amt sql.NullFloat64
+	if err := db.QueryRow("SELECT amount FROM sales WHERE id = 0").Scan(&amt); err != nil {
+		t.Fatal(err)
+	}
+	if amt.Valid {
+		t.Errorf("amount for id 0 should be NULL, got %v", amt)
+	}
+	// INSERT is rejected for non-appendable formats with a clear error.
+	if _, err := db.Exec("INSERT INTO sales VALUES (999, 'x', 1.0)"); err == nil ||
+		!strings.Contains(err.Error(), "not supported") {
+		t.Errorf("INSERT into jsonl: %v", err)
+	}
+}

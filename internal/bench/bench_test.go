@@ -259,10 +259,11 @@ func TestFig13WidthDegradation(t *testing.T) {
 
 func TestRegistryAndPrint(t *testing.T) {
 	ids := FigureIDs()
-	if len(ids) != 14 {
+	if len(ids) != 15 {
 		t.Fatalf("figures = %v", ids)
 	}
-	if ids[0] != "fig3" || ids[len(ids)-3] != "fig13" || ids[len(ids)-2] != "exec" || ids[len(ids)-1] != "scan" {
+	if ids[0] != "fig3" || ids[len(ids)-4] != "fig13" || ids[len(ids)-3] != "exec" ||
+		ids[len(ids)-2] != "formats" || ids[len(ids)-1] != "scan" {
 		t.Errorf("figure order = %v", ids)
 	}
 	if _, err := Run("nope", tiny(t)); err == nil {
@@ -333,5 +334,30 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if ms(1500*time.Microsecond) != "1.500" {
 		t.Errorf("ms formatting = %s", ms(1500*time.Microsecond))
+	}
+}
+
+func TestFormatsFigStructure(t *testing.T) {
+	rep, err := FormatsFig(tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("formats rows = %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if cell(t, r[3]) <= 0 || cell(t, r[4]) <= 0 {
+			t.Errorf("format %s throughput = %v", r[0], r)
+		}
+		// Warm scans serve from the adaptive structures and must not be
+		// slower than cold first touches by more than noise.
+		if cell(t, strings.TrimSuffix(r[5], "x")) < 0.5 {
+			t.Errorf("format %s warm speedup = %s", r[0], r[5])
+		}
+	}
+	for _, f := range []string{"csv", "fits", "jsonl"} {
+		if rep.Metrics["cold_rows_per_sec_"+f] <= 0 || rep.Metrics["warm_rows_per_sec_"+f] <= 0 {
+			t.Errorf("missing metrics for %s: %v", f, rep.Metrics)
+		}
 	}
 }

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nodb/internal/core"
+	"nodb/internal/datum"
+	"nodb/internal/fits"
+	"nodb/internal/schema"
+)
+
+// formatsTables writes the same logical observation table — obs(id int,
+// mag float, flux float, snr float), deterministic for the seed — as CSV,
+// FITS and JSON-Lines under the work directory, and returns a catalog
+// with one table per format.
+func formatsTables(cfg Config) (*schema.Catalog, int, error) {
+	dir := filepath.Join(cfg.WorkDir, "formats")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, err
+	}
+	rows := cfg.FITSRows / 2
+	if rows < 1000 {
+		rows = 1000
+	}
+	cols := []schema.Column{
+		{Name: "id", Type: datum.Int},
+		{Name: "mag", Type: datum.Float},
+		{Name: "flux", Type: datum.Float},
+		{Name: "snr", Type: datum.Float},
+	}
+	csvPath := filepath.Join(dir, fmt.Sprintf("obs-%d.csv", rows))
+	jlPath := filepath.Join(dir, fmt.Sprintf("obs-%d.jsonl", rows))
+	fitsPath := filepath.Join(dir, fmt.Sprintf("obs-%d.fits", rows))
+	if _, err := os.Stat(fitsPath); err != nil {
+		rng := rand.New(rand.NewSource(cfg.Seed + 11))
+		csvF, err := os.Create(csvPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		jlF, err := os.Create(jlPath)
+		if err != nil {
+			csvF.Close()
+			return nil, 0, err
+		}
+		fw, err := fits.NewTableWriter(fitsPath, []fits.Column{
+			{Name: "id", Type: fits.Int64},
+			{Name: "mag", Type: fits.Float64},
+			{Name: "flux", Type: fits.Float64},
+			{Name: "snr", Type: fits.Float64},
+		}, int64(rows))
+		if err != nil {
+			csvF.Close()
+			jlF.Close()
+			return nil, 0, err
+		}
+		row := make([]datum.Datum, 4)
+		for i := 0; i < rows; i++ {
+			mag := rng.NormFloat64()*3 + 20
+			flux := rng.Float64() * 1e4
+			snr := rng.Float64() * 100
+			fmt.Fprintf(csvF, "%d,%g,%g,%g\n", i, mag, flux, snr)
+			fmt.Fprintf(jlF, `{"id": %d, "mag": %g, "flux": %g, "snr": %g}`+"\n", i, mag, flux, snr)
+			row[0], row[1], row[2], row[3] =
+				datum.NewInt(int64(i)), datum.NewFloat(mag), datum.NewFloat(flux), datum.NewFloat(snr)
+			if err := fw.Append(row); err != nil {
+				csvF.Close()
+				jlF.Close()
+				fw.Close()
+				return nil, 0, err
+			}
+		}
+		if err := csvF.Close(); err != nil {
+			return nil, 0, err
+		}
+		if err := jlF.Close(); err != nil {
+			return nil, 0, err
+		}
+		if err := fw.Close(); err != nil {
+			return nil, 0, err
+		}
+	}
+	cat := schema.NewCatalog()
+	for name, spec := range map[string]struct {
+		path string
+		f    schema.Format
+	}{
+		"obs_csv":   {csvPath, schema.CSV},
+		"obs_fits":  {fitsPath, schema.FITS},
+		"obs_jsonl": {jlPath, schema.JSONL},
+	} {
+		tbl, err := schema.New(name, cols, spec.path, spec.f)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := cat.Register(tbl); err != nil {
+			return nil, 0, err
+		}
+	}
+	return cat, rows, nil
+}
+
+// FormatsFig measures the pluggable raw-format sources (not a paper
+// figure — this repo's extension): the same workload — a selective
+// aggregate touching two columns — over identical data in CSV, FITS and
+// JSON-Lines, cold (first touch builds the adaptive structures through
+// the shared scan machinery) and warm (positional map / binary cache).
+// Results are cross-checked for equality across formats, so the figure
+// doubles as an equivalence gate.
+func FormatsFig(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	cat, rows, err := formatsTables(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "formats",
+		Title:  "Raw-format sources: cold vs warm scans per format",
+		Header: []string{"format", "cold_ms", "warm_ms", "cold_krows_s", "warm_krows_s", "warm_speedup"},
+	}
+	rep.AddNote("%d rows per format; query: SELECT count(*), avg(mag) WHERE flux >= median", rows)
+
+	var refCold, refWarm string
+	for _, f := range []struct{ name, table string }{
+		{"csv", "obs_csv"},
+		{"fits", "obs_fits"},
+		{"jsonl", "obs_jsonl"},
+	} {
+		e, err := paperOpen(cat, core.Options{Mode: core.ModePMCache})
+		if err != nil {
+			return nil, err
+		}
+		q := fmt.Sprintf("SELECT count(*), avg(mag) FROM %s WHERE flux >= 5000", f.table)
+		coldD, coldRes, err := timeQueryResult(e, q)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		warmD, warmRes, err := timeQueryResult(e, q)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.Close()
+		// Equivalence gate: every format must return the same answer, cold
+		// and warm.
+		if refCold == "" {
+			refCold, refWarm = coldRes, warmRes
+		} else if coldRes != refCold || warmRes != refWarm {
+			return nil, fmt.Errorf("bench: format %s disagrees: cold %s vs %s, warm %s vs %s",
+				f.name, coldRes, refCold, warmRes, refWarm)
+		}
+		coldK := float64(rows) / coldD.Seconds() / 1e3
+		warmK := float64(rows) / warmD.Seconds() / 1e3
+		rep.AddRow(f.name, ms(coldD), ms(warmD),
+			fmt.Sprintf("%.0f", coldK), fmt.Sprintf("%.0f", warmK),
+			fmt.Sprintf("%.2fx", coldD.Seconds()/warmD.Seconds()))
+		rep.AddMetric("cold_rows_per_sec_"+f.name, float64(rows)/coldD.Seconds())
+		rep.AddMetric("warm_rows_per_sec_"+f.name, float64(rows)/warmD.Seconds())
+	}
+	return rep, nil
+}
+
+// timeQueryResult times one query and renders its result rows for
+// cross-format comparison.
+func timeQueryResult(e *core.Engine, q string) (time.Duration, string, error) {
+	start := time.Now()
+	res, err := e.Query(q)
+	if err != nil {
+		return 0, "", err
+	}
+	d := time.Since(start)
+	out := ""
+	for _, r := range res.Rows {
+		for _, v := range r {
+			out += v.String() + "|"
+		}
+		out += ";"
+	}
+	return d, out, nil
+}

@@ -12,20 +12,21 @@ type Runner func(Config) (*Report, error)
 // Figures maps figure ids to their runners — the per-experiment index of
 // DESIGN.md §3 in executable form.
 var Figures = map[string]Runner{
-	"fig3":  Fig3,
-	"fig4":  Fig4,
-	"fig5":  Fig5,
-	"fig6":  Fig6,
-	"fig7":  Fig7,
-	"fig8a": Fig8a,
-	"fig8b": Fig8b,
-	"fig9":  Fig9,
-	"fig10": Fig10,
-	"fig11": Fig11,
-	"fig12": Fig12,
-	"fig13": Fig13,
-	"scan":  ScanScale, // not in the paper: parallel-scan scaling
-	"exec":  ExecFig,   // not in the paper: vectorized vs row execution
+	"fig3":    Fig3,
+	"fig4":    Fig4,
+	"fig5":    Fig5,
+	"fig6":    Fig6,
+	"fig7":    Fig7,
+	"fig8a":   Fig8a,
+	"fig8b":   Fig8b,
+	"fig9":    Fig9,
+	"fig10":   Fig10,
+	"fig11":   Fig11,
+	"fig12":   Fig12,
+	"fig13":   Fig13,
+	"scan":    ScanScale,  // not in the paper: parallel-scan scaling
+	"exec":    ExecFig,    // not in the paper: vectorized vs row execution
+	"formats": FormatsFig, // not in the paper: raw-format sources, cold vs warm
 }
 
 // FigureIDs lists the figure ids in presentation order.

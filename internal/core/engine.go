@@ -20,6 +20,14 @@
 // how PostgresRaw reuses PostgreSQL's query stack above its raw-file scan
 // operator.
 //
+// Raw formats are pluggable: every table reaches the planner through the
+// format registry (internal/format) — the engine resolves a table's
+// declared format to a registered format.Driver and scans through the
+// resulting format.Source, never mentioning a concrete format. CSV, FITS
+// and JSON-Lines adapters are built in (see formats.go); all of them share
+// the same scan machinery (per-table lock, guarded access-method decision,
+// partitioned worker pool, binary-cache fast path).
+//
 // An Engine is safe for concurrent use. Sessions share the adaptive
 // structures through per-table locks: scans that record into the
 // positional map, cache or statistics hold a table exclusively (making the
@@ -39,7 +47,7 @@ import (
 
 	"nodb/internal/datum"
 	"nodb/internal/exec"
-	"nodb/internal/fits"
+	"nodb/internal/format"
 	"nodb/internal/plan"
 	"nodb/internal/schema"
 	"nodb/internal/sqlparse"
@@ -98,13 +106,15 @@ type Options struct {
 	PoolFrames int
 	// ScanChunkSize overrides the raw-file read chunk (default 1 MB).
 	ScanChunkSize int
-	// Parallelism is how many worker goroutines a cold in-situ CSV scan may
-	// use to process newline-aligned file partitions concurrently
-	// (0 = GOMAXPROCS, 1 = always sequential). Warm scans — any positional
-	// map or cache content present — run sequentially to exploit the
-	// adaptive structures, and so do budgeted configurations (PMBudget or
-	// CacheBudget set), whose memory caps per-worker shards would not
-	// respect. Results are identical for every setting.
+	// Parallelism is how many worker goroutines a cold in-situ scan may
+	// use to process file partitions concurrently (0 = GOMAXPROCS,
+	// 1 = always sequential). Line-oriented formats partition into
+	// newline-aligned byte ranges; fixed-width formats (FITS) partition by
+	// row index. Warm scans — any positional map or cache content present
+	// — run sequentially to exploit the adaptive structures, and so do
+	// budgeted configurations (PMBudget or CacheBudget set), whose memory
+	// caps per-worker shards would not respect. Results are identical for
+	// every setting.
 	Parallelism int
 	// BatchSize is how many rows a vectorized batch carries between
 	// operators (0 = exec.DefaultBatchSize). Results are identical for any
@@ -123,15 +133,43 @@ type Options struct {
 	PlanCacheSize int
 }
 
+// env derives the format-adapter environment from the engine options: the
+// mode becomes the set of auxiliary structures adapters should build.
+func (o Options) env() format.Env {
+	env := format.Env{
+		Statistics:    o.Statistics,
+		FullParse:     o.FullParse,
+		PMBudget:      o.PMBudget,
+		PMChunkRows:   o.PMChunkRows,
+		PMSpillDir:    o.PMSpillDir,
+		CacheBudget:   o.CacheBudget,
+		ScanChunkSize: o.ScanChunkSize,
+		Parallelism:   o.Parallelism,
+		BatchSize:     o.BatchSize,
+	}
+	switch o.Mode {
+	case ModePMCache:
+		env.PosMap, env.AttrPointers, env.Cache = true, true, true
+	case ModePM:
+		env.PosMap, env.AttrPointers = true, true
+	case ModeCache:
+		// Minimal map: tuple starts only (paper Fig 5, "PostgresRaw C").
+		env.PosMap, env.Cache = true, true
+	case ModeExternalFiles, ModeLoadFirst:
+		// No adaptive structures.
+	}
+	return env
+}
+
 // Engine executes SQL over the tables of a catalog. It is safe for
 // concurrent use (see the package comment for the locking regime).
 type Engine struct {
 	cat  *schema.Catalog
 	opts Options
+	env  format.Env
 
 	mu      sync.Mutex // guards the lazy per-table maps below
-	raw     map[string]*rawTable
-	rawFITS map[string]*fits.InSitu
+	sources map[string]format.Source
 	loaded  map[string]*loadedTable
 	pool    *storage.Pool
 
@@ -141,11 +179,14 @@ type Engine struct {
 // Open creates an engine over the catalog. Raw tables are never read until
 // a query touches them — the data-to-query time of a NoDB engine is zero.
 func Open(cat *schema.Catalog, opts Options) (*Engine, error) {
+	if int(opts.Mode) >= len(modeNames) || opts.Mode < 0 {
+		return nil, fmt.Errorf("core: unknown mode %d", opts.Mode)
+	}
 	e := &Engine{
 		cat:     cat,
 		opts:    opts,
-		raw:     make(map[string]*rawTable),
-		rawFITS: make(map[string]*fits.InSitu),
+		env:     opts.env(),
+		sources: make(map[string]format.Source),
 		loaded:  make(map[string]*loadedTable),
 		stmts:   newStmtCache(opts.PlanCacheSize),
 	}
@@ -302,53 +343,67 @@ func (e *Engine) Prepare(sql string) (exec.Operator, []exec.Col, error) {
 	return p.Plan(context.Background(), nil, nil)
 }
 
-// Table implements plan.Resolver.
+// Table implements plan.Resolver. Every in-situ table reaches the planner
+// through its registered format.Source; load-first engines serve bulk-
+// loaded heap relations instead, gated on the format's Loadable capability
+// (the error for a non-loadable format comes from the adapter).
 func (e *Engine) Table(name string) (plan.Table, error) {
 	tbl, ok := e.cat.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("core: table %q does not exist", name)
 	}
+	drv, err := format.Lookup(tbl.Format)
+	if err != nil {
+		return nil, fmt.Errorf("core: table %s: %w", tbl.Name, err)
+	}
 	if e.opts.Mode == ModeLoadFirst {
-		if tbl.Format == schema.FITS {
-			return nil, fmt.Errorf("core: FITS table %s cannot be bulk-loaded; conventional DBMS do not support loading FITS (paper §5.3)", tbl.Name)
+		if caps := drv.Caps(); !caps.Loadable {
+			return nil, fmt.Errorf("core: table %s: %s", tbl.Name, caps.LoadErr)
 		}
 		return e.loadedFor(tbl)
 	}
-	if tbl.Format == schema.FITS {
-		return e.fitsFor(tbl)
-	}
-	return e.rawFor(tbl)
-}
-
-// fitsFor returns (creating on first use) the in-situ adapter of a FITS
-// table. The binary cache is the relevant auxiliary structure for binary
-// formats; it is enabled in every in-situ mode that caches.
-func (e *Engine) fitsFor(tbl *schema.Table) (*fits.InSitu, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if ft, ok := e.rawFITS[tbl.Name]; ok {
-		return ft, nil
-	}
-	ft, err := fits.NewInSitu(tbl.Name, tbl.Path, e.opts.CacheBudget)
+	src, err := e.sourceFor(tbl, drv)
 	if err != nil {
 		return nil, err
 	}
-	e.rawFITS[tbl.Name] = ft
-	return ft, nil
+	return format.Table{Src: src}, nil
 }
 
-// rawFor returns (creating on first use) the in-situ state of a table.
+// sourceFor returns (creating on first use) the format source of a table.
+func (e *Engine) sourceFor(tbl *schema.Table, drv format.Driver) (format.Source, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.sources[tbl.Name]; ok {
+		return s, nil
+	}
+	s, err := drv.Open(tbl, e.env)
+	if err != nil {
+		return nil, err
+	}
+	e.sources[tbl.Name] = s
+	return s, nil
+}
+
+// source resolves a table's driver and source in one step.
+func (e *Engine) source(tbl *schema.Table) (format.Source, error) {
+	drv, err := format.Lookup(tbl.Format)
+	if err != nil {
+		return nil, fmt.Errorf("core: table %s: %w", tbl.Name, err)
+	}
+	return e.sourceFor(tbl, drv)
+}
+
+// rawFor returns the CSV engine state of a table (tests and the CSV append
+// path reach the concrete type through it).
 func (e *Engine) rawFor(tbl *schema.Table) (*rawTable, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if rt, ok := e.raw[tbl.Name]; ok {
-		return rt, nil
-	}
-	rt, err := newRawTable(tbl, &e.opts)
+	src, err := e.source(tbl)
 	if err != nil {
 		return nil, err
 	}
-	e.raw[tbl.Name] = rt
+	rt, ok := src.(*rawTable)
+	if !ok {
+		return nil, fmt.Errorf("core: table %s is not a CSV table", tbl.Name)
+	}
 	return rt, nil
 }
 
@@ -377,12 +432,13 @@ func (e *Engine) loadedFor(tbl *schema.Table) (*loadedTable, error) {
 
 // Load eagerly bulk-loads every catalog table (ModeLoadFirst only). The
 // caller times this to measure the paper's "Load" bars (Figs 7 and 9).
+// Tables whose format is not loadable fail with the adapter's error.
 func (e *Engine) Load() error {
 	if e.opts.Mode != ModeLoadFirst {
 		return fmt.Errorf("core: Load is only meaningful in load-first mode")
 	}
 	for _, tbl := range e.cat.Tables() {
-		if _, err := e.loadedFor(tbl); err != nil {
+		if _, err := e.Table(tbl.Name); err != nil {
 			return err
 		}
 	}
@@ -395,15 +451,12 @@ func (e *Engine) Load() error {
 // table in flight.
 func (e *Engine) Invalidate(name string) {
 	e.mu.Lock()
-	rt := e.raw[name]
+	src := e.sources[name]
 	lt := e.loaded[name]
 	delete(e.loaded, name)
 	e.mu.Unlock()
-	if rt != nil {
-		if err := rt.lk.Lock(context.Background()); err == nil {
-			rt.invalidate()
-			rt.lk.Unlock()
-		}
+	if src != nil {
+		src.Invalidate()
 	}
 	if lt != nil {
 		lt.rel.Heap.Close()
@@ -413,34 +466,19 @@ func (e *Engine) Invalidate(name string) {
 
 // TableMetrics reports the auxiliary-structure state of a raw table, used
 // by the benchmark harness (cache usage, positional-map pointers).
-type TableMetrics struct {
-	Rows           int64
-	PMPointers     int64
-	PMBytes        int64
-	PMEvictions    int64
-	CacheBytes     int64
-	CacheUsage     float64
-	CacheHits      int64
-	CacheMisses    int64
-	StatsColumns   int
-	ShortRows      int64
-	TuplesParsed   int64
-	FieldsParsed   int64
-	FieldsFromMap  int64
-	FieldsFromScan int64
-}
+type TableMetrics = format.Metrics
 
 // Metrics returns a snapshot for a raw table (zero value if the table has
 // not been touched or the engine is load-first). It waits for a recording
 // scan of the table in flight, so the snapshot is consistent.
 func (e *Engine) Metrics(name string) TableMetrics {
 	e.mu.Lock()
-	rt, ok := e.raw[name]
+	src, ok := e.sources[name]
 	e.mu.Unlock()
 	if !ok {
 		return TableMetrics{}
 	}
-	return rt.metrics()
+	return src.Metrics()
 }
 
 // Close releases all per-table resources. Queries still running have
@@ -449,13 +487,8 @@ func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var first error
-	for _, rt := range e.raw {
-		if err := rt.close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	for _, ft := range e.rawFITS {
-		if err := ft.Close(); err != nil && first == nil {
+	for _, src := range e.sources {
+		if err := src.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -1,0 +1,16 @@
+package core
+
+import (
+	"nodb/internal/format"
+
+	// Built-in raw-format adapters register themselves with the format
+	// registry at init. Importing them here keeps an Engine usable out of
+	// the box; the engine itself reaches every format — including CSV —
+	// only through the registry.
+	_ "nodb/internal/fits"
+	_ "nodb/internal/jsonl"
+)
+
+func init() {
+	format.Register("csv", csvDriver{})
+}

@@ -3,13 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
-	"os"
 
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
-	"nodb/internal/scan"
-	"nodb/internal/schema"
+	"nodb/internal/format"
 	"nodb/internal/sqlparse"
 )
 
@@ -63,9 +61,6 @@ func (e *Engine) execInsert(ctx context.Context, ins *sqlparse.Insert, params []
 	if !ok {
 		return 0, fmt.Errorf("core: table %q does not exist", ins.Table)
 	}
-	if tbl.Format != schema.CSV {
-		return 0, fmt.Errorf("core: INSERT is only supported for CSV tables (%s is %s)", tbl.Name, tbl.Format)
-	}
 	if e.opts.Mode == ModeLoadFirst {
 		return 0, fmt.Errorf("core: INSERT into loaded tables is not supported; the load-first baseline is read-only after load")
 	}
@@ -92,31 +87,18 @@ func (e *Engine) execInsert(ctx context.Context, ins *sqlparse.Insert, params []
 		converted = append(converted, out)
 	}
 
-	// The append holds the table exclusively so it cannot interleave with
-	// a scan reading the file.
-	rt, err := e.rawFor(tbl)
+	// Appending is a format capability: the source implements
+	// format.Appender when its raw file supports internal updates (CSV
+	// does; binary formats with self-describing headers do not).
+	src, err := e.source(tbl)
 	if err != nil {
 		return 0, err
 	}
-	if err := rt.lk.Lock(ctx); err != nil {
-		return 0, err
+	ap, ok := src.(format.Appender)
+	if !ok {
+		return 0, fmt.Errorf("core: INSERT into %s table %s is not supported", tbl.Format, tbl.Name)
 	}
-	defer rt.lk.Unlock()
-
-	// Append to the raw file. The in-situ state observes this as a file
-	// growth on the next query (refresh() treats growth as an append).
-	f, err := os.OpenFile(tbl.Path, os.O_WRONLY|os.O_APPEND, 0)
-	if err != nil {
-		return 0, fmt.Errorf("core: %w", err)
-	}
-	defer f.Close()
-	w := scan.NewWriter(f, tbl.Delimiter)
-	for _, row := range converted {
-		if err := w.WriteDatums(row); err != nil {
-			return 0, err
-		}
-	}
-	if err := w.Flush(); err != nil {
+	if err := ap.Append(ctx, converted); err != nil {
 		return 0, err
 	}
 	return int64(len(converted)), nil

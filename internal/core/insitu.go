@@ -10,6 +10,7 @@ import (
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
+	"nodb/internal/format"
 	"nodb/internal/posmap"
 	"nodb/internal/scan"
 	"nodb/internal/stats"
@@ -38,9 +39,9 @@ type inSituScan struct {
 	cols []exec.Col // output schema
 
 	// c holds this scan's private instrumentation counters; they flush
-	// into rt.counters once, at Close, so the per-tuple hot path never
+	// into rt.Counters once, at Close, so the per-tuple hot path never
 	// touches shared memory.
-	c    scanCounters
+	c    format.ScanCounters
 	tick int // cancellation check pacing
 
 	// Partition-worker configuration (parallel scan): when section is set,
@@ -50,7 +51,6 @@ type inSituScan struct {
 	section io.Reader
 	base    int64
 	shard   bool
-	drained bool // worker reached EOF cleanly; set by the worker goroutine
 
 	f  *os.File
 	lr *scan.LineReader
@@ -96,21 +96,18 @@ func newInSituScan(ctx context.Context, rt *rawTable, outCols []int, conjuncts [
 		rt:        rt,
 		outCols:   outCols,
 		conjuncts: conjuncts,
-		rowBuf:    make(exec.Row, rt.tbl.NumColumns()),
-		gen:       make([]int, rt.tbl.NumColumns()),
+		rowBuf:    make(exec.Row, rt.Tbl.NumColumns()),
+		gen:       make([]int, rt.Tbl.NumColumns()),
 		out:       make(exec.Row, len(outCols)),
-		batchSize: rt.batchSize(),
+		batchSize: rt.BatchSize(),
 		budget:    -1,
 	}
-	s.cols = make([]exec.Col, len(outCols))
-	for i, c := range outCols {
-		s.cols[i] = exec.Col{Name: rt.tbl.Columns[c].Name, Type: rt.tbl.Columns[c].Type}
-	}
+	s.cols = format.OutputSchema(rt.Tbl, outCols)
 	s.conjCols = make([][]int, len(conjuncts))
 	for i, c := range conjuncts {
 		s.conjCols[i] = expr.DistinctColumns(c)
 	}
-	s.needed = neededColumns(outCols, conjuncts)
+	s.needed = format.NeededColumns(outCols, conjuncts)
 	for _, c := range s.needed {
 		if c > s.maxNeeded {
 			s.maxNeeded = c
@@ -134,9 +131,9 @@ func (s *inSituScan) SetRowBudget(n int64) {
 // for needed columns that lack statistics.
 func (s *inSituScan) Open() error {
 	if s.section != nil {
-		s.lr, s.f = scan.NewLineReaderAt(s.section, s.base, s.rt.opts.ScanChunkSize), nil
+		s.lr, s.f = scan.NewLineReaderAt(s.section, s.base, s.rt.Env.ScanChunkSize), nil
 	} else {
-		lr, f, err := scan.OpenFile(s.rt.tbl.Path, s.rt.opts.ScanChunkSize)
+		lr, f, err := scan.OpenFile(s.rt.Tbl.Path, s.rt.Env.ScanChunkSize)
 		if err != nil {
 			return err
 		}
@@ -151,19 +148,19 @@ func (s *inSituScan) Open() error {
 	// operator and refilled on every Open, so repeated opens of the same
 	// prepared scan do not re-allocate.
 	width := len(s.rowBuf)
-	if s.rt.pm != nil && s.rt.recordAttrs {
-		s.rt.pm.BeginScan()
+	if s.rt.PM != nil && s.rt.RecordAttrs {
+		s.rt.PM.BeginScan()
 		if s.pmCursors == nil {
 			s.pmCursors = make([]*posmap.Cursor, width)
 			s.nearHint = make([]int, width)
 		}
 		for c := 0; c < width; c++ {
-			s.pmCursors[c] = s.rt.pm.Cursor(c)
+			s.pmCursors[c] = s.rt.PM.Cursor(c)
 		}
 		// Nearest-neighbor navigation only pays off when earlier queries
 		// left positions behind; during the very first scan the per-tuple
 		// prefix map is always at least as good.
-		s.useNearest = s.rt.pm.Metrics().Pointers > 0
+		s.useNearest = s.rt.PM.Metrics().Pointers > 0
 		for i := range s.nearHint {
 			s.nearHint[i] = -1
 		}
@@ -171,7 +168,7 @@ func (s *inSituScan) Open() error {
 		s.pmCursors = nil
 		s.useNearest = false
 	}
-	if s.rt.cache != nil {
+	if s.rt.Cache != nil {
 		if s.cacheViews == nil {
 			s.cacheViews = make([]colcache.View, width)
 		}
@@ -179,12 +176,12 @@ func (s *inSituScan) Open() error {
 			s.cacheViews[i] = colcache.View{}
 		}
 		for _, c := range s.needed {
-			s.cacheViews[c] = s.rt.cache.View(c, s.rt.types[c])
+			s.cacheViews[c] = s.rt.Cache.View(c, s.rt.Types[c])
 		}
 	} else {
 		s.cacheViews = nil
 	}
-	if s.rt.st != nil {
+	if s.rt.St != nil {
 		if s.collectors == nil {
 			s.collectors = make([]*stats.Collector, width)
 		}
@@ -193,8 +190,8 @@ func (s *inSituScan) Open() error {
 		}
 		s.collecting = false
 		for _, c := range s.needed {
-			if !s.rt.st.Has(c) {
-				s.collectors[c] = stats.NewCollector(s.rt.types[c], int64(c)+1)
+			if !s.rt.St.Has(c) {
+				s.collectors[c] = stats.NewCollector(s.rt.Types[c], int64(c)+1)
 				s.collecting = true
 			}
 		}
@@ -204,7 +201,7 @@ func (s *inSituScan) Open() error {
 
 // Close releases the file handle and publishes the scan's counters.
 func (s *inSituScan) Close() error {
-	s.rt.counters.add(&s.c)
+	s.rt.Counters.Add(&s.c)
 	if s.f != nil {
 		err := s.f.Close()
 		s.f = nil
@@ -231,15 +228,15 @@ func (s *inSituScan) Next() (exec.Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if s.rt.pm != nil {
-			s.rt.pm.RecordTupleStart(s.row, off)
+		if s.rt.PM != nil {
+			s.rt.PM.RecordTupleStart(s.row, off)
 		}
 		s.curGen++
-		s.c.tuplesParsed++
+		s.c.TuplesParsed++
 		s.tupPos = s.tupPos[:0]
 		s.tupShort = false
 
-		if s.rt.opts.FullParse {
+		if s.rt.Env.FullParse {
 			// Straw-man path: convert the entire tuple before anything
 			// else, as external-files engines do.
 			for c := 0; c < len(s.rowBuf); c++ {
@@ -322,30 +319,30 @@ func (s *inSituScan) value(line []byte, col int) (datum.Datum, error) {
 	}
 	if s.cacheViews != nil && s.cacheViews[col].Valid() {
 		if v, ok := s.cacheViews[col].Get(s.row); ok {
-			s.c.cacheHits++
+			s.c.CacheHits++
 			s.rowBuf[col] = v
 			s.gen[col] = s.curGen
 			return v, nil
 		}
-		s.c.cacheMisses++
+		s.c.CacheMisses++
 	}
 	field, ok := s.locateField(line, col)
 	var v datum.Datum
 	if !ok {
 		// Short row: missing trailing fields read as NULL.
-		s.c.shortRows++
-		v = datum.NewNull(s.rt.types[col])
+		s.c.ShortRows++
+		v = datum.NewNull(s.rt.Types[col])
 	} else {
 		var err error
-		v, err = datum.ParseBytes(s.rt.types[col], field)
+		v, err = datum.ParseBytes(s.rt.Types[col], field)
 		if err != nil {
 			return datum.Datum{}, &rowError{
-				tbl: s.rt.tbl.Name, col: s.rt.tbl.Columns[col].Name,
+				tbl: s.rt.Tbl.Name, col: s.rt.Tbl.Columns[col].Name,
 				row: s.row, cause: err,
 			}
 		}
 	}
-	s.c.fieldsParsed++
+	s.c.FieldsParsed++
 	if s.cacheViews != nil && s.cacheViews[col].Valid() {
 		s.cacheViews[col].Put(s.row, v)
 	}
@@ -362,11 +359,11 @@ func (s *inSituScan) value(line []byte, col int) (datum.Datum, error) {
 // locateField finds the bytes of attribute col in line, using the
 // positional map when possible and recording what it learns.
 func (s *inSituScan) locateField(line []byte, col int) ([]byte, bool) {
-	delim := s.rt.tbl.Delimiter
+	delim := s.rt.Tbl.Delimiter
 	if s.pmCursors != nil {
 		if rel, ok := s.pmCursors[col].Get(s.row); ok {
 			if int(rel) <= len(line) {
-				s.c.fieldsFromMap++
+				s.c.FieldsFromMap++
 				return scan.FieldAt(line, rel, delim), true
 			}
 		}
@@ -377,16 +374,16 @@ func (s *inSituScan) locateField(line []byte, col int) ([]byte, bool) {
 			if h := s.nearHint[col]; h >= 0 {
 				if rel, ok := s.pmCursors[h].Get(s.row); ok && int(rel) <= len(line) {
 					if pos, ok := s.navigate(line, h, rel, col); ok {
-						s.c.fieldsFromMap++
+						s.c.FieldsFromMap++
 						return scan.FieldAt(line, pos, delim), true
 					}
 					return nil, false // short row
 				}
 			}
-			if nearAttr, rel, ok := s.rt.pm.Nearest(s.row, col); ok && int(rel) <= len(line) {
+			if nearAttr, rel, ok := s.rt.PM.Nearest(s.row, col); ok && int(rel) <= len(line) {
 				s.nearHint[col] = nearAttr
 				if pos, ok := s.navigate(line, nearAttr, rel, col); ok {
-					s.c.fieldsFromMap++
+					s.c.FieldsFromMap++
 					return scan.FieldAt(line, pos, delim), true
 				}
 				return nil, false // short row
@@ -399,7 +396,7 @@ func (s *inSituScan) locateField(line []byte, col int) ([]byte, bool) {
 	// query). The prefix is shared across the tuple's column accesses, so
 	// each character is examined at most once.
 	pos, ok := s.prefixPos(line, col)
-	s.c.fieldsFromScan++
+	s.c.FieldsFromScan++
 	if !ok {
 		return nil, false
 	}
@@ -409,7 +406,7 @@ func (s *inSituScan) locateField(line []byte, col int) ([]byte, bool) {
 // prefixPos returns the start offset of field col, incrementally extending
 // the tuple's tokenized prefix.
 func (s *inSituScan) prefixPos(line []byte, col int) (uint32, bool) {
-	delim := s.rt.tbl.Delimiter
+	delim := s.rt.Tbl.Delimiter
 	record := s.pmCursors != nil
 	if len(s.tupPos) == 0 {
 		s.tupPos = append(s.tupPos, 0)
@@ -439,7 +436,7 @@ func (s *inSituScan) prefixPos(line []byte, col int) (uint32, bool) {
 // recording every intermediate boundary (incremental tokenization in both
 // directions, §4.2 "Exploiting the Positional Map").
 func (s *inSituScan) navigate(line []byte, fromAttr int, fromRel uint32, col int) (uint32, bool) {
-	delim := s.rt.tbl.Delimiter
+	delim := s.rt.Tbl.Delimiter
 	pos := fromRel
 	switch {
 	case fromAttr < col:
@@ -467,240 +464,19 @@ func (s *inSituScan) navigate(line []byte, fromAttr int, fromRel uint32, col int
 // finish runs once the scan has seen the whole file: it fixes the row
 // count and publishes any newly collected statistics.
 func (s *inSituScan) finish() {
-	s.rt.rows.Store(int64(s.row))
+	s.rt.Rows.Store(int64(s.row))
 	if s.shard {
 		// Partition worker: the shadow table keeps the local row count;
 		// collectors stay attached for parallelScan to merge and publish.
 		return
 	}
-	if s.rt.st != nil {
-		s.rt.st.SetRowCount(int64(s.row))
+	if s.rt.St != nil {
+		s.rt.St.SetRowCount(int64(s.row))
 		for col, c := range s.collectors {
 			if c != nil {
-				s.rt.st.Set(col, c.Finalize())
+				s.rt.St.Set(col, c.Finalize())
 			}
 		}
 		s.collectors = nil
-	}
-}
-
-// cacheScan serves a query entirely from the binary cache, never touching
-// the raw file (the optimal regime of Fig 6's third epoch). In readonly
-// mode (unbudgeted caches) it runs under a shared table lock concurrently
-// with other cache scans: views are acquired without LRU side effects and
-// every shared-state update is confined to the private counters.
-type cacheScan struct {
-	ctx       context.Context
-	rt        *rawTable
-	outCols   []int
-	conjuncts []expr.Expr
-	conjCols  [][]int
-	cols      []exec.Col
-	needed    []int
-	readonly  bool
-
-	row    int
-	nrows  int64 // rt.rows snapshot, stable for the scan's lifetime
-	rowBuf exec.Row
-	out    exec.Row
-	views  []colcache.View
-
-	c    scanCounters
-	tick int
-
-	batchSize int
-	budget    int64       // LIMIT pushdown; -1 = none
-	produced  int64       // live rows delivered by NextBatch
-	batch     *exec.Batch // table-width working columns (needed ones filled)
-	outBatch  *exec.Batch // outCols-ordered aliases of batch's columns
-	selBuf    []int
-}
-
-func newCacheScan(ctx context.Context, rt *rawTable, outCols []int, conjuncts []expr.Expr) *cacheScan {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	s := &cacheScan{
-		ctx:       ctx,
-		rt:        rt,
-		outCols:   outCols,
-		conjuncts: conjuncts,
-		rowBuf:    make(exec.Row, rt.tbl.NumColumns()),
-		out:       make(exec.Row, len(outCols)),
-		batchSize: rt.batchSize(),
-		budget:    -1,
-	}
-	s.cols = make([]exec.Col, len(outCols))
-	for i, c := range outCols {
-		s.cols[i] = exec.Col{Name: rt.tbl.Columns[c].Name, Type: rt.tbl.Columns[c].Type}
-	}
-	s.conjCols = make([][]int, len(conjuncts))
-	for i, c := range conjuncts {
-		s.conjCols[i] = expr.DistinctColumns(c)
-	}
-	s.needed = neededColumns(outCols, conjuncts)
-	return s
-}
-
-// Columns implements exec.Operator.
-func (s *cacheScan) Columns() []exec.Col { return s.cols }
-
-// SetRowBudget implements exec.RowBudgeter (applied by the batch path).
-func (s *cacheScan) SetRowBudget(n int64) { s.budget = n }
-
-// Open resets the cursor and acquires column views.
-func (s *cacheScan) Open() error {
-	s.row = 0
-	s.produced = 0
-	s.nrows = s.rt.rows.Load()
-	if s.views == nil {
-		s.views = make([]colcache.View, len(s.rowBuf))
-	}
-	for i := range s.views {
-		s.views[i] = colcache.View{}
-	}
-	for _, c := range s.needed {
-		if s.readonly {
-			s.views[c] = s.rt.cache.ReadView(c)
-		} else {
-			s.views[c] = s.rt.cache.View(c, s.rt.types[c])
-		}
-		if !s.views[c].Valid() {
-			return fmt.Errorf("core: cache scan lost column %d (concurrent eviction?)", c)
-		}
-	}
-	return nil
-}
-
-// Close publishes the scan's counters.
-func (s *cacheScan) Close() error {
-	s.rt.counters.add(&s.c)
-	return nil
-}
-
-// Next emits the next qualifying row from the cache.
-func (s *cacheScan) Next() (exec.Row, error) {
-	for {
-		if s.tick++; s.tick&255 == 0 {
-			if err := s.ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		if int64(s.row) >= s.nrows {
-			return nil, io.EOF
-		}
-		qualifies := true
-		for i, conj := range s.conjuncts {
-			for _, c := range s.conjCols[i] {
-				v, ok := s.views[c].Get(s.row)
-				if !ok {
-					return nil, fmt.Errorf("core: cache scan lost column %d row %d (concurrent eviction?)", c, s.row)
-				}
-				s.rowBuf[c] = v
-				s.c.cacheHits++
-			}
-			ok, err := expr.TruthyResult(conj, s.rowBuf)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				qualifies = false
-				break
-			}
-		}
-		if !qualifies {
-			s.row++
-			continue
-		}
-		for i, c := range s.outCols {
-			v, ok := s.views[c].Get(s.row)
-			if !ok {
-				return nil, fmt.Errorf("core: cache scan lost column %d row %d", c, s.row)
-			}
-			s.out[i] = v
-			s.c.cacheHits++
-		}
-		s.row++
-		return s.out, nil
-	}
-}
-
-// NextBatch implements exec.BatchOperator: it fills table-width column
-// vectors densely from the cache (colcache.View.GetBatch), narrows a
-// selection vector conjunct by conjunct with expr.FilterBatch, and hands
-// out an output batch whose columns alias the filled vectors — no per-row
-// lookups, no value movement. Cache-hit accounting mirrors the row path
-// exactly: each conjunct charges its columns only for rows that survived
-// the conjuncts before it, and output columns only for qualifying rows.
-func (s *cacheScan) NextBatch() (*exec.Batch, error) {
-	if s.batch == nil {
-		// Table-width column table, but only needed columns ever allocate.
-		s.batch = &exec.Batch{Cols: make([][]datum.Datum, len(s.rowBuf))}
-		s.outBatch = &exec.Batch{Cols: make([][]datum.Datum, len(s.outCols))}
-	}
-	for {
-		if err := s.ctx.Err(); err != nil {
-			return nil, err
-		}
-		if int64(s.row) >= s.nrows {
-			return nil, io.EOF
-		}
-		if s.budget >= 0 && s.produced >= s.budget {
-			return nil, io.EOF
-		}
-		n := s.batchSize
-		if rem := int(s.nrows) - s.row; rem < n {
-			n = rem
-		}
-		if s.budget >= 0 && len(s.conjuncts) == 0 {
-			// Unfiltered batches are all live: never materialize past the
-			// budget.
-			if rem := s.budget - s.produced; int64(n) > rem {
-				n = int(rem)
-			}
-		}
-		b := s.batch
-		for _, c := range s.needed {
-			if cap(b.Cols[c]) < n {
-				b.Cols[c] = make([]datum.Datum, n)
-			}
-			b.Cols[c] = b.Cols[c][:n]
-			if !s.views[c].GetBatch(s.row, n, b.Cols[c]) {
-				return nil, fmt.Errorf("core: cache scan lost column %d rows %d..%d (concurrent eviction?)", c, s.row, s.row+n-1)
-			}
-		}
-		b.N = n
-		var sel []int
-		live := n
-		for i, conj := range s.conjuncts {
-			s.c.cacheHits += int64(live * len(s.conjCols[i]))
-			var err error
-			if sel == nil {
-				sel, err = expr.FilterBatch(conj, b.Cols, n, nil, s.selBuf[:0])
-				s.selBuf = sel
-			} else {
-				sel, err = expr.FilterBatch(conj, b.Cols, n, sel, sel[:0])
-			}
-			if err != nil {
-				return nil, err
-			}
-			live = len(sel)
-			if live == 0 {
-				break
-			}
-		}
-		s.row += n
-		if live == 0 && len(s.conjuncts) > 0 {
-			continue
-		}
-		s.c.cacheHits += int64(live * len(s.outCols))
-		s.produced += int64(live)
-		out := s.outBatch
-		for i, c := range s.outCols {
-			out.Cols[i] = b.Cols[c]
-		}
-		out.N = n
-		out.Sel = sel
-		return out, nil
 	}
 }

@@ -6,37 +6,29 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sync"
 
 	"nodb/internal/exec"
 	"nodb/internal/expr"
+	"nodb/internal/format"
 	"nodb/internal/scan"
 	"nodb/internal/stats"
 )
 
-// batchRows is how many qualifying tuples a partition worker groups into
-// one channel transfer.
-const batchRows = 256
-
-// batchChanCap bounds how many batches a worker may run ahead of
-// consumption; together with batchRows it caps the memory a fast worker
-// can pin while an earlier partition is still draining.
-const batchChanCap = 4
-
-// parallelScan is the partitioned raw-file access method: the file splits
-// into newline-aligned byte ranges (scan.Split), each scanned by a worker
+// parallelScan is the partitioned CSV access method: the file splits into
+// newline-aligned byte ranges (scan.Split), each scanned by a worker
 // goroutine running the exact selective-tokenize / selective-parse pipeline
 // of the sequential inSituScan — but over a private positional-map shard
-// and cache shard, so the per-tuple hot path takes no locks. Batches merge
-// back into file order through exec.OrderedBatchSource; when the pass
+// and cache shard, so the per-tuple hot path takes no locks. The
+// worker-pool/merge plumbing is the shared format.Pool: batches merge back
+// into file order through exec.OrderedBatchSource; when the pass
 // completes, shards merge into the shared structures (posmap.AbsorbShard,
 // colcache.Absorb, stats.Collector.Merge) so later queries still get the
 // paper's adaptive-indexing benefit. Results are bit-identical to the
 // sequential scan for any worker count.
 //
-// Parallel partitioning only runs on cold tables (rawTable.scanWorkers):
-// once the positional map or cache hold content, the sequential pass
-// exploits them instead.
+// Parallel partitioning only runs on cold tables (format.State
+// .ScanWorkers): once the positional map or cache hold content, the
+// sequential pass exploits them instead.
 type parallelScan struct {
 	ctx       context.Context
 	rt        *rawTable
@@ -45,28 +37,25 @@ type parallelScan struct {
 	workers   int
 
 	f      *os.File
-	done   chan struct{}
-	once   sync.Once
-	wg     sync.WaitGroup
 	shards []*inSituScan // per partition, in file order
-	merged bool          // shards already folded into rt (finish or stop)
 }
 
 // newParallelScan builds the operator; workers must be >= 2. Workers
 // observe ctx cancellation inside their partition scans and the merged
 // stream surfaces the context error.
-func newParallelScan(ctx context.Context, rt *rawTable, outCols []int, conjuncts []expr.Expr, workers int) exec.Operator {
+func newParallelScan(ctx context.Context, rt *rawTable, outCols []int, conjuncts []expr.Expr, workers int) format.ScanOperator {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cols := make([]exec.Col, len(outCols))
-	for i, c := range outCols {
-		cols[i] = exec.Col{Name: rt.tbl.Columns[c].Name, Type: rt.tbl.Columns[c].Type}
-	}
 	p := &parallelScan{ctx: ctx, rt: rt, outCols: outCols, conjuncts: conjuncts, workers: workers}
-	src := exec.NewOrderedBatchSource(cols, p.start, p.finish, p.stop)
-	src.OnError(p.rebaseErr)
-	return src
+	return format.NewPool(ctx, format.PoolConfig{
+		Cols:    format.OutputSchema(rt.Tbl, outCols),
+		Start:   p.start,
+		Run:     p.run,
+		Merge:   p.merge,
+		Release: p.release,
+		OnError: p.rebaseErr,
+	})
 }
 
 // rebaseErr converts a partition-local row number in a worker's parse
@@ -84,160 +73,73 @@ func (p *parallelScan) rebaseErr(part int, err error) error {
 	return err
 }
 
-// start partitions the file and launches one worker per range.
-func (p *parallelScan) start() ([]<-chan exec.BatchMsg, error) {
-	f, err := os.Open(p.rt.tbl.Path)
+// start partitions the file and prepares one shard scan per range.
+func (p *parallelScan) start() (int, error) {
+	f, err := os.Open(p.rt.Tbl.Path)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return 0, fmt.Errorf("core: %w", err)
 	}
 	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("core: %w", err)
+		return 0, fmt.Errorf("core: %w", err)
 	}
 	parts, err := scan.Split(f, fi.Size(), p.workers)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return 0, err
 	}
 	p.f = f
-	p.done = make(chan struct{})
-	p.once = sync.Once{}
-	p.merged = false
 	p.shards = make([]*inSituScan, len(parts))
-	chans := make([]<-chan exec.BatchMsg, len(parts))
 	for i, part := range parts {
-		ch := make(chan exec.BatchMsg, batchChanCap)
-		chans[i] = ch
 		sh := newInSituScan(p.ctx, p.rt.shard(), p.outCols, p.conjuncts)
 		sh.shard = true
 		sh.section = io.NewSectionReader(f, part.Start, part.End-part.Start)
 		sh.base = part.Start
 		p.shards[i] = sh
-		p.wg.Add(1)
-		go p.worker(sh, ch)
 	}
-	return chans, nil
+	return len(parts), nil
 }
 
-// worker drains one partition through its private scan, accumulating
-// qualifying rows into column-major batches. Each batch is freshly
-// allocated so the consumer owns it outright; the merged stream hands them
-// straight to the vectorized executor without exploding into rows.
-func (p *parallelScan) worker(s *inSituScan, ch chan<- exec.BatchMsg) {
-	defer p.wg.Done()
-	defer close(ch)
+// run drains one partition through its private scan, accumulating
+// qualifying rows into column-major batches (format.PumpRows allocates
+// each batch freshly, so the consumer owns it outright and the merged
+// stream hands them straight to the vectorized executor).
+func (p *parallelScan) run(part int, emit func(*exec.Batch) bool) error {
+	s := p.shards[part]
 	if err := s.Open(); err != nil {
-		p.send(ch, exec.BatchMsg{Err: err})
-		return
-	}
-	defer s.Close()
-	width := len(p.outCols)
-	b := exec.NewBatch(width, batchRows)
-	for {
-		r, err := s.Next()
-		if err == io.EOF {
-			s.drained = true
-			break
-		}
-		if err != nil {
-			p.send(ch, exec.BatchMsg{Err: err})
-			return
-		}
-		for j := range b.Cols {
-			b.Cols[j] = append(b.Cols[j], r[j])
-		}
-		b.N++
-		if b.N == batchRows {
-			if !p.send(ch, exec.BatchMsg{B: b}) {
-				return
-			}
-			b = exec.NewBatch(width, batchRows)
-		}
-	}
-	if b.N > 0 {
-		p.send(ch, exec.BatchMsg{B: b})
-	}
-}
-
-// send delivers a batch unless the scan is being torn down or the query's
-// context is cancelled (the consumer might no longer be draining).
-func (p *parallelScan) send(ch chan<- exec.BatchMsg, m exec.BatchMsg) bool {
-	select {
-	case ch <- m:
-		return true
-	case <-p.done:
-		return false
-	case <-p.ctx.Done():
-		return false
-	}
-}
-
-// finish runs once every partition drained cleanly: it merges all shards
-// and publishes the row count and statistics, exactly what the sequential
-// scan's finish does.
-func (p *parallelScan) finish() error {
-	p.wg.Wait()
-	// A cancelled context can race a worker's final error send (send's
-	// select drops the message when ctx.Done fires first), making an
-	// aborted pass look like a clean drain. Never publish totals from such
-	// a pass: surface the cancellation; Close merges the drained prefix.
-	if err := p.ctx.Err(); err != nil {
 		return err
 	}
-	for i, s := range p.shards {
-		if !s.drained {
-			return fmt.Errorf("core: %s: partition %d ended without draining or reporting an error", p.rt.tbl.Name, i)
-		}
-	}
-	total, merged := p.mergeShards(len(p.shards))
-	rt := p.rt
-	rt.rows.Store(int64(total))
-	if rt.st != nil {
-		rt.st.SetRowCount(int64(total))
-		for col, c := range merged {
-			if c != nil {
-				rt.st.Set(col, c.Finalize())
-			}
-		}
-	}
-	return nil
+	defer s.Close()
+	return format.PumpRows(s, len(p.outCols), format.BatchRowsPerMsg, emit)
 }
 
-// mergeShards folds shards[0..n) — in file order, offsetting rows by the
+// merge folds shards[0..n) — in file order, offsetting rows by the
 // partitions before them — into the shared positional map, cache and
-// counters, returning the total row count and the combined statistics
-// collectors. It runs at most once per scan.
-func (p *parallelScan) mergeShards(n int) (int, []*stats.Collector) {
-	if p.merged {
-		return 0, nil
-	}
-	p.merged = true
+// counters. After a clean drain of every partition it also publishes the
+// row count and statistics, exactly what the sequential scan's finish
+// does; on an abandoned pass (LIMIT, error, early Close) the completed
+// prefix still merges but totals stay unpublished, mirroring an aborted
+// sequential scan. format.Pool calls it at most once per scan.
+func (p *parallelScan) merge(n int, clean bool) error {
 	rt := p.rt
-	if rt.pm != nil {
-		rt.pm.BeginScan() // pin merged chunks like a sequential pass would
+	if rt.PM != nil {
+		rt.PM.BeginScan() // pin merged chunks like a sequential pass would
 	}
 	total := 0
 	var merged []*stats.Collector
 	for _, s := range p.shards[:n] {
 		sh := s.rt
-		if rt.pm != nil {
-			rt.pm.AbsorbShard(sh.pm, total)
+		if rt.PM != nil {
+			rt.PM.AbsorbShard(sh.PM, total)
 		}
-		if rt.cache != nil {
-			rt.cache.Absorb(sh.cache, total)
+		if rt.Cache != nil {
+			rt.Cache.Absorb(sh.Cache, total)
 		}
 		// The worker flushed its scan counters into its private shard table
 		// at Close; fold them into the shared table here.
-		rt.counters.add(&scanCounters{
-			shortRows:      sh.counters.shortRows.Load(),
-			tuplesParsed:   sh.counters.tuplesParsed.Load(),
-			fieldsParsed:   sh.counters.fieldsParsed.Load(),
-			fieldsFromMap:  sh.counters.fieldsFromMap.Load(),
-			fieldsFromScan: sh.counters.fieldsFromScan.Load(),
-			cacheHits:      sh.counters.cacheHits.Load(),
-			cacheMisses:    sh.counters.cacheMisses.Load(),
-		})
+		c := sh.Counters.Snapshot()
+		rt.Counters.Add(&c)
 		switch {
 		case s.collectors == nil:
 		case merged == nil:
@@ -256,26 +158,23 @@ func (p *parallelScan) mergeShards(n int) (int, []*stats.Collector) {
 		}
 		total += s.row
 	}
-	return total, merged
-}
-
-// stop tears the workers down (idempotent; also runs after a clean drain).
-// When the scan is abandoned before a full drain — LIMIT, error, early
-// Close — the completed prefix of partitions still merges back, mirroring
-// how an aborted sequential scan keeps the recordings it made before
-// stopping. Row count and statistics stay unpublished (the file was not
-// fully seen), just like a sequential scan that never reached finish.
-func (p *parallelScan) stop() error {
-	if p.done == nil {
+	if !clean {
 		return nil
 	}
-	p.once.Do(func() { close(p.done) })
-	p.wg.Wait()
-	prefix := 0
-	for prefix < len(p.shards) && p.shards[prefix] != nil && p.shards[prefix].drained {
-		prefix++
+	rt.Rows.Store(int64(total))
+	if rt.St != nil {
+		rt.St.SetRowCount(int64(total))
+		for col, c := range merged {
+			if c != nil {
+				rt.St.Set(col, c.Finalize())
+			}
+		}
 	}
-	p.mergeShards(prefix) // no-op after a clean finish
+	return nil
+}
+
+// release closes the partitioned file handle.
+func (p *parallelScan) release() error {
 	if p.f != nil {
 		err := p.f.Close()
 		p.f = nil

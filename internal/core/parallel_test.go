@@ -164,16 +164,16 @@ func TestParallelWarmScansStaySequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := rt.scanWorkers(); got != 8 {
+	if got := rt.ScanWorkers(); got != 8 {
 		t.Fatalf("cold table should allow 8 workers, got %d", got)
 	}
 	mustQuery(t, e, "SELECT a FROM wide WHERE id < 10")
-	if got := rt.scanWorkers(); got != 1 {
+	if got := rt.ScanWorkers(); got != 1 {
 		t.Errorf("warm table must scan sequentially, got %d workers", got)
 	}
 	// Invalidation makes the table cold again.
 	e.Invalidate("wide")
-	if got := rt.scanWorkers(); got != 8 {
+	if got := rt.ScanWorkers(); got != 8 {
 		t.Errorf("invalidated table should allow 8 workers again, got %d", got)
 	}
 }
@@ -233,7 +233,7 @@ func TestParallelBudgetedStaysSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := rt.scanWorkers(); got != 1 {
+		if got := rt.ScanWorkers(); got != 1 {
 			t.Errorf("opts %+v: budgeted engine must scan sequentially, got %d workers", opts, got)
 		}
 	}

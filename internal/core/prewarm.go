@@ -21,8 +21,9 @@ func (e *Engine) Prewarm(table string, columns ...string) error {
 		return fmt.Errorf("core: table %q does not exist", table)
 	}
 	if e.opts.Mode == ModeLoadFirst {
-		// The analogous warm-up for a load-first engine is the load.
-		_, err := e.loadedFor(tbl)
+		// The analogous warm-up for a load-first engine is the load; Table
+		// gates it on the format's Loadable capability.
+		_, err := e.Table(tbl.Name)
 		return err
 	}
 	if e.opts.Mode == ModeExternalFiles {

@@ -4,331 +4,88 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"path/filepath"
-	"runtime"
-	"sync/atomic"
 
-	"nodb/internal/colcache"
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
-	"nodb/internal/posmap"
+	"nodb/internal/format"
+	"nodb/internal/scan"
 	"nodb/internal/schema"
 	"nodb/internal/stats"
 	"nodb/internal/storage"
 )
 
-// rawTable is the in-situ state of one raw file: the adaptive positional
-// map, the binary cache and on-the-fly statistics. It implements
-// plan.Table.
-//
-// Concurrency: the adaptive structures are shared by every session, so
-// access is mediated by lk. Scans that record into them (in-situ and
-// parallel passes) hold lk exclusively for their lifetime; fully cached
-// read-only scans hold it shared and run in parallel. Statistics carry
-// their own internal lock (planning reads them lock-free with respect to
-// lk), the row count and cumulative counters are atomics.
+// rawTable is the CSV format adapter: the in-situ state of one raw file —
+// the adaptive positional map, the binary cache and on-the-fly statistics
+// (all shared machinery, format.State) — plus the CSV-specific selective
+// tokenize/parse access methods. It implements format.Source and
+// format.Appender; the engine reaches it only through the format registry.
 type rawTable struct {
-	tbl  *schema.Table
-	opts *Options
-
-	lk *tableLock
-
-	pm          *posmap.Map     // nil in ModeExternalFiles
-	recordAttrs bool            // false in ModeCache (minimal map only)
-	cache       *colcache.Cache // nil unless caching enabled
-	st          *stats.Table    // nil unless Statistics
-
-	rows     atomic.Int64 // -1 until the first complete scan
-	fileSize int64        // size observed at last scan (guarded by lk exclusive)
-
-	types []datum.Type
-
-	// Cumulative scan counters (see TableMetrics). Scans accumulate into
-	// private scanCounters on their hot path and flush here once at Close,
-	// so Metrics can read concurrently without slowing the parse loop.
-	counters tableCounters
+	*format.State
 }
 
-// tableCounters are the cumulative per-table instrumentation counters.
-type tableCounters struct {
-	shortRows      atomic.Int64
-	tuplesParsed   atomic.Int64
-	fieldsParsed   atomic.Int64
-	fieldsFromMap  atomic.Int64
-	fieldsFromScan atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
+// csvDriver registers the CSV engine as the "csv" format.
+type csvDriver struct{}
+
+// Caps implements format.Driver: CSV is the only built-in format the
+// conventional load-first baseline can bulk-load, and its newline-aligned
+// byte ranges partition for parallel cold scans.
+func (csvDriver) Caps() format.Caps {
+	return format.Caps{Loadable: true, Partitionable: true}
 }
 
-// scanCounters are one scan's private (unsynchronized) counters; add
-// publishes them into the shared cumulative counters.
-type scanCounters struct {
-	shortRows      int64
-	tuplesParsed   int64
-	fieldsParsed   int64
-	fieldsFromMap  int64
-	fieldsFromScan int64
-	cacheHits      int64
-	cacheMisses    int64
+// Open implements format.Driver.
+func (csvDriver) Open(tbl *schema.Table, env format.Env) (format.Source, error) {
+	return newRawTable(tbl, env), nil
 }
 
-func (tc *tableCounters) add(c *scanCounters) {
-	tc.shortRows.Add(c.shortRows)
-	tc.tuplesParsed.Add(c.tuplesParsed)
-	tc.fieldsParsed.Add(c.fieldsParsed)
-	tc.fieldsFromMap.Add(c.fieldsFromMap)
-	tc.fieldsFromScan.Add(c.fieldsFromScan)
-	tc.cacheHits.Add(c.cacheHits)
-	tc.cacheMisses.Add(c.cacheMisses)
-	*c = scanCounters{}
+func newRawTable(tbl *schema.Table, env format.Env) *rawTable {
+	return &rawTable{State: format.NewState(tbl, env)}
 }
 
-// batchSize is the vectorized batch height for this table's scans.
-func (rt *rawTable) batchSize() int {
-	if rt.opts.BatchSize > 0 {
-		return rt.opts.BatchSize
-	}
-	return exec.DefaultBatchSize
-}
-
-func newRawTable(tbl *schema.Table, opts *Options) (*rawTable, error) {
-	if tbl.Format != schema.CSV {
-		return nil, fmt.Errorf("core: table %s: format %s is not handled by the CSV engine (use fits.Attach for FITS tables)", tbl.Name, tbl.Format)
-	}
-	rt := &rawTable{tbl: tbl, opts: opts, lk: newTableLock()}
-	rt.rows.Store(-1)
-	rt.types = make([]datum.Type, tbl.NumColumns())
-	for i, c := range tbl.Columns {
-		rt.types[i] = c.Type
-	}
-	switch opts.Mode {
-	case ModePMCache:
-		rt.pm = rt.newPM()
-		rt.recordAttrs = true
-		rt.cache = colcache.New(opts.CacheBudget)
-	case ModePM:
-		rt.pm = rt.newPM()
-		rt.recordAttrs = true
-	case ModeCache:
-		// Minimal map: tuple starts only (paper Fig 5, "PostgresRaw C").
-		rt.pm = rt.newPM()
-		rt.recordAttrs = false
-		rt.cache = colcache.New(opts.CacheBudget)
-	case ModeExternalFiles:
-		// No auxiliary structures at all.
-	default:
-		return nil, fmt.Errorf("core: mode %v is not an in-situ mode", opts.Mode)
-	}
-	if opts.Statistics {
-		rt.st = stats.NewTable()
-	}
-	return rt, nil
-}
-
-func (rt *rawTable) newPM() *posmap.Map {
-	spill := ""
-	if rt.opts.PMSpillDir != "" {
-		spill = filepath.Join(rt.opts.PMSpillDir, rt.tbl.Name+".pmspill")
-	}
-	return posmap.New(rt.tbl.NumColumns(), posmap.Options{
-		Budget:    rt.opts.PMBudget,
-		ChunkRows: rt.opts.PMChunkRows,
-		SpillPath: spill,
-	})
-}
-
-// Name implements plan.Table.
-func (rt *rawTable) Name() string { return rt.tbl.Name }
-
-// Columns implements plan.Table.
-func (rt *rawTable) Columns() []schema.Column { return rt.tbl.Columns }
-
-// Stats implements plan.Table.
-func (rt *rawTable) Stats() *stats.Table { return rt.st }
-
-// RowCount implements plan.Table.
-func (rt *rawTable) RowCount() int64 { return rt.rows.Load() }
-
-// Scan implements plan.Table. The returned operator defers the access
+// OpenScan implements format.Source. The returned leaf defers the access
 // method choice — pure cache scan, parallel partitioned pass, or
 // sequential in-situ pass — until Open, when it acquires the table lock
 // and can decide against the structures as they exist at execution time
 // (by then a concurrent session may already have warmed the table).
-func (rt *rawTable) Scan(ctx context.Context, cols []int, conjuncts []expr.Expr) (exec.Operator, error) {
-	return newTableScan(ctx, rt, cols, conjuncts), nil
+func (rt *rawTable) OpenScan(ctx context.Context, cols []int, conjuncts []expr.Expr) (exec.BatchOperator, error) {
+	return rt.NewScan(ctx, cols, conjuncts, format.ScanPlan{
+		Seq: func(ctx context.Context) format.ScanOperator {
+			return newInSituScan(ctx, rt, cols, conjuncts)
+		},
+		Par: func(ctx context.Context, workers int) format.ScanOperator {
+			return newParallelScan(ctx, rt, cols, conjuncts, workers)
+		},
+	}), nil
 }
 
-// scanWorkers decides how many partition workers the next raw-file pass may
-// use. Parallel partitioning requires a cold table: once the positional map
-// or cache hold content, the sequential pass exploits it (nearest-neighbor
-// navigation, per-value cache hits) and owns it without synchronization, so
-// warm scans stay single-threaded.
-func (rt *rawTable) scanWorkers() int {
-	n := rt.opts.Parallelism
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	if n < 2 {
-		return 1
-	}
-	// Budgets exist to cap the engine's memory footprint, but worker shards
-	// are unbounded until they merge — a budgeted configuration therefore
-	// keeps the sequential path, whose structures never exceed the limits.
-	if rt.opts.PMBudget > 0 || rt.opts.CacheBudget > 0 {
-		return 1
-	}
-	if rt.pm != nil && (rt.pm.NumTuples() > 0 || rt.pm.MemoryBytes() > 0) {
-		return 1
-	}
-	if rt.cache != nil && len(rt.cache.CachedColumns()) > 0 {
-		return 1
-	}
-	return n
-}
-
-// shard returns a private view of the table for one partition worker: the
-// same schema, options and shared (read-only during the scan) statistics,
-// but fresh unbounded auxiliary structures and counters, so nothing on the
-// worker's per-tuple hot path is shared. parallelScan merges shards back
-// into rt when the pass completes; the shared budgets apply at merge time.
+// shard returns a private view of the table for one partition worker (see
+// format.State.Shard).
 func (rt *rawTable) shard() *rawTable {
-	sh := &rawTable{tbl: rt.tbl, opts: rt.opts, lk: newTableLock(), types: rt.types, st: rt.st}
-	sh.rows.Store(-1)
-	if rt.pm != nil {
-		sh.pm = posmap.New(rt.tbl.NumColumns(), posmap.Options{ChunkRows: rt.opts.PMChunkRows})
-		sh.recordAttrs = rt.recordAttrs
-	}
-	if rt.cache != nil {
-		sh.cache = colcache.New(0)
-	}
-	return sh
+	return &rawTable{State: rt.State.Shard()}
 }
 
-// neededColumns unions output and conjunct columns.
-func neededColumns(cols []int, conjuncts []expr.Expr) []int {
-	seen := map[int]bool{}
-	var out []int
-	for _, c := range cols {
-		if !seen[c] {
-			seen[c] = true
-			out = append(out, c)
-		}
+// Append implements format.Appender: it appends literal rows to the raw
+// CSV file under the exclusive table lock, so the write cannot interleave
+// with a scan reading the file. The in-situ state observes the growth on
+// the next query (Refresh treats growth as an append, paper §4.5).
+func (rt *rawTable) Append(ctx context.Context, rows [][]datum.Datum) error {
+	if err := rt.Lk.Lock(ctx); err != nil {
+		return err
 	}
-	for _, cj := range conjuncts {
-		for _, c := range expr.DistinctColumns(cj) {
-			if !seen[c] {
-				seen[c] = true
-				out = append(out, c)
-			}
-		}
-	}
-	return out
-}
-
-// cacheCovers reports whether every needed column is fully cached for all
-// known rows. Callers must hold lk.
-func (rt *rawTable) cacheCovers(needed []int) bool {
-	rows := rt.rows.Load()
-	if rt.cache == nil || rows < 0 {
-		return false
-	}
-	for _, c := range needed {
-		if !rt.cache.FullyCovers(c, int(rows)) {
-			return false
-		}
-	}
-	return true
-}
-
-// fileUnchanged reports whether the backing file still has the size the
-// last refresh observed — the precondition for serving a query without
-// the exclusive reconciliation pass. Callers must hold lk (shared is
-// enough: fileSize only changes under the exclusive hold).
-func (rt *rawTable) fileUnchanged() bool {
-	fi, err := os.Stat(rt.tbl.Path)
-	return err == nil && fi.Size() == rt.fileSize && rt.fileSize > 0
-}
-
-// refresh stats the backing file and reconciles auxiliary structures with
-// external changes: growth is treated as an append (structures cover the
-// old prefix and extend on the next scan); shrinkage or replacement drops
-// everything (paper §4.5). Callers must hold lk exclusively.
-func (rt *rawTable) refresh() error {
-	fi, err := os.Stat(rt.tbl.Path)
+	defer rt.Lk.Unlock()
+	f, err := os.OpenFile(rt.Tbl.Path, os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
-		return fmt.Errorf("core: table %s: %w", rt.tbl.Name, err)
+		return fmt.Errorf("core: %w", err)
 	}
-	size := fi.Size()
-	switch {
-	case size == rt.fileSize:
-		return nil
-	case size > rt.fileSize && rt.fileSize > 0:
-		// Append: row count becomes unknown; prefix structures stay.
-		rt.rows.Store(-1)
-	case size < rt.fileSize:
-		rt.invalidate()
+	defer f.Close()
+	w := scan.NewWriter(f, rt.Tbl.Delimiter)
+	for _, row := range rows {
+		if err := w.WriteDatums(row); err != nil {
+			return err
+		}
 	}
-	rt.fileSize = size
-	return nil
-}
-
-// invalidate drops every auxiliary structure. Callers must hold lk
-// exclusively (Engine.Invalidate acquires it).
-func (rt *rawTable) invalidate() {
-	if rt.pm != nil {
-		rt.pm.Drop()
-		rt.pm.Truncate(0)
-	}
-	if rt.cache != nil {
-		rt.cache.DropAll()
-	}
-	if rt.st != nil {
-		rt.st.Drop()
-	}
-	rt.rows.Store(-1)
-	rt.fileSize = 0
-}
-
-// metrics snapshots the instrumentation counters. It takes the table lock
-// shared, so it waits for a recording scan in progress (counters flush at
-// scan close) and returns a consistent picture.
-func (rt *rawTable) metrics() TableMetrics {
-	if err := rt.lk.RLock(context.Background()); err == nil {
-		defer rt.lk.RUnlock()
-	}
-	m := TableMetrics{
-		Rows:           rt.rows.Load(),
-		ShortRows:      rt.counters.shortRows.Load(),
-		TuplesParsed:   rt.counters.tuplesParsed.Load(),
-		FieldsParsed:   rt.counters.fieldsParsed.Load(),
-		FieldsFromMap:  rt.counters.fieldsFromMap.Load(),
-		FieldsFromScan: rt.counters.fieldsFromScan.Load(),
-	}
-	if rt.pm != nil {
-		pm := rt.pm.Metrics()
-		m.PMPointers = pm.Pointers
-		m.PMBytes = rt.pm.MemoryBytes()
-		m.PMEvictions = pm.Evictions
-	}
-	if rt.cache != nil {
-		cm := rt.cache.Metrics()
-		m.CacheBytes = rt.cache.Bytes()
-		m.CacheUsage = rt.cache.Usage()
-		m.CacheHits = cm.Hits + rt.counters.cacheHits.Load()
-		m.CacheMisses = cm.Misses + rt.counters.cacheMisses.Load()
-	}
-	if rt.st != nil {
-		m.StatsColumns = rt.st.CoveredColumns()
-	}
-	return m
-}
-
-func (rt *rawTable) close() error {
-	if rt.pm != nil {
-		return rt.pm.Close()
-	}
-	return nil
+	return w.Flush()
 }
 
 // loadedTable adapts a bulk-loaded heap relation to plan.Table.
@@ -360,7 +117,7 @@ func (lt *loadedTable) Scan(ctx context.Context, cols []int, conjuncts []expr.Ex
 		outCols[i] = exec.Col{Name: lt.tbl.Columns[c].Name, Type: lt.tbl.Columns[c].Type}
 	}
 	maxNeeded := 0
-	for _, c := range neededColumns(cols, conjuncts) {
+	for _, c := range format.NeededColumns(cols, conjuncts) {
 		if c > maxNeeded {
 			maxNeeded = c
 		}

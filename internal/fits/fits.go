@@ -396,30 +396,51 @@ func (t *Table) Close() error {
 	return nil
 }
 
-// Reader streams the table rows in chunks of whole rows.
+// Reader streams the table rows in chunks of whole rows. Readers issue
+// positioned reads (ReadAt) against the shared file handle, so any number
+// of them — e.g. partition workers of a parallel scan — run concurrently.
 type Reader struct {
-	t    *Table
-	buf  []byte
-	row  int64 // next row index
-	bpos int   // byte position within buf
-	blen int
+	t     *Table
+	buf   []byte
+	row   int64 // next row index
+	limit int64 // one past the last row to read
+	bpos  int   // byte position within buf
+	blen  int
 }
 
-// NewReader returns a sequential reader over the table.
+// NewReader returns a sequential reader over the whole table.
 func (t *Table) NewReader() *Reader {
-	return &Reader{t: t, buf: make([]byte, 256*1024/t.rowBytes*t.rowBytes+t.rowBytes)}
+	return t.NewRangeReader(0, t.NRows)
+}
+
+// NewRangeReader returns a reader over rows [lo, hi) — the row-index
+// partition unit of a parallel FITS scan (fixed-width rows split
+// trivially, no boundary probing needed).
+func (t *Table) NewRangeReader(lo, hi int64) *Reader {
+	if hi > t.NRows {
+		hi = t.NRows
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return &Reader{
+		t:     t,
+		row:   lo,
+		limit: hi,
+		buf:   make([]byte, 256*1024/t.rowBytes*t.rowBytes+t.rowBytes),
+	}
 }
 
 // Next decodes row values for the given column ordinals into dst (resized
-// as needed). It returns io.EOF past the last row.
+// as needed). It returns io.EOF past the last row of the range.
 func (r *Reader) Next(cols []int, dst []datum.Datum) ([]datum.Datum, error) {
-	if r.row >= r.t.NRows {
+	if r.row >= r.limit {
 		return dst, io.EOF
 	}
 	if r.bpos >= r.blen {
 		off := r.t.dataOff + r.row*int64(r.t.rowBytes)
 		maxRows := int64(len(r.buf) / r.t.rowBytes)
-		if rem := r.t.NRows - r.row; rem < maxRows {
+		if rem := r.limit - r.row; rem < maxRows {
 			maxRows = rem
 		}
 		n, err := r.t.f.ReadAt(r.buf[:maxRows*int64(r.t.rowBytes)], off)

@@ -11,6 +11,8 @@ import (
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
+	"nodb/internal/format"
+	"nodb/internal/schema"
 )
 
 func sampleCols() []Column {
@@ -170,26 +172,51 @@ func TestProceduralAggregate(t *testing.T) {
 	}
 }
 
-func TestInSituScanMatchesProcedural(t *testing.T) {
-	path := writeSample(t, 2000)
-	s, err := NewInSitu("obs", path, 0)
+// openSource binds the sample file through the format driver, as the
+// engine would.
+func openSource(t *testing.T, path string, env format.Env) *Source {
+	t.Helper()
+	tbl, err := schema.New("obs", []schema.Column{
+		{Name: "mag", Type: datum.Float},
+		{Name: "dist", Type: datum.Float},
+		{Name: "id", Type: datum.Int},
+		{Name: "flags", Type: datum.Int},
+	}, path, schema.FITS)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
+	src, err := driver{}.Open(tbl, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := src.(*Source)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// drainScan runs one scan through the Source API and returns its rows.
+func drainScan(t *testing.T, s *Source, cols []int, conjuncts []expr.Expr) []exec.Row {
+	t.Helper()
+	op, err := s.OpenScan(context.Background(), cols, conjuncts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Drain(format.AsRowOperator(op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestSourceScanMatchesProcedural(t *testing.T) {
+	path := writeSample(t, 2000)
+	s := openSource(t, path, format.Env{Cache: true})
 	if s.RowCount() != 2000 {
 		t.Errorf("RowCount = %d", s.RowCount())
 	}
 
 	scanAvg := func() float64 {
-		op, err := s.Scan(context.Background(), []int{0}, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rows, err := exec.Drain(op)
-		if err != nil {
-			t.Fatal(err)
-		}
+		rows := drainScan(t, s, []int{0}, nil)
 		var sum float64
 		for _, r := range rows {
 			sum += r[0].Float()
@@ -205,7 +232,7 @@ func TestInSituScanMatchesProcedural(t *testing.T) {
 	if math.Abs(got1-want) > 1e-9 {
 		t.Errorf("first scan avg = %f, want %f", got1, want)
 	}
-	scanned := s.RowsScanned()
+	scanned := s.Metrics().TuplesParsed
 	if scanned != 2000 {
 		t.Errorf("first scan should read 2000 rows, read %d", scanned)
 	}
@@ -214,56 +241,34 @@ func TestInSituScanMatchesProcedural(t *testing.T) {
 	if got2 != got1 {
 		t.Errorf("cached scan differs: %f vs %f", got2, got1)
 	}
-	if s.RowsScanned() != scanned {
-		t.Errorf("second scan read the file again (%d -> %d rows)", scanned, s.RowsScanned())
+	if after := s.Metrics().TuplesParsed; after != scanned {
+		t.Errorf("second scan read the file again (%d -> %d rows)", scanned, after)
 	}
-	if s.CacheBytes() == 0 {
+	if s.Metrics().CacheBytes == 0 {
 		t.Error("cache should hold the column")
 	}
 }
 
-func TestInSituScanWithPredicate(t *testing.T) {
+func TestSourceScanWithPredicate(t *testing.T) {
 	path := writeSample(t, 300)
-	s, err := NewInSitu("obs", path, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.Close()
+	s := openSource(t, path, format.Env{Cache: true})
 	// WHERE id < 10 — predicate over column 2, output column 0.
 	pred := &expr.BinOp{Op: expr.Lt, L: &expr.ColRef{Index: 2}, R: &expr.Const{D: datum.NewInt(10)}}
-	op, err := s.Scan(context.Background(), []int{0}, []expr.Expr{pred})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rows, err := exec.Drain(op)
-	if err != nil {
-		t.Fatal(err)
-	}
+	rows := drainScan(t, s, []int{0}, []expr.Expr{pred})
 	if len(rows) != 10 {
 		t.Errorf("predicate scan rows = %d, want 10", len(rows))
 	}
 }
 
-func TestInSituPartialCacheThenFull(t *testing.T) {
+func TestSourcePartialCacheThenFull(t *testing.T) {
 	path := writeSample(t, 100)
-	s, err := NewInSitu("obs", path, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.Close()
+	s := openSource(t, path, format.Env{Cache: true})
 	// Scan column 0 only; then a query over columns 0 and 1 must re-read
 	// the file (column 1 uncached) and still be correct.
-	op, _ := s.Scan(context.Background(), []int{0}, nil)
-	if _, err := exec.Drain(op); err != nil {
-		t.Fatal(err)
-	}
-	afterFirst := s.RowsScanned()
-	op2, _ := s.Scan(context.Background(), []int{0, 1}, nil)
-	rows, err := exec.Drain(op2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 100 || s.RowsScanned() == afterFirst {
+	drainScan(t, s, []int{0}, nil)
+	afterFirst := s.Metrics().TuplesParsed
+	rows := drainScan(t, s, []int{0, 1}, nil)
+	if len(rows) != 100 || s.Metrics().TuplesParsed == afterFirst {
 		t.Error("second scan should touch the file for the uncached column")
 	}
 	want := sampleRows(100, 42)
@@ -271,5 +276,30 @@ func TestInSituPartialCacheThenFull(t *testing.T) {
 		if r[0].Float() != want[i][0].Float() || r[1].Float() != want[i][1].Float() {
 			t.Fatalf("row %d mismatch", i)
 		}
+	}
+}
+
+func TestSourceBindingValidation(t *testing.T) {
+	path := writeSample(t, 10)
+	// Wrong arity.
+	tbl, err := schema.New("obs", []schema.Column{{Name: "mag", Type: datum.Float}}, path, schema.FITS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (driver{}).Open(tbl, format.Env{}); err == nil {
+		t.Error("column-count mismatch must error")
+	}
+	// Wrong type.
+	tbl2, err := schema.New("obs", []schema.Column{
+		{Name: "mag", Type: datum.Int}, // file stores Float64
+		{Name: "dist", Type: datum.Float},
+		{Name: "id", Type: datum.Int},
+		{Name: "flags", Type: datum.Int},
+	}, path, schema.FITS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (driver{}).Open(tbl2, format.Env{}); err == nil {
+		t.Error("type mismatch must error")
 	}
 }

@@ -1,0 +1,158 @@
+package format
+
+import (
+	"context"
+	"io"
+
+	"nodb/internal/exec"
+)
+
+// GuardedScan is the leaf operator every raw format shares. It defers the
+// access-method decision to Open, where it holds the table lock:
+//
+//   - The shared callback runs under a shared hold first (when set): if it
+//     can serve the query read-only — typically a fully covering binary
+//     cache — any number of such scans proceed in parallel.
+//   - Otherwise the exclusive callback decides the recording pass
+//     (partitioned, sequential, or a cache scan discovered only under the
+//     exclusive hold); returning downgrade=true converts the hold to
+//     shared before the scan runs.
+//
+// Exclusive acquisition is what makes cold tables single-flight: N
+// sessions arriving at an untouched file queue here, exactly one pays the
+// first parse, and the rest re-decide afterwards (and typically downgrade
+// to shared cache scans). Lock waits abort when ctx is cancelled, and the
+// scan itself re-checks ctx at batch (and every-few-rows) boundaries.
+//
+// GuardedScan implements both executor interfaces; every inner access
+// method is natively batch-capable (ScanOperator).
+type GuardedScan struct {
+	ctx       context.Context
+	lk        *TableLock
+	cols      []exec.Col
+	shared    func() (ScanOperator, error)
+	exclusive func() (ScanOperator, bool, error)
+	budget    int64 // LIMIT pushdown; -1 = none
+
+	inner  ScanOperator
+	unlock func()
+	tick   int
+}
+
+// NewGuardedScan builds the deferred-decision leaf. shared may be nil when
+// a read-only fast path can never apply (no cache, or a budgeted cache
+// whose reads churn shared LRU state); it runs under a shared hold and
+// returns (nil, nil) to fall through to the exclusive path. exclusive runs
+// under the exclusive hold and must return the access method; its second
+// result requests a downgrade to a shared hold for read-only scans.
+func NewGuardedScan(ctx context.Context, lk *TableLock, cols []exec.Col,
+	shared func() (ScanOperator, error),
+	exclusive func() (ScanOperator, bool, error)) *GuardedScan {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &GuardedScan{ctx: ctx, lk: lk, cols: cols, shared: shared, exclusive: exclusive, budget: -1}
+}
+
+// SetRowBudget implements exec.RowBudgeter; the budget is forwarded to
+// whichever access method Open selects.
+func (g *GuardedScan) SetRowBudget(n int64) { g.budget = n }
+
+// Columns implements exec.Operator.
+func (g *GuardedScan) Columns() []exec.Col { return g.cols }
+
+// Open acquires the table, decides the access method and opens it.
+func (g *GuardedScan) Open() error {
+	if g.shared != nil {
+		if err := g.lk.RLock(g.ctx); err != nil {
+			return err
+		}
+		op, err := g.shared()
+		if err != nil {
+			g.lk.RUnlock()
+			return err
+		}
+		if op != nil {
+			if g.budget >= 0 {
+				op.(exec.RowBudgeter).SetRowBudget(g.budget)
+			}
+			if err := op.Open(); err != nil {
+				op.Close()
+				g.lk.RUnlock()
+				return err
+			}
+			g.inner = op
+			g.unlock = g.lk.RUnlock
+			return nil
+		}
+		g.lk.RUnlock()
+	}
+	if err := g.lk.Lock(g.ctx); err != nil {
+		return err
+	}
+	unlock := g.lk.Unlock
+	ok := false
+	defer func() {
+		if !ok {
+			unlock()
+		}
+	}()
+	inner, downgrade, err := g.exclusive()
+	if err != nil {
+		return err
+	}
+	if downgrade {
+		g.lk.Downgrade()
+		unlock = g.lk.RUnlock
+	}
+	if g.budget >= 0 {
+		inner.(exec.RowBudgeter).SetRowBudget(g.budget)
+	}
+	if err := inner.Open(); err != nil {
+		inner.Close()
+		return err
+	}
+	g.inner = inner
+	g.unlock = unlock
+	ok = true
+	return nil
+}
+
+// Next implements exec.Operator, re-checking cancellation every 64 rows.
+func (g *GuardedScan) Next() (exec.Row, error) {
+	if g.inner == nil {
+		return nil, io.EOF
+	}
+	if g.tick++; g.tick&63 == 0 {
+		if err := g.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return g.inner.Next()
+}
+
+// NextBatch implements exec.BatchOperator, re-checking cancellation at
+// every batch boundary.
+func (g *GuardedScan) NextBatch() (*exec.Batch, error) {
+	if g.inner == nil {
+		return nil, io.EOF
+	}
+	if err := g.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return g.inner.NextBatch()
+}
+
+// Close tears the inner scan down and releases the table.
+func (g *GuardedScan) Close() error {
+	var err error
+	if g.inner != nil {
+		err = g.inner.Close()
+		g.inner = nil
+	}
+	if g.unlock != nil {
+		g.unlock()
+		g.unlock = nil
+	}
+	return err
+}

@@ -1,11 +1,11 @@
-package core
+package format
 
 import (
 	"context"
 	"sync"
 )
 
-// tableLock is a context-aware readers-writer lock serializing access to
+// TableLock is a context-aware readers-writer lock serializing access to
 // one raw table's adaptive structures (positional map, binary cache,
 // per-table state). Scans that record into those structures hold it
 // exclusively for their whole lifetime — which is also what makes the
@@ -13,12 +13,13 @@ import (
 // here while one pays the parse, then re-decide their access method
 // against the structures it built (typically a pure cache scan). Fully
 // cached read-only scans share the lock, so warm traffic runs in parallel.
+// This regime applies uniformly to every registered format.
 //
 // Acquisition is abortable: a caller whose context is cancelled while
 // waiting gives up with ctx.Err() instead of queueing forever behind a
 // long scan. Writers take priority over new readers, so a cold scan is
 // never starved by a stream of cache readers.
-type tableLock struct {
+type TableLock struct {
 	mu      sync.Mutex
 	writer  bool
 	readers int
@@ -26,17 +27,18 @@ type tableLock struct {
 	wait    chan struct{} // closed and replaced on every state change (broadcast)
 }
 
-func newTableLock() *tableLock { return &tableLock{wait: make(chan struct{})} }
+// NewTableLock returns an unlocked table lock.
+func NewTableLock() *TableLock { return &TableLock{wait: make(chan struct{})} }
 
 // broadcast wakes every waiter; each re-checks the state.
-func (l *tableLock) broadcast() {
+func (l *TableLock) broadcast() {
 	close(l.wait)
 	l.wait = make(chan struct{})
 }
 
 // Lock acquires the lock exclusively, aborting with ctx.Err() on
 // cancellation.
-func (l *tableLock) Lock(ctx context.Context) error {
+func (l *TableLock) Lock(ctx context.Context) error {
 	l.mu.Lock()
 	l.waitW++
 	for l.writer || l.readers > 0 {
@@ -60,7 +62,7 @@ func (l *tableLock) Lock(ctx context.Context) error {
 }
 
 // Unlock releases an exclusive hold.
-func (l *tableLock) Unlock() {
+func (l *TableLock) Unlock() {
 	l.mu.Lock()
 	l.writer = false
 	l.broadcast()
@@ -68,7 +70,7 @@ func (l *tableLock) Unlock() {
 }
 
 // RLock acquires the lock shared, aborting with ctx.Err() on cancellation.
-func (l *tableLock) RLock(ctx context.Context) error {
+func (l *TableLock) RLock(ctx context.Context) error {
 	l.mu.Lock()
 	for l.writer || l.waitW > 0 {
 		ch := l.wait
@@ -86,7 +88,7 @@ func (l *tableLock) RLock(ctx context.Context) error {
 }
 
 // RUnlock releases a shared hold.
-func (l *tableLock) RUnlock() {
+func (l *TableLock) RUnlock() {
 	l.mu.Lock()
 	l.readers--
 	if l.readers == 0 {
@@ -99,7 +101,7 @@ func (l *tableLock) RUnlock() {
 // admitting other readers without ever releasing the table: the state
 // verified under the exclusive hold (e.g. "the cache fully covers this
 // query") cannot be invalidated in between.
-func (l *tableLock) Downgrade() {
+func (l *TableLock) Downgrade() {
 	l.mu.Lock()
 	l.writer = false
 	l.readers++

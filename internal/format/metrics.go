@@ -1,0 +1,75 @@
+package format
+
+import "sync/atomic"
+
+// Metrics reports the auxiliary-structure state of a raw table, used by
+// the benchmark harness and tests (cache usage, positional-map pointers,
+// parse accounting). Fields are zero for structures a format does not
+// keep.
+type Metrics struct {
+	Rows           int64
+	PMPointers     int64
+	PMBytes        int64
+	PMEvictions    int64
+	CacheBytes     int64
+	CacheUsage     float64
+	CacheHits      int64
+	CacheMisses    int64
+	StatsColumns   int
+	ShortRows      int64
+	TuplesParsed   int64
+	FieldsParsed   int64
+	FieldsFromMap  int64
+	FieldsFromScan int64
+}
+
+// ScanCounters are one scan's private (unsynchronized) instrumentation
+// counters: scans accumulate here on their hot path and flush into the
+// shared Counters once, at Close.
+type ScanCounters struct {
+	ShortRows      int64
+	TuplesParsed   int64
+	FieldsParsed   int64
+	FieldsFromMap  int64
+	FieldsFromScan int64
+	CacheHits      int64
+	CacheMisses    int64
+}
+
+// Counters are the cumulative per-table instrumentation counters, safe for
+// concurrent flushes.
+type Counters struct {
+	shortRows      atomic.Int64
+	tuplesParsed   atomic.Int64
+	fieldsParsed   atomic.Int64
+	fieldsFromMap  atomic.Int64
+	fieldsFromScan atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+}
+
+// Add publishes a scan's private counters and zeroes them.
+func (tc *Counters) Add(c *ScanCounters) {
+	tc.shortRows.Add(c.ShortRows)
+	tc.tuplesParsed.Add(c.TuplesParsed)
+	tc.fieldsParsed.Add(c.FieldsParsed)
+	tc.fieldsFromMap.Add(c.FieldsFromMap)
+	tc.fieldsFromScan.Add(c.FieldsFromScan)
+	tc.cacheHits.Add(c.CacheHits)
+	tc.cacheMisses.Add(c.CacheMisses)
+	*c = ScanCounters{}
+}
+
+// Snapshot loads the cumulative totals (e.g. to fold a worker shard's
+// counters into the shared table at merge time).
+func (tc *Counters) Snapshot() ScanCounters {
+	return ScanCounters{
+		ShortRows:      tc.shortRows.Load(),
+		TuplesParsed:   tc.tuplesParsed.Load(),
+		FieldsParsed:   tc.fieldsParsed.Load(),
+		FieldsFromMap:  tc.fieldsFromMap.Load(),
+		FieldsFromScan: tc.fieldsFromScan.Load(),
+		CacheHits:      tc.cacheHits.Load(),
+		CacheMisses:    tc.cacheMisses.Load(),
+	}
+}

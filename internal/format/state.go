@@ -1,0 +1,315 @@
+package format
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+
+	"nodb/internal/colcache"
+	"nodb/internal/datum"
+	"nodb/internal/exec"
+	"nodb/internal/expr"
+	"nodb/internal/posmap"
+	"nodb/internal/schema"
+	"nodb/internal/stats"
+)
+
+// State is the shared adaptive-structure state of one raw table — the part
+// of a format adapter that is the same for every format: the positional
+// map, the binary value cache, on-the-fly statistics, the known row count,
+// instrumentation counters, and the per-table lock that mediates them.
+// Format adapters embed a *State and add their format-specific scans; the
+// methods here implement most of the Source interface.
+//
+// Concurrency: scans that record into the structures hold Lk exclusively
+// for their lifetime; fully cached read-only scans hold it shared and run
+// in parallel. Statistics carry their own internal lock, the row count and
+// cumulative counters are atomics. FileSize changes only under the
+// exclusive hold.
+type State struct {
+	Tbl *schema.Table
+	Env Env
+	Lk  *TableLock
+
+	PM          *posmap.Map     // nil unless Env.PosMap
+	RecordAttrs bool            // Env.AttrPointers (false: tuple starts only)
+	Cache       *colcache.Cache // nil unless Env.Cache
+	St          *stats.Table    // nil unless Env.Statistics
+
+	Types []datum.Type
+
+	Rows     atomic.Int64 // -1 until the first complete scan
+	FileSize int64        // size observed at last refresh (guarded by Lk exclusive)
+
+	Counters Counters
+}
+
+// NewState builds the adaptive structures the environment asks for.
+// Adapters that have no use for a structure (FITS needs no positional map)
+// zero the corresponding Env switches before calling.
+func NewState(tbl *schema.Table, env Env) *State {
+	st := &State{Tbl: tbl, Env: env, Lk: NewTableLock()}
+	st.Rows.Store(-1)
+	st.Types = make([]datum.Type, tbl.NumColumns())
+	for i, c := range tbl.Columns {
+		st.Types[i] = c.Type
+	}
+	if env.PosMap {
+		spill := ""
+		if env.PMSpillDir != "" {
+			spill = filepath.Join(env.PMSpillDir, tbl.Name+".pmspill")
+		}
+		st.PM = posmap.New(tbl.NumColumns(), posmap.Options{
+			Budget:    env.PMBudget,
+			ChunkRows: env.PMChunkRows,
+			SpillPath: spill,
+		})
+		st.RecordAttrs = env.AttrPointers
+	}
+	if env.Cache {
+		st.Cache = colcache.New(env.CacheBudget)
+	}
+	if env.Statistics {
+		st.St = stats.NewTable()
+	}
+	return st
+}
+
+// Shard returns a private view of the table for one partition worker: the
+// same schema, environment and shared (read-only during the scan)
+// statistics, but fresh unbounded auxiliary structures and counters, so
+// nothing on the worker's per-tuple hot path is shared. The parallel scan
+// merges shards back when the pass completes; the shared budgets apply at
+// merge time.
+func (st *State) Shard() *State {
+	sh := &State{Tbl: st.Tbl, Env: st.Env, Lk: NewTableLock(), Types: st.Types, St: st.St}
+	sh.Rows.Store(-1)
+	if st.PM != nil {
+		sh.PM = posmap.New(st.Tbl.NumColumns(), posmap.Options{ChunkRows: st.Env.PMChunkRows})
+		sh.RecordAttrs = st.RecordAttrs
+	}
+	if st.Cache != nil {
+		sh.Cache = colcache.New(0)
+	}
+	return sh
+}
+
+// Table implements Source.
+func (st *State) Table() *schema.Table { return st.Tbl }
+
+// Stats implements Source.
+func (st *State) Stats() *stats.Table { return st.St }
+
+// RowCount implements Source.
+func (st *State) RowCount() int64 { return st.Rows.Load() }
+
+// BatchSize is the vectorized batch height for this table's scans.
+func (st *State) BatchSize() int {
+	if st.Env.BatchSize > 0 {
+		return st.Env.BatchSize
+	}
+	return exec.DefaultBatchSize
+}
+
+// ScanWorkers decides how many partition workers the next raw-file pass
+// may use. Parallel partitioning requires a cold table: once the
+// positional map or cache hold content, the sequential pass exploits them
+// (nearest-neighbor navigation, per-value cache hits) and owns them
+// without synchronization, so warm scans stay single-threaded. Budgeted
+// configurations also stay sequential: worker shards are unbounded until
+// they merge, which the memory caps could not respect.
+func (st *State) ScanWorkers() int {
+	n := st.Env.Parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 2 {
+		return 1
+	}
+	if st.Env.PMBudget > 0 || st.Env.CacheBudget > 0 {
+		return 1
+	}
+	if st.PM != nil && (st.PM.NumTuples() > 0 || st.PM.MemoryBytes() > 0) {
+		return 1
+	}
+	if st.Cache != nil && len(st.Cache.CachedColumns()) > 0 {
+		return 1
+	}
+	return n
+}
+
+// CacheCovers reports whether every needed column is fully cached for all
+// known rows. Callers must hold Lk.
+func (st *State) CacheCovers(needed []int) bool {
+	rows := st.Rows.Load()
+	if st.Cache == nil || rows < 0 {
+		return false
+	}
+	for _, c := range needed {
+		if !st.Cache.FullyCovers(c, int(rows)) {
+			return false
+		}
+	}
+	return true
+}
+
+// FileUnchanged reports whether the backing file still has the size the
+// last refresh observed — the precondition for serving a query without
+// the exclusive reconciliation pass. Callers must hold Lk (shared is
+// enough: FileSize only changes under the exclusive hold).
+func (st *State) FileUnchanged() bool {
+	fi, err := os.Stat(st.Tbl.Path)
+	return err == nil && fi.Size() == st.FileSize && st.FileSize > 0
+}
+
+// Refresh stats the backing file and reconciles auxiliary structures with
+// external changes: growth is treated as an append (structures cover the
+// old prefix and extend on the next scan); shrinkage or replacement drops
+// everything (paper §4.5). This is the row-oriented default; formats with
+// self-describing headers (FITS) install their own refresh through
+// ScanPlan. Callers must hold Lk exclusively.
+func (st *State) Refresh() error {
+	fi, err := os.Stat(st.Tbl.Path)
+	if err != nil {
+		return fmt.Errorf("format: table %s: %w", st.Tbl.Name, err)
+	}
+	size := fi.Size()
+	switch {
+	case size == st.FileSize:
+		return nil
+	case size > st.FileSize && st.FileSize > 0:
+		// Append: row count becomes unknown; prefix structures stay.
+		st.Rows.Store(-1)
+	case size < st.FileSize:
+		st.InvalidateLocked()
+	}
+	st.FileSize = size
+	return nil
+}
+
+// InvalidateLocked drops every auxiliary structure. Callers must hold Lk
+// exclusively.
+func (st *State) InvalidateLocked() {
+	if st.PM != nil {
+		st.PM.Drop()
+		st.PM.Truncate(0)
+	}
+	if st.Cache != nil {
+		st.Cache.DropAll()
+	}
+	if st.St != nil {
+		st.St.Drop()
+	}
+	st.Rows.Store(-1)
+	st.FileSize = 0
+}
+
+// Invalidate implements Source: it waits for scans of the table in flight,
+// then drops all auxiliary state.
+func (st *State) Invalidate() {
+	if err := st.Lk.Lock(context.Background()); err == nil {
+		st.InvalidateLocked()
+		st.Lk.Unlock()
+	}
+}
+
+// Metrics implements Source. It takes the table lock shared, so it waits
+// for a recording scan in progress (counters flush at scan close) and
+// returns a consistent picture.
+func (st *State) Metrics() Metrics {
+	if err := st.Lk.RLock(context.Background()); err == nil {
+		defer st.Lk.RUnlock()
+	}
+	c := st.Counters.Snapshot()
+	m := Metrics{
+		Rows:           st.Rows.Load(),
+		ShortRows:      c.ShortRows,
+		TuplesParsed:   c.TuplesParsed,
+		FieldsParsed:   c.FieldsParsed,
+		FieldsFromMap:  c.FieldsFromMap,
+		FieldsFromScan: c.FieldsFromScan,
+	}
+	if st.PM != nil {
+		pm := st.PM.Metrics()
+		m.PMPointers = pm.Pointers
+		m.PMBytes = st.PM.MemoryBytes()
+		m.PMEvictions = pm.Evictions
+	}
+	if st.Cache != nil {
+		cm := st.Cache.Metrics()
+		m.CacheBytes = st.Cache.Bytes()
+		m.CacheUsage = st.Cache.Usage()
+		m.CacheHits = cm.Hits + c.CacheHits
+		m.CacheMisses = cm.Misses + c.CacheMisses
+	}
+	if st.St != nil {
+		m.StatsColumns = st.St.CoveredColumns()
+	}
+	return m
+}
+
+// Close releases the state's disk resources (positional-map spill file).
+func (st *State) Close() error {
+	if st.PM != nil {
+		return st.PM.Close()
+	}
+	return nil
+}
+
+// ScanPlan supplies a format's access methods to NewScan. Seq builds the
+// sequential recording pass; Par (optional) builds the partitioned
+// parallel pass for a cold table; Refresh (optional) overrides the
+// row-oriented State.Refresh reconciliation.
+type ScanPlan struct {
+	Seq     func(ctx context.Context) ScanOperator
+	Par     func(ctx context.Context, workers int) ScanOperator
+	Refresh func() error
+}
+
+// NewScan assembles the standard access-method decision shared by every
+// format, as a GuardedScan leaf:
+//
+//   - read-only cache scan under a shared hold when the unbudgeted cache
+//     already covers the query (warm traffic runs in parallel),
+//   - otherwise, under the exclusive hold: refresh, re-check the cache
+//     (downgrading when it covers), then a parallel partitioned pass on a
+//     cold table or the format's sequential recording pass.
+func (st *State) NewScan(ctx context.Context, outCols []int, conjuncts []expr.Expr, plan ScanPlan) *GuardedScan {
+	cols := OutputSchema(st.Tbl, outCols)
+	needed := NeededColumns(outCols, conjuncts)
+
+	var shared func() (ScanOperator, error)
+	if st.Cache != nil && st.Env.CacheBudget <= 0 {
+		shared = func() (ScanOperator, error) {
+			if st.FileUnchanged() && st.CacheCovers(needed) {
+				return NewCacheScan(ctx, st, outCols, conjuncts, true), nil
+			}
+			return nil, nil
+		}
+	}
+	refresh := plan.Refresh
+	if refresh == nil {
+		refresh = st.Refresh
+	}
+	exclusive := func() (ScanOperator, bool, error) {
+		if err := refresh(); err != nil {
+			return nil, false, err
+		}
+		if st.CacheCovers(needed) {
+			// An unbudgeted cache never evicts, so the scan mutates nothing
+			// shared: downgrade to a shared hold and let cache readers run
+			// in parallel. (With a budget, reads churn the LRU and may
+			// create entries, so the scan keeps the exclusive hold.)
+			readonly := st.Env.CacheBudget <= 0
+			return NewCacheScan(ctx, st, outCols, conjuncts, readonly), readonly, nil
+		}
+		if w := st.ScanWorkers(); w > 1 && plan.Par != nil {
+			return plan.Par(ctx, w), false, nil
+		}
+		return plan.Seq(ctx), false, nil
+	}
+	return NewGuardedScan(ctx, st.Lk, cols, shared, exclusive)
+}

@@ -58,9 +58,9 @@ type Options struct {
 	// Vectorize builds a batch-at-a-time pipeline above batch-capable scan
 	// leaves: filters, projections and limits run over column-major
 	// batches (exec.Batch) and hash aggregation consumes batches directly.
-	// Row-only leaves (heap scans, FITS) and row-only operators (sort,
-	// join) keep the Volcano path, bridged by adapters. Results are
-	// identical either way.
+	// Every raw-format scan (CSV, FITS, JSONL) is batch-capable; row-only
+	// leaves (heap scans) and row-only operators (sort, join) keep the
+	// Volcano path, bridged by adapters. Results are identical either way.
 	Vectorize bool
 	// Ctx bounds the execution the plan is built for; it flows into every
 	// scan leaf so a cancelled context aborts running scans promptly. Nil

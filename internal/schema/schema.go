@@ -15,23 +15,47 @@ import (
 	"nodb/internal/datum"
 )
 
-// Format identifies the raw file format backing a table.
-type Format uint8
+// Format identifies the raw file format backing a table. It is an open
+// string-backed type: the set of valid formats is whatever the engine's
+// format registry holds (internal/format), not a closed enum — declaring a
+// table in a new format requires no schema-package change.
+type Format string
 
-// Supported raw formats.
+// Formats with built-in adapters.
 const (
-	CSV Format = iota
-	FITS
+	CSV   Format = "csv"
+	FITS  Format = "fits"
+	JSONL Format = "jsonl"
 )
 
 func (f Format) String() string {
-	switch f {
-	case CSV:
-		return "csv"
-	case FITS:
-		return "fits"
+	if f == "" {
+		return string(CSV)
+	}
+	return string(f)
+}
+
+// validateFormat, when installed, vets format names at table-declaration
+// time. The format registry installs it so schema files reject unknown
+// formats with an error naming the registered ones; the schema package
+// itself stays independent of the registry.
+var validateFormat func(Format) error
+
+// SetFormatValidator installs the format-name validator (nil accepts
+// everything). Called by the format registry at init.
+func SetFormatValidator(fn func(Format) error) { validateFormat = fn }
+
+// inferFormat guesses a format from a file extension, for schema-file
+// stanzas without an explicit "format" clause.
+func inferFormat(file string) Format {
+	switch {
+	case strings.HasSuffix(strings.ToLower(file), ".fits"):
+		return FITS
+	case strings.HasSuffix(strings.ToLower(file), ".jsonl"),
+		strings.HasSuffix(strings.ToLower(file), ".ndjson"):
+		return JSONL
 	default:
-		return "unknown"
+		return CSV
 	}
 }
 
@@ -59,6 +83,15 @@ func New(name string, cols []Column, path string, format Format) (*Table, error)
 	}
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("schema: table %s has no columns", name)
+	}
+	if format == "" {
+		format = CSV
+	}
+	format = Format(strings.ToLower(string(format)))
+	if validateFormat != nil {
+		if err := validateFormat(format); err != nil {
+			return nil, fmt.Errorf("schema: table %s: %w", name, err)
+		}
 	}
 	t := &Table{
 		Name:      strings.ToLower(name),
@@ -145,17 +178,21 @@ func (c *Catalog) Tables() []*Table {
 // LoadFile reads a schema declaration file and registers its tables. The
 // format is intentionally simple, one table per stanza:
 //
-//	table lineitem from lineitem.tbl delim pipe
+//	table lineitem from lineitem.tbl delim pipe format csv
 //	  l_orderkey int
 //	  l_quantity float
 //	  l_shipdate date
 //	end
 //
-// The optional "delim X" suffix sets the field delimiter: a single literal
+// The optional "delim X" clause sets the field delimiter: a single literal
 // character or one of the names comma, pipe, tab, semicolon, space
-// (default comma). Paths are resolved relative to dir. Lines beginning
-// with '#' and blank lines are ignored. This plays the role of
-// PostgresRaw's CREATE TABLE ... WITH (filename=...) DDL.
+// (default comma). The optional "format Y" clause names the raw format
+// (csv, fits, jsonl, or any registered format); without it the format is
+// inferred from the file extension (.fits, .jsonl/.ndjson, else csv).
+// Unknown formats are rejected with an error naming the registered ones.
+// Paths are resolved relative to dir. Lines beginning with '#' and blank
+// lines are ignored. This plays the role of PostgresRaw's CREATE TABLE ...
+// WITH (filename=...) DDL.
 func (c *Catalog) LoadFile(path, dir string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -165,11 +202,12 @@ func (c *Catalog) LoadFile(path, dir string) error {
 
 	sc := bufio.NewScanner(f)
 	var (
-		name  string
-		file  string
-		delim byte
-		cols  []Column
-		line  int
+		name   string
+		file   string
+		delim  byte
+		format Format
+		cols   []Column
+		line   int
 	)
 	flush := func() error {
 		if name == "" {
@@ -179,9 +217,8 @@ func (c *Catalog) LoadFile(path, dir string) error {
 		if dir != "" && !strings.HasPrefix(p, "/") {
 			p = dir + "/" + p
 		}
-		format := CSV
-		if strings.HasSuffix(strings.ToLower(file), ".fits") {
-			format = FITS
+		if format == "" {
+			format = inferFormat(file)
 		}
 		t, err := New(name, cols, p, format)
 		if err != nil {
@@ -191,7 +228,7 @@ func (c *Catalog) LoadFile(path, dir string) error {
 		if err := c.Register(t); err != nil {
 			return err
 		}
-		name, file, cols, delim = "", "", nil, ','
+		name, file, cols, delim, format = "", "", nil, ',', ""
 		return nil
 	}
 	for sc.Scan() {
@@ -206,20 +243,24 @@ func (c *Catalog) LoadFile(path, dir string) error {
 			if err := flush(); err != nil {
 				return err
 			}
-			ok := (len(fields) == 4 || len(fields) == 6) && fields[2] == "from"
+			ok := len(fields) >= 4 && len(fields)%2 == 0 && fields[2] == "from"
 			if !ok {
-				return fmt.Errorf("schema: %s:%d: want 'table NAME from FILE [delim X]'", path, line)
+				return fmt.Errorf("schema: %s:%d: want 'table NAME from FILE [delim X] [format Y]'", path, line)
 			}
-			name, file, delim = fields[1], fields[3], ','
-			if len(fields) == 6 {
-				if fields[4] != "delim" {
-					return fmt.Errorf("schema: %s:%d: want 'delim X', got %q", path, line, fields[4])
+			name, file, delim, format = fields[1], fields[3], ',', ""
+			for i := 4; i+1 < len(fields); i += 2 {
+				switch fields[i] {
+				case "delim":
+					d, err := parseDelim(fields[i+1])
+					if err != nil {
+						return fmt.Errorf("schema: %s:%d: %w", path, line, err)
+					}
+					delim = d
+				case "format":
+					format = Format(strings.ToLower(fields[i+1]))
+				default:
+					return fmt.Errorf("schema: %s:%d: want 'delim X' or 'format Y', got %q", path, line, fields[i])
 				}
-				d, err := parseDelim(fields[5])
-				if err != nil {
-					return fmt.Errorf("schema: %s:%d: %w", path, line, err)
-				}
-				delim = d
 			}
 		case fields[0] == "end":
 			if err := flush(); err != nil {

@@ -146,10 +146,16 @@ func TestLoadFileErrors(t *testing.T) {
 }
 
 func TestFormatString(t *testing.T) {
-	if CSV.String() != "csv" || FITS.String() != "fits" {
+	if CSV.String() != "csv" || FITS.String() != "fits" || JSONL.String() != "jsonl" {
 		t.Error("format names wrong")
 	}
-	if Format(99).String() != "unknown" {
-		t.Error("unknown format name wrong")
+	// The zero value reads as CSV, the historical default.
+	if Format("").String() != "csv" {
+		t.Error("zero format should read as csv")
+	}
+	// Format is an open string type: unregistered names pass through (the
+	// registry validator, when installed, is what rejects them).
+	if Format("parquet").String() != "parquet" {
+		t.Error("open format name should pass through")
 	}
 }

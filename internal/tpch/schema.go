@@ -86,7 +86,7 @@ func WriteSchemaFile(path string) error {
 	var sb strings.Builder
 	sb.WriteString("# TPC-H over raw .tbl files (pipe-delimited)\n")
 	for _, def := range tableDefs {
-		fmt.Fprintf(&sb, "table %s from %s.tbl delim pipe\n", def.name, def.name)
+		fmt.Fprintf(&sb, "table %s from %s.tbl delim pipe format csv\n", def.name, def.name)
 		for _, col := range def.cols {
 			fmt.Fprintf(&sb, "  %s %s\n", col.Name, strings.ToLower(col.Type.String()))
 		}

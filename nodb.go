@@ -3,7 +3,9 @@
 // Query Execution on Raw Data Files", SIGMOD 2012) and its PostgresRaw
 // prototype.
 //
-// A DB executes SQL directly over CSV and FITS files with no loading step.
+// A DB executes SQL directly over raw files — CSV, FITS binary tables and
+// JSON-Lines out of the box, any format registered with internal/format —
+// with no loading step.
 // While queries run, the engine adaptively builds an in-memory positional
 // map (byte offsets of attributes inside the file), a binary value cache
 // and table statistics, so performance improves query over query and
@@ -35,6 +37,7 @@ import (
 
 	"nodb/internal/core"
 	"nodb/internal/datum"
+	"nodb/internal/format"
 	"nodb/internal/schema"
 )
 
@@ -153,12 +156,29 @@ func (c *Catalog) AddFITS(name, path string, cols ...ColumnDef) error {
 	return c.add(name, path, ',', schema.FITS, cols)
 }
 
+// AddJSONL registers a JSON-Lines file (one JSON object per line, a.k.a.
+// ndjson) as a table. Columns bind to top-level object fields by name;
+// absent fields read as NULL and nested values are skipped.
+func (c *Catalog) AddJSONL(name, path string, cols ...ColumnDef) error {
+	return c.add(name, path, ',', schema.JSONL, cols)
+}
+
 // LoadSchemaFile registers tables from a schema declaration file (see
 // internal/schema.LoadFile for the format); relative data paths resolve
-// against dir.
+// against dir. Stanzas may carry a "format NAME" clause naming any
+// registered raw format (see Formats); without it the format is inferred
+// from the file extension.
 func (c *Catalog) LoadSchemaFile(path, dir string) error {
 	return c.cat.LoadFile(path, dir)
 }
+
+// Formats lists the registered raw formats a table may declare ("csv",
+// "fits", "jsonl" ship built in). New formats register through the
+// internal format driver registry; the engine carries no per-format
+// special cases, so everything here gets the full scan machinery —
+// parallel partitioned cold scans, the binary-cache warm path, shared-
+// lock concurrency, cancellation and LIMIT pushdown.
+func Formats() []string { return format.Names() }
 
 func (c *Catalog) add(name, path string, delim byte, format schema.Format, cols []ColumnDef) error {
 	scols := make([]schema.Column, len(cols))
