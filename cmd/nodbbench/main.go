@@ -77,11 +77,12 @@ func mergeFigures(path string, ran []jsonFigure) jsonOutput {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure ids (fig3..fig13, fig8a, fig8b, scan, exec, formats) or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure ids (fig3..fig13, fig8a, fig8b, scan, exec, formats, kernels) or 'all'")
 	scale := flag.String("scale", "default", "experiment scale: small or default")
 	workDir := flag.String("workdir", "", "dataset/work directory (default: a temp dir, removed on exit)")
 	out := flag.String("out", "BENCH_exec.json", "machine-readable results file (empty = don't write)")
 	formatsOut := flag.String("formats-out", "BENCH_formats.json", "results file for the per-format figure (empty = don't write)")
+	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "results file for the kernel-compiler figure (empty = don't write)")
 	flag.Parse()
 
 	dir := *workDir
@@ -134,19 +135,23 @@ func main() {
 			Metrics:        rep.Metrics,
 		})
 	}
-	// The per-format figure keeps its own artifact (BENCH_formats.json),
-	// so the cross-format throughput trajectory is trackable without
-	// touching the executor figures' file.
-	var execFigs, formatFigs []jsonFigure
+	// The per-format and kernel-compiler figures keep their own artifacts
+	// (BENCH_formats.json, BENCH_kernels.json), so each performance
+	// trajectory is trackable without touching the executor figures' file.
+	var execFigs, formatFigs, kernelFigs []jsonFigure
 	for _, f := range ran {
-		if f.ID == "formats" {
+		switch f.ID {
+		case "formats":
 			formatFigs = append(formatFigs, f)
-		} else {
+		case "kernels":
+			kernelFigs = append(kernelFigs, f)
+		default:
 			execFigs = append(execFigs, f)
 		}
 	}
 	writeArtifact(*out, execFigs)
 	writeArtifact(*formatsOut, formatFigs)
+	writeArtifact(*kernelsOut, kernelFigs)
 }
 
 // writeArtifact merges the run's figures into path (no-op when nothing

@@ -519,9 +519,17 @@ end
 	if amt.Valid {
 		t.Errorf("amount for id 0 should be NULL, got %v", amt)
 	}
-	// INSERT is rejected for non-appendable formats with a clear error.
-	if _, err := db.Exec("INSERT INTO sales VALUES (999, 'x', 1.0)"); err == nil ||
-		!strings.Contains(err.Error(), "not supported") {
-		t.Errorf("INSERT into jsonl: %v", err)
+	// INSERT appends a JSON object to the raw file (the Appender
+	// capability) and the next query sees it.
+	if _, err := db.Exec("INSERT INTO sales VALUES (999, 'city9', 1.5)"); err != nil {
+		t.Fatalf("INSERT into jsonl: %v", err)
+	}
+	var city string
+	var amount float64
+	if err := db.QueryRow("SELECT city, amount FROM sales WHERE id = 999").Scan(&city, &amount); err != nil {
+		t.Fatal(err)
+	}
+	if city != "city9" || amount != 1.5 {
+		t.Errorf("inserted jsonl row = %s %v", city, amount)
 	}
 }

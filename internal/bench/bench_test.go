@@ -259,11 +259,11 @@ func TestFig13WidthDegradation(t *testing.T) {
 
 func TestRegistryAndPrint(t *testing.T) {
 	ids := FigureIDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("figures = %v", ids)
 	}
-	if ids[0] != "fig3" || ids[len(ids)-4] != "fig13" || ids[len(ids)-3] != "exec" ||
-		ids[len(ids)-2] != "formats" || ids[len(ids)-1] != "scan" {
+	if ids[0] != "fig3" || ids[len(ids)-5] != "fig13" || ids[len(ids)-4] != "exec" ||
+		ids[len(ids)-3] != "formats" || ids[len(ids)-2] != "kernels" || ids[len(ids)-1] != "scan" {
 		t.Errorf("figure order = %v", ids)
 	}
 	if _, err := Run("nope", tiny(t)); err == nil {
@@ -359,5 +359,27 @@ func TestFormatsFigStructure(t *testing.T) {
 		if rep.Metrics["cold_rows_per_sec_"+f] <= 0 || rep.Metrics["warm_rows_per_sec_"+f] <= 0 {
 			t.Errorf("missing metrics for %s: %v", f, rep.Metrics)
 		}
+	}
+}
+
+func TestKernelsFigStructure(t *testing.T) {
+	rep, err := KernelsFig(tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 { // two A/B queries + the rebind row
+		t.Fatalf("kernels rows = %d", len(rep.Rows))
+	}
+	for _, q := range []string{"multi_filter", "filter_project"} {
+		if rep.Metrics[q+"_generic_rows_per_s"] <= 0 || rep.Metrics[q+"_kernel_rows_per_s"] <= 0 {
+			t.Errorf("missing throughput metrics for %s: %v", q, rep.Metrics)
+		}
+		// A/B at tiny scale is noisy; just require the ratio to be sane.
+		if s := rep.Metrics[q+"_speedup"]; s <= 0 || s > 100 {
+			t.Errorf("%s speedup = %f", q, s)
+		}
+	}
+	if rep.Metrics["param_rebind_qps"] <= 0 {
+		t.Errorf("missing rebind qps: %v", rep.Metrics)
 	}
 }

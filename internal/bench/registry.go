@@ -27,6 +27,7 @@ var Figures = map[string]Runner{
 	"scan":    ScanScale,  // not in the paper: parallel-scan scaling
 	"exec":    ExecFig,    // not in the paper: vectorized vs row execution
 	"formats": FormatsFig, // not in the paper: raw-format sources, cold vs warm
+	"kernels": KernelsFig, // not in the paper: compiled kernels + skeleton cache
 }
 
 // FigureIDs lists the figure ids in presentation order.

@@ -166,17 +166,14 @@ func (c *Cache) CoveredRows(col int) int {
 }
 
 // FullyCovers reports whether every row in [0, rows) of col is cached.
+// Word-at-a-time: this runs per query in the access-method decision, so a
+// per-row probe loop would tax every warm scan.
 func (c *Cache) FullyCovers(col, rows int) bool {
 	e, ok := c.cols[col]
 	if !ok || e.n < rows {
 		return false
 	}
-	for r := 0; r < rows; r++ {
-		if !bitGet(e.present, r) {
-			return false
-		}
-	}
-	return true
+	return bitRangeAllSet(e.present, 0, rows)
 }
 
 // CachedColumns returns the columns that currently have entries.
@@ -362,6 +359,68 @@ func bitGet(bm []uint64, i int) bool {
 	return w < len(bm) && bm[w]&(1<<uint(i%64)) != 0
 }
 
+// bitRangeAllSet reports whether every bit in [start, start+n) is set,
+// scanning word-at-a-time: full interior words compare against ^0, the
+// partial edge words against masks.
+func bitRangeAllSet(bm []uint64, start, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	end := start + n // exclusive
+	if (end+63)/64 > len(bm) {
+		return false
+	}
+	fw, lw := start/64, (end-1)/64
+	lo := ^uint64(0) << uint(start%64)
+	hi := ^uint64(0) >> uint(63-(end-1)%64)
+	if fw == lw {
+		m := lo & hi
+		return bm[fw]&m == m
+	}
+	if bm[fw]&lo != lo {
+		return false
+	}
+	for w := fw + 1; w < lw; w++ {
+		if bm[w] != ^uint64(0) {
+			return false
+		}
+	}
+	return bm[lw]&hi == hi
+}
+
+// bitRangeAnySet reports whether any bit in [start, start+n) is set,
+// word-at-a-time.
+func bitRangeAnySet(bm []uint64, start, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	end := start + n
+	fw, lw := start/64, (end-1)/64
+	if fw >= len(bm) {
+		return false
+	}
+	lo := ^uint64(0) << uint(start%64)
+	hi := ^uint64(0) >> uint(63-(end-1)%64)
+	if lw >= len(bm) {
+		// The range extends past the bitmap; every stored word from lw on
+		// is fully inside it.
+		lw = len(bm) - 1
+		hi = ^uint64(0)
+	}
+	if fw == lw {
+		return bm[fw]&lo&hi != 0
+	}
+	if bm[fw]&lo != 0 {
+		return true
+	}
+	for w := fw + 1; w < lw; w++ {
+		if bm[w] != 0 {
+			return true
+		}
+	}
+	return bm[lw]&hi != 0
+}
+
 func bitSet(bm []uint64, i int) {
 	bm[i/64] |= 1 << uint(i%64)
 }
@@ -454,10 +513,14 @@ func (v View) Get(row int) (datum.Datum, bool) {
 
 // GetBatch densely copies the cached values of rows [start, start+n) into
 // dst (which must have length >= n), returning false if any row in the
-// range is absent. The type dispatch is hoisted out of the per-row loop
-// (the present/nulls bitmap probes remain per-row), so filling a
-// vectorized execution batch costs a fraction of n individual Get calls;
-// word-at-a-time bitmap scanning is a possible further step.
+// range is absent. Presence is verified word-at-a-time up front and, when
+// the range carries no NULLs (the common fully-cached case), the per-row
+// bitmap probes disappear entirely: each type runs a tight loop over a
+// contiguous subslice of the entry's typed payload array. For Text columns
+// that subslice is the per-batch string arena — the batch's datums alias
+// one contiguous run of string headers instead of probing two bitmaps per
+// row, which is what keeps the fused filter+project kernels reading these
+// vectors cheap.
 func (v View) GetBatch(start, n int, dst []datum.Datum) bool {
 	e := v.e
 	if e == nil || start < 0 {
@@ -466,14 +529,44 @@ func (v View) GetBatch(start, n int, dst []datum.Datum) bool {
 	if n == 0 {
 		return true
 	}
+	if !bitRangeAllSet(e.present, start, n) {
+		return false
+	}
+	if !bitRangeAnySet(e.nulls, start, n) {
+		// Dense, NULL-free: no per-row bitmap work.
+		switch e.typ {
+		case datum.Int:
+			for i, x := range e.ints[start : start+n] {
+				dst[i] = datum.NewInt(x)
+			}
+		case datum.Date:
+			for i, x := range e.ints[start : start+n] {
+				dst[i] = datum.NewDate(x)
+			}
+		case datum.Bool:
+			for i, x := range e.ints[start : start+n] {
+				dst[i] = datum.NewBool(x != 0)
+			}
+		case datum.Float:
+			for i, x := range e.floats[start : start+n] {
+				dst[i] = datum.NewFloat(x)
+			}
+		case datum.Text:
+			arena := e.strs[start : start+n]
+			for i := range arena {
+				dst[i] = datum.NewText(arena[i])
+			}
+		default:
+			return false
+		}
+		return true
+	}
+	// NULL-bearing range: presence already verified, probe only the null
+	// bitmap per row.
 	switch e.typ {
 	case datum.Int:
 		for i := 0; i < n; i++ {
-			r := start + i
-			if !bitGet(e.present, r) {
-				return false
-			}
-			if bitGet(e.nulls, r) {
+			if r := start + i; bitGet(e.nulls, r) {
 				dst[i] = datum.NewNull(e.typ)
 			} else {
 				dst[i] = datum.NewInt(e.ints[r])
@@ -481,11 +574,7 @@ func (v View) GetBatch(start, n int, dst []datum.Datum) bool {
 		}
 	case datum.Date:
 		for i := 0; i < n; i++ {
-			r := start + i
-			if !bitGet(e.present, r) {
-				return false
-			}
-			if bitGet(e.nulls, r) {
+			if r := start + i; bitGet(e.nulls, r) {
 				dst[i] = datum.NewNull(e.typ)
 			} else {
 				dst[i] = datum.NewDate(e.ints[r])
@@ -493,11 +582,7 @@ func (v View) GetBatch(start, n int, dst []datum.Datum) bool {
 		}
 	case datum.Bool:
 		for i := 0; i < n; i++ {
-			r := start + i
-			if !bitGet(e.present, r) {
-				return false
-			}
-			if bitGet(e.nulls, r) {
+			if r := start + i; bitGet(e.nulls, r) {
 				dst[i] = datum.NewNull(e.typ)
 			} else {
 				dst[i] = datum.NewBool(e.ints[r] != 0)
@@ -505,11 +590,7 @@ func (v View) GetBatch(start, n int, dst []datum.Datum) bool {
 		}
 	case datum.Float:
 		for i := 0; i < n; i++ {
-			r := start + i
-			if !bitGet(e.present, r) {
-				return false
-			}
-			if bitGet(e.nulls, r) {
+			if r := start + i; bitGet(e.nulls, r) {
 				dst[i] = datum.NewNull(e.typ)
 			} else {
 				dst[i] = datum.NewFloat(e.floats[r])
@@ -517,11 +598,7 @@ func (v View) GetBatch(start, n int, dst []datum.Datum) bool {
 		}
 	case datum.Text:
 		for i := 0; i < n; i++ {
-			r := start + i
-			if !bitGet(e.present, r) {
-				return false
-			}
-			if bitGet(e.nulls, r) {
+			if r := start + i; bitGet(e.nulls, r) {
 				dst[i] = datum.NewNull(e.typ)
 			} else {
 				dst[i] = datum.NewText(e.strs[r])

@@ -1,6 +1,7 @@
 package colcache
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -412,5 +413,101 @@ func TestAbsorbRespectsBudget(t *testing.T) {
 	main.Absorb(sh, 0)
 	if main.Bytes() > main.Budget() {
 		t.Errorf("budget exceeded: %d > %d", main.Bytes(), main.Budget())
+	}
+}
+
+// TestGetBatchMatchesGet exercises the word-at-a-time GetBatch paths —
+// dense NULL-free ranges (the arena fast path), NULL-bearing ranges, and
+// ranges with absent rows — against per-row Get, across types and range
+// alignments (word-straddling starts and lengths).
+func TestGetBatchMatchesGet(t *testing.T) {
+	types := []datum.Type{datum.Int, datum.Float, datum.Date, datum.Bool, datum.Text}
+	mk := func(t datum.Type, r int) datum.Datum {
+		switch t {
+		case datum.Int:
+			return datum.NewInt(int64(r * 3))
+		case datum.Float:
+			return datum.NewFloat(float64(r) / 2)
+		case datum.Date:
+			return datum.NewDate(int64(9000 + r))
+		case datum.Bool:
+			return datum.NewBool(r%3 == 0)
+		default:
+			return datum.NewText(fmt.Sprintf("s%d", r))
+		}
+	}
+	const rows = 300
+	for _, typ := range types {
+		for _, variant := range []string{"dense", "nulls", "gaps"} {
+			c := New(0)
+			for r := 0; r < rows; r++ {
+				switch {
+				case variant == "gaps" && r == 170:
+					continue // absent row inside the range
+				case variant == "nulls" && r%37 == 0:
+					c.Put(0, r, typ, datum.NewNull(typ))
+				default:
+					c.Put(0, r, typ, mk(typ, r))
+				}
+			}
+			v := c.View(0, typ)
+			for _, span := range [][2]int{{0, rows}, {1, 63}, {63, 2}, {60, 70}, {128, 64}, {150, 40}, {299, 1}} {
+				start, n := span[0], span[1]
+				dst := make([]datum.Datum, n)
+				got := v.GetBatch(start, n, dst)
+				want := true
+				for r := start; r < start+n; r++ {
+					if !c.Present(0, r) {
+						want = false
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("%v/%s GetBatch(%d,%d) = %v, want %v", typ, variant, start, n, got, want)
+				}
+				if !got {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					ref, _ := v.Get(start + i)
+					if dst[i] != ref {
+						t.Fatalf("%v/%s row %d: batch %v, get %v", typ, variant, start+i, dst[i], ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBitRangeHelpers pins the mask arithmetic of the word-at-a-time
+// range scans at word boundaries.
+func TestBitRangeHelpers(t *testing.T) {
+	bm := make([]uint64, 3)
+	for i := 10; i < 140; i++ {
+		bitSet(bm, i)
+	}
+	cases := []struct {
+		start, n int
+		all, any bool
+	}{
+		{10, 130, true, true},
+		{9, 2, false, true},
+		{0, 5, false, false},
+		{63, 2, true, true},
+		{64, 64, true, true},
+		{139, 1, true, true},
+		{140, 5, false, false},
+		{130, 20, false, true},
+		{0, 192, false, true},
+		{100, 200, false, true}, // extends past the bitmap
+		{200, 10, false, false}, // fully past the bitmap
+	}
+	for _, tc := range cases {
+		if got := bitRangeAllSet(bm, tc.start, tc.n); got != tc.all {
+			t.Errorf("bitRangeAllSet(%d,%d) = %v, want %v", tc.start, tc.n, got, tc.all)
+		}
+		if got := bitRangeAnySet(bm, tc.start, tc.n); got != tc.any {
+			t.Errorf("bitRangeAnySet(%d,%d) = %v, want %v", tc.start, tc.n, got, tc.any)
+		}
 	}
 }

@@ -40,6 +40,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -48,6 +49,7 @@ import (
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/format"
+	"nodb/internal/kernel"
 	"nodb/internal/plan"
 	"nodb/internal/schema"
 	"nodb/internal/sqlparse"
@@ -127,10 +129,23 @@ type Options struct {
 	// escape hatch.
 	DisableVectorized bool
 	// PlanCacheSize caps the prepared-statement LRU cache (entries, not
-	// bytes; 0 = 256). The cache holds parameterized parse results shared
-	// by all sessions; physical plans always re-build per execution so
-	// parameter values drive the statistics decisions.
+	// bytes; 0 = 256). Each cached entry holds the parameterized parse
+	// result AND its resolved plan skeleton, both shared by all sessions;
+	// executions re-bind the skeleton's literal slots and re-derive the
+	// statistics-driven choices (conjunct order, join order) from the bound
+	// values, so late binding survives the caching.
 	PlanCacheSize int
+	// DisableKernels turns off the query-shape kernel compiler: plans fall
+	// back to the generic vectorized expression walk (expr.EvalBatch /
+	// expr.FilterBatch) and the separate Filter/Project operators. Results
+	// are identical; the switch exists for comparison and as an escape
+	// hatch.
+	DisableKernels bool
+	// KernelCacheSize caps the compiled-kernel program cache (entries, not
+	// bytes; 0 = 256). Programs are keyed by normalized plan-skeleton
+	// shape — literals replaced by slots — so statements differing only in
+	// their constants share one compilation.
+	KernelCacheSize int
 }
 
 // env derives the format-adapter environment from the engine options: the
@@ -173,7 +188,8 @@ type Engine struct {
 	loaded  map[string]*loadedTable
 	pool    *storage.Pool
 
-	stmts *stmtCache
+	stmts   *stmtCache
+	kernels *kernel.Cache // nil when Options.DisableKernels
 }
 
 // Open creates an engine over the catalog. Raw tables are never read until
@@ -189,6 +205,9 @@ func Open(cat *schema.Catalog, opts Options) (*Engine, error) {
 		sources: make(map[string]format.Source),
 		loaded:  make(map[string]*loadedTable),
 		stmts:   newStmtCache(opts.PlanCacheSize),
+	}
+	if !opts.DisableKernels {
+		e.kernels = kernel.NewCache(opts.KernelCacheSize)
 	}
 	if opts.Mode == ModeLoadFirst {
 		frames := opts.PoolFrames
@@ -213,9 +232,13 @@ type Result struct {
 }
 
 // Prepared is a parsed, parameterized statement shared by every session
-// that prepares the same (normalized) SQL. It is immutable; executions
-// bind parameter values and build a fresh physical plan each time, so the
-// statistics-driven choices reflect the actual values.
+// that prepares the same (normalized) SQL. Alongside the parse result it
+// caches the statement's resolved plan skeleton (plan.BuildSkeleton): the
+// first execution pays resolution and classification, later executions
+// only re-bind the skeleton's literal slots and re-derive the value-driven
+// choices (conjunct order, join order) — so the statistics decisions still
+// reflect each execution's actual parameter values. Both halves are
+// immutable and safe for concurrent use.
 type Prepared struct {
 	e    *Engine
 	sel  *sqlparse.Select // exactly one of sel / ins is set
@@ -224,6 +247,10 @@ type Prepared struct {
 
 	numParams  int
 	paramNames []string
+
+	skelMu   sync.Mutex
+	skelDone bool
+	skel     *plan.Skeleton // nil when the statement is not skeleton-cacheable
 }
 
 // IsSelect reports whether the statement returns rows.
@@ -270,7 +297,8 @@ func (e *Engine) PrepareStmt(sql string) (*Prepared, error) {
 // Plan binds the parameters and builds the physical plan of a prepared
 // SELECT, returning the root operator (not yet opened) for callers that
 // stream rows themselves. The operator tree belongs to this execution
-// only; ctx bounds it.
+// only; ctx bounds it. The first Plan call resolves the statement into a
+// cached skeleton; later calls only re-bind it (see Prepared).
 func (p *Prepared) Plan(ctx context.Context, params []datum.Datum, named map[string]datum.Datum) (exec.Operator, []exec.Col, error) {
 	if p.sel == nil {
 		return nil, nil, fmt.Errorf("core: statement returns no rows; use Exec")
@@ -278,17 +306,58 @@ func (p *Prepared) Plan(ctx context.Context, params []datum.Datum, named map[str
 	if err := checkBindings(p, params, named); err != nil {
 		return nil, nil, err
 	}
-	res, err := plan.Build(p.sel, p.e, plan.Options{
+	opts := plan.Options{
 		UseStats:    p.e.opts.Statistics,
 		Vectorize:   !p.e.opts.DisableVectorized,
+		KernelCache: p.e.kernels,
 		Ctx:         ctx,
 		Params:      params,
 		NamedParams: named,
-	})
+	}
+	sk, err := p.skeleton()
+	if err != nil {
+		return nil, nil, err
+	}
+	var res *plan.Result
+	if sk != nil {
+		res, err = sk.Bind(p.e, opts)
+	} else {
+		// Not skeleton-cacheable (a parameter where resolution needs a
+		// literal): plan per execution with immediate binding, as before.
+		res, err = plan.Build(p.sel, p.e, opts)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Root, res.Cols, nil
+}
+
+// skeleton lazily resolves the statement into its cached plan skeleton —
+// the skeleton-cache guarantee that resolution and classification are
+// paid once per statement, not per execution. A nil skeleton with nil
+// error means the statement cannot be carried by one (per-execution
+// planning applies). Only a definitive outcome latches: a build error
+// (e.g. a table file that is briefly unreadable) surfaces to this
+// execution but the next one retries, since the Prepared is shared
+// engine-wide through the statement cache and must not stay poisoned by
+// a transient failure.
+func (p *Prepared) skeleton() (*plan.Skeleton, error) {
+	p.skelMu.Lock()
+	defer p.skelMu.Unlock()
+	if p.skelDone {
+		return p.skel, nil
+	}
+	sk, err := plan.BuildSkeleton(p.sel, p.e)
+	switch {
+	case err == nil:
+		p.skel, p.skelDone = sk, true
+		return sk, nil
+	case errors.Is(err, plan.ErrNotCacheable):
+		p.skelDone = true
+		return nil, nil
+	default:
+		return nil, err
+	}
 }
 
 // checkBindings validates parameter arity up front, so the error does not

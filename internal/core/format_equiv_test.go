@@ -326,19 +326,25 @@ func TestLoadFirstCapabilityGate(t *testing.T) {
 	}
 }
 
-// TestInsertNonAppendableFormats: INSERT routes through the Appender
-// capability; formats without it reject with a clear error.
-func TestInsertNonAppendableFormats(t *testing.T) {
+// TestInsertAppenderCapability: INSERT routes through the Appender
+// capability — CSV and JSON-Lines implement it, binary FITS (whose header
+// fixes NAXIS2) rejects with a clear error.
+func TestInsertAppenderCapability(t *testing.T) {
 	cat := formatFixture(t, t.TempDir(), 10)
 	e := openEngine(t, cat, Options{Mode: ModePMCache})
-	for _, table := range []string{"obs_fits", "obs_jsonl"} {
-		if _, _, err := e.Exec(fmt.Sprintf("INSERT INTO %s VALUES (1, 2.0, 3.0)", table)); err == nil ||
-			!strings.Contains(err.Error(), "not supported") {
-			t.Errorf("INSERT into %s: err = %v", table, err)
-		}
+	if _, _, err := e.Exec("INSERT INTO obs_fits VALUES (1, 2.0, 3.0)"); err == nil ||
+		!strings.Contains(err.Error(), "not supported") {
+		t.Errorf("INSERT into obs_fits: err = %v", err)
 	}
-	if _, _, err := e.Exec("INSERT INTO obs_csv VALUES (100, 2.0, 3.0)"); err != nil {
-		t.Errorf("INSERT into CSV: %v", err)
+	for _, table := range []string{"obs_csv", "obs_jsonl"} {
+		if _, _, err := e.Exec(fmt.Sprintf("INSERT INTO %s VALUES (100, 2.0, 3.0)", table)); err != nil {
+			t.Errorf("INSERT into %s: %v", table, err)
+			continue
+		}
+		res := mustQuery(t, e, fmt.Sprintf("SELECT mag, flux FROM %s WHERE id = 100", table))
+		if len(res.Rows) != 1 || res.Rows[0][0].Float() != 2.0 || res.Rows[0][1].Float() != 3.0 {
+			t.Errorf("%s: appended row not visible: %v", table, res.Rows)
+		}
 	}
 }
 

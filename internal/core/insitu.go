@@ -471,12 +471,7 @@ func (s *inSituScan) finish() {
 		return
 	}
 	if s.rt.St != nil {
-		s.rt.St.SetRowCount(int64(s.row))
-		for col, c := range s.collectors {
-			if c != nil {
-				s.rt.St.Set(col, c.Finalize())
-			}
-		}
+		format.PublishCollectors(s.rt.St, int64(s.row), s.collectors)
 		s.collectors = nil
 	}
 }

@@ -140,36 +140,14 @@ func (p *parallelScan) merge(n int, clean bool) error {
 		// at Close; fold them into the shared table here.
 		c := sh.Counters.Snapshot()
 		rt.Counters.Add(&c)
-		switch {
-		case s.collectors == nil:
-		case merged == nil:
-			merged = s.collectors
-		default:
-			for col, c := range s.collectors {
-				if c == nil {
-					continue
-				}
-				if merged[col] == nil {
-					merged[col] = c
-				} else {
-					merged[col].Merge(c)
-				}
-			}
-		}
+		merged = format.FoldCollectors(merged, s.collectors)
 		total += s.row
 	}
 	if !clean {
 		return nil
 	}
 	rt.Rows.Store(int64(total))
-	if rt.St != nil {
-		rt.St.SetRowCount(int64(total))
-		for col, c := range merged {
-			if c != nil {
-				rt.St.Set(col, c.Finalize())
-			}
-		}
-	}
+	format.PublishCollectors(rt.St, int64(total), merged)
 	return nil
 }
 

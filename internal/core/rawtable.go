@@ -74,11 +74,14 @@ func (rt *rawTable) Append(ctx context.Context, rows [][]datum.Datum) error {
 		return err
 	}
 	defer rt.Lk.Unlock()
-	f, err := os.OpenFile(rt.Tbl.Path, os.O_WRONLY|os.O_APPEND, 0)
+	f, err := os.OpenFile(rt.Tbl.Path, os.O_RDWR|os.O_APPEND, 0)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	defer f.Close()
+	if err := format.EnsureTrailingNewline(f); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	w := scan.NewWriter(f, rt.Tbl.Delimiter)
 	for _, row := range rows {
 		if err := w.WriteDatums(row); err != nil {

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nodb/internal/datum"
+	"nodb/internal/exec"
+	"nodb/internal/fits"
+	"nodb/internal/plan"
+	"nodb/internal/schema"
+)
+
+// TestSkeletonResolutionOncePerStatement is the skeleton-cache acceptance
+// test: repeated parameterized executions of one prepared statement pay
+// resolution/classification exactly once — only slot re-binding and the
+// value-driven choices run per execution.
+func TestSkeletonResolutionOncePerStatement(t *testing.T) {
+	cat := buildFixture(t, t.TempDir(), 400)
+	e := openEngine(t, cat, Options{Mode: ModePMCache, Statistics: true})
+	p, err := e.PrepareStmt("SELECT id, b + 1 FROM wide WHERE a < $1 AND c >= $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := plan.SkeletonBuilds()
+	for i := 0; i < 12; i++ {
+		op, _, err := p.Plan(context.Background(),
+			[]datum.Datum{datum.NewInt(int64(1 + i%5)), datum.NewFloat(float64(i))}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec.Count(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if builds := plan.SkeletonBuilds() - before; builds != 1 {
+		t.Errorf("12 parameterized executions ran resolution %d times, want 1", builds)
+	}
+
+	// A second PrepareStmt of equivalent SQL returns the cached entry —
+	// and with it the already-built skeleton.
+	p2, err := e.PrepareStmt("select id, b + 1 from wide where a < $1 and c >= $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Fatal("normalized SQL must share the cached prepared statement")
+	}
+	before = plan.SkeletonBuilds()
+	if _, _, err := p2.Plan(context.Background(),
+		[]datum.Datum{datum.NewInt(3), datum.NewFloat(1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if builds := plan.SkeletonBuilds() - before; builds != 0 {
+		t.Errorf("cached statement re-ran resolution %d times", builds)
+	}
+}
+
+// TestSkeletonRebindMatchesLiteralPlans: for a spread of bindings —
+// positional and named, across types — the skeleton rebind path returns
+// exactly what planning the equivalent literal SQL returns.
+func TestSkeletonRebindMatchesLiteralPlans(t *testing.T) {
+	dir := t.TempDir()
+	cat := buildFixture(t, dir, 600)
+	e := openEngine(t, cat, Options{Mode: ModePMCache, Statistics: true})
+	lit := openEngine(t, buildFixture(t, t.TempDir(), 600), Options{Mode: ModePMCache, Statistics: true})
+
+	p, err := e.PrepareStmt("SELECT id, name FROM wide WHERE a < $1 AND d >= :cut ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bind := range []struct {
+		a   int64
+		cut string
+	}{{3, "1995-02-01"}, {6, "1995-01-01"}, {1, "1995-07-15"}, {0, "1995-01-01"}, {6, "1995-10-01"}} {
+		op, _, err := p.Plan(context.Background(),
+			[]datum.Datum{datum.NewInt(bind.a)},
+			map[string]datum.Datum{"cut": datum.MustDate(bind.cut)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exec.Drain(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mustQuery(t, lit, fmt.Sprintf(
+			"SELECT id, name FROM wide WHERE a < %d AND d >= date '%s' ORDER BY id", bind.a, bind.cut))
+		if !reflect.DeepEqual(got, want.Rows) {
+			t.Errorf("binding %d (%d, %s): rebind rows differ from literal plan", i, bind.a, bind.cut)
+		}
+	}
+
+	// Missing bindings fail with the arity errors, not a stale plan.
+	if _, _, err := p.Plan(context.Background(), nil, nil); err == nil {
+		t.Error("missing positional binding must fail")
+	}
+	if _, _, err := p.Plan(context.Background(), []datum.Datum{datum.NewInt(1)},
+		map[string]datum.Datum{"wrong": datum.NewInt(0)}); err == nil {
+		t.Error("missing named binding must fail")
+	}
+}
+
+// TestUncacheableInListFallback: a placeholder inside an IN list cannot
+// ride a skeleton; the statement must still execute correctly per
+// binding via the immediate-binding path.
+func TestUncacheableInListFallback(t *testing.T) {
+	cat := buildFixture(t, t.TempDir(), 300)
+	e := openEngine(t, cat, Options{Mode: ModePMCache, Statistics: true})
+	p, err := e.PrepareStmt("SELECT count(*) FROM wide WHERE a IN ($1, $2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int64{{1, 4}, {0, 6}, {2, 2}} {
+		op, _, err := p.Plan(context.Background(),
+			[]datum.Datum{datum.NewInt(pair[0]), datum.NewInt(pair[1])}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := exec.Drain(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mustQuery(t, e, fmt.Sprintf("SELECT count(*) FROM wide WHERE a IN (%d, %d)", pair[0], pair[1]))
+		if !reflect.DeepEqual(rows, want.Rows) {
+			t.Errorf("IN (%d,%d): fallback rows differ", pair[0], pair[1])
+		}
+	}
+}
+
+// TestConcurrentSkeletonRebindStorm hammers one shared prepared statement
+// from many goroutines with differing bindings (run under -race in CI):
+// the shared skeleton must stay immutable — every execution gets the
+// result of its own binding, never a neighbor's.
+func TestConcurrentSkeletonRebindStorm(t *testing.T) {
+	cat := buildFixture(t, t.TempDir(), 500)
+	e := openEngine(t, cat, Options{Mode: ModePMCache, Statistics: true})
+	p, err := e.PrepareStmt("SELECT id, b + 1 FROM wide WHERE a < $1 AND c >= $2 ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential reference per binding.
+	bindings := []struct {
+		a int64
+		c float64
+	}{{1, 0}, {2, 20}, {3, 50}, {4, 10}, {5, 90}, {6, 0}}
+	exec1 := func(a int64, c float64) ([]exec.Row, error) {
+		op, _, err := p.Plan(context.Background(),
+			[]datum.Datum{datum.NewInt(a), datum.NewFloat(c)}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Drain(op)
+	}
+	want := make([][]exec.Row, len(bindings))
+	for i, b := range bindings {
+		rows, err := exec1(b.a, b.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rows
+	}
+
+	const goroutines = 8
+	const perG = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				bi := rng.Intn(len(bindings))
+				rows, err := exec1(bindings[bi].a, bindings[bi].c)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(rows, want[bi]) {
+					errs <- fmt.Errorf("goroutine %d: binding %d returned foreign rows (%d vs %d)",
+						seed, bi, len(rows), len(want[bi]))
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSkeletonTransientErrorRetries: a failure during the first skeleton
+// build (a table file briefly unreadable) must not poison the cached
+// prepared statement — the next execution retries resolution and
+// succeeds. FITS is the trigger because its adapter reads the file
+// header at bind time.
+func TestSkeletonTransientErrorRetries(t *testing.T) {
+	dir := t.TempDir()
+	fitsPath := filepath.Join(dir, "obs.fits")
+	cols := []schema.Column{{Name: "id", Type: datum.Int}, {Name: "mag", Type: datum.Float}}
+	tbl, err := schema.New("obs", cols, fitsPath, schema.FITS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := schema.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	e := openEngine(t, cat, Options{Mode: ModePMCache})
+	p, err := e.PrepareStmt("SELECT count(*) FROM obs WHERE id >= $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File missing: the first execution must fail...
+	if _, _, err := p.Plan(context.Background(), []datum.Datum{datum.NewInt(0)}, nil); err == nil {
+		t.Fatal("planning against a missing FITS file should fail")
+	}
+	// ...and after the file appears, the same shared Prepared recovers.
+	if err := fits.WriteTable(fitsPath, []fits.Column{
+		{Name: "id", Type: fits.Int64}, {Name: "mag", Type: fits.Float64},
+	}, [][]datum.Datum{
+		{datum.NewInt(1), datum.NewFloat(2)},
+		{datum.NewInt(2), datum.NewFloat(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	op, _, err := p.Plan(context.Background(), []datum.Datum{datum.NewInt(0)}, nil)
+	if err != nil {
+		t.Fatalf("retry after transient failure: %v", err)
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int() != 2 {
+		t.Errorf("recovered query rows = %v", rows)
+	}
+}
+
+// TestSkeletonSurvivesLoadFirstInvalidate: a cached skeleton must not pin
+// the loaded heap relation — Invalidate drops the heap, and the next
+// execution of the same cached statement must re-resolve (re-loading the
+// table) instead of scanning a closed heap.
+func TestSkeletonSurvivesLoadFirstInvalidate(t *testing.T) {
+	cat := buildFixture(t, t.TempDir(), 120)
+	e := openEngine(t, cat, Options{Mode: ModeLoadFirst, DataDir: t.TempDir()})
+	sql := "SELECT count(*) FROM wide WHERE a < $1"
+	p, err := e.PrepareStmt(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int64 {
+		t.Helper()
+		op, _, err := p.Plan(context.Background(), []datum.Datum{datum.NewInt(7)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := exec.Drain(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows[0][0].Int()
+	}
+	if got := run(); got != 120 {
+		t.Fatalf("pre-invalidate count = %d", got)
+	}
+	e.Invalidate("wide")
+	if got := run(); got != 120 {
+		t.Errorf("post-invalidate count = %d; cached skeleton must re-resolve the reloaded heap", got)
+	}
+}
+
+// TestAppendToFileWithoutTrailingNewline: INSERT into a raw CSV file whose
+// last line lacks '\n' must not merge rows.
+func TestAppendToFileWithoutTrailingNewline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(path, []byte("1,one\n2,two"), 0o644); err != nil { // no trailing newline
+		t.Fatal(err)
+	}
+	tbl, err := schema.New("t", []schema.Column{
+		{Name: "k", Type: datum.Int}, {Name: "v", Type: datum.Text},
+	}, path, schema.CSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := schema.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	e := openEngine(t, cat, Options{Mode: ModePMCache})
+	if _, _, err := e.Exec("INSERT INTO t VALUES (3, 'three')"); err != nil {
+		t.Fatal(err)
+	}
+	res := mustQuery(t, e, "SELECT k, v FROM t")
+	if len(res.Rows) != 3 || res.Rows[1][1].Text() != "two" || res.Rows[2][0].Int() != 3 {
+		t.Errorf("rows after append without trailing newline: %v", res.Rows)
+	}
+}

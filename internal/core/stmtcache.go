@@ -10,11 +10,14 @@ import (
 const defaultStmtCacheSize = 256
 
 // stmtCache is a concurrency-safe LRU of prepared statements keyed on
-// normalized SQL. Entries are parse results (parameterized ASTs), which are
-// immutable and therefore safely shared by every session; physical plans
-// are NOT cached — they re-build per execution so late-bound parameter
-// values drive the statistics decisions (conjunct order, selective-parsing
-// field sets, join order) each time.
+// normalized SQL. Entries are parse results (parameterized ASTs) plus the
+// lazily built plan skeleton (resolved and classified structure with
+// literal slots), both immutable and therefore safely shared by every
+// session. Full physical plans are still NOT cached — each execution
+// re-binds the skeleton's slots and re-derives the value-driven choices
+// (conjunct order, selective-parsing field sets, join order), so
+// late-bound parameter values keep driving the statistics decisions while
+// resolution/classification is paid once per statement.
 type stmtCache struct {
 	mu  sync.Mutex
 	cap int

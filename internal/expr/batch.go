@@ -42,6 +42,13 @@ func putVec(vp *[]datum.Datum) {
 // untouched). out must have length >= n.
 func EvalBatch(e Expr, cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
 	switch node := e.(type) {
+	case *Kernel:
+		if node.EvalVec != nil {
+			if ok, err := node.EvalVec(cols, n, sel, out); ok {
+				return err
+			}
+		}
+		return EvalBatch(node.E, cols, n, sel, out)
 	case *Const:
 		if sel == nil {
 			for i := 0; i < n; i++ {
@@ -309,6 +316,11 @@ func evalSides(b *BinOp, cols [][]datum.Datum, n int, sel []int) (*[]datum.Datum
 	return lv, rv, nil
 }
 
+// CmpMatches reports whether a three-way comparison result (datum.Compare)
+// satisfies a comparison operator. It is the shared reference the compiled
+// kernels (internal/kernel) use, so the two paths cannot diverge.
+func CmpMatches(op Op, c int) bool { return cmpMatches(op, c) }
+
 // cmpMatches maps a datum.Compare result onto a comparison operator.
 func cmpMatches(op Op, c int) bool {
 	switch op {
@@ -336,6 +348,13 @@ func cmpMatches(op Op, c int) bool {
 // — is safe because survivors are a subsequence of the input.
 func FilterBatch(e Expr, cols [][]datum.Datum, n int, sel []int, buf []int) ([]int, error) {
 	switch node := e.(type) {
+	case *Kernel:
+		if node.Filter != nil {
+			if out, ok := node.Filter(cols, n, sel, buf); ok {
+				return out, nil
+			}
+		}
+		return FilterBatch(node.E, cols, n, sel, buf)
 	case *BinOp:
 		switch node.Op {
 		case And:

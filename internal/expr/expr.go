@@ -181,6 +181,13 @@ func resultType(op Op, l, r datum.Datum) datum.Type {
 	}
 }
 
+// Arith computes an arithmetic operator over two scalar operands with the
+// engine's coercion rules (Date ± Int in days, Int fast paths, mixed
+// operands through float, division-by-zero errors). It is the scalar
+// reference the compiled kernels (internal/kernel) defer to for operand
+// combinations they did not specialize, so the two paths cannot diverge.
+func Arith(op Op, l, r datum.Datum) (datum.Datum, error) { return evalArith(op, l, r) }
+
 func evalArith(op Op, l, r datum.Datum) (datum.Datum, error) {
 	// Date ± Int works in days, matching "date '1998-12-01' - 90".
 	if l.T == datum.Date && r.T == datum.Int {
@@ -552,6 +559,12 @@ func Remap(e Expr, mapping map[int]int) (Expr, error) {
 		return &ColRef{Index: ni, Name: n.Name, Type: n.Type}, nil
 	case *Const:
 		return n, nil
+	case *Slot:
+		return n, nil
+	case *Kernel:
+		// Compiled closures bake in column indices; remapping invalidates
+		// them, so remap the interpreted tree and recompile above if wanted.
+		return Remap(n.E, mapping)
 	case *BinOp:
 		l, err := Remap(n.L, mapping)
 		if err != nil {

@@ -30,6 +30,7 @@ package format
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -225,6 +226,28 @@ func AsRowOperator(b exec.BatchOperator) exec.Operator {
 		return op
 	}
 	return exec.NewBatchRows(b)
+}
+
+// EnsureTrailingNewline appends '\n' to f when it is non-empty and its
+// last byte is not one — the guard every line-oriented Appender needs so
+// the first appended row cannot merge onto a final line that lacks a
+// newline.
+func EnsureTrailingNewline(f *os.File) error {
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() == 0 {
+		return nil
+	}
+	var last [1]byte
+	if _, err := f.ReadAt(last[:], fi.Size()-1); err != nil {
+		return err
+	}
+	if last[0] != '\n' {
+		_, err = f.WriteString("\n")
+	}
+	return err
 }
 
 // NeededColumns unions output and conjunct columns, preserving first-seen

@@ -259,6 +259,46 @@ func (st *State) Close() error {
 	return nil
 }
 
+// FoldCollectors folds one partition shard's statistics collectors into
+// the accumulating per-column set (merging where both sides collected a
+// column) and returns the accumulator. The first shard's slice is adopted
+// directly; shards must not be used afterwards. Shared by every format's
+// parallel merge so the fold semantics cannot diverge between adapters.
+func FoldCollectors(merged, shard []*stats.Collector) []*stats.Collector {
+	switch {
+	case shard == nil:
+	case merged == nil:
+		merged = shard
+	default:
+		for col, c := range shard {
+			if c == nil {
+				continue
+			}
+			if merged[col] == nil {
+				merged[col] = c
+			} else {
+				merged[col].Merge(c)
+			}
+		}
+	}
+	return merged
+}
+
+// PublishCollectors finalizes the merged collectors into the table's
+// statistics together with the completed pass's row count — what a scan
+// does when it has seen the whole file. st may be nil (statistics off).
+func PublishCollectors(st *stats.Table, rows int64, merged []*stats.Collector) {
+	if st == nil {
+		return
+	}
+	st.SetRowCount(rows)
+	for col, c := range merged {
+		if c != nil {
+			st.Set(col, c.Finalize())
+		}
+	}
+}
+
 // ScanPlan supplies a format's access methods to NewScan. Seq builds the
 // sequential recording pass; Par (optional) builds the partitioned
 // parallel pass for a cold table; Refresh (optional) overrides the

@@ -1,0 +1,128 @@
+package jsonl
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+
+	"nodb/internal/datum"
+	"nodb/internal/format"
+	"nodb/internal/schema"
+)
+
+// Append implements format.Appender: INSERT serializes each row as one
+// JSON object per line — keys are the declared column names, values their
+// JSON form (numbers, escaped strings, "YYYY-MM-DD" date strings,
+// true/false, null) — and appends under the exclusive table lock, so the
+// write cannot interleave with a scan reading the file. The in-situ state
+// observes the growth on the next query (format.State.Refresh treats
+// growth as an append, paper §4.5), exactly like the CSV path.
+func (s *Source) Append(ctx context.Context, rows [][]datum.Datum) error {
+	if err := s.Lk.Lock(ctx); err != nil {
+		return err
+	}
+	defer s.Lk.Unlock()
+	f, err := os.OpenFile(s.Tbl.Path, os.O_RDWR|os.O_APPEND, 0)
+	if err != nil {
+		return fmt.Errorf("jsonl: %w", err)
+	}
+	defer f.Close()
+	if err := format.EnsureTrailingNewline(f); err != nil {
+		return fmt.Errorf("jsonl: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var buf []byte
+	for _, row := range rows {
+		buf = appendObject(buf[:0], s.Tbl.Columns, row)
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("jsonl: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("jsonl: %w", err)
+	}
+	return nil
+}
+
+// appendObject renders one row as a single-line JSON object with a
+// trailing newline. Every value — including an escaped string — stays on
+// one line, which is what keeps the file valid JSON-Lines.
+func appendObject(buf []byte, cols []schema.Column, row []datum.Datum) []byte {
+	buf = append(buf, '{')
+	for i, d := range row {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendJSONString(buf, cols[i].Name)
+		buf = append(buf, ':')
+		buf = appendJSONValue(buf, d)
+	}
+	buf = append(buf, '}', '\n')
+	return buf
+}
+
+// appendJSONValue renders one datum in the representation the scanner's
+// parseValueAt round-trips: null, bare numbers, true/false, and strings
+// (dates as their YYYY-MM-DD form).
+func appendJSONValue(buf []byte, d datum.Datum) []byte {
+	if d.Null() {
+		return append(buf, "null"...)
+	}
+	switch d.T {
+	case datum.Int:
+		return strconv.AppendInt(buf, d.Int(), 10)
+	case datum.Float:
+		return strconv.AppendFloat(buf, d.Float(), 'g', -1, 64)
+	case datum.Bool:
+		if d.Bool() {
+			return append(buf, "true"...)
+		}
+		return append(buf, "false"...)
+	case datum.Date:
+		return appendJSONString(buf, d.DateString())
+	default:
+		return appendJSONString(buf, d.Text())
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString renders s as a JSON string literal, escaping quotes,
+// backslashes and control characters (so embedded newlines cannot break
+// the one-object-per-line invariant).
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		switch c {
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		case '\b':
+			buf = append(buf, '\\', 'b')
+		case '\f':
+			buf = append(buf, '\\', 'f')
+		default:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+var _ format.Appender = (*Source)(nil)

@@ -27,6 +27,7 @@ import (
 	"nodb/internal/format"
 	"nodb/internal/scan"
 	"nodb/internal/schema"
+	"nodb/internal/stats"
 )
 
 // Source is the per-table adapter state: the shared adaptive structures
@@ -53,9 +54,6 @@ func (driver) Caps() format.Caps {
 
 // Open implements format.Driver.
 func (driver) Open(tbl *schema.Table, env format.Env) (format.Source, error) {
-	// Statistics collectors are not wired for JSONL yet; the positional
-	// map and cache are.
-	env.Statistics = false
 	s := &Source{
 		State:  format.NewState(tbl, env),
 		colIdx: make(map[string]int, tbl.NumColumns()),
@@ -150,13 +148,16 @@ func (p *parallelScan) run(part int, emit func(*exec.Batch) bool) error {
 }
 
 // merge folds the drained shard prefix into the shared structures and —
-// after a clean full drain — publishes the row count.
+// after a clean full drain — publishes the row count and the merged
+// per-shard statistics collectors (stats.Collector.Merge), mirroring the
+// CSV parallel scan.
 func (p *parallelScan) merge(n int, clean bool) error {
 	src := p.src
 	if src.PM != nil {
 		src.PM.BeginScan()
 	}
 	total := 0
+	var merged []*stats.Collector
 	for _, s := range p.shards[:n] {
 		sh := s.src
 		if src.PM != nil {
@@ -167,11 +168,14 @@ func (p *parallelScan) merge(n int, clean bool) error {
 		}
 		c := sh.Counters.Snapshot()
 		src.Counters.Add(&c)
+		merged = format.FoldCollectors(merged, s.collectors)
 		total += s.row
 	}
-	if clean {
-		src.Rows.Store(int64(total))
+	if !clean {
+		return nil
 	}
+	src.Rows.Store(int64(total))
+	format.PublishCollectors(src.St, int64(total), merged)
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"nodb/internal/format"
 	"nodb/internal/posmap"
 	"nodb/internal/scan"
+	"nodb/internal/stats"
 )
 
 // jsonlScan is the JSONL in-situ access method: a sequential pass that
@@ -66,6 +67,8 @@ type jsonlScan struct {
 
 	pmCursors  []*posmap.Cursor
 	cacheViews []colcache.View
+	collectors []*stats.Collector // indexed by column ordinal; nil entries
+	collecting bool
 	needed     []int
 	neededSet  []bool
 	strBuf     []byte
@@ -159,6 +162,24 @@ func (s *jsonlScan) Open() error {
 		}
 	} else {
 		s.cacheViews = nil
+	}
+	// Statistics collectors attach for needed columns without stats, so
+	// stats-driven conjunct ordering covers JSONL tables like every other
+	// format (mirrors the CSV in-situ scan).
+	if s.src.St != nil {
+		if s.collectors == nil {
+			s.collectors = make([]*stats.Collector, width)
+		}
+		for i := range s.collectors {
+			s.collectors[i] = nil
+		}
+		s.collecting = false
+		for _, c := range s.needed {
+			if !s.src.St.Has(c) {
+				s.collectors[c] = stats.NewCollector(s.src.Types[c], int64(c)+1)
+				s.collecting = true
+			}
+		}
 	}
 	return nil
 }
@@ -324,6 +345,11 @@ func (s *jsonlScan) value(line []byte, col int) (datum.Datum, error) {
 	if s.cacheViews != nil && s.cacheViews[col].Valid() {
 		s.cacheViews[col].Put(s.row, v)
 	}
+	if s.collecting {
+		if c := s.collectors[col]; c != nil {
+			c.Add(v)
+		}
+	}
 	s.rowBuf[col] = v
 	s.gen[col] = s.curGen
 	return v, nil
@@ -440,9 +466,19 @@ func (s *jsonlScan) parseValueAt(line []byte, off, col int) (datum.Datum, error)
 }
 
 // finish runs once the scan has seen the whole file: it fixes the row
-// count (shards keep theirs local; the parallel merge publishes).
+// count and publishes newly collected statistics (shards keep theirs
+// local; the parallel merge publishes).
 func (s *jsonlScan) finish() {
 	s.src.Rows.Store(int64(s.row))
+	if s.shard {
+		// Partition worker: collectors stay attached for the parallel
+		// merge to fold and publish.
+		return
+	}
+	if s.src.St != nil {
+		format.PublishCollectors(s.src.St, int64(s.row), s.collectors)
+		s.collectors = nil
+	}
 }
 
 func isBlank(line []byte) bool {

@@ -1,0 +1,220 @@
+package jsonl
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nodb/internal/datum"
+	"nodb/internal/expr"
+	"nodb/internal/format"
+	"nodb/internal/schema"
+)
+
+// statsEnv is pmcEnv plus on-the-fly statistics.
+func statsEnv() format.Env {
+	env := pmcEnv()
+	env.Statistics = true
+	return env
+}
+
+// TestStatsCollectorsSequential: a full sequential scan must publish row
+// count and per-column statistics for every needed column — JSONL tables
+// feed the same stats-driven conjunct ordering as CSV now.
+func TestStatsCollectorsSequential(t *testing.T) {
+	path := writeSample(t, t.TempDir(), 40)
+	s := openSource(t, path, statsEnv())
+	if s.Stats() == nil {
+		t.Fatal("statistics not enabled on the source")
+	}
+	drainScan(t, s, []int{0, 2}, []expr.Expr{
+		&expr.BinOp{Op: expr.Ge, L: &expr.ColRef{Index: 0, Type: datum.Int}, R: &expr.Const{D: datum.NewInt(0)}},
+	})
+	st := s.Stats()
+	if st.RowCount() != 40 {
+		t.Errorf("stats row count = %d, want 40", st.RowCount())
+	}
+	for _, c := range []int{0, 2} {
+		if !st.Has(c) {
+			t.Errorf("column %d has no statistics after a full scan", c)
+		}
+	}
+	if st.Has(1) {
+		t.Error("unneeded column 1 must not collect statistics")
+	}
+	// The conjunct column saw every row; its distinct count is sane.
+	if cs := st.Col(0); cs == nil || cs.Distinct < 30 {
+		t.Errorf("column 0 stats = %+v", st.Col(0))
+	}
+}
+
+// TestStatsCollectorsParallelMatchSequential: the partitioned pass merges
+// per-shard collectors (stats.Collector.Merge) into the same statistics a
+// sequential pass produces.
+func TestStatsCollectorsParallelMatchSequential(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSample(t, dir, 120)
+
+	seq := openSource(t, path, statsEnv())
+	drainScan(t, seq, []int{0, 1, 2}, nil)
+
+	parEnv := statsEnv()
+	parEnv.Parallelism = 4
+	par := openSource(t, path, parEnv)
+	drainScan(t, par, []int{0, 1, 2}, nil)
+
+	ss, ps := seq.Stats(), par.Stats()
+	if ps.RowCount() != ss.RowCount() {
+		t.Errorf("row counts differ: par %d, seq %d", ps.RowCount(), ss.RowCount())
+	}
+	for c := 0; c < 3; c++ {
+		sc, pc := ss.Col(c), ps.Col(c)
+		if (sc == nil) != (pc == nil) {
+			t.Fatalf("column %d coverage differs", c)
+		}
+		if sc == nil {
+			continue
+		}
+		if sc.Distinct != pc.Distinct || sc.NullFraction() != pc.NullFraction() {
+			t.Errorf("column %d stats differ: seq %+v par %+v", c, sc, pc)
+		}
+	}
+}
+
+// allTypesSource builds a table covering every datum type for the
+// Appender round-trip.
+func allTypesSource(t *testing.T, dir string) *Source {
+	t.Helper()
+	path := filepath.Join(dir, "mix.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := schema.New("mix", []schema.Column{
+		{Name: "i", Type: datum.Int},
+		{Name: "f", Type: datum.Float},
+		{Name: "s", Type: datum.Text},
+		{Name: "d", Type: datum.Date},
+		{Name: "b", Type: datum.Bool},
+	}, path, schema.JSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := driver{}.Open(tbl, format.Env{PosMap: true, AttrPointers: true, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := src.(*Source)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestAppenderRoundTrip: Append serializes rows as JSON objects that the
+// scanner reads back bit-identically — including escaped quotes,
+// backslashes, control characters and non-ASCII text, NULLs of every
+// type, and date/bool values — and the file stays valid one-object-per-
+// line JSON.
+func TestAppenderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := allTypesSource(t, dir)
+	rows := [][]datum.Datum{
+		{datum.NewInt(-42), datum.NewFloat(2.5), datum.NewText("plain"), datum.MustDate("1996-03-09"), datum.NewBool(true)},
+		{datum.NewInt(7), datum.NewFloat(1e-9), datum.NewText("he said \"hi\"\\\nline2\ttab"), datum.MustDate("1970-01-01"), datum.NewBool(false)},
+		{datum.NewNull(datum.Int), datum.NewNull(datum.Float), datum.NewNull(datum.Text), datum.NewNull(datum.Date), datum.NewNull(datum.Bool)},
+		{datum.NewInt(1), datum.NewFloat(3), datum.NewText("naïve — ünïcode 🚀"), datum.MustDate("2024-02-29"), datum.NewBool(true)},
+		{datum.NewInt(2), datum.NewFloat(-0.5), datum.NewText("ctrl:\x01\x1f end"), datum.MustDate("1999-12-31"), datum.NewBool(false)},
+	}
+	if err := s.Append(context.Background(), rows); err != nil {
+		t.Fatal(err)
+	}
+
+	got := drainScan(t, s, []int{0, 1, 2, 3, 4}, nil)
+	if len(got) != len(rows) {
+		t.Fatalf("rows read back = %d, want %d", len(got), len(rows))
+	}
+	for i, want := range rows {
+		for j := range want {
+			w := want[j]
+			if w.Null() {
+				if !got[i][j].Null() {
+					t.Errorf("row %d col %d: want NULL, got %v", i, j, got[i][j])
+				}
+				continue
+			}
+			if !reflect.DeepEqual(got[i][j], w) {
+				t.Errorf("row %d col %d: got %#v, want %#v", i, j, got[i][j], w)
+			}
+		}
+	}
+
+	// The file is valid JSON-Lines: one parseable object per line, no
+	// line breaks smuggled in by the escaped text.
+	f, err := os.Open(s.Tbl.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Errorf("line %d is not valid JSON: %v (%q)", lines+1, err, sc.Text())
+		}
+		lines++
+	}
+	if lines != len(rows) {
+		t.Errorf("file has %d lines, want %d", lines, len(rows))
+	}
+}
+
+// TestAppenderExtendsWarmTable: appends interleave correctly with the
+// adaptive structures — a warm table picks appended rows up on the next
+// scan without invalidation.
+func TestAppenderExtendsWarmTable(t *testing.T) {
+	path := writeSample(t, t.TempDir(), 10)
+	s := openSource(t, path, pmcEnv())
+	if got := len(drainScan(t, s, []int{0, 1, 2}, nil)); got != 10 {
+		t.Fatalf("initial rows = %d", got)
+	}
+	if err := s.Append(context.Background(), [][]datum.Datum{
+		{datum.NewInt(500), datum.NewText("tail"), datum.NewFloat(9.5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows := drainScan(t, s, []int{0, 1, 2}, nil)
+	if len(rows) != 11 {
+		t.Fatalf("rows after append = %d", len(rows))
+	}
+	last := rows[10]
+	if last[0].Int() != 500 || last[1].Text() != "tail" || last[2].Float() != 9.5 {
+		t.Errorf("appended row = %v", last)
+	}
+	if !strings.HasSuffix(s.Tbl.Path, ".jsonl") {
+		t.Fatal("fixture path changed")
+	}
+}
+
+// TestAppendWithoutTrailingNewline: appending to a .jsonl file whose last
+// line lacks '\n' must start a fresh line instead of merging two objects.
+func TestAppendWithoutTrailingNewline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nl.jsonl")
+	if err := os.WriteFile(path, []byte(`{"id": 1, "name": "a", "v": 1.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openSource(t, path, pmcEnv())
+	if err := s.Append(context.Background(), [][]datum.Datum{
+		{datum.NewInt(2), datum.NewText("b"), datum.NewFloat(2.5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows := drainScan(t, s, []int{0, 1, 2}, nil)
+	if len(rows) != 2 || rows[0][0].Int() != 1 || rows[1][0].Int() != 2 || rows[1][1].Text() != "b" {
+		t.Errorf("rows after newline-less append: %v", rows)
+	}
+}

@@ -1,0 +1,361 @@
+package kernel
+
+// Projection (value) kernels: literal fills and arithmetic between columns
+// and literals, the hot shapes of a fused filter+project pipeline. Each
+// loop mirrors expr.Eval/EvalBatch semantics exactly — typed NULL
+// propagation (the NULL result's type follows the operand types, Float
+// dominating), Date ± Int day arithmetic, division-by-zero errors — and
+// per-row operand combinations outside the specialization defer to
+// expr.Arith, the shared scalar reference.
+
+import (
+	"fmt"
+
+	"nodb/internal/datum"
+	"nodb/internal/expr"
+)
+
+// compileEval compiles a value shape, returning the prep stage (build
+// mode) and whether the shape is supported. Bare column references are
+// deliberately unsupported: the Fused operator aliases them outright,
+// which beats any copy loop.
+func compileEval(e expr.Expr, st *cstate) (prepEval, bool) {
+	switch n := e.(type) {
+	case *expr.Const:
+		li := st.addLit(n.D)
+		st.sigf("lit(l%d)", li)
+		if !st.build {
+			return nil, true
+		}
+		return func(lits []datum.Datum) rawEval {
+			v := lits[li]
+			return func(cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
+				if sel == nil {
+					for i := 0; i < n; i++ {
+						out[i] = v
+					}
+				} else {
+					for _, i := range sel {
+						out[i] = v
+					}
+				}
+				return nil
+			}
+		}, true
+	case *expr.BinOp:
+		switch n.Op {
+		case expr.Add, expr.Sub, expr.Mul, expr.Div:
+			return compileArith(n, st)
+		}
+		return nil, false
+	case *expr.Kernel:
+		return compileEval(n.E, st)
+	default:
+		return nil, false
+	}
+}
+
+// arithNullType mirrors expr's resultType for arithmetic: a NULL result is
+// Float when either operand is Float, otherwise it takes the left
+// operand's type.
+func arithNullType(l, r datum.Datum) datum.Type {
+	if l.T == datum.Float || r.T == datum.Float {
+		return datum.Float
+	}
+	return l.T
+}
+
+// compileArith compiles column ⊙ literal, literal ⊙ column and
+// column ⊙ column arithmetic.
+func compileArith(b *expr.BinOp, st *cstate) (prepEval, bool) {
+	op := b.Op
+	if lc, ok := b.L.(*expr.ColRef); ok {
+		if rc, ok := b.R.(*expr.ColRef); ok {
+			if lc.Index < 0 || rc.Index < 0 {
+				return nil, false
+			}
+			st.addCol(lc.Index)
+			st.addCol(rc.Index)
+			st.sigf("ar%d(c%d,c%d)", int(op), lc.Index, rc.Index)
+			if !st.build {
+				return nil, true
+			}
+			return compileArithColCol(op, lc.Index, rc.Index), true
+		}
+		if rk, ok := b.R.(*expr.Const); ok {
+			if lc.Index < 0 {
+				return nil, false
+			}
+			li := st.addLit(rk.D)
+			st.addCol(lc.Index)
+			st.sigf("ar%d(c%d,l%d)", int(op), lc.Index, li)
+			if !st.build {
+				return nil, true
+			}
+			return compileArithColLit(op, lc.Index, li, false), true
+		}
+		return nil, false
+	}
+	if lk, ok := b.L.(*expr.Const); ok {
+		if rc, ok := b.R.(*expr.ColRef); ok {
+			if rc.Index < 0 {
+				return nil, false
+			}
+			li := st.addLit(lk.D)
+			st.addCol(rc.Index)
+			st.sigf("ar%d(l%d,c%d)", int(op), li, rc.Index)
+			if !st.build {
+				return nil, true
+			}
+			return compileArithColLit(op, rc.Index, li, true), true
+		}
+	}
+	return nil, false
+}
+
+// compileArithColLit builds the prep stage for col ⊙ lit (or lit ⊙ col
+// when litLeft): the literal's runtime type picks the specialized loop.
+// Bindings the kernel cannot beat — NULL or non-numeric literals, integer
+// division — decline (nil rawEval), and the Fused operator falls back to
+// the generic vectorized walk for that execution, which handles them at
+// its usual speed.
+func compileArithColLit(op expr.Op, idx, li int, litLeft bool) prepEval {
+	return func(lits []datum.Datum) rawEval {
+		k := lits[li]
+		// scalar computes one off-type row with exact interpreted
+		// semantics; the loops below inline the hot type combinations.
+		scalar := func(d datum.Datum) (datum.Datum, error) {
+			l, r := d, k
+			if litLeft {
+				l, r = k, d
+			}
+			if l.Null() || r.Null() {
+				return datum.NewNull(arithNullType(l, r)), nil
+			}
+			return expr.Arith(op, l, r)
+		}
+		switch {
+		case k.T == datum.Int && !k.Null() && op != expr.Div:
+			kv := k.Int()
+			coldRow := func(d datum.Datum) (datum.Datum, error) {
+				if !litLeft && d.T == datum.Date && (op == expr.Add || op == expr.Sub) {
+					if op == expr.Add {
+						return d.AddDays(kv), nil
+					}
+					return d.AddDays(-kv), nil
+				}
+				return scalar(d)
+			}
+			return func(cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
+				col := cols[idx]
+				if sel == nil {
+					for i := 0; i < n; i++ {
+						d := col[i]
+						if d.T == datum.Int && !d.Null() {
+							l, r := d.Int(), kv
+							if litLeft {
+								l, r = kv, d.Int()
+							}
+							switch op {
+							case expr.Add:
+								out[i] = datum.NewInt(l + r)
+							case expr.Sub:
+								out[i] = datum.NewInt(l - r)
+							case expr.Mul:
+								out[i] = datum.NewInt(l * r)
+							}
+							continue
+						}
+						if d.Null() {
+							if litLeft {
+								out[i] = datum.NewNull(arithNullType(k, d))
+							} else {
+								out[i] = datum.NewNull(arithNullType(d, k))
+							}
+							continue
+						}
+						v, err := coldRow(d)
+						if err != nil {
+							return err
+						}
+						out[i] = v
+					}
+					return nil
+				}
+				for _, i := range sel {
+					d := col[i]
+					if d.T == datum.Int && !d.Null() {
+						l, r := d.Int(), kv
+						if litLeft {
+							l, r = kv, d.Int()
+						}
+						switch op {
+						case expr.Add:
+							out[i] = datum.NewInt(l + r)
+						case expr.Sub:
+							out[i] = datum.NewInt(l - r)
+						case expr.Mul:
+							out[i] = datum.NewInt(l * r)
+						}
+						continue
+					}
+					if d.Null() {
+						if litLeft {
+							out[i] = datum.NewNull(arithNullType(k, d))
+						} else {
+							out[i] = datum.NewNull(arithNullType(d, k))
+						}
+						continue
+					}
+					v, err := coldRow(d)
+					if err != nil {
+						return err
+					}
+					out[i] = v
+				}
+				return nil
+			}
+		case k.T == datum.Float && !k.Null():
+			kv := k.Float()
+			return func(cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
+				col := cols[idx]
+				if sel == nil {
+					for i := 0; i < n; i++ {
+						d := col[i]
+						if (d.T == datum.Float || d.T == datum.Int) && !d.Null() {
+							l, r := d.Float(), kv
+							if litLeft {
+								l, r = kv, d.Float()
+							}
+							switch op {
+							case expr.Add:
+								out[i] = datum.NewFloat(l + r)
+							case expr.Sub:
+								out[i] = datum.NewFloat(l - r)
+							case expr.Mul:
+								out[i] = datum.NewFloat(l * r)
+							case expr.Div:
+								if r == 0 {
+									return fmt.Errorf("expr: division by zero")
+								}
+								out[i] = datum.NewFloat(l / r)
+							}
+							continue
+						}
+						if d.Null() {
+							out[i] = datum.NewNull(datum.Float)
+							continue
+						}
+						v, err := scalar(d)
+						if err != nil {
+							return err
+						}
+						out[i] = v
+					}
+					return nil
+				}
+				for _, i := range sel {
+					d := col[i]
+					if (d.T == datum.Float || d.T == datum.Int) && !d.Null() {
+						l, r := d.Float(), kv
+						if litLeft {
+							l, r = kv, d.Float()
+						}
+						switch op {
+						case expr.Add:
+							out[i] = datum.NewFloat(l + r)
+						case expr.Sub:
+							out[i] = datum.NewFloat(l - r)
+						case expr.Mul:
+							out[i] = datum.NewFloat(l * r)
+						case expr.Div:
+							if r == 0 {
+								return fmt.Errorf("expr: division by zero")
+							}
+							out[i] = datum.NewFloat(l / r)
+						}
+						continue
+					}
+					if d.Null() {
+						out[i] = datum.NewNull(datum.Float)
+						continue
+					}
+					v, err := scalar(d)
+					if err != nil {
+						return err
+					}
+					out[i] = v
+				}
+				return nil
+			}
+		default:
+			return nil // decline this binding: generic walk is at least as fast
+		}
+	}
+}
+
+// compileArithColCol builds the prep stage for col ⊙ col, mirroring
+// expr's evalArithBatch: Int⊙Int and Float⊙Float inline (except
+// division), everything else through the scalar reference.
+func compileArithColCol(op expr.Op, li, ri int) prepEval {
+	return func([]datum.Datum) rawEval {
+		return func(cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
+			lc, rc := cols[li], cols[ri]
+			var ferr error
+			each(n, sel, func(i int) bool {
+				l, r := lc[i], rc[i]
+				if l.Null() || r.Null() {
+					out[i] = datum.NewNull(arithNullType(l, r))
+					return true
+				}
+				if l.T == datum.Int && r.T == datum.Int && op != expr.Div {
+					switch op {
+					case expr.Add:
+						out[i] = datum.NewInt(l.Int() + r.Int())
+					case expr.Sub:
+						out[i] = datum.NewInt(l.Int() - r.Int())
+					case expr.Mul:
+						out[i] = datum.NewInt(l.Int() * r.Int())
+					}
+					return true
+				}
+				if l.T == datum.Float && r.T == datum.Float && op != expr.Div {
+					switch op {
+					case expr.Add:
+						out[i] = datum.NewFloat(l.Float() + r.Float())
+					case expr.Sub:
+						out[i] = datum.NewFloat(l.Float() - r.Float())
+					case expr.Mul:
+						out[i] = datum.NewFloat(l.Float() * r.Float())
+					}
+					return true
+				}
+				v, err := expr.Arith(op, l, r)
+				if err != nil {
+					ferr = err
+					return false
+				}
+				out[i] = v
+				return true
+			})
+			return ferr
+		}
+	}
+}
+
+// each visits every live position until fn returns false.
+func each(n int, sel []int, fn func(i int) bool) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if !fn(i) {
+				return
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if !fn(i) {
+			return
+		}
+	}
+}

@@ -2,71 +2,49 @@ package plan
 
 import (
 	"fmt"
-	"sort"
 
 	"nodb/internal/exec"
 	"nodb/internal/expr"
 )
 
 // buildJoinTree creates the scan leaves and joins them into a left-deep
-// tree. It returns the root operator and the layout mapping scope ordinals
-// to positions in the operator's output rows.
-func (b *builder) buildJoinTree(needed *colSet, pushed [][]expr.Expr, edges []joinEdge) (exec.Operator, map[int]int, error) {
-	n := len(b.tables)
-
-	// Per-table scan column lists (table ordinals, ascending).
-	scanCols := make([][]int, n)
-	for sc, used := range needed.set {
-		if used {
-			ti := b.scope[sc].table
-			scanCols[ti] = append(scanCols[ti], b.scope[sc].ordinal)
-		}
-	}
-	for ti := range scanCols {
-		sort.Ints(scanCols[ti])
-		if len(scanCols[ti]) == 0 {
-			// A scan must emit at least one column so joins and COUNT(*)
-			// see the right multiplicity; pick the first filter column or
-			// column 0.
-			ord := 0
-			if len(pushed[ti]) > 0 {
-				if cols := expr.DistinctColumns(pushed[ti][0]); len(cols) > 0 {
-					ord = b.scope[cols[0]].ordinal
-				}
-			}
-			scanCols[ti] = []int{ord}
-		}
-	}
+// tree. pushed holds this execution's bound per-table conjuncts in table
+// ordinals; the skeleton supplies the scan column lists. It returns the
+// root operator and the layout mapping scope ordinals to positions in the
+// operator's output rows.
+func (bi *binder) buildJoinTree(pushed [][]expr.Expr) (exec.Operator, map[int]int, error) {
+	sk := bi.sk
+	n := len(sk.tables)
+	scanCols := sk.scanCols
 
 	// Estimated output cardinality per table (after pushed filters).
 	est := make([]float64, n)
-	for ti := range b.tables {
-		est[ti] = b.estimateTable(ti, pushed[ti])
+	for ti := range sk.tables {
+		est[ti] = bi.estimateTable(ti, pushed[ti])
 	}
 
 	// Order pushed conjuncts: most selective first when stats are on
 	// (drives the in-situ scan's selective parsing order; see Fig 12).
 	for ti := range pushed {
-		b.orderConjuncts(ti, pushed[ti])
+		bi.orderConjuncts(ti, pushed[ti])
 	}
 
-	// Build the scan leaves, remapping pushed conjuncts from scope
-	// ordinals to table ordinals.
-	scans := make([]exec.Operator, n)
-	for ti, te := range b.tables {
-		toTable := make(map[int]int)
-		for ord := range te.tbl.Columns() {
-			toTable[te.offset+ord] = ord
-		}
-		conjuncts := make([]expr.Expr, len(pushed[ti]))
-		for i, c := range pushed[ti] {
-			rc, err := expr.Remap(c, toTable)
-			if err != nil {
-				return nil, nil, err
+	// Attach compiled filter kernels to supported conjunct shapes; the
+	// scans' batch paths (cache-scan selection narrowing) run them in
+	// place of the generic tree walk. Ordering and selectivity estimation
+	// ran on the unwrapped trees above.
+	if kc := bi.opts.KernelCache; kc != nil {
+		for ti := range pushed {
+			for i, c := range pushed[ti] {
+				pushed[ti][i] = kc.Predicate(c)
 			}
-			conjuncts[i] = rc
 		}
-		op, err := te.tbl.Scan(b.opts.Ctx, scanCols[ti], conjuncts)
+	}
+
+	// Build the scan leaves.
+	scans := make([]exec.Operator, n)
+	for ti := range sk.tables {
+		op, err := bi.tbls[ti].Scan(bi.opts.Ctx, scanCols[ti], pushed[ti])
 		if err != nil {
 			return nil, nil, err
 		}
@@ -75,6 +53,7 @@ func (b *builder) buildJoinTree(needed *colSet, pushed [][]expr.Expr, edges []jo
 
 	// Join order: with stats, greedily grow from the smallest estimated
 	// table through connected edges; without stats, textual order.
+	edges := sk.edges
 	order := make([]int, 0, n)
 	inSet := make([]bool, n)
 	pick := func() int {
@@ -108,7 +87,7 @@ func (b *builder) buildJoinTree(needed *colSet, pushed [][]expr.Expr, edges []jo
 		}
 		return best
 	}
-	if b.opts.UseStats {
+	if bi.opts.UseStats {
 		for len(order) < n {
 			ti := pick()
 			inSet[ti] = true
@@ -125,7 +104,7 @@ func (b *builder) buildJoinTree(needed *colSet, pushed [][]expr.Expr, edges []jo
 	layout := make(map[int]int)
 	addTable := func(ti int, base int) {
 		for i, ord := range scanCols[ti] {
-			layout[b.tables[ti].offset+ord] = base + i
+			layout[sk.tables[ti].offset+ord] = base + i
 		}
 	}
 
@@ -152,16 +131,16 @@ func (b *builder) buildJoinTree(needed *colSet, pushed [][]expr.Expr, edges []jo
 			if !ok {
 				return nil, nil, fmt.Errorf("plan: join key %d missing from layout", treeCol)
 			}
-			np := indexOf(scanCols[ti], b.scope[newCol].ordinal)
+			np := indexOf(scanCols[ti], sk.scope[newCol].ordinal)
 			if np < 0 {
-				return nil, nil, fmt.Errorf("plan: join key %d missing from scan of %s", newCol, b.tables[ti].alias)
+				return nil, nil, fmt.Errorf("plan: join key %d missing from scan of %s", newCol, sk.tables[ti].alias)
 			}
 			treeKeys = append(treeKeys, &expr.ColRef{Index: tp})
 			newKeys = append(newKeys, &expr.ColRef{Index: np})
 		}
 
 		newWidth := len(scanCols[ti])
-		buildNew := b.opts.UseStats && est[ti] <= treeEst
+		buildNew := bi.opts.UseStats && est[ti] <= treeEst
 		if buildNew {
 			// Build on the new (smaller) table; output = new ++ tree.
 			root = exec.NewHashJoin(scans[ti], root, newKeys, shiftRefs(treeKeys, 0))
@@ -211,21 +190,31 @@ func indexOf(xs []int, v int) int {
 // batches directly, sort aggregation reads the mirrored rows). The choice
 // between hash and sort aggregation is statistics-driven: without stats
 // the planner must assume arbitrarily many groups and picks the sort
-// strategy, with stats it pre-sizes a hash table (Fig 12).
-func (b *builder) buildAggregate(root exec.Operator, broot exec.BatchOperator, layout map[int]int, groupBy []expr.Expr, aggs []*expr.Aggregate) (exec.Operator, error) {
-	rg := make([]expr.Expr, len(groupBy))
-	for i, g := range groupBy {
-		e, err := expr.Remap(g, layout)
+// strategy, with stats it pre-sizes a hash table (Fig 12). Group and
+// aggregate expressions re-bind per execution.
+func (bi *binder) buildAggregate(root exec.Operator, broot exec.BatchOperator, layout map[int]int) (exec.Operator, error) {
+	sk := bi.sk
+	rg := make([]expr.Expr, len(sk.groupBy))
+	for i, g := range sk.groupBy {
+		bg, err := bi.bindExpr(g)
+		if err != nil {
+			return nil, err
+		}
+		e, err := expr.Remap(bg, layout)
 		if err != nil {
 			return nil, err
 		}
 		rg[i] = e
 	}
-	ra := make([]*expr.Aggregate, len(aggs))
-	for i, a := range aggs {
+	ra := make([]*expr.Aggregate, len(sk.aggs))
+	for i, a := range sk.aggs {
 		na := &expr.Aggregate{Kind: a.Kind, Distinct: a.Distinct}
 		if a.Arg != nil {
-			e, err := expr.Remap(a.Arg, layout)
+			ba, err := bi.bindExpr(a.Arg)
+			if err != nil {
+				return nil, err
+			}
+			e, err := expr.Remap(ba, layout)
 			if err != nil {
 				return nil, err
 			}
@@ -234,23 +223,23 @@ func (b *builder) buildAggregate(root exec.Operator, broot exec.BatchOperator, l
 		ra[i] = na
 	}
 	cols := make([]exec.Col, 0, len(rg)+len(ra))
-	for i, g := range groupBy {
+	for i, g := range sk.groupBy {
 		cols = append(cols, exec.Col{Name: fmt.Sprintf("group%d", i), Type: inferType(g)})
 	}
-	for _, a := range aggs {
-		cols = append(cols, exec.Col{Name: a.String(), Type: aggResultType(a)})
+	for i, a := range sk.aggs {
+		cols = append(cols, exec.Col{Name: a.String(), Type: aggResultType(ra[i])})
 	}
 
 	// A global aggregate has exactly one group; the hash/sort strategy
 	// question only exists for GROUP BY queries.
-	if !b.opts.UseStats && len(groupBy) > 0 {
+	if !bi.opts.UseStats && len(sk.groupBy) > 0 {
 		return exec.NewSortAgg(root, rg, ra, cols), nil
 	}
 	h := exec.NewHashAgg(root, rg, ra, cols)
 	if broot != nil {
 		h.SetBatchInput(broot)
 	}
-	if hint := b.estimateGroups(groupBy); hint > 0 {
+	if hint := bi.estimateGroups(sk.groupBy); hint > 0 {
 		h.SizeHint = hint
 	}
 	return h, nil
@@ -261,8 +250,9 @@ func (b *builder) buildAggregate(root exec.Operator, broot exec.BatchOperator, l
 // contributing a grouping column (grouping cannot produce more groups than
 // input rows) and by a fixed cap — an oversized hint would cost more to
 // allocate and clear than it saves.
-func (b *builder) estimateGroups(groupBy []expr.Expr) int {
+func (bi *binder) estimateGroups(groupBy []expr.Expr) int {
 	const hintCap = 1 << 16
+	sk := bi.sk
 	total := 1.0
 	bound := -1.0
 	for _, g := range groupBy {
@@ -270,8 +260,8 @@ func (b *builder) estimateGroups(groupBy []expr.Expr) int {
 		if !ok {
 			return 0
 		}
-		info := b.scope[c.Index]
-		tbl := b.tables[info.table].tbl
+		info := sk.scope[c.Index]
+		tbl := bi.tbls[info.table]
 		st := tbl.Stats()
 		if st == nil || !st.Has(info.ordinal) {
 			return 0

@@ -22,20 +22,21 @@ const (
 )
 
 // estimateTable returns the expected output cardinality of scanning table
-// ti with the given pushed conjuncts.
-func (b *builder) estimateTable(ti int, conjuncts []expr.Expr) float64 {
-	te := b.tables[ti]
+// ti with the given pushed conjuncts (bound, in table ordinals).
+func (bi *binder) estimateTable(ti int, conjuncts []expr.Expr) float64 {
+	tbl := bi.tbls[ti]
 	rows := float64(defaultRowCount)
-	if rc := te.tbl.RowCount(); rc >= 0 {
+	if rc := tbl.RowCount(); rc >= 0 {
 		rows = float64(rc)
-	} else if st := te.tbl.Stats(); st != nil && st.RowCount() > 0 {
+	} else if st := tbl.Stats(); st != nil && st.RowCount() > 0 {
 		rows = float64(st.RowCount())
 	}
-	if !b.opts.UseStats {
+	if !bi.opts.UseStats {
 		return rows
 	}
+	st := tbl.Stats()
 	for _, c := range conjuncts {
-		rows *= b.conjunctSelectivity(ti, c)
+		rows *= conjunctSelectivity(st, c)
 	}
 	return rows
 }
@@ -43,29 +44,32 @@ func (b *builder) estimateTable(ti int, conjuncts []expr.Expr) float64 {
 // orderConjuncts sorts a table's pushed conjuncts most-selective-first when
 // statistics are in use. The in-situ scan evaluates conjuncts in order and
 // stops parsing a tuple at the first failure, so this ordering directly
-// reduces the number of attribute conversions (the Fig 12 effect).
-func (b *builder) orderConjuncts(ti int, conjuncts []expr.Expr) {
-	if !b.opts.UseStats || len(conjuncts) < 2 {
+// reduces the number of attribute conversions (the Fig 12 effect). Because
+// the conjuncts are bound, a re-bound parameterized execution re-orders for
+// its own values — the skeleton cache's rebind path preserves the paper's
+// statistics-driven behavior.
+func (bi *binder) orderConjuncts(ti int, conjuncts []expr.Expr) {
+	if !bi.opts.UseStats || len(conjuncts) < 2 {
 		return
 	}
+	st := bi.tbls[ti].Stats()
 	sel := make(map[expr.Expr]float64, len(conjuncts))
 	for _, c := range conjuncts {
-		sel[c] = b.conjunctSelectivity(ti, c)
+		sel[c] = conjunctSelectivity(st, c)
 	}
 	sort.SliceStable(conjuncts, func(i, j int) bool {
 		return sel[conjuncts[i]] < sel[conjuncts[j]]
 	})
 }
 
-// conjunctSelectivity estimates the fraction of table ti's rows that
-// satisfy c. The conjunct references scope ordinals.
-func (b *builder) conjunctSelectivity(ti int, c expr.Expr) float64 {
-	st := b.tables[ti].tbl.Stats()
-	colStats := func(scopeOrd int) *stats.ColumnStats {
+// conjunctSelectivity estimates the fraction of a table's rows that
+// satisfy c. The conjunct references table ordinals; st may be nil.
+func conjunctSelectivity(st *stats.Table, c expr.Expr) float64 {
+	colStats := func(ord int) *stats.ColumnStats {
 		if st == nil {
 			return nil
 		}
-		return st.Col(b.scope[scopeOrd].ordinal)
+		return st.Col(ord)
 	}
 	switch n := c.(type) {
 	case *expr.BinOp:
@@ -128,7 +132,7 @@ func (b *builder) conjunctSelectivity(ti int, c expr.Expr) float64 {
 	case *expr.Like:
 		return defaultLikeSel
 	case *expr.Not:
-		return clamp01(1 - b.conjunctSelectivity(ti, n.E))
+		return clamp01(1 - conjunctSelectivity(st, n.E))
 	case *expr.IsNull:
 		if col, ok := n.E.(*expr.ColRef); ok {
 			if cs := colStats(col.Index); cs != nil {

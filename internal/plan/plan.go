@@ -3,6 +3,25 @@
 // the statistics-driven choices (conjunct ordering, join build side,
 // aggregation strategy) whose impact the paper measures in Fig 12.
 //
+// Planning is split into two phases so high-QPS parameterized statements
+// do not re-pay the parameter-independent work per execution:
+//
+//   - BuildSkeleton resolves and classifies the statement once — tables,
+//     scope, WHERE conjuncts split and classified (pushed / join edge /
+//     residual), projection and aggregate resolution, scan column lists —
+//     with parameter placeholders kept as unbound expr.Slot nodes. The
+//     resulting Skeleton is immutable and shared by concurrent executions
+//     (internal/core caches it alongside the parsed statement).
+//   - Skeleton.Bind re-binds the literal slots to one execution's values,
+//     re-orders conjuncts and re-picks join order by the bound values
+//     (late binding keeps every statistics-driven decision specific to the
+//     actual parameters), compiles filter/projection kernels for supported
+//     shapes, and assembles the operator tree.
+//
+// Build composes the two for one-shot planning: placeholders bind during
+// resolution, so statements a skeleton cannot carry (ErrNotCacheable) still
+// plan exactly as before.
+//
 // The planner is engine-agnostic: raw in-situ tables (internal/core) and
 // loaded heap tables (internal/storage) both appear behind the Table
 // interface. Predicates pushed into Table.Scan reference *table ordinals*,
@@ -12,11 +31,11 @@ package plan
 
 import (
 	"context"
-	"fmt"
 
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
+	"nodb/internal/kernel"
 	"nodb/internal/schema"
 	"nodb/internal/sqlparse"
 	"nodb/internal/stats"
@@ -62,6 +81,13 @@ type Options struct {
 	// leaves (heap scans) and row-only operators (sort, join) keep the
 	// Volcano path, bridged by adapters. Results are identical either way.
 	Vectorize bool
+	// KernelCache, when non-nil, enables the query-shape kernel compiler
+	// (internal/kernel): supported filter conjuncts attach compiled
+	// type-specialized batch closures, and the final filter+project tail of
+	// a vectorized single-table pipeline runs as one fused operator instead
+	// of the generic expression walk. Results are identical; nil disables
+	// compilation.
+	KernelCache *kernel.Cache
 	// Ctx bounds the execution the plan is built for; it flows into every
 	// scan leaf so a cancelled context aborts running scans promptly. Nil
 	// means context.Background().
@@ -83,13 +109,21 @@ type Result struct {
 	Cols []exec.Col
 }
 
-// Build plans a SELECT statement against the resolver.
+// Build plans a SELECT statement against the resolver in one shot:
+// resolution with immediately bound placeholders, then plan assembly with
+// the table handles resolution just produced (a cached skeleton re-resolves
+// per execution instead; see Skeleton.Bind). Use BuildSkeleton + Bind to
+// amortize resolution across executions.
 func Build(sel *sqlparse.Select, r Resolver, opts Options) (*Result, error) {
-	if opts.Ctx == nil {
-		opts.Ctx = context.Background()
+	sk, err := buildSkeleton(sel, r, &immediateBinding{params: opts.Params, named: opts.NamedParams})
+	if err != nil {
+		return nil, err
 	}
-	b := &builder{resolver: r, opts: opts}
-	return b.build(sel)
+	tbls := make([]Table, len(sk.tables))
+	for i, te := range sk.tables {
+		tbls[i] = te.tbl
+	}
+	return sk.bindResolved(tbls, opts)
 }
 
 // colInfo is one column visible in the query scope.
@@ -108,203 +142,20 @@ type tableEntry struct {
 	offset int // scope ordinal of the table's first column
 }
 
-type builder struct {
-	resolver Resolver
-	opts     Options
-
-	tables []tableEntry
-	scope  []colInfo // global scope ordinals
+// immediateBinding makes resolution bind placeholders on the spot (the
+// one-shot Build path) instead of emitting slots.
+type immediateBinding struct {
+	params []datum.Datum
+	named  map[string]datum.Datum
 }
 
-func (b *builder) build(sel *sqlparse.Select) (*Result, error) {
-	if len(sel.From) == 0 {
-		return nil, fmt.Errorf("plan: query has no FROM clause")
-	}
-	if len(sel.Items) == 0 {
-		return nil, fmt.Errorf("plan: empty select list")
-	}
-	// Resolve tables and build the scope.
-	seen := map[string]bool{}
-	for _, ref := range sel.From {
-		tbl, err := b.resolver.Table(ref.Name)
-		if err != nil {
-			return nil, err
-		}
-		alias := ref.Alias
-		if alias == "" {
-			alias = ref.Name
-		}
-		if seen[alias] {
-			return nil, fmt.Errorf("plan: duplicate table alias %q", alias)
-		}
-		seen[alias] = true
-		ti := len(b.tables)
-		b.tables = append(b.tables, tableEntry{ref: ref, tbl: tbl, alias: alias, offset: len(b.scope)})
-		for ord, c := range tbl.Columns() {
-			b.scope = append(b.scope, colInfo{
-				table: ti, ordinal: ord, name: c.Name, alias: alias, typ: c.Type,
-			})
-		}
-	}
+// builder is the resolution-phase state (skeleton construction).
+type builder struct {
+	resolver  Resolver
+	immediate *immediateBinding // nil: placeholders become expr.Slot
 
-	// Resolve WHERE into conjuncts over scope ordinals. OR conjuncts get
-	// their common factors hoisted (TPC-H Q19 repeats the join predicate
-	// inside each OR branch; without factoring it the join would become a
-	// cross product).
-	var whereConjuncts []expr.Expr
-	if sel.Where != nil {
-		w, err := b.convertScalar(sel.Where)
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range expr.SplitConjuncts(w) {
-			whereConjuncts = append(whereConjuncts, factorOr(c)...)
-		}
-	}
-
-	// Expand * and resolve select items, collecting aggregates.
-	items, aggs, groupBy, err := b.resolveProjection(sel)
-	if err != nil {
-		return nil, err
-	}
-
-	// Classify conjuncts: single-table (pushed into scans), equi-join
-	// edges, residual (everything else).
-	pushed := make([][]expr.Expr, len(b.tables))
-	var joinEdges []joinEdge
-	var residual []expr.Expr
-	for _, c := range whereConjuncts {
-		if ti, single := b.singleTable(c); single {
-			pushed[ti] = append(pushed[ti], c)
-			continue
-		}
-		if e, ok := b.asJoinEdge(c); ok {
-			joinEdges = append(joinEdges, e)
-			continue
-		}
-		residual = append(residual, c)
-	}
-
-	// Columns the scans must OUTPUT (pushed-filter columns are consumed
-	// inside the scans and excluded unless needed again upstream — that is
-	// the projectivity pushdown Fig 8(b) exercises).
-	needed := newColSet(len(b.scope))
-	for _, g := range groupBy {
-		needed.addExpr(g)
-	}
-	for _, a := range aggs {
-		if a.Arg != nil {
-			needed.addExpr(a.Arg)
-		}
-	}
-	if len(aggs) == 0 && len(groupBy) == 0 {
-		for _, it := range items {
-			needed.addExpr(it.e)
-		}
-	}
-	for _, e := range joinEdges {
-		needed.add(e.lcol)
-		needed.add(e.rcol)
-	}
-	for _, c := range residual {
-		needed.addExpr(c)
-	}
-
-	root, layout, err := b.buildJoinTree(needed, pushed, joinEdges)
-	if err != nil {
-		return nil, err
-	}
-
-	// Batch pipeline: when the join tree's root is a batch-capable leaf (a
-	// single-table scan — in-situ, cache or parallel), the hot operators
-	// below stack on the vectorized interface; broot carries that pipeline
-	// and root always mirrors it through a row adapter, so a consumer that
-	// reads rows sees the identical (filtered) stream.
-	var broot exec.BatchOperator
-	var bleaf exec.RowBudgeter // the scan leaf, when it accepts a row budget
-	if b.opts.Vectorize {
-		if bo, ok := exec.AsBatch(root); ok {
-			broot = bo
-			bleaf, _ = bo.(exec.RowBudgeter)
-		}
-	}
-
-	// Residual filter (multi-table, non-equi). A residual filter breaks
-	// the live-row-count correspondence between the leaf and the pipeline
-	// top, so LIMIT pushdown must not reach past it.
-	if len(residual) > 0 {
-		re, err := expr.Remap(expr.JoinConjuncts(residual), layout)
-		if err != nil {
-			return nil, err
-		}
-		if broot != nil {
-			broot = exec.NewBatchFilter(broot, re)
-			root = exec.NewBatchRows(broot)
-			bleaf = nil
-		} else {
-			root = exec.NewFilter(root, re)
-		}
-	}
-
-	// Aggregation. Select items were rewritten during resolution to
-	// reference the aggregate output layout [groups..., aggs...].
-	aggregated := len(aggs) > 0 || len(groupBy) > 0
-	if aggregated {
-		root, err = b.buildAggregate(root, broot, layout, groupBy, aggs)
-		if err != nil {
-			return nil, err
-		}
-		broot = nil // aggregation emits rows
-	}
-
-	// Final projection.
-	outCols := make([]exec.Col, len(items))
-	outExprs := make([]expr.Expr, len(items))
-	for i, it := range items {
-		e := it.e
-		if !aggregated {
-			e, err = expr.Remap(e, layout)
-			if err != nil {
-				return nil, err
-			}
-		}
-		outExprs[i] = e
-		outCols[i] = exec.Col{Name: it.name, Type: it.typ}
-	}
-	if broot != nil {
-		broot = exec.NewBatchProject(broot, outExprs, outCols)
-		root = exec.NewBatchRows(broot)
-	} else {
-		root = exec.NewProject(root, outExprs, outCols)
-	}
-
-	// ORDER BY over the projection output (sort materializes rows, so the
-	// batch pipeline ends here when present; root already mirrors it).
-	if len(sel.OrderBy) > 0 {
-		keys, err := b.resolveOrderBy(sel.OrderBy, sel, items)
-		if err != nil {
-			return nil, err
-		}
-		broot = nil
-		root = exec.NewSort(root, keys)
-	}
-
-	// LIMIT. When the batch pipeline between the scan leaf and the limit
-	// preserves live-row counts (projections only, conjuncts evaluated
-	// inside the scan), the limit also flows into the leaf as a row
-	// budget: the scan stops at the limit instead of materializing one
-	// full batch past it.
-	if sel.Limit >= 0 {
-		if broot != nil {
-			if bleaf != nil {
-				bleaf.SetRowBudget(sel.Limit)
-			}
-			root = exec.NewBatchRows(exec.NewBatchLimit(broot, sel.Limit))
-		} else {
-			root = exec.NewLimit(root, sel.Limit)
-		}
-	}
-	return &Result{Root: root, Cols: outCols}, nil
+	tables []tableEntry
+	scope  []colInfo
 }
 
 // singleTable reports whether every column the conjunct references belongs

@@ -571,14 +571,13 @@ func TestEstimateTableDefaults(t *testing.T) {
 	st.Set(1, col.Finalize())
 	u.st = st
 
-	b := &builder{resolver: r, opts: Options{UseStats: true}}
 	sel, _ := sqlparse.Parse("SELECT id FROM users WHERE age = 25")
-	if _, err := b.build(sel); err != nil {
+	if _, err := Build(sel, r, Options{UseStats: true}); err != nil {
 		t.Fatal(err)
 	}
 	// Just exercising; correctness asserted elsewhere. Estimate the
 	// conjunct selectivity directly.
-	selEst := b.conjunctSelectivity(0, u.lastScanConjuncts[0])
+	selEst := conjunctSelectivity(u.st, u.lastScanConjuncts[0])
 	if selEst <= 0 || selEst > 1 {
 		t.Errorf("selectivity = %f", selEst)
 	}

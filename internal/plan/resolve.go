@@ -58,6 +58,11 @@ func (b *builder) convertScalar(n sqlparse.Node) (expr.Expr, error) {
 		// Intervals act as day counts in date arithmetic.
 		return &expr.Const{D: datum.NewInt(node.Days)}, nil
 	case *sqlparse.Placeholder:
+		if b.immediate == nil {
+			// Skeleton mode: the placeholder survives resolution as a slot
+			// and re-binds per execution.
+			return &expr.Slot{Ordinal: node.Ordinal, Name: node.Name}, nil
+		}
 		d, err := b.bindPlaceholder(node)
 		if err != nil {
 			return nil, err
@@ -115,6 +120,12 @@ func (b *builder) convertScalar(n sqlparse.Node) (expr.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
+			if _, isSlot := ce.(*expr.Slot); isSlot {
+				// IN lists hold literal values, not expressions, so a
+				// placeholder here cannot be carried by a skeleton; the
+				// caller re-plans per execution with immediate binding.
+				return nil, fmt.Errorf("%w: parameter inside IN list", ErrNotCacheable)
+			}
 			c, ok := ce.(*expr.Const)
 			if !ok {
 				return nil, fmt.Errorf("plan: IN list elements must be literals, got %s", item)
@@ -165,22 +176,31 @@ func (b *builder) convertScalar(n sqlparse.Node) (expr.Expr, error) {
 	}
 }
 
-// bindPlaceholder resolves a parameter placeholder against the bindings of
-// this execution. Binding during planning (late binding) means the literal
-// value participates in every statistics-driven decision, so re-executing a
-// prepared statement with different values re-optimizes for them.
+// bindPlaceholder resolves a parameter placeholder against the immediate
+// bindings (one-shot Build). Binding during planning (late binding) means
+// the literal value participates in every statistics-driven decision, so
+// re-executing a prepared statement with different values re-optimizes for
+// them; the skeleton path achieves the same through Slot nodes bound in
+// Skeleton.Bind.
 func (b *builder) bindPlaceholder(p *sqlparse.Placeholder) (datum.Datum, error) {
-	if p.Name != "" {
-		d, ok := b.opts.NamedParams[p.Name]
+	return resolveParam(p.Ordinal, p.Name, b.immediate.params, b.immediate.named)
+}
+
+// resolveParam looks one parameter up in an execution's bindings — the
+// single definition both binding paths (immediate placeholders and
+// skeleton slots) share, so their semantics and errors cannot diverge.
+func resolveParam(ordinal int, name string, params []datum.Datum, named map[string]datum.Datum) (datum.Datum, error) {
+	if name != "" {
+		d, ok := named[name]
 		if !ok {
-			return datum.Datum{}, fmt.Errorf("plan: no binding for parameter :%s", p.Name)
+			return datum.Datum{}, fmt.Errorf("plan: no binding for parameter :%s", name)
 		}
 		return d, nil
 	}
-	if p.Ordinal < 1 || p.Ordinal > len(b.opts.Params) {
-		return datum.Datum{}, fmt.Errorf("plan: no binding for parameter $%d (have %d)", p.Ordinal, len(b.opts.Params))
+	if ordinal < 1 || ordinal > len(params) {
+		return datum.Datum{}, fmt.Errorf("plan: no binding for parameter $%d (have %d)", ordinal, len(params))
 	}
-	return b.opts.Params[p.Ordinal-1], nil
+	return params[ordinal-1], nil
 }
 
 func binOp(op string) (expr.Op, error) {
@@ -456,6 +476,10 @@ func inferType(e expr.Expr) datum.Type {
 		return n.Type
 	case *expr.Const:
 		return n.D.T
+	case *expr.Slot:
+		return datum.Unknown // typed after binding
+	case *expr.Kernel:
+		return inferType(n.E)
 	case *expr.BinOp:
 		switch n.Op {
 		case expr.Add, expr.Sub, expr.Mul, expr.Div:

@@ -115,8 +115,22 @@ type Options struct {
 	// exists for measurement and as an escape hatch.
 	DisableVectorized bool
 	// PlanCacheSize caps the prepared-statement cache (entries; 0 = 256).
-	// Statements are cached by normalized SQL and shared across sessions.
+	// Statements are cached by normalized SQL and shared across sessions;
+	// each entry carries the statement's resolved plan skeleton, so
+	// repeated (parameterized) executions skip resolution and
+	// classification and only re-bind literal values.
 	PlanCacheSize int
+	// DisableKernels turns off the query-shape kernel compiler: supported
+	// filter and projection shapes then run through the generic vectorized
+	// expression walk instead of fused type-specialized kernels. Results
+	// are identical; the switch exists for measurement and as an escape
+	// hatch.
+	DisableKernels bool
+	// KernelCacheSize caps the compiled-kernel program cache (entries;
+	// 0 = 256). Kernels are keyed by normalized plan shape — literals
+	// replaced by slots — so statements differing only in constants share
+	// one compilation.
+	KernelCacheSize int
 }
 
 // ColumnDef declares one column of a table.
@@ -223,6 +237,8 @@ func Open(cat *Catalog, opts Options) (*DB, error) {
 		BatchSize:         opts.BatchSize,
 		DisableVectorized: opts.DisableVectorized,
 		PlanCacheSize:     opts.PlanCacheSize,
+		DisableKernels:    opts.DisableKernels,
+		KernelCacheSize:   opts.KernelCacheSize,
 	})
 	if err != nil {
 		return nil, err
