@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodb/internal/analysis/loader"
+)
+
+// TestCleanOverTree is the acceptance gate: every analyzer runs clean
+// over the whole module. A regression here means a new concurrency or
+// hot-path violation landed in the engine.
+func TestCleanOverTree(t *testing.T) {
+	pkgs, err := loader.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	count := 0
+	for _, p := range pkgs {
+		count += runAnalyzers(p, &buf)
+	}
+	if count != 0 {
+		t.Errorf("nodblint reported %d diagnostics over the tree:\n%s", count, buf.String())
+	}
+}
+
+// seedModule writes a throwaway stdlib-only module with one locksafe
+// violation (an early return holding a mutex).
+func seedModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module seedmod\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "seed.go"), `package seedmod
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Peek(limit int) int {
+	c.mu.Lock()
+	if c.n > limit {
+		return limit
+	}
+	c.mu.Unlock()
+	return c.n
+}
+`)
+	return dir
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeededViolationFails proves the standalone driver actually fires:
+// a deliberately broken module must exit 2 with a locksafe diagnostic.
+func TestSeededViolationFails(t *testing.T) {
+	dir := seedModule(t)
+	var buf bytes.Buffer
+	code := standalone(dir, []string{"./..."}, &buf)
+	if code != 2 {
+		t.Fatalf("standalone exit = %d, want 2; output:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "c.mu held at return") {
+		t.Errorf("missing locksafe diagnostic; output:\n%s", buf.String())
+	}
+}
+
+// TestGoVetVettool drives the unitchecker protocol end to end, exactly
+// as CI does: build the binary, then `go vet -vettool=...` over a seeded
+// module (must fail with our diagnostic) and over a clean one (must
+// pass).
+func TestGoVetVettool(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "nodblint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building nodblint: %v\n%s", err, out)
+	}
+
+	dir := seedModule(t)
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a seeded violation; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "c.mu held at return") {
+		t.Errorf("missing locksafe diagnostic; output:\n%s", out)
+	}
+
+	clean := t.TempDir()
+	writeFile(t, filepath.Join(clean, "go.mod"), "module cleanmod\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(clean, "ok.go"), `package cleanmod
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Peek() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+`)
+	vetClean := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vetClean.Dir = clean
+	if out, err := vetClean.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool failed on a clean module: %v\n%s", err, out)
+	}
+}

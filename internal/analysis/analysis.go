@@ -1,0 +1,122 @@
+// Package analysis is a stdlib-only reimplementation of the core of
+// golang.org/x/tools/go/analysis, sized for this repository's own lint
+// suite (cmd/nodblint). The module deliberately has no external
+// dependencies, so the framework the analyzers ride on lives here; the
+// Analyzer/Pass/Diagnostic shapes mirror x/tools closely enough that a
+// future migration is mechanical.
+//
+// An Analyzer is a named check with a Run function. A Pass hands Run one
+// typechecked package (syntax, type info, reporting). Analyzers are
+// stateless and safe to reuse across packages.
+//
+// Two repo-specific conventions are implemented centrally:
+//
+//   - Directives: "//nodb:hotpath" tags declarations whose bodies are
+//     allocation/dispatch-free hot paths (see the hotalloc analyzer for
+//     the rules). The directive may sit on a func declaration, on a named
+//     func type declaration (tagging every func literal of that type), or
+//     on a statement (tagging the func literals the statement contains).
+//   - Suppression: a "//nodblint:ignore <name> <reason>" comment on the
+//     flagged line (or the line above) silences one analyzer's
+//     diagnostics for that line. The reason is mandatory by convention,
+//     not enforced.
+//
+// Diagnostics positioned in _test.go files are dropped centrally: the
+// invariants machine-checked here are production-code invariants, and the
+// vet driver feeds test variants of each package through the same units.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags and suppression
+	// comments. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one typechecked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The framework wraps it with the
+	// test-file and nodblint:ignore filters before Run sees it.
+	Report func(Diagnostic)
+
+	ignores []ignoreRange // built lazily by the driver wrapper
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ignoreRange records one nodblint:ignore comment: the analyzer it
+// silences and the line it applies to (the comment's own line, so an
+// end-of-line comment suppresses its line and a standalone comment
+// suppresses the line below).
+type ignoreRange struct {
+	file     string
+	line     int
+	analyzer string // "" = all analyzers
+}
+
+// NewPass assembles a Pass whose Report applies the central filters
+// (test files, suppression comments) before forwarding to sink. Drivers
+// — the multichecker, the vet unit checker, analysistest — all build
+// passes through here so filtering cannot diverge.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink func(Diagnostic)) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//nodblint:ignore")
+				if !ok {
+					continue
+				}
+				name := ""
+				if fields := strings.Fields(text); len(fields) > 0 {
+					name = fields[0]
+				}
+				pos := fset.Position(c.Pos())
+				p.ignores = append(p.ignores, ignoreRange{file: pos.Filename, line: pos.Line, analyzer: name})
+			}
+		}
+	}
+	p.Report = func(d Diagnostic) {
+		pos := fset.Position(d.Pos)
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			return
+		}
+		for _, ig := range p.ignores {
+			if ig.file == pos.Filename && (ig.line == pos.Line || ig.line == pos.Line-1) &&
+				(ig.analyzer == "" || ig.analyzer == a.Name) {
+				return
+			}
+		}
+		sink(d)
+	}
+	return p
+}

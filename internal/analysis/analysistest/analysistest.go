@@ -1,0 +1,128 @@
+// Package analysistest runs a nodblint analyzer over GOPATH-style
+// fixture trees and checks its diagnostics against expectations written
+// in the fixture source, mirroring the x/tools harness of the same name:
+//
+//	lk.Lock() // want `missing release`
+//
+// A "// want" comment holds one or more quoted or backquoted regular
+// expressions; each must be matched by a distinct diagnostic on that
+// line, and every diagnostic must be claimed by an expectation — so
+// fixtures encode true positives and deliberate negatives in one file.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nodb/internal/analysis"
+	"nodb/internal/analysis/loader"
+)
+
+// TestData returns the canonical fixture root, ./testdata relative to
+// the analyzer package under test.
+func TestData() string {
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return abs
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads each fixture package from testdata/src and applies a, then
+// reconciles diagnostics with the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l, err := loader.NewFixtureLoader(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range pkgPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		expects, err := collectExpectations(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var diags []analysis.Diagnostic
+		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info,
+			func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer %s: %v", path, a.Name, err)
+		}
+
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			claimed := false
+			for _, e := range expects {
+				if !e.used && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(d.Message) {
+					e.used = true
+					claimed = true
+					break
+				}
+			}
+			if !claimed {
+				t.Errorf("%s: unexpected diagnostic: %s: %s", path, relPos(pos.String(), testdata), d.Message)
+			}
+		}
+		for _, e := range expects {
+			if !e.used {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q", path, relPos(e.file, testdata), e.line, e.re)
+			}
+		}
+	}
+}
+
+func relPos(pos, base string) string {
+	if r, err := filepath.Rel(base, pos); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return pos
+}
+
+// collectExpectations parses the // want comments of every fixture file.
+func collectExpectations(pkg *loader.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if !strings.HasPrefix(c.Text, "//") || idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(c.Text[idx+len("want "):])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want expectation %q", pos, rest)
+					}
+					lit, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %v", pos, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp: %v", pos, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out, nil
+}

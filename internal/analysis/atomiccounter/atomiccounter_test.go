@@ -1,0 +1,12 @@
+package atomiccounter_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/atomiccounter"
+)
+
+func TestAtomicCounter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomiccounter.Analyzer, "a")
+}

@@ -1,0 +1,18 @@
+// Package format is a fixture stub of nodb/internal/format: just enough
+// surface for the analyzers' test packages to typecheck against.
+package format
+
+// ScanCounters mirrors the real private per-scan counters.
+type ScanCounters struct {
+	TuplesParsed int64
+	FieldsParsed int64
+}
+
+// Counters mirrors the real shared per-table counters.
+type Counters struct{}
+
+// Add publishes a scan's counters.
+func (tc *Counters) Add(c *ScanCounters) {}
+
+// Snapshot loads the cumulative totals.
+func (tc *Counters) Snapshot() ScanCounters { return ScanCounters{} }

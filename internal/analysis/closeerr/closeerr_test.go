@@ -1,0 +1,12 @@
+package closeerr_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/closeerr"
+)
+
+func TestCloseErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), closeerr.Analyzer, "a")
+}

@@ -1,0 +1,403 @@
+// Package ctrlflow builds intraprocedural control-flow graphs over Go
+// syntax, for the flow-sensitive nodblint analyzers (locksafe, closeerr).
+// It is a compact stdlib-only counterpart of golang.org/x/tools/go/cfg:
+// blocks hold statements and branch conditions in execution order, and
+// edges follow if/for/range/switch/select/break/continue/return flow.
+//
+// Function literals are opaque: a FuncLit is a value in the enclosing
+// graph, and callers build a separate graph for its body. goto is not
+// modeled — a function containing one yields Unsupported=true and
+// analyzers must skip their flow-sensitive checks for it (the repository
+// has no gotos; silence beats wrong edges).
+package ctrlflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Kind classifies how control leaves a block.
+type Kind uint8
+
+const (
+	// Plain blocks flow to their successors.
+	Plain Kind = iota
+	// Return blocks exit the function via an explicit return.
+	Return
+	// Panic blocks exit the function by panicking.
+	Panic
+	// Fall is the implicit exit at the end of the function body.
+	Fall
+)
+
+// A Block is a straight-line run of nodes with outgoing edges.
+type Block struct {
+	Index int
+	// Nodes are the block's statements and branch-condition expressions
+	// in execution order. Condition expressions (if/for/switch tags)
+	// appear as bare ast.Expr entries.
+	Nodes []ast.Node
+	Succs []*Block
+	Kind  Kind
+}
+
+// A Graph is one function body's control-flow graph.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Defers lists every defer statement in source order, reachable or
+	// not. Deferred calls run on all exits past their registration;
+	// analyzers typically treat any matching defer as function-wide.
+	Defers []*ast.DeferStmt
+	// Unsupported is set when the body contains goto; flow facts are
+	// unreliable and flow-sensitive checks must be skipped.
+	Unsupported bool
+}
+
+// Exits returns the blocks through which the function can terminate.
+func (g *Graph) Exits() []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if b.Kind != Plain {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// InspectNode walks one CFG node's own expressions. Regions whose
+// statements live in other blocks (range and select bodies) and code
+// that does not run at this point (defer, go, nested function literals)
+// are skipped so analyzers neither double nor misplace effects. A
+// SelectStmt node is visited itself (it is a blocking point) but not
+// descended into.
+func InspectNode(n ast.Node, visit func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	root := n
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		switch mm := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			visit(mm)
+			return false
+		case *ast.RangeStmt:
+			if mm == root {
+				InspectNode(mm.X, visit)
+			}
+			return false
+		}
+		return visit(m)
+	})
+}
+
+type loopFrame struct {
+	label          string
+	cont, brk      *Block
+	isSwitchOrSel  bool
+	fallthroughTgt *Block // next case clause body, for fallthrough
+}
+
+type builder struct {
+	g     *Graph
+	cur   *Block
+	loops []loopFrame
+}
+
+// Build constructs the graph for one function body.
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.cur.Kind = Fall
+	}
+	return b.g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links from src to dst (nil src = dead code, dropped).
+func edge(src, dst *Block) {
+	if src != nil && dst != nil {
+		src.Succs = append(src.Succs, dst)
+	}
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.LabeledStmt:
+		b.labeled(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.cur.Kind = Return
+		}
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if b.cur != nil {
+					b.cur.Kind = Panic
+				}
+				b.cur = nil
+			}
+		}
+	default:
+		// Assign, Decl, IncDec, Send, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) labeled(s *ast.LabeledStmt) {
+	label := s.Label.Name
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, label)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, label)
+	default:
+		// A labeled plain statement only matters as a goto target.
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if label == "" || f.label == label {
+				edge(b.cur, f.brk)
+				break
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if f.isSwitchOrSel {
+				continue
+			}
+			if label == "" || f.label == label {
+				edge(b.cur, f.cont)
+				break
+			}
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			if b.loops[i].isSwitchOrSel {
+				edge(b.cur, b.loops[i].fallthroughTgt)
+				break
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		b.g.Unsupported = true
+		b.cur = nil
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	then := b.newBlock()
+	join := b.newBlock()
+	edge(head, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	edge(b.cur, join)
+	if s.Else != nil {
+		els := b.newBlock()
+		edge(head, els)
+		b.cur = els
+		b.stmt(s.Else)
+		edge(b.cur, join)
+	} else {
+		edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	cond := b.newBlock()
+	body := b.newBlock()
+	post := b.newBlock()
+	exit := b.newBlock()
+	edge(b.cur, cond)
+	b.cur = cond
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	edge(cond, body)
+	if s.Cond != nil {
+		edge(cond, exit)
+	}
+	b.loops = append(b.loops, loopFrame{label: label, cont: post, brk: exit})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	edge(b.cur, post)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = post
+	if s.Post != nil {
+		b.add(s.Post)
+	}
+	edge(post, cond)
+	b.cur = exit
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	body := b.newBlock()
+	exit := b.newBlock()
+	edge(b.cur, head)
+	b.cur = head
+	b.add(s) // the range clause itself evaluates X and assigns key/value
+	edge(head, body)
+	edge(head, exit)
+	b.loops = append(b.loops, loopFrame{label: label, cont: head, brk: exit})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	edge(b.cur, head)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = exit
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(s.Body.List, label, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+		cc := c.(*ast.CaseClause)
+		var exprs []ast.Node
+		for _, e := range cc.List {
+			exprs = append(exprs, e)
+		}
+		return exprs, cc.Body, cc.List == nil
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(s.Body.List, label, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+		cc := c.(*ast.CaseClause)
+		return nil, cc.Body, cc.List == nil
+	})
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	b.add(s) // the select itself: analyzers treat it as a blocking point
+	b.caseClauses(s.Body.List, label, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+		cc := c.(*ast.CommClause)
+		var comm []ast.Node
+		if cc.Comm != nil {
+			comm = []ast.Node{cc.Comm}
+		}
+		return comm, cc.Body, cc.Comm == nil
+	})
+}
+
+// caseClauses builds the shared clause structure of switch/select: head
+// branches to every clause; clauses join after the statement. hasDefault
+// clauses absorb the fall-through edge; without one the head may skip to
+// the join directly (select without default always takes a clause, but
+// the extra edge only widens may-analyses harmlessly).
+func (b *builder) caseClauses(clauses []ast.Stmt, label string, split func(ast.Stmt) ([]ast.Node, []ast.Stmt, bool)) {
+	head := b.cur
+	join := b.newBlock()
+	hasDefault := false
+
+	// Pre-create clause bodies so fallthrough can target the next one.
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, c := range clauses {
+		exprs, stmts, isDefault := split(c)
+		if isDefault {
+			hasDefault = true
+		}
+		edge(head, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range exprs {
+			b.add(e)
+		}
+		var ft *Block
+		if i+1 < len(clauses) {
+			ft = bodies[i+1]
+		}
+		b.loops = append(b.loops, loopFrame{label: label, brk: join, isSwitchOrSel: true, fallthroughTgt: ft})
+		b.stmtList(stmts)
+		b.loops = b.loops[:len(b.loops)-1]
+		edge(b.cur, join)
+	}
+	if !hasDefault {
+		edge(head, join)
+	}
+	b.cur = join
+}

@@ -1,0 +1,159 @@
+// Package a exercises the hotalloc analyzer: tagged hot paths must not
+// box values, allocate maps, capture by reference or grow unsized
+// slices; untagged code and pointer-shaped conversions stay quiet.
+package a
+
+import (
+	"fmt"
+
+	"nodb/internal/datum"
+)
+
+func sink(v any)                  { _ = v }
+func sinks(vs ...any)             { _ = vs }
+func use(v int)                   { _ = v }
+func fill(buf []int)              { _ = buf }
+func errf() error                 { return nil }
+func consume(d datum.Datum) int64 { return d.I }
+
+type point struct{ x, y int }
+
+// boxing converts concrete values to interfaces per row.
+//
+//nodb:hotpath
+func boxing(ds []datum.Datum, ps []point) {
+	for _, d := range ds {
+		sink(d) // want `datum.Datum boxed into .* in hot path`
+	}
+	for _, p := range ps {
+		sink(p) // want `interface conversion \(a.point to any\) in hot path`
+	}
+	var v any = ds[0] // want `datum.Datum boxed into .* in hot path`
+	_ = v
+	sinks(ps[0], &ps[1]) // want `interface conversion \(a.point to any\) in hot path`
+}
+
+// pointerShapes pass pointer-shaped values: stored in the interface word,
+// no allocation — clean.
+//
+//nodb:hotpath
+func pointerShapes(ps []*point, m map[int]int, fn func()) {
+	for _, p := range ps {
+		sink(p)
+	}
+	sink(m)
+	sink(fn)
+	sink(nil)
+	var e error = fmt.Errorf("scan aborted at row %d: %v", 7, errf())
+	_ = e
+}
+
+// mapAlloc allocates maps per call.
+//
+//nodb:hotpath
+func mapAlloc(keys []int) int {
+	seen := make(map[int]bool, len(keys)) // want `make\(map\) in hot path`
+	lut := map[int]string{1: "a"}         // want `map literal in hot path`
+	_ = lut
+	n := 0
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			n++
+		}
+	}
+	return n
+}
+
+// captures closes over a reassigned counter: by-reference capture.
+//
+//nodb:hotpath
+func captures(rows []int) func() int {
+	total := 0
+	for _, r := range rows {
+		total += r
+	}
+	return func() int { // want `closure in hot path captures total by reference`
+		return total
+	}
+}
+
+// valueCapture closes over a variable never reassigned: clean.
+//
+//nodb:hotpath
+func valueCapture(limit int) func(int) bool {
+	return func(v int) bool {
+		return v < limit
+	}
+}
+
+// appends grows locals declared with no capacity.
+//
+//nodb:hotpath
+func appends(rows []int, out []int) []int {
+	var acc []int
+	for _, r := range rows {
+		acc = append(acc, r) // want `append to acc, declared at .* with no capacity`
+	}
+	zero := make([]int, 0)
+	zero = append(zero, 1) // want `append to zero, declared at .* with no capacity`
+	sized := make([]int, 0, len(rows))
+	for _, r := range rows {
+		sized = append(sized, r) // sized with capacity: clean
+	}
+	out = append(out, sized...) // parameter: the caller owns the sizing
+	return out
+}
+
+// filterFn is the kernel-closure shape: every literal created as a
+// filterFn is hot.
+//
+//nodb:hotpath
+type filterFn func(rows []int, buf []int) []int
+
+func compileEq(k int) filterFn {
+	return func(rows []int, buf []int) []int {
+		var hits []int
+		for i, r := range rows {
+			if r == k {
+				hits = append(hits, i) // want `append to hits, declared at .* with no capacity`
+			}
+		}
+		return append(buf, hits...)
+	}
+}
+
+// compileOk appends into the caller-provided buffer: clean.
+func compileOk(k int) filterFn {
+	return func(rows []int, buf []int) []int {
+		for i, r := range rows {
+			if r == k {
+				buf = append(buf, i)
+			}
+		}
+		return buf
+	}
+}
+
+// tagged statement: the literal below the directive is hot.
+func makeProbe() func(datum.Datum) {
+	//nodb:hotpath
+	probe := func(d datum.Datum) {
+		sink(d.I) // int64 boxes // want `interface conversion \(int64 to any\) in hot path`
+	}
+	return probe
+}
+
+// cold is untagged: anything goes.
+func cold(ds []datum.Datum) {
+	m := make(map[int]bool)
+	var acc []any
+	for i, d := range ds {
+		m[i] = true
+		acc = append(acc, d)
+	}
+	_ = acc
+	_ = consume(ds[0])
+	fill(nil)
+	use(0)
+}

@@ -1,0 +1,14 @@
+// Package datum stubs the engine's value-struct field currency for the
+// hotalloc fixtures.
+package datum
+
+// Datum mirrors the engine's no-boxing value struct.
+type Datum struct {
+	Kind int
+	I    int64
+	F    float64
+	S    string
+}
+
+// NewInt mirrors the engine constructor.
+func NewInt(v int64) Datum { return Datum{Kind: 1, I: v} }

@@ -1,0 +1,302 @@
+// Package loader typechecks Go packages for the nodblint analyzers
+// without golang.org/x/tools: the syntax of each analyzed package is
+// parsed from source, and every import is satisfied by compiler export
+// data located through the go command (`go list -export`). That is the
+// same shape as go vet's compilation units, so analyzers behave
+// identically under the standalone driver, the vet driver and the
+// analysistest harness.
+//
+// Two entry points:
+//
+//   - Load resolves package patterns against the enclosing module and
+//     returns the matched packages, typechecked.
+//   - NewFixtureLoader loads GOPATH-style fixture trees
+//     (testdata/src/<importpath>/*.go) for analyzer tests, resolving
+//     fixture-local imports from source and everything else from the
+//     standard library's export data.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load resolves patterns (e.g. "./...") in dir and returns the matched
+// packages typechecked from source, with imports read from export data.
+// Test files are not part of the returned syntax, matching go list's
+// GoFiles; the vet driver covers test variants separately.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,DepOnly,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly {
+			targets = append(targets, e)
+		}
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		p, err := typecheck(t, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// typecheck parses one listed package and checks it against export data.
+func typecheck(t listEntry, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := t.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: typechecking %s: %v", t.ImportPath, err)
+	}
+	return &Package{Path: t.ImportPath, Dir: t.Dir, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// CheckFiles typechecks already-parsed files as one package, resolving
+// imports through importMap/packageFile — the shape of a go vet
+// compilation unit. Used by the vet driver in cmd/nodblint.
+func CheckFiles(path string, fset *token.FileSet, files []*ast.File, goVersion string,
+	importMap, packageFile map[string]string) (*Package, error) {
+	lookup := func(p string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[p]; ok {
+			p = mapped
+		}
+		exp, ok := packageFile[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(exp)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: typechecking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// stdExports memoizes the standard library's export-data locations; the
+// go command builds them into the build cache on first use.
+var stdExports struct {
+	once sync.Once
+	m    map[string]string
+	err  error
+}
+
+func stdExportMap() (map[string]string, error) {
+	stdExports.once.Do(func() {
+		cmd := exec.Command("go", "list", "-export", "-json=ImportPath,Export", "std")
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			stdExports.err = fmt.Errorf("loader: go list std: %v\n%s", err, stderr.String())
+			return
+		}
+		m := make(map[string]string)
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var e listEntry
+			if err := dec.Decode(&e); err == io.EOF {
+				break
+			} else if err != nil {
+				stdExports.err = err
+				return
+			}
+			if e.Export != "" {
+				m[e.ImportPath] = e.Export
+			}
+		}
+		stdExports.m = m
+	})
+	return stdExports.m, stdExports.err
+}
+
+// FixtureLoader loads GOPATH-style source trees rooted at srcRoot:
+// import path P resolves to srcRoot/P/*.go when that directory exists,
+// and to standard-library export data otherwise.
+type FixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*Package
+	loading map[string]bool
+	gc      types.ImporterFrom
+}
+
+// NewFixtureLoader returns a loader over srcRoot (a testdata/src dir).
+func NewFixtureLoader(srcRoot string) (*FixtureLoader, error) {
+	std, err := stdExportMap()
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := std[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	return &FixtureLoader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		gc:      importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+	}, nil
+}
+
+// Load typechecks the fixture package at import path p.
+func (l *FixtureLoader) Load(p string) (*Package, error) {
+	if pkg, ok := l.pkgs[p]; ok {
+		return pkg, nil
+	}
+	if l.loading[p] {
+		return nil, fmt.Errorf("loader: import cycle through %q", p)
+	}
+	l.loading[p] = true
+	defer delete(l.loading, p)
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(p))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: fixture %q: %v", p, err)
+	}
+	var files []*ast.File
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, ent.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: fixture %q: no Go files in %s", p, dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: (*fixtureImporter)(l)}
+	tpkg, err := conf.Check(p, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: typechecking fixture %s: %v", p, err)
+	}
+	pkg := &Package{Path: p, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[p] = pkg
+	return pkg, nil
+}
+
+// fixtureImporter adapts FixtureLoader to types.Importer: fixture-local
+// source first, standard library export data second.
+type fixtureImporter FixtureLoader
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*FixtureLoader)(im)
+	if fi, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gc.Import(path)
+}

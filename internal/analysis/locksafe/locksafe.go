@@ -1,0 +1,471 @@
+// Package locksafe machine-checks the engine's locking discipline around
+// format.TableLock and the sync mutexes:
+//
+//  1. A lock acquired in a function is released on every return path —
+//     by an explicit Unlock/RUnlock, a defer, or a custody transfer
+//     (storing the release method value, the GuardedScan idiom where
+//     Open hands the held lock to Close via g.unlock = g.lk.RUnlock).
+//  2. TableLock.Downgrade is only called while the exclusive lock is
+//     provably held: downgrading a read lock corrupts the writer count.
+//  3. No blocking operation — channel send/receive, select without
+//     default, time.Sleep, WaitGroup.Wait, TableLock acquisition — runs
+//     while a sync.Mutex/RWMutex is held exclusively. Plain calls (file
+//     reads) are deliberately not in the blocking set: recording scans
+//     legitimately do I/O under the TableLock, and the TableLock itself
+//     is a long-held admission lock, not a critical-section mutex.
+//
+// The analysis is intraprocedural and flow-sensitive over the ctrlflow
+// CFG: rule 1 uses may-held facts (held on some path into a return),
+// rules 2 and 3 use must-held facts (held on every path). The engine's
+// guarded-acquisition idiom
+//
+//	if err := lk.Lock(ctx); err != nil { return err }
+//
+// is modeled edge-sensitively: the lock is held only on the success
+// edge. Functions containing goto are skipped rather than guessed at.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"nodb/internal/analysis"
+	"nodb/internal/analysis/ctrlflow"
+)
+
+// Analyzer is the locksafe check.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "checks lock release on all paths, Downgrade-under-exclusive, and no blocking ops under an exclusive mutex",
+	Run:  run,
+}
+
+const (
+	excl   uint8 = 1
+	shared uint8 = 2
+)
+
+type lockClass int
+
+const (
+	notLock lockClass = iota
+	tableLock
+	syncMutex
+	syncRW
+)
+
+func classify(t types.Type) lockClass {
+	switch {
+	case analysis.IsNamedType(t, "internal/format", "TableLock"):
+		return tableLock
+	case analysis.IsNamedType(t, "sync", "Mutex"):
+		return syncMutex
+	case analysis.IsNamedType(t, "sync", "RWMutex"):
+		return syncRW
+	}
+	return notLock
+}
+
+// fact maps a lock's canonical receiver expression to its held modes.
+type fact map[string]uint8
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// union joins may-facts: held on any path counts as held.
+func union(dst, src fact) (fact, bool) {
+	changed := false
+	for k, v := range src {
+		if dst[k]|v != dst[k] {
+			dst[k] |= v
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+// intersect joins must-facts: only locks held on every path survive.
+func intersect(dst, src fact) (fact, bool) {
+	changed := false
+	for k, v := range dst {
+		nv := v & src[k]
+		if nv != v {
+			changed = true
+			if nv == 0 {
+				delete(dst, k)
+			} else {
+				dst[k] = nv
+			}
+		}
+	}
+	return dst, changed
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkFunc(pass, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type funcAnal struct {
+	pass          *analysis.Pass
+	classes       map[string]lockClass // every lock key seen in this function
+	escaped       map[string]bool      // custody transferred: skip release checks
+	deferReleased map[string]bool      // released by a defer: all exits covered
+	comm          map[ast.Node]bool    // select comm clause stmts: never block alone
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	a := &funcAnal{
+		pass:          pass,
+		classes:       make(map[string]lockClass),
+		escaped:       make(map[string]bool),
+		deferReleased: make(map[string]bool),
+		comm:          make(map[ast.Node]bool),
+	}
+	a.scan(body)
+	if len(a.classes) == 0 {
+		return
+	}
+	g := ctrlflow.Build(body)
+	if g.Unsupported {
+		return
+	}
+	for _, d := range g.Defers {
+		ast.Inspect(d.Call, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, ok := a.lockOp(call); ok && (op.name == "Unlock" || op.name == "RUnlock") {
+					a.deferReleased[op.key] = true
+				}
+			}
+			return true
+		})
+	}
+
+	mayIn := a.fixpoint(g, union)
+	mustIn := a.fixpoint(g, intersect)
+	for _, b := range g.Blocks {
+		if mayIn[b.Index] != nil {
+			_, final := a.transfer(b, mayIn[b.Index], func(n ast.Node, cur fact) {
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					a.checkHeld(ret.Pos(), cur, "held at return: lock acquired in this function is not released on this path")
+				}
+			})
+			if b.Kind == ctrlflow.Fall && len(b.Nodes) > 0 {
+				a.checkHeld(b.Nodes[len(b.Nodes)-1].Pos(), final, "held at function end: lock acquired in this function is never released")
+			}
+		}
+		if mustIn[b.Index] != nil {
+			a.transfer(b, mustIn[b.Index], func(n ast.Node, cur fact) {
+				a.checkDowngrade(n, cur)
+				a.checkBlocking(n, cur)
+			})
+		}
+	}
+}
+
+// scan records every lock key/class in the body, custody escapes (release
+// method values not immediately called, or the lock's address taken) and
+// select comm statements.
+func (a *funcAnal) scan(body *ast.BlockStmt) {
+	info := a.pass.TypesInfo
+	analysis.WithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			sel := info.Selections[n]
+			if sel == nil || sel.Kind() != types.MethodVal {
+				return true
+			}
+			cls := classify(sel.Recv())
+			if cls == notLock {
+				return true
+			}
+			key := analysis.ExprString(n.X)
+			a.classes[key] = cls
+			if len(stack) > 0 {
+				if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == n {
+					return true // direct call, not an escape
+				}
+			}
+			a.escaped[key] = true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if t := info.TypeOf(n.X); t != nil && classify(t) != notLock {
+					a.escaped[analysis.ExprString(n.X)] = true
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					a.comm[cc.Comm] = true
+				}
+			}
+		case *ast.FuncLit:
+			return false // analyzed as its own function
+		}
+		return true
+	})
+}
+
+type lockOp struct {
+	key   string
+	class lockClass
+	name  string
+}
+
+// lockOp classifies one call as a lock operation.
+func (a *funcAnal) lockOp(call *ast.CallExpr) (lockOp, bool) {
+	recv, recvType, name, ok := analysis.MethodCall(a.pass.TypesInfo, call)
+	if !ok {
+		return lockOp{}, false
+	}
+	cls := classify(recvType)
+	if cls == notLock {
+		return lockOp{}, false
+	}
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "Downgrade":
+		return lockOp{key: analysis.ExprString(recv), class: cls, name: name}, true
+	}
+	return lockOp{}, false
+}
+
+func (op lockOp) apply(cur fact) {
+	bits := cur[op.key]
+	switch op.name {
+	case "Lock":
+		if op.class == syncRW || op.class == syncMutex || op.class == tableLock {
+			bits |= excl
+		}
+	case "RLock":
+		bits |= shared
+	case "Unlock":
+		bits &^= excl
+	case "RUnlock":
+		bits &^= shared
+	case "Downgrade":
+		bits = (bits &^ excl) | shared
+	}
+	if bits == 0 {
+		delete(cur, op.key)
+	} else {
+		cur[op.key] = bits
+	}
+}
+
+// guard models the edge-sensitive acquisition idiom: after
+// `err := lk.Lock(ctx)` followed by an `err != nil` / `err == nil`
+// branch, the lock is held only along the success edge.
+type guard struct {
+	errObj   types.Object
+	key      string
+	bit      uint8
+	errEdge  int
+	condSeen bool
+}
+
+// transfer replays one block from fact in (cloned, never mutated),
+// calling visit with the fact as it stands before each node's effects,
+// and returns the per-successor out facts plus the block-final fact.
+func (a *funcAnal) transfer(b *ctrlflow.Block, in fact, visit func(ast.Node, fact)) ([]fact, fact) {
+	cur := in.clone()
+	var pending *guard
+	for _, n := range b.Nodes {
+		if visit != nil {
+			visit(n, cur)
+		}
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if g := a.guardedAcquire(as); g != nil {
+				pending = g
+			}
+		}
+		if be, ok := n.(*ast.BinaryExpr); ok && pending != nil && !pending.condSeen {
+			if edge, ok := analysis.ErrNilEdge(a.pass.TypesInfo, be, pending.errObj); ok {
+				pending.errEdge = edge
+				pending.condSeen = true
+			}
+		}
+		a.applyNode(n, cur)
+	}
+	outs := make([]fact, len(b.Succs))
+	for i := range outs {
+		outs[i] = cur.clone()
+	}
+	if pending != nil && pending.condSeen && len(outs) == 2 {
+		o := outs[pending.errEdge]
+		if bits := o[pending.key] &^ pending.bit; bits == 0 {
+			delete(o, pending.key)
+		} else {
+			o[pending.key] = bits
+		}
+	}
+	return outs, cur
+}
+
+// guardedAcquire recognizes `err := lk.Lock(ctx)` / `err = lk.RLock(ctx)`.
+func (a *funcAnal) guardedAcquire(as *ast.AssignStmt) *guard {
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	op, ok := a.lockOp(call)
+	if !ok || op.class != tableLock || (op.name != "Lock" && op.name != "RLock") {
+		return nil
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	info := a.pass.TypesInfo
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	bit := excl
+	if op.name == "RLock" {
+		bit = shared
+	}
+	return &guard{errObj: obj, key: op.key, bit: bit}
+}
+
+func (a *funcAnal) applyNode(n ast.Node, cur fact) {
+	ctrlflow.InspectNode(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if op, ok := a.lockOp(call); ok {
+				op.apply(cur)
+			}
+		}
+		return true
+	})
+}
+
+func (a *funcAnal) checkHeld(pos token.Pos, cur fact, suffix string) {
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		if !a.escaped[k] && !a.deferReleased[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a.pass.Reportf(pos, "%s %s", k, suffix)
+	}
+}
+
+func (a *funcAnal) checkDowngrade(n ast.Node, cur fact) {
+	ctrlflow.InspectNode(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := a.lockOp(call)
+		if !ok || op.name != "Downgrade" {
+			return true
+		}
+		if cur[op.key]&excl == 0 {
+			a.pass.Reportf(call.Pos(), "%s.Downgrade without holding the exclusive lock (Downgrade is only legal while write-locked)", op.key)
+		}
+		return true
+	})
+}
+
+func (a *funcAnal) checkBlocking(n ast.Node, cur fact) {
+	if a.comm[n] {
+		return // a select comm never blocks on its own; the select is the blocking point
+	}
+	var held []string
+	for k, bits := range cur {
+		if bits&excl != 0 && a.classes[k] != tableLock && !a.escaped[k] {
+			held = append(held, k)
+		}
+	}
+	if len(held) == 0 {
+		return
+	}
+	sort.Strings(held)
+	keys := strings.Join(held, ", ")
+	report := func(pos token.Pos, what string) {
+		a.pass.Reportf(pos, "%s while holding %s exclusively: release the mutex before a blocking operation", what, keys)
+	}
+	info := a.pass.TypesInfo
+	ctrlflow.InspectNode(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range m.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				report(m.Pos(), "select without default")
+			}
+		case *ast.SendStmt:
+			report(m.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				report(m.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if analysis.IsPkgFunc(info, m, "time", "Sleep") {
+				report(m.Pos(), "time.Sleep")
+			}
+			if _, recvType, name, ok := analysis.MethodCall(info, m); ok {
+				if name == "Wait" && analysis.IsNamedType(recvType, "sync", "WaitGroup") {
+					report(m.Pos(), "WaitGroup.Wait")
+				}
+				if (name == "Lock" || name == "RLock") && classify(recvType) == tableLock {
+					report(m.Pos(), "TableLock acquisition")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fixpoint runs a forward dataflow pass over the graph with the given
+// join. Unvisited blocks are bottom for union (nothing held yet) and top
+// for intersection (first visit copies the incoming fact), so the same
+// propagation loop serves both analyses.
+func (a *funcAnal) fixpoint(g *ctrlflow.Graph, merge func(fact, fact) (fact, bool)) []fact {
+	in := make([]fact, len(g.Blocks))
+	in[g.Entry.Index] = fact{}
+	work := []*ctrlflow.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		outs, _ := a.transfer(b, in[b.Index], nil)
+		for i, succ := range b.Succs {
+			if in[succ.Index] == nil {
+				in[succ.Index] = outs[i]
+				work = append(work, succ)
+			} else if merged, changed := merge(in[succ.Index], outs[i]); changed {
+				in[succ.Index] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), locksafe.Analyzer, "a")
+}

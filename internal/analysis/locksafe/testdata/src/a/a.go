@@ -1,0 +1,178 @@
+// Package a exercises the locksafe analyzer: leaked locks, bad
+// downgrades and blocking under an exclusive mutex are flagged; defers,
+// branch-complete releases, custody transfers and the unlock-before-
+// select broadcast idiom stay quiet.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"nodb/internal/format"
+)
+
+type store struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	lk     format.TableLock
+	data   map[string]int
+	ch     chan int
+	wg     sync.WaitGroup
+	unlock func()
+}
+
+// forgetUnlock returns early while still holding mu.
+func (s *store) forgetUnlock(key string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.data[key]
+	if !ok {
+		return 0, false // want `s.mu held at return`
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// deferred is the classic pattern: clean.
+func (s *store) deferred(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[key]
+}
+
+// branches release on every path: clean.
+func (s *store) branches(key string) int {
+	s.mu.Lock()
+	if v, ok := s.data[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// guarded acquisition, released before the success return: clean. The
+// error-path return does not hold the lock.
+func (s *store) guarded(ctx context.Context) error {
+	if err := s.lk.Lock(ctx); err != nil {
+		return err
+	}
+	s.data["x"] = 1
+	s.lk.Unlock()
+	return nil
+}
+
+// leakyGuard returns holding the table lock with no custody transfer.
+func (s *store) leakyGuard(ctx context.Context) error {
+	if err := s.lk.RLock(ctx); err != nil {
+		return err
+	}
+	_ = s.data["x"]
+	return nil // want `s.lk held at return`
+}
+
+// custody hands the held lock to Close via the stored release: exempt.
+func (s *store) custody(ctx context.Context) error {
+	if err := s.lk.RLock(ctx); err != nil {
+		return err
+	}
+	s.unlock = s.lk.RUnlock
+	return nil
+}
+
+// downgrade under a proven exclusive hold: clean.
+func (s *store) downgrade(ctx context.Context) error {
+	if err := s.lk.Lock(ctx); err != nil {
+		return err
+	}
+	s.data["x"] = 1
+	s.lk.Downgrade()
+	_ = s.data["x"]
+	s.lk.RUnlock()
+	return nil
+}
+
+// badDowngrade holds only the shared lock.
+func (s *store) badDowngrade(ctx context.Context) error {
+	if err := s.lk.RLock(ctx); err != nil {
+		return err
+	}
+	s.lk.Downgrade() // want `s.lk.Downgrade without holding the exclusive lock`
+	s.lk.RUnlock()
+	return nil
+}
+
+// blockingUnderMutex parks on channels and timers while holding mu.
+func (s *store) blockingUnderMutex(v int) {
+	s.mu.Lock()
+	s.ch <- v                    // want `channel send while holding s.mu exclusively`
+	<-s.ch                       // want `channel receive while holding s.mu exclusively`
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding s.mu exclusively`
+	s.wg.Wait()                  // want `WaitGroup.Wait while holding s.mu exclusively`
+	s.mu.Unlock()
+}
+
+// unlockBeforeSelect releases before parking: clean (the TableLock
+// broadcast idiom).
+func (s *store) unlockBeforeSelect(ctx context.Context) error {
+	s.mu.Lock()
+	ch := s.ch
+	s.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// selectUnderMutex parks while exclusive.
+func (s *store) selectUnderMutex(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while holding s.mu exclusively`
+	case v := <-s.ch:
+		s.data["x"] = v
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tableAcquireUnderMutex nests a blocking acquisition inside the mutex.
+func (s *store) tableAcquireUnderMutex(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.lk.RLock(ctx); err != nil { // want `TableLock acquisition while holding s.mu exclusively`
+		return err
+	}
+	s.lk.RUnlock()
+	return nil
+}
+
+// ioUnderTableLock: plain calls (file reads) under the table lock are
+// legitimate — recording scans do exactly this: clean.
+func (s *store) ioUnderTableLock(ctx context.Context) error {
+	if err := s.lk.Lock(ctx); err != nil {
+		return err
+	}
+	defer s.lk.Unlock()
+	s.data["x"] = readAll()
+	return nil
+}
+
+func readAll() int { return 1 }
+
+// rlockShared holds the RWMutex shared while sending: only exclusive
+// holds are checked, so this is clean.
+func (s *store) rlockShared(v int) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.ch <- v
+}
+
+// forgottenFall runs off the end of the function still holding mu.
+func (s *store) forgottenFall() {
+	s.mu.Lock()
+	s.data["x"] = 1 // want `s.mu held at function end`
+}

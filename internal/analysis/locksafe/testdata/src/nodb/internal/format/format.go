@@ -1,0 +1,24 @@
+// Package format stubs the engine's TableLock for the locksafe fixtures.
+package format
+
+import "context"
+
+// TableLock mirrors the engine's context-aware reader-writer lock.
+type TableLock struct {
+	state chan struct{}
+}
+
+// Lock acquires the exclusive lock.
+func (l *TableLock) Lock(ctx context.Context) error { return ctx.Err() }
+
+// RLock acquires a shared lock.
+func (l *TableLock) RLock(ctx context.Context) error { return ctx.Err() }
+
+// Unlock releases the exclusive lock.
+func (l *TableLock) Unlock() {}
+
+// RUnlock releases a shared lock.
+func (l *TableLock) RUnlock() {}
+
+// Downgrade converts an exclusive hold to a shared one.
+func (l *TableLock) Downgrade() {}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IsNamedType reports whether t (or the pointee, if t is a pointer) is
+// the named type pkgPath.name. pkgPath matches on the full import path or
+// any "/"-boundary suffix, so fixture stubs laid out under
+// testdata/src/nodb/... and the real module packages both match.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return PathMatches(obj.Pkg().Path(), pkgPath)
+}
+
+// PathMatches reports whether the import path have is path or ends with
+// "/"+path.
+func PathMatches(have, path string) bool {
+	return have == path || strings.HasSuffix(have, "/"+path)
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	return IsNamedType(t, "context", "Context")
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// MethodCall resolves call as a method call through info: it returns the
+// receiver expression, the receiver's type and the method name. ok is
+// false for plain function calls, conversions and method *values*.
+func MethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, recvType types.Type, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, "", false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return nil, nil, "", false
+	}
+	return sel.X, selection.Recv(), sel.Sel.Name, true
+}
+
+// CalleeFunc resolves the called function or method object, or nil.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. sync/atomic.AddInt64, time.Sleep).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := CalleeFunc(info, call)
+	return f != nil && f.Name() == name && f.Pkg() != nil &&
+		PathMatches(f.Pkg().Path(), pkgPath) && f.Type().(*types.Signature).Recv() == nil
+}
+
+// ExprString renders a canonical key for a lock/resource expression:
+// selector chains over identifiers ("s.lk.mu", "x"). Expressions that are
+// not stable selector chains (calls, index expressions) return "", and
+// callers must treat them as untrackable.
+func ExprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := ExprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return ExprString(e.X)
+		}
+	case *ast.StarExpr:
+		return ExprString(e.X)
+	}
+	return ""
+}
+
+// ErrNilEdge reports which CFG successor edge (0 = then, 1 = else/join)
+// is the error path of an `err != nil` / `err == nil` comparison on
+// errObj. ok is false when be is not that comparison.
+func ErrNilEdge(info *types.Info, be *ast.BinaryExpr, errObj types.Object) (edge int, ok bool) {
+	if be.Op != token.NEQ && be.Op != token.EQL {
+		return 0, false
+	}
+	matches := func(e ast.Expr) bool {
+		id, isIdent := ast.Unparen(e).(*ast.Ident)
+		return isIdent && info.Uses[id] == errObj
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, has := info.Types[e]
+		return has && tv.IsNil()
+	}
+	if !(matches(be.X) && isNil(be.Y)) && !(matches(be.Y) && isNil(be.X)) {
+		return 0, false
+	}
+	if be.Op == token.NEQ {
+		return 0, true // then-branch is the error path
+	}
+	return 1, true // err == nil: else/join is the error path
+}
+
+// HasDirective reports whether any comment in doc or line comments
+// attached via cg carries the exact directive (e.g. "//nodb:hotpath").
+func HasDirective(cgs []*ast.CommentGroup, directive string) bool {
+	for _, cg := range cgs {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if text == directive || strings.HasPrefix(text, directive+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,22 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks the tree rooted at root, calling fn with each node and
+// the stack of its ancestors (outermost first, not including n). fn
+// returning false prunes the subtree.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Pruned: Inspect sends no matching pop, so don't push.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

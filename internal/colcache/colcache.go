@@ -521,6 +521,8 @@ func (v View) Get(row int) (datum.Datum, bool) {
 // one contiguous run of string headers instead of probing two bitmaps per
 // row, which is what keeps the fused filter+project kernels reading these
 // vectors cheap.
+//
+//nodb:hotpath
 func (v View) GetBatch(start, n int, dst []datum.Datum) bool {
 	e := v.e
 	if e == nil || start < 0 {

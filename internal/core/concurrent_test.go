@@ -4,8 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +11,7 @@ import (
 
 	"nodb/internal/datum"
 	"nodb/internal/exec"
+	"nodb/internal/testutil"
 )
 
 // TestConcurrentColdSingleFlight drives N sessions at the same cold table:
@@ -266,8 +265,7 @@ func TestCancelMidScan(t *testing.T) {
 			cat := buildFixture(t, t.TempDir(), 20000)
 			e := openEngine(t, cat, Options{Mode: ModePMCache, Parallelism: workers})
 
-			baseGoroutines := runtime.NumGoroutine()
-			baseFDs := countFDs(t)
+			checkLeaks := testutil.CheckLeaks(t)
 
 			ctx, cancel := context.WithCancel(context.Background())
 			p, err := e.PrepareStmt("SELECT id FROM wide")
@@ -307,12 +305,7 @@ func TestCancelMidScan(t *testing.T) {
 				t.Errorf("post-cancel count = %v", res.Rows[0][0])
 			}
 
-			waitFor(t, "goroutines to drain", func() bool {
-				return runtime.NumGoroutine() <= baseGoroutines+2
-			})
-			waitFor(t, "file descriptors to close", func() bool {
-				return countFDs(t) <= baseFDs
-			})
+			checkLeaks()
 		})
 	}
 }
@@ -432,28 +425,6 @@ func TestLimitPushdownStopsParallelScan(t *testing.T) {
 	if m.TuplesParsed >= 20000 {
 		t.Errorf("TuplesParsed = %d for LIMIT 3; the partitioned scan should stop early", m.TuplesParsed)
 	}
-}
-
-// countFDs counts open file descriptors of the test process (Linux).
-func countFDs(t *testing.T) int {
-	t.Helper()
-	ents, err := os.ReadDir("/proc/self/fd")
-	if err != nil {
-		t.Skip("no /proc/self/fd on this platform")
-	}
-	return len(ents)
-}
-
-// waitFor polls cond for up to ~2s.
-func waitFor(t *testing.T, what string, cond func() bool) {
-	t.Helper()
-	for i := 0; i < 200; i++ {
-		if cond() {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Errorf("timed out waiting for %s", what)
 }
 
 // TestStatementCacheEviction exercises the LRU bound.

@@ -7,7 +7,6 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -15,6 +14,7 @@ import (
 	"nodb/internal/datum"
 	"nodb/internal/fits"
 	"nodb/internal/schema"
+	"nodb/internal/testutil"
 )
 
 // formatFixture writes the same logical table — obs(id int, mag float,
@@ -230,8 +230,7 @@ func TestCancelMidFITSScan(t *testing.T) {
 			if _, err := e.Table("obs_fits"); err != nil {
 				t.Fatal(err)
 			}
-			baseGoroutines := runtime.NumGoroutine()
-			baseFDs := countFDs(t)
+			checkLeaks := testutil.CheckLeaks(t)
 
 			ctx, cancel := context.WithCancel(context.Background())
 			p, err := e.PrepareStmt("SELECT id, mag FROM obs_fits")
@@ -270,12 +269,61 @@ func TestCancelMidFITSScan(t *testing.T) {
 				t.Errorf("post-cancel count = %v", res.Rows[0][0])
 			}
 
-			waitFor(t, "goroutines to drain", func() bool {
-				return runtime.NumGoroutine() <= baseGoroutines+2
-			})
-			waitFor(t, "file descriptors to close", func() bool {
-				return countFDs(t) <= baseFDs
-			})
+			checkLeaks()
+		})
+	}
+}
+
+// TestCancelMidJSONLScan is the JSON-Lines twin of TestCancelMidFITSScan:
+// cancelling a cold scan mid-flight (sequential and partitioned) must
+// surface the context error, release the table, and leave no goroutines
+// or file descriptors behind.
+func TestCancelMidJSONLScan(t *testing.T) {
+	for _, workers := range []int{1, 0} {
+		t.Run(fmt.Sprintf("parallelism=%d", workers), func(t *testing.T) {
+			cat := formatFixture(t, t.TempDir(), 30000)
+			e := openEngine(t, cat, Options{Mode: ModePMCache, Parallelism: workers})
+
+			checkLeaks := testutil.CheckLeaks(t)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			p, err := e.PrepareStmt("SELECT id, mag FROM obs_jsonl")
+			if err != nil {
+				t.Fatal(err)
+			}
+			op, _, err := p.Plan(ctx, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := op.Open(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := op.Next(); err != nil {
+				t.Fatal(err)
+			}
+			cancel()
+			var lastErr error
+			for i := 0; i < 200000; i++ {
+				if _, lastErr = op.Next(); lastErr != nil {
+					break
+				}
+			}
+			if !errors.Is(lastErr, context.Canceled) {
+				t.Errorf("iteration error = %v, want context.Canceled", lastErr)
+			}
+			if err := op.Close(); err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("close: %v", err)
+			}
+
+			res, err := e.QueryContext(context.Background(), "SELECT count(*) FROM obs_jsonl", nil, nil)
+			if err != nil {
+				t.Fatalf("post-cancel query: %v", err)
+			}
+			if res.Rows[0][0].Int() != 30000 {
+				t.Errorf("post-cancel count = %v", res.Rows[0][0])
+			}
+
+			checkLeaks()
 		})
 	}
 }

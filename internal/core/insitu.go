@@ -414,6 +414,7 @@ func (s *inSituScan) prefixPos(line []byte, col int) (uint32, bool) {
 			s.pmCursors[0].Record(s.row, 0)
 		}
 	}
+	//nodblint:ignore ctxloop bounded by the tuple's attribute count, not row iteration
 	for len(s.tupPos) <= col && !s.tupShort {
 		last := s.tupPos[len(s.tupPos)-1]
 		np, ok := scan.SkipForward(line, last, 1, delim)

@@ -40,6 +40,8 @@ func putVec(vp *[]datum.Datum) {
 // (ColRef ordinals index it), n the batch height; sel, when non-nil, lists
 // the live positions in ascending order (dead positions of out are left
 // untouched). out must have length >= n.
+//
+//nodb:hotpath
 func EvalBatch(e Expr, cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
 	switch node := e.(type) {
 	case *Kernel:
@@ -346,6 +348,8 @@ func cmpMatches(op Op, c int) bool {
 // appended to buf (pass buf[:0] to reuse capacity) and returned in
 // ascending order. Narrowing in place — FilterBatch(e, cols, n, s, s[:0])
 // — is safe because survivors are a subsequence of the input.
+//
+//nodb:hotpath
 func FilterBatch(e Expr, cols [][]datum.Datum, n int, sel []int, buf []int) ([]int, error) {
 	switch node := e.(type) {
 	case *Kernel:

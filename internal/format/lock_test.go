@@ -1,0 +1,196 @@
+package format
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// blocked asserts ch does not fire within a short grace period — i.e. the
+// acquisition it signals is still queued.
+func blocked(t *testing.T, what string, ch <-chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+		t.Fatalf("%s acquired the lock but should be blocked", what)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// fired asserts ch fires promptly.
+func fired(t *testing.T, what string, ch <-chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("%s did not acquire the lock", what)
+	}
+}
+
+// TestDowngradeAdmitsReaders: converting an exclusive hold to shared lets
+// queued readers in immediately, while writers stay out until every
+// shared holder — including the downgraded one — releases.
+func TestDowngradeAdmitsReaders(t *testing.T) {
+	lk := NewTableLock()
+	if err := lk.Lock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	rAcq := make(chan struct{})
+	rRelease := make(chan struct{})
+	rDone := make(chan struct{})
+	go func() {
+		defer close(rDone)
+		if err := lk.RLock(context.Background()); err != nil {
+			t.Error(err)
+			return
+		}
+		close(rAcq)
+		<-rRelease
+		lk.RUnlock()
+	}()
+
+	blocked(t, "reader under exclusive hold", rAcq)
+	lk.Downgrade()
+	fired(t, "reader after Downgrade", rAcq)
+
+	// A writer now queues behind two shared holders.
+	wAcq := make(chan struct{})
+	go func() {
+		if err := lk.Lock(context.Background()); err != nil {
+			t.Error(err)
+			return
+		}
+		close(wAcq)
+		lk.Unlock()
+	}()
+
+	blocked(t, "writer behind two readers", wAcq)
+	close(rRelease)
+	<-rDone
+	blocked(t, "writer behind the downgraded holder", wAcq)
+	lk.RUnlock() // the downgraded hold releases last
+	fired(t, "writer after all shared holds released", wAcq)
+}
+
+// TestDowngradeReleaseOrdering: with a writer already queued, Downgrade
+// must not admit new readers past it (writer preference), and the queued
+// writer runs as soon as the downgraded holder releases — before the
+// reader that arrived after it.
+func TestDowngradeReleaseOrdering(t *testing.T) {
+	lk := NewTableLock()
+	if err := lk.Lock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan string, 2)
+	wAcq := make(chan struct{})
+	go func() {
+		if err := lk.Lock(context.Background()); err != nil {
+			t.Error(err)
+			return
+		}
+		close(wAcq)
+		order <- "writer"
+		lk.Unlock()
+	}()
+	blocked(t, "queued writer", wAcq) // also gives the writer time to queue
+
+	rAcq := make(chan struct{})
+	go func() {
+		if err := lk.RLock(context.Background()); err != nil {
+			t.Error(err)
+			return
+		}
+		close(rAcq)
+		order <- "reader"
+		lk.RUnlock()
+	}()
+	blocked(t, "queued reader", rAcq)
+
+	lk.Downgrade()
+	blocked(t, "writer during downgraded hold", wAcq)
+	blocked(t, "reader held back by the queued writer", rAcq)
+
+	lk.RUnlock()
+	fired(t, "writer after downgraded hold released", wAcq)
+	fired(t, "reader after writer finished", rAcq)
+	if first, second := <-order, <-order; first != "writer" || second != "reader" {
+		t.Errorf("acquisition order = %s, %s; want writer, reader", first, second)
+	}
+}
+
+// TestCancelQueuedWriterUnblocksReaders: writer preference holds new
+// readers back while a writer waits — but a cancelled waiting writer must
+// get out of the way, re-admitting the readers it was blocking.
+func TestCancelQueuedWriterUnblocksReaders(t *testing.T) {
+	lk := NewTableLock()
+	if err := lk.RLock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	wErr := make(chan error, 1)
+	go func() { wErr <- lk.Lock(wctx) }()
+	time.Sleep(20 * time.Millisecond) // let the writer queue (waitW > 0)
+
+	rAcq := make(chan struct{})
+	go func() {
+		if err := lk.RLock(context.Background()); err != nil {
+			t.Error(err)
+			return
+		}
+		close(rAcq)
+		lk.RUnlock()
+	}()
+	blocked(t, "reader behind a queued writer", rAcq)
+
+	wcancel()
+	select {
+	case err := <-wErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled writer returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled writer did not return")
+	}
+	fired(t, "reader after the queued writer gave up", rAcq)
+
+	// The lock stays fully usable: release the reader, take it exclusively.
+	lk.RUnlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := lk.Lock(ctx); err != nil {
+		t.Fatalf("exclusive acquire after cancellation churn: %v", err)
+	}
+	lk.Unlock()
+}
+
+// TestCancelQueuedReader: a reader waiting out a writer hold aborts with
+// its context error and leaves the lock state untouched.
+func TestCancelQueuedReader(t *testing.T) {
+	lk := NewTableLock()
+	if err := lk.Lock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rctx, rcancel := context.WithCancel(context.Background())
+	rErr := make(chan error, 1)
+	go func() { rErr <- lk.RLock(rctx) }()
+	time.Sleep(20 * time.Millisecond)
+	rcancel()
+	select {
+	case err := <-rErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled reader returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled reader did not return")
+	}
+	lk.Unlock()
+	if err := lk.RLock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	lk.RUnlock()
+}

@@ -1,0 +1,98 @@
+package jsonl
+
+import (
+	"encoding/json"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseJSONString throws arbitrary bytes at the string decoder. On
+// success the reported end must sit just past a closing quote inside the
+// buffer, and the decoded value must agree with encoding/json whenever
+// the stdlib accepts the same bytes (it is stricter about control
+// characters, and replaces invalid UTF-8, so the check is gated on both).
+func FuzzParseJSONString(f *testing.F) {
+	f.Add([]byte(`"hello"`))
+	f.Add([]byte(`"say \"hi\" twice"`))
+	f.Add([]byte(`"tab\there"`))
+	f.Add([]byte(`"é😀"`))
+	f.Add([]byte(`"unterminated`))
+	f.Add([]byte(`"\ud800 lone surrogate"`))
+	f.Add([]byte(`not a string`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var scratch []byte
+		got, next, err := parseJSONString(b, 0, &scratch)
+		if err != nil {
+			return
+		}
+		if next < 2 || next > len(b) || b[next-1] != '"' {
+			t.Fatalf("parseJSONString end = %d in %d bytes (last byte %q)", next, len(b), b[next-1])
+		}
+		if !utf8.Valid(got) {
+			return // raw invalid UTF-8 is passed through; stdlib would replace it
+		}
+		var want string
+		if json.Unmarshal(b[:next], &want) == nil && string(got) != want {
+			t.Fatalf("parseJSONString = %q, encoding/json = %q for %q", got, want, b[:next])
+		}
+	})
+}
+
+// FuzzSkipJSONValue checks the structural skipper never panics, never
+// reports an end outside the buffer, and always makes progress.
+func FuzzSkipJSONValue(f *testing.F) {
+	f.Add([]byte(`{"a": [1, 2, {"b": "]"}]}`))
+	f.Add([]byte(`"quoted ] brace"`))
+	f.Add([]byte(`12345, "next"`))
+	f.Add([]byte(`[[[[`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		end, err := skipJSONValue(b, 0)
+		if err != nil {
+			return
+		}
+		if end <= 0 || end > len(b) {
+			t.Fatalf("skipJSONValue end = %d in %d bytes", end, len(b))
+		}
+	})
+}
+
+// FuzzObjectWalk replays the tokenizeLine key/value loop over arbitrary
+// bytes: every round must strictly advance the cursor, which is the
+// termination argument for the scanner's unbounded per-line walk.
+func FuzzObjectWalk(f *testing.F) {
+	f.Add([]byte(`{"id": 7, "name": "x", "tags": ["a", "b"], "meta": {"k": null}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"dangling": `))
+	f.Add([]byte(`{"a":1,"a":2,"a":3}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		if len(line) == 0 || line[0] != '{' {
+			return
+		}
+		var scratch []byte
+		i := skipWS(line, 1)
+		for i < len(line) && line[i] != '}' {
+			prev := i
+			_, next, err := parseJSONString(line, i, &scratch)
+			if err != nil {
+				return
+			}
+			i = skipWS(line, next)
+			if i >= len(line) || line[i] != ':' {
+				return
+			}
+			i = skipWS(line, i+1)
+			end, err := skipJSONValue(line, i)
+			if err != nil {
+				return
+			}
+			i = skipWS(line, end)
+			if i <= prev {
+				t.Fatalf("walk did not advance: %d -> %d in %q", prev, i, line)
+			}
+			if i < len(line) && line[i] == ',' {
+				i = skipWS(line, i+1)
+			}
+		}
+	})
+}

@@ -374,6 +374,7 @@ func (s *jsonlScan) tokenizeLine(line []byte) error {
 	if i < len(line) && line[i] == '}' {
 		return nil // empty object: every field is absent
 	}
+	//nodblint:ignore ctxloop bounded by the keys of one line's object, not row iteration
 	for {
 		key, next, err := parseJSONString(line, i, &s.strBuf)
 		if err != nil {

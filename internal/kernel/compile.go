@@ -64,9 +64,13 @@ func analyzeEval(e expr.Expr, st *cstate) bool   { _, ok := compileEval(e, st); 
 
 // rawFilter is a compiled predicate body: preconditions (column layout)
 // have already been checked, so it only appends survivors.
+//
+//nodb:hotpath
 type rawFilter func(cols [][]datum.Datum, n int, sel []int, buf []int) []int
 
 // rawEval is a compiled projection body under the same contract.
+//
+//nodb:hotpath
 type rawEval func(cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error
 
 // prepFilter specializes a compiled predicate for one execution's literals.

@@ -301,12 +301,11 @@ func compileArithColCol(op expr.Op, li, ri int) prepEval {
 	return func([]datum.Datum) rawEval {
 		return func(cols [][]datum.Datum, n int, sel []int, out []datum.Datum) error {
 			lc, rc := cols[li], cols[ri]
-			var ferr error
-			each(n, sel, func(i int) bool {
+			return eachErr(n, sel, func(i int) error {
 				l, r := lc[i], rc[i]
 				if l.Null() || r.Null() {
 					out[i] = datum.NewNull(arithNullType(l, r))
-					return true
+					return nil
 				}
 				if l.T == datum.Int && r.T == datum.Int && op != expr.Div {
 					switch op {
@@ -317,7 +316,7 @@ func compileArithColCol(op expr.Op, li, ri int) prepEval {
 					case expr.Mul:
 						out[i] = datum.NewInt(l.Int() * r.Int())
 					}
-					return true
+					return nil
 				}
 				if l.T == datum.Float && r.T == datum.Float && op != expr.Div {
 					switch op {
@@ -328,19 +327,37 @@ func compileArithColCol(op expr.Op, li, ri int) prepEval {
 					case expr.Mul:
 						out[i] = datum.NewFloat(l.Float() * r.Float())
 					}
-					return true
+					return nil
 				}
 				v, err := expr.Arith(op, l, r)
 				if err != nil {
-					ferr = err
-					return false
+					return err
 				}
 				out[i] = v
-				return true
+				return nil
 			})
-			return ferr
 		}
 	}
+}
+
+// eachErr visits every live position until fn returns an error. Unlike an
+// error latch captured by the callback, the error travels through return
+// values, so the closure keeps every captured variable read-only.
+func eachErr(n int, sel []int, fn func(i int) error) error {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, i := range sel {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // each visits every live position until fn returns false.

@@ -50,10 +50,14 @@ const DefaultCacheSize = 256
 // ascending order. ok=false means the batch does not have the layout the
 // kernel was compiled for (a column out of range or unfilled) and the
 // caller must fall back to the interpreted tree.
+//
+//nodb:hotpath
 type filterFn func(cols [][]datum.Datum, n int, sel []int, buf []int) ([]int, bool)
 
 // evalFn writes the expression's value for every live position into out.
 // ok=false requests interpreted fallback, exactly like filterFn.
+//
+//nodb:hotpath
 type evalFn func(cols [][]datum.Datum, n int, sel []int, out []datum.Datum) (ok bool, err error)
 
 // program is one compiled shape: the literal-independent closures plus the

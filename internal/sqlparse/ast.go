@@ -47,12 +47,14 @@ func (n *FloatLit) String() string { return fmt.Sprintf("%g", n.V) }
 // StringLit is a quoted string literal.
 type StringLit struct{ V string }
 
-func (n *StringLit) String() string { return "'" + n.V + "'" }
+func (n *StringLit) String() string {
+	return "'" + strings.ReplaceAll(n.V, "'", "''") + "'"
+}
 
 // DateLit is a date 'YYYY-MM-DD' literal.
 type DateLit struct{ V string }
 
-func (n *DateLit) String() string { return "date '" + n.V + "'" }
+func (n *DateLit) String() string { return "date " + (&StringLit{V: n.V}).String() }
 
 // IntervalLit is an interval literal normalized to days.
 type IntervalLit struct{ Days int64 }
@@ -137,7 +139,7 @@ func (n *Like) String() string {
 	if n.Negate {
 		op = "NOT LIKE"
 	}
-	return fmt.Sprintf("(%s %s '%s')", n.E, op, n.Pattern)
+	return fmt.Sprintf("(%s %s %s)", n.E, op, (&StringLit{V: n.Pattern}).String())
 }
 
 // IsNull is expr IS [NOT] NULL.

@@ -1,0 +1,52 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// FuzzParseStatement feeds arbitrary SQL text to the parser. Anything
+// accepted must print (String) back to a statement the parser accepts
+// again — the printer and the grammar must stay inverses of each other,
+// since tests and error messages round-trip through String.
+func FuzzParseStatement(f *testing.F) {
+	f.Add("select a, b from t where a < 10")
+	f.Add("SELECT count(*) FROM lineitem WHERE l_shipdate >= date '1994-01-01' AND l_shipdate < date '1994-01-01' + interval '365' day")
+	f.Add("select case when a > 0 then 'pos' else 'neg' end from t order by 1 desc limit 5")
+	f.Add("select * from t where a in (1, 2, 3) and b like 'x%' and c is not null")
+	f.Add("insert into t (a, b) values (1, 'two'), (3, 'four')")
+	f.Add("select a from t where b = ? and c = $2")
+	f.Add("select 'it''s quoted' from t")
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := ParseStatement(sql)
+		if err != nil {
+			return
+		}
+		printed := stmt.String()
+		if _, err := ParseStatement(printed); err != nil {
+			t.Fatalf("accepted %q but rejected its own printing %q: %v", sql, printed, err)
+		}
+	})
+}
+
+// FuzzNormalize checks the prepared-statement cache key is stable:
+// normalizing is idempotent, and a statement never normalizes to
+// something the lexer rejects.
+func FuzzNormalize(f *testing.F) {
+	f.Add("SeLeCt  A ,b  FROM t")
+	f.Add("select 'a''b' from t")
+	f.Add("select a from t where b >= 1.5e3")
+	f.Add("-- nothing but whitespace\n\t ")
+	f.Fuzz(func(t *testing.T, sql string) {
+		norm, err := Normalize(sql)
+		if err != nil {
+			return
+		}
+		again, err := Normalize(norm)
+		if err != nil {
+			t.Fatalf("Normalize(%q) = %q, which Normalize rejects: %v", sql, norm, err)
+		}
+		if again != norm {
+			t.Fatalf("Normalize not idempotent: %q -> %q -> %q", sql, norm, again)
+		}
+	})
+}

@@ -167,8 +167,13 @@ func TestOrderByLimitDesc(t *testing.T) {
 
 func TestStringEscapes(t *testing.T) {
 	sel := mustParse(t, "SELECT a FROM t WHERE s = 'it''s'")
-	if !strings.Contains(sel.Where.String(), "it's") {
-		t.Errorf("escaped quote: %s", sel.Where)
+	lit, ok := sel.Where.(*Binary).R.(*StringLit)
+	if !ok || lit.V != "it's" {
+		t.Fatalf("escaped quote not decoded: %s", sel.Where)
+	}
+	// Printing must re-escape so the output parses back.
+	if !strings.Contains(sel.Where.String(), "'it''s'") {
+		t.Errorf("escaped quote not re-escaped in printing: %s", sel.Where)
 	}
 }
 

@@ -1,0 +1,53 @@
+// Package testutil holds test helpers shared across packages: resource
+// accounting (file descriptors, goroutines) and polling, used by the
+// cancellation and leak tests.
+package testutil
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CountFDs counts open file descriptors of the test process (Linux).
+// On platforms without /proc it skips the calling test.
+func CountFDs(tb testing.TB) int {
+	tb.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		tb.Skip("no /proc/self/fd on this platform")
+	}
+	return len(ents)
+}
+
+// WaitFor polls cond every 10ms for up to ~2s and fails the test if it
+// never holds.
+func WaitFor(tb testing.TB, what string, cond func() bool) {
+	tb.Helper()
+	for i := 0; i < 200; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	tb.Errorf("timed out waiting for %s", what)
+}
+
+// CheckLeaks snapshots goroutine and file-descriptor counts; the
+// returned func waits for both to drain back to the snapshot (with a
+// small goroutine allowance for the runtime's own background work).
+// Use as: defer testutil.CheckLeaks(t)().
+func CheckLeaks(tb testing.TB) func() {
+	tb.Helper()
+	baseGoroutines := runtime.NumGoroutine()
+	baseFDs := CountFDs(tb)
+	return func() {
+		WaitFor(tb, "goroutines to drain", func() bool {
+			return runtime.NumGoroutine() <= baseGoroutines+2
+		})
+		WaitFor(tb, "file descriptors to close", func() bool {
+			return CountFDs(tb) <= baseFDs
+		})
+	}
+}
