@@ -1,8 +1,9 @@
 // Command nodblint machine-checks the engine's concurrency and hot-path
 // invariants: lock release on all paths (locksafe), cancellable scan
 // loops (ctxloop), allocation-free //nodb:hotpath bodies (hotalloc),
-// resources closed on error returns (closeerr) and atomics never mixed
-// with plain access (atomiccounter).
+// resources closed on error returns (closeerr), atomics never mixed
+// with plain access (atomiccounter) and error causes wrapped with %w
+// rather than formatted away (faulterr).
 //
 // Two modes share the same analyzers and diagnostics:
 //
@@ -34,6 +35,7 @@ import (
 	"nodb/internal/analysis/atomiccounter"
 	"nodb/internal/analysis/closeerr"
 	"nodb/internal/analysis/ctxloop"
+	"nodb/internal/analysis/faulterr"
 	"nodb/internal/analysis/hotalloc"
 	"nodb/internal/analysis/loader"
 	"nodb/internal/analysis/locksafe"
@@ -43,6 +45,7 @@ var analyzers = []*analysis.Analyzer{
 	atomiccounter.Analyzer,
 	closeerr.Analyzer,
 	ctxloop.Analyzer,
+	faulterr.Analyzer,
 	hotalloc.Analyzer,
 	locksafe.Analyzer,
 }

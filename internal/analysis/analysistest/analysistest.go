@@ -112,11 +112,11 @@ func collectExpectations(pkg *loader.Package) ([]*expectation, error) {
 					}
 					lit, err := strconv.Unquote(q)
 					if err != nil {
-						return nil, fmt.Errorf("%s: %v", pos, err)
+						return nil, fmt.Errorf("%s: %w", pos, err)
 					}
 					re, err := regexp.Compile(lit)
 					if err != nil {
-						return nil, fmt.Errorf("%s: bad want regexp: %v", pos, err)
+						return nil, fmt.Errorf("%s: bad want regexp: %w", pos, err)
 					}
 					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
 					rest = strings.TrimSpace(rest[len(q):])

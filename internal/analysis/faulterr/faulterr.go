@@ -1,0 +1,152 @@
+// Package faulterr machine-checks the engine's fault-path error
+// discipline: when fmt.Errorf annotates an error cause, the cause must
+// be wrapped with %w — never stringified with %v/%s or flattened via
+// err.Error() — so the typed sentinels threaded through the adapters
+// (format.ErrFileChanged, ErrFileVanished, ErrCorruptAux,
+// ErrRetriesExhausted, iofault.ErrInjected) survive to errors.Is/As at
+// the retry layer and the public API.
+//
+// Two shapes are flagged:
+//
+//	fmt.Errorf("reading %s: %v", path, err)   // cause demoted to text
+//	fmt.Errorf("reading: %s", err.Error())    // chain cut explicitly
+//
+// The check maps format verbs to arguments positionally, so mixed calls
+// are judged per-argument: %w wraps, %T is diagnostic (reports only the
+// dynamic type, a deliberate choice), and any other verb on an
+// error-typed argument discards the chain. Calls with a non-constant
+// format string, explicit argument indexes (%[n]) or a ... spread are
+// not analyzable and stay quiet. Deliberate exceptions are suppressed
+// with //nodblint:ignore faulterr <reason>.
+package faulterr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"nodb/internal/analysis"
+)
+
+// Analyzer is the faulterr check.
+var Analyzer = &analysis.Analyzer{
+	Name: "faulterr",
+	Doc:  "checks that fmt.Errorf wraps error causes with %w instead of formatting them away",
+	Run:  run,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !analysis.IsPkgFunc(info, call, "fmt", "Errorf") {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if len(call.Args) == 0 {
+		return
+	}
+	// An Error() call flattens the cause to a string before formatting
+	// ever sees it; catch it regardless of verb or format constancy.
+	for _, arg := range call.Args[1:] {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if _, recvType, name, ok := analysis.MethodCall(info, inner); ok &&
+			name == "Error" && implementsError(recvType) {
+			pass.Reportf(arg.Pos(),
+				"error flattened with Error() before formatting: pass the error itself and wrap with %%w")
+		}
+	}
+	if call.Ellipsis.IsValid() || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(info, call.Args[0])
+	if !ok || strings.Contains(format, "%[") {
+		return
+	}
+	verbs, ok := parseVerbs(format)
+	if !ok {
+		return
+	}
+	args := call.Args[1:]
+	for i, v := range verbs {
+		if i >= len(args) {
+			break // malformed call; vet's printf check owns that
+		}
+		if v == 'w' || v == 'T' {
+			continue
+		}
+		if isErrorValue(info, args[i]) {
+			pass.Reportf(args[i].Pos(),
+				"error value formatted with %%%c, not wrapped: use %%w so errors.Is/As still see the cause", v)
+		}
+	}
+}
+
+// parseVerbs returns the verb letter for each argument-consuming
+// conversion in format, in argument order; a starred width or precision
+// contributes a placeholder '*' entry for the int it consumes. ok is
+// false when the format ends mid-conversion.
+func parseVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	conv:
+		for i < len(format) {
+			switch c := format[i]; {
+			case c == '%':
+				break conv // %% literal, consumes nothing
+			case c == '*':
+				verbs = append(verbs, '*')
+				i++
+			case c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' || (c >= '0' && c <= '9'):
+				i++
+			default:
+				verbs = append(verbs, c)
+				break conv
+			}
+		}
+		if i >= len(format) {
+			return nil, false
+		}
+	}
+	return verbs, true
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isErrorValue reports whether e's static type implements error and e is
+// not the nil literal.
+func isErrorValue(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	return implementsError(tv.Type)
+}
+
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

@@ -1,0 +1,12 @@
+package faulterr_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/faulterr"
+)
+
+func TestFaultErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), faulterr.Analyzer, "a")
+}

@@ -1,0 +1,110 @@
+// Package a exercises the faulterr analyzer: error causes formatted
+// with %v/%s or flattened with Error() are flagged; %w wrapping, %T
+// diagnostics, non-error arguments and unanalyzable calls stay quiet.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func cause() error { return errSentinel }
+
+// pathError is a concrete error type, mirroring *fs.PathError.
+type pathError struct{ Path string }
+
+func (e *pathError) Error() string { return "path error: " + e.Path }
+
+// stringified demotes the cause to text: errors.Is can no longer see it.
+func stringified(path string) error {
+	if err := cause(); err != nil {
+		return fmt.Errorf("scan %s: %v", path, err) // want `error value formatted with %v, not wrapped`
+	}
+	return nil
+}
+
+// viaS is the same leak through %s.
+func viaS() error {
+	if err := cause(); err != nil {
+		return fmt.Errorf("read: %s", err) // want `error value formatted with %s, not wrapped`
+	}
+	return nil
+}
+
+// concrete errors leak the same way as the error interface.
+func concrete(pe *pathError) error {
+	return fmt.Errorf("open: %v", pe) // want `error value formatted with %v, not wrapped`
+}
+
+// flattened cuts the chain before formatting even sees an error.
+func flattened() error {
+	if err := cause(); err != nil {
+		return fmt.Errorf("read: %s", err.Error()) // want `error flattened with Error\(\) before formatting`
+	}
+	return nil
+}
+
+// mixed is judged per argument: the %w is fine, the %v is not.
+func mixed(aux error) error {
+	if err := cause(); err != nil {
+		return fmt.Errorf("aux %v while reading: %w", aux, err) // want `error value formatted with %v, not wrapped`
+	}
+	return nil
+}
+
+// wrapped is the required shape: clean.
+func wrapped(path string) error {
+	if err := cause(); err != nil {
+		return fmt.Errorf("scan %s: %w", path, err)
+	}
+	return nil
+}
+
+// doubleWrap chains two causes, both wrapped: clean.
+func doubleWrap(aux error) error {
+	if err := cause(); err != nil {
+		return fmt.Errorf("aux state invalid: %w: %w", aux, err)
+	}
+	return nil
+}
+
+// typeOnly reports the dynamic type for diagnostics; %T is deliberate
+// and clean.
+func typeOnly() error {
+	if err := cause(); err != nil {
+		return fmt.Errorf("unexpected error type %T", err)
+	}
+	return nil
+}
+
+// noErrors formats ordinary values: clean.
+func noErrors(n int, name string) error {
+	return fmt.Errorf("row %d of %s: %3.1f%% done", n, name, 50.0)
+}
+
+// starWidth consumes an argument for the width; the error still maps to
+// its own verb and the %w keeps it clean.
+func starWidth(w int) error {
+	if err := cause(); err != nil {
+		return fmt.Errorf("at col %*d: %w", w, 7, err)
+	}
+	return nil
+}
+
+// dynamicFormat is not analyzable (non-constant format): quiet.
+func dynamicFormat(format string) error {
+	if err := cause(); err != nil {
+		return fmt.Errorf(format, err)
+	}
+	return nil
+}
+
+// indexed uses explicit argument indexes: not analyzable, quiet.
+func indexed() error {
+	if err := cause(); err != nil {
+		return fmt.Errorf("%[1]v", err)
+	}
+	return nil
+}

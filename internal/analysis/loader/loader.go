@@ -68,7 +68,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, fmt.Errorf("loader: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 
 	exports := make(map[string]string)
@@ -79,7 +79,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err := dec.Decode(&e); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
 		}
 		if e.Export != "" {
 			exports[e.ImportPath] = e.Export
@@ -111,7 +111,7 @@ func typecheck(t listEntry, exports map[string]string) (*Package, error) {
 	for _, name := range t.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("loader: %v", err)
+			return nil, fmt.Errorf("loader: %w", err)
 		}
 		files = append(files, f)
 	}
@@ -129,7 +129,7 @@ func typecheck(t listEntry, exports map[string]string) (*Package, error) {
 	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
 	pkg, err := conf.Check(t.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("loader: typechecking %s: %v", t.ImportPath, err)
+		return nil, fmt.Errorf("loader: typechecking %s: %w", t.ImportPath, err)
 	}
 	return &Package{Path: t.ImportPath, Dir: t.Dir, Fset: fset, Files: files, Types: pkg, Info: info}, nil
 }
@@ -156,7 +156,7 @@ func CheckFiles(path string, fset *token.FileSet, files []*ast.File, goVersion s
 	}
 	pkg, err := conf.Check(path, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("loader: typechecking %s: %v", path, err)
+		return nil, fmt.Errorf("loader: typechecking %s: %w", path, err)
 	}
 	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, nil
 }
@@ -188,7 +188,7 @@ func stdExportMap() (map[string]string, error) {
 		cmd.Stderr = &stderr
 		out, err := cmd.Output()
 		if err != nil {
-			stdExports.err = fmt.Errorf("loader: go list std: %v\n%s", err, stderr.String())
+			stdExports.err = fmt.Errorf("loader: go list std: %w\n%s", err, stderr.String())
 			return
 		}
 		m := make(map[string]string)
@@ -258,7 +258,7 @@ func (l *FixtureLoader) Load(p string) (*Package, error) {
 	dir := filepath.Join(l.srcRoot, filepath.FromSlash(p))
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("loader: fixture %q: %v", p, err)
+		return nil, fmt.Errorf("loader: fixture %q: %w", p, err)
 	}
 	var files []*ast.File
 	for _, ent := range ents {
@@ -278,7 +278,7 @@ func (l *FixtureLoader) Load(p string) (*Package, error) {
 	conf := types.Config{Importer: (*fixtureImporter)(l)}
 	tpkg, err := conf.Check(p, l.fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("loader: typechecking fixture %s: %v", p, err)
+		return nil, fmt.Errorf("loader: typechecking fixture %s: %w", p, err)
 	}
 	pkg := &Package{Path: p, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[p] = pkg

@@ -45,6 +45,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"nodb/internal/datum"
 	"nodb/internal/exec"
@@ -146,6 +147,17 @@ type Options struct {
 	// shape — literals replaced by slots — so statements differing only in
 	// their constants share one compilation.
 	KernelCacheSize int
+	// ScanRetries bounds how many additional cold attempts a scan makes
+	// after a retryable raw-file fault — the file changed or vanished
+	// underneath the adaptive structures, or a read failed (0 = default of
+	// 2, negative = no retries). Recovery invalidates the table's auxiliary
+	// state and rebuilds from the current bytes; when the budget runs out
+	// the query fails with a typed error (ErrRetriesExhausted), never wrong
+	// rows.
+	ScanRetries int
+	// RetryBackoff is the context-aware pause between scan retry attempts
+	// (0 = 5ms).
+	RetryBackoff time.Duration
 }
 
 // env derives the format-adapter environment from the engine options: the
@@ -161,6 +173,8 @@ func (o Options) env() format.Env {
 		ScanChunkSize: o.ScanChunkSize,
 		Parallelism:   o.Parallelism,
 		BatchSize:     o.BatchSize,
+		ScanRetries:   o.ScanRetries,
+		RetryBackoff:  o.RetryBackoff,
 	}
 	switch o.Mode {
 	case ModePMCache:
@@ -492,7 +506,7 @@ func (e *Engine) loadedFor(tbl *schema.Table) (*loadedTable, error) {
 	heapPath := filepath.Join(dir, tbl.Name+".heap")
 	rel, err := storage.LoadCSV(tbl, heapPath, e.pool)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: loading table %s: %w", tbl.Name, err)
 	}
 	lt := &loadedTable{tbl: tbl, rel: rel}
 	e.loaded[tbl.Name] = lt

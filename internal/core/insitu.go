@@ -4,13 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"os"
 
 	"nodb/internal/colcache"
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
 	"nodb/internal/format"
+	"nodb/internal/iofault"
 	"nodb/internal/posmap"
 	"nodb/internal/scan"
 	"nodb/internal/stats"
@@ -52,9 +52,10 @@ type inSituScan struct {
 	base    int64
 	shard   bool
 
-	f  *os.File
+	f  iofault.File
 	lr *scan.LineReader
 
+	expect int64 // row count the adaptive state predicts; -1 = unknown
 	row    int
 	rowBuf exec.Row // sparse per-tuple materialization (table width)
 	gen    []int    // generation marks for rowBuf validity
@@ -133,12 +134,13 @@ func (s *inSituScan) Open() error {
 	if s.section != nil {
 		s.lr, s.f = scan.NewLineReaderAt(s.section, s.base, s.rt.Env.ScanChunkSize), nil
 	} else {
-		lr, f, err := scan.OpenFile(s.rt.Tbl.Path, s.rt.Env.ScanChunkSize)
+		lr, f, err := scan.OpenFile(s.rt.Tbl.Name, s.rt.Tbl.Path, s.rt.Env.ScanChunkSize)
 		if err != nil {
-			return err
+			return format.WrapFileErr(s.rt.Tbl.Name, err)
 		}
 		s.lr, s.f = lr, f
 	}
+	s.expect = s.rt.Rows.Load()
 	s.row = 0
 	s.curGen = 0
 	for i := range s.gen {
@@ -222,11 +224,13 @@ func (s *inSituScan) Next() (exec.Row, error) {
 		}
 		line, off, err := s.lr.Next()
 		if err == io.EOF {
-			s.finish()
+			if ferr := s.finish(); ferr != nil {
+				return nil, ferr
+			}
 			return nil, io.EOF
 		}
 		if err != nil {
-			return nil, err
+			return nil, format.WrapFileErr(s.rt.Tbl.Name, err)
 		}
 		if s.rt.PM != nil {
 			s.rt.PM.RecordTupleStart(s.row, off)
@@ -326,7 +330,7 @@ func (s *inSituScan) value(line []byte, col int) (datum.Datum, error) {
 		}
 		s.c.CacheMisses++
 	}
-	field, ok := s.locateField(line, col)
+	field, ok, fromMap := s.locateField(line, col)
 	var v datum.Datum
 	if !ok {
 		// Short row: missing trailing fields read as NULL.
@@ -335,6 +339,17 @@ func (s *inSituScan) value(line []byte, col int) (datum.Datum, error) {
 	} else {
 		var err error
 		v, err = datum.ParseBytes(s.rt.Types[col], field)
+		if err != nil && fromMap {
+			// A stale map offset (file edited in place) can land mid-field
+			// and yield garbage bytes: re-tokenize from the line start and
+			// retry before declaring a data error.
+			if pos, found := s.prefixPos(line, col); found {
+				v, err = datum.ParseBytes(s.rt.Types[col], scan.FieldAt(line, pos, s.rt.Tbl.Delimiter))
+			} else {
+				s.c.ShortRows++
+				v, err = datum.NewNull(s.rt.Types[col]), nil
+			}
+		}
 		if err != nil {
 			return datum.Datum{}, &rowError{
 				tbl: s.rt.Tbl.Name, col: s.rt.Tbl.Columns[col].Name,
@@ -357,50 +372,62 @@ func (s *inSituScan) value(line []byte, col int) (datum.Datum, error) {
 }
 
 // locateField finds the bytes of attribute col in line, using the
-// positional map when possible and recording what it learns.
-func (s *inSituScan) locateField(line []byte, col int) ([]byte, bool) {
-	delim := s.rt.Tbl.Delimiter
+// positional map when possible and recording what it learns. fromMap
+// reports that the bytes were located by trusting a map position; the
+// caller uses it to retry a failed parse from the line start, since a
+// stale offset (file edited in place) can land mid-field.
+func (s *inSituScan) locateField(line []byte, col int) (field []byte, ok, fromMap bool) {
 	if s.pmCursors != nil {
-		if rel, ok := s.pmCursors[col].Get(s.row); ok {
-			if int(rel) <= len(line) {
-				s.c.FieldsFromMap++
-				return scan.FieldAt(line, rel, delim), true
-			}
-		}
-		if s.useNearest {
-			// Sequential scans resolve to the same neighboring attribute
-			// row after row; try the remembered hint before paying for a
-			// full nearest-neighbor search.
-			if h := s.nearHint[col]; h >= 0 {
-				if rel, ok := s.pmCursors[h].Get(s.row); ok && int(rel) <= len(line) {
-					if pos, ok := s.navigate(line, h, rel, col); ok {
-						s.c.FieldsFromMap++
-						return scan.FieldAt(line, pos, delim), true
-					}
-					return nil, false // short row
-				}
-			}
-			if nearAttr, rel, ok := s.rt.PM.Nearest(s.row, col); ok && int(rel) <= len(line) {
-				s.nearHint[col] = nearAttr
-				if pos, ok := s.navigate(line, nearAttr, rel, col); ok {
-					s.c.FieldsFromMap++
-					return scan.FieldAt(line, pos, delim), true
-				}
-				return nil, false // short row
-			}
+		if f, found := s.mapField(line, col); found {
+			s.c.FieldsFromMap++
+			return f, true, true
 		}
 	}
-	// No positional information: extend the per-tuple prefix tokenization
-	// up to col, learning every boundary along the way (§4.2 "Map
-	// Population": PostgresRaw learns as much as possible during each
+	// No trustworthy positional information: extend the per-tuple prefix
+	// tokenization up to col, learning every boundary along the way (§4.2
+	// "Map Population": PostgresRaw learns as much as possible during each
 	// query). The prefix is shared across the tuple's column accesses, so
 	// each character is examined at most once.
-	pos, ok := s.prefixPos(line, col)
+	pos, found := s.prefixPos(line, col)
 	s.c.FieldsFromScan++
-	if !ok {
+	if !found {
+		return nil, false, false
+	}
+	return scan.FieldAt(line, pos, s.rt.Tbl.Delimiter), true, false
+}
+
+// mapField resolves col through the positional map: a direct hit, the
+// remembered nearest hint, or a nearest-neighbor search. Every failure —
+// offset out of bounds, navigation running off the line — reports !ok so
+// the caller degrades to re-tokenizing from the line start, rather than
+// trusting an entry the current file contents may have outgrown.
+func (s *inSituScan) mapField(line []byte, col int) ([]byte, bool) {
+	delim := s.rt.Tbl.Delimiter
+	if rel, ok := s.pmCursors[col].Get(s.row); ok && int(rel) <= len(line) {
+		return scan.FieldAt(line, rel, delim), true
+	}
+	if !s.useNearest {
 		return nil, false
 	}
-	return scan.FieldAt(line, pos, delim), true
+	// Sequential scans resolve to the same neighboring attribute row after
+	// row; try the remembered hint before paying for a full
+	// nearest-neighbor search.
+	if h := s.nearHint[col]; h >= 0 {
+		if rel, ok := s.pmCursors[h].Get(s.row); ok && int(rel) <= len(line) {
+			pos, ok := s.navigate(line, h, rel, col)
+			if ok {
+				return scan.FieldAt(line, pos, delim), true
+			}
+			return nil, false
+		}
+	}
+	if nearAttr, rel, ok := s.rt.PM.Nearest(s.row, col); ok && int(rel) <= len(line) {
+		s.nearHint[col] = nearAttr
+		if pos, ok := s.navigate(line, nearAttr, rel, col); ok {
+			return scan.FieldAt(line, pos, delim), true
+		}
+	}
+	return nil, false
 }
 
 // prefixPos returns the start offset of field col, incrementally extending
@@ -462,17 +489,31 @@ func (s *inSituScan) navigate(line []byte, fromAttr int, fromRel uint32, col int
 	return pos, true
 }
 
-// finish runs once the scan has seen the whole file: it fixes the row
-// count and publishes any newly collected statistics.
-func (s *inSituScan) finish() {
-	s.rt.Rows.Store(int64(s.row))
+// finish runs once the scan has seen the whole file: it verifies the
+// pass is consistent with the file version the adaptive state was built
+// from, then fixes the row count and publishes any newly collected
+// statistics. A row-count mismatch or a file that changed mid-scan
+// reports ErrFileChanged without publishing — emitted rows may already
+// be wrong, and totals from such a pass must never become truth.
+func (s *inSituScan) finish() error {
 	if s.shard {
 		// Partition worker: the shadow table keeps the local row count;
-		// collectors stay attached for parallelScan to merge and publish.
-		return
+		// collectors stay attached for parallelScan to merge and verify.
+		s.rt.Rows.Store(int64(s.row))
+		return nil
 	}
+	if s.expect >= 0 && int64(s.row) != s.expect {
+		return fmt.Errorf("core: table %s: scan saw %d rows where adaptive state expected %d: %w",
+			s.rt.Tbl.Name, s.row, s.expect, format.ErrFileChanged)
+	}
+	if !s.rt.FileUnchanged() {
+		return fmt.Errorf("core: table %s: file changed during scan: %w",
+			s.rt.Tbl.Name, format.ErrFileChanged)
+	}
+	s.rt.Rows.Store(int64(s.row))
 	if s.rt.St != nil {
 		format.PublishCollectors(s.rt.St, int64(s.row), s.collectors)
 		s.collectors = nil
 	}
+	return nil
 }

@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 
 	"nodb/internal/exec"
 	"nodb/internal/expr"
 	"nodb/internal/format"
+	"nodb/internal/iofault"
 	"nodb/internal/scan"
 	"nodb/internal/stats"
 )
@@ -36,7 +36,7 @@ type parallelScan struct {
 	conjuncts []expr.Expr
 	workers   int
 
-	f      *os.File
+	f      iofault.File
 	shards []*inSituScan // per partition, in file order
 }
 
@@ -75,19 +75,19 @@ func (p *parallelScan) rebaseErr(part int, err error) error {
 
 // start partitions the file and prepares one shard scan per range.
 func (p *parallelScan) start() (int, error) {
-	f, err := os.Open(p.rt.Tbl.Path)
+	f, err := iofault.Open(p.rt.Tbl.Path)
 	if err != nil {
-		return 0, fmt.Errorf("core: %w", err)
+		return 0, format.WrapFileErr(p.rt.Tbl.Name, err)
 	}
 	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return 0, fmt.Errorf("core: %w", err)
+		return 0, format.WrapFileErr(p.rt.Tbl.Name, err)
 	}
 	parts, err := scan.Split(f, fi.Size(), p.workers)
 	if err != nil {
 		f.Close()
-		return 0, err
+		return 0, format.WrapFileErr(p.rt.Tbl.Name, err)
 	}
 	p.f = f
 	p.shards = make([]*inSituScan, len(parts))
@@ -145,6 +145,13 @@ func (p *parallelScan) merge(n int, clean bool) error {
 	}
 	if !clean {
 		return nil
+	}
+	if !rt.FileUnchanged() {
+		// The file moved underneath the pass; per-worker drains can still
+		// look clean (each section simply ended early). Never publish
+		// totals built from mixed file versions.
+		return fmt.Errorf("core: table %s: file changed during parallel scan: %w",
+			rt.Tbl.Name, format.ErrFileChanged)
 	}
 	rt.Rows.Store(int64(total))
 	format.PublishCollectors(rt.St, int64(total), merged)

@@ -2,13 +2,12 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"os"
 
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
 	"nodb/internal/format"
+	"nodb/internal/iofault"
 	"nodb/internal/scan"
 	"nodb/internal/schema"
 	"nodb/internal/stats"
@@ -68,27 +67,31 @@ func (rt *rawTable) shard() *rawTable {
 // Append implements format.Appender: it appends literal rows to the raw
 // CSV file under the exclusive table lock, so the write cannot interleave
 // with a scan reading the file. The in-situ state observes the growth on
-// the next query (Refresh treats growth as an append, paper §4.5).
+// the next query (Refresh treats growth as an append, paper §4.5). A
+// failed write truncates the file back to its pre-append size, so a
+// partial row never becomes a permanently torn line.
 func (rt *rawTable) Append(ctx context.Context, rows [][]datum.Datum) error {
 	if err := rt.Lk.Lock(ctx); err != nil {
 		return err
 	}
 	defer rt.Lk.Unlock()
-	f, err := os.OpenFile(rt.Tbl.Path, os.O_RDWR|os.O_APPEND, 0)
+	f, err := iofault.OpenAppend(rt.Tbl.Path)
 	if err != nil {
-		return fmt.Errorf("core: %w", err)
+		return format.WrapFileErr(rt.Tbl.Name, err)
 	}
 	defer f.Close()
-	if err := format.EnsureTrailingNewline(f); err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	w := scan.NewWriter(f, rt.Tbl.Delimiter)
-	for _, row := range rows {
-		if err := w.WriteDatums(row); err != nil {
-			return err
+	if err := format.AppendGuarded(f, rt.Tbl.Name, func() error {
+		w := scan.NewWriter(f, rt.Tbl.Delimiter)
+		for _, row := range rows {
+			if err := w.WriteDatums(row); err != nil {
+				return err
+			}
 		}
+		return w.Flush()
+	}); err != nil {
+		return err
 	}
-	return w.Flush()
+	return nil
 }
 
 // loadedTable adapts a bulk-loaded heap relation to plan.Table.

@@ -14,6 +14,7 @@ package fits
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -22,6 +23,8 @@ import (
 	"strings"
 
 	"nodb/internal/datum"
+	"nodb/internal/format"
+	"nodb/internal/iofault"
 )
 
 // BlockSize is the FITS unit of storage.
@@ -76,7 +79,7 @@ type Table struct {
 	rowBytes int
 	offsets  []int // byte offset of each column within a row
 	dataOff  int64 // file offset of the data payload
-	f        *os.File
+	f        iofault.File
 }
 
 // card renders one "KEYWORD = value" header card.
@@ -247,7 +250,7 @@ func writePadded(w io.Writer, data []byte) error {
 // Open parses the headers of a FITS file and positions at the first
 // BINTABLE extension.
 func Open(path string) (*Table, error) {
-	f, err := os.Open(path)
+	f, err := iofault.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("fits: %w", err)
 	}
@@ -261,7 +264,7 @@ func Open(path string) (*Table, error) {
 }
 
 // parse walks HDUs until it finds a binary table.
-func parse(f *os.File) (*Table, error) {
+func parse(f io.ReaderAt) (*Table, error) {
 	off := int64(0)
 	for {
 		cards, next, err := readHeader(f, off)
@@ -286,7 +289,7 @@ func parse(f *os.File) (*Table, error) {
 
 // readHeader reads cards from off until END, returning the keyword map and
 // the offset just past the header padding.
-func readHeader(f *os.File, off int64) (map[string]string, int64, error) {
+func readHeader(f io.ReaderAt, off int64) (map[string]string, int64, error) {
 	cards := map[string]string{}
 	block := make([]byte, BlockSize)
 	for {
@@ -445,6 +448,12 @@ func (r *Reader) Next(cols []int, dst []datum.Datum) ([]datum.Datum, error) {
 		}
 		n, err := r.t.f.ReadAt(r.buf[:maxRows*int64(r.t.rowBytes)], off)
 		if err != nil && n < int(maxRows)*r.t.rowBytes {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				// The header declared rows the file no longer holds: it was
+				// truncated or replaced after the table was opened.
+				return dst, fmt.Errorf("fits: reading rows: file shorter than header declares: %w: %w",
+					format.ErrFileChanged, err)
+			}
 			return dst, fmt.Errorf("fits: reading rows: %w", err)
 		}
 		r.blen = int(maxRows) * r.t.rowBytes

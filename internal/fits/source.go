@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 
 	"nodb/internal/colcache"
@@ -56,7 +55,7 @@ func (driver) Caps() format.Caps {
 func (driver) Open(tbl *schema.Table, env format.Env) (format.Source, error) {
 	t, err := Open(tbl.Path)
 	if err != nil {
-		return nil, err
+		return nil, format.WrapFileErr(tbl.Name, err)
 	}
 	if err := validateBinding(t, tbl); err != nil {
 		t.Close()
@@ -73,8 +72,9 @@ func (driver) Open(tbl *schema.Table, env format.Env) (format.Source, error) {
 	env.PosMap, env.AttrPointers, env.Statistics = false, false, false
 	st := format.NewState(tbl, env)
 	st.Rows.Store(t.NRows)
-	if fi, err := os.Stat(tbl.Path); err == nil {
-		st.FileSize = fi.Size()
+	if fp, err := format.TakeFingerprint(tbl.Path); err == nil {
+		st.FP = fp
+		st.FileSize = fp.Size
 	}
 	return &Source{State: st, t: t}, nil
 }
@@ -117,15 +117,20 @@ func (s *Source) OpenScan(ctx context.Context, cols []int, conjuncts []expr.Expr
 }
 
 // refresh reconciles with external file changes. FITS headers are
-// self-describing, so any size change means re-parsing the header and
-// starting the cache over (there is no meaningful "append" to a FITS
-// file: the row count is declared up front). Callers hold Lk exclusively.
+// self-describing, so any change — truncation, rewrite, or growth — means
+// re-parsing the header and starting the cache over (there is no
+// meaningful "append" to a FITS file: the row count is declared up
+// front). Callers hold Lk exclusively.
 func (s *Source) refresh() error {
-	fi, err := os.Stat(s.Tbl.Path)
-	if err != nil {
-		return fmt.Errorf("fits: table %s: %w", s.Tbl.Name, err)
+	if s.FP.Zero() {
+		return s.reopenLocked()
 	}
-	if fi.Size() == s.FileSize && s.FileSize > 0 {
+	change, _, err := s.FP.Check(s.Tbl.Path)
+	if err != nil {
+		s.InvalidateLocked()
+		return format.WrapFileErr(s.Tbl.Name, err)
+	}
+	if change == format.FileSame {
 		return nil
 	}
 	return s.reopenLocked()
@@ -136,7 +141,7 @@ func (s *Source) refresh() error {
 func (s *Source) reopenLocked() error {
 	t, err := Open(s.Tbl.Path)
 	if err != nil {
-		return err
+		return format.WrapFileErr(s.Tbl.Name, err)
 	}
 	if err := validateBinding(t, s.Tbl); err != nil {
 		t.Close()
@@ -149,8 +154,10 @@ func (s *Source) reopenLocked() error {
 	}
 	s.Rows.Store(t.NRows)
 	s.FileSize = 0
-	if fi, err := os.Stat(s.Tbl.Path); err == nil {
-		s.FileSize = fi.Size()
+	s.FP = format.Fingerprint{}
+	if fp, err := format.TakeFingerprint(s.Tbl.Path); err == nil {
+		s.FP = fp
+		s.FileSize = fp.Size
 	}
 	return nil
 }

@@ -1,0 +1,151 @@
+package format
+
+import (
+	"hash/fnv"
+	"io"
+	"time"
+
+	"nodb/internal/iofault"
+)
+
+// fingerprintSpan is how much of the file's head and tail the content
+// hashes cover. Large enough that an in-place edit of early rows or of
+// the most recently appended rows is caught even when size and mtime
+// are unchanged; small enough that taking a fingerprint costs at most
+// two 64KB reads regardless of file size.
+const fingerprintSpan = 64 << 10
+
+// Fingerprint identifies the raw-file version the table's adaptive
+// state (positional map, column cache, statistics) was built from:
+// size, mtime, and FNV-1a hashes of the head and tail spans. The zero
+// value means "no state built yet".
+//
+// Known limitation: a same-size edit strictly between the head and tail
+// spans with the mtime restored escapes the size+mtime fast path; the
+// content hashes only cover the spans they hash. Every truncation, every
+// append, and any edit that moves mtime is caught.
+type Fingerprint struct {
+	Size    int64
+	ModTime time.Time
+	Head    uint64
+	Tail    uint64
+	TailOff int64 // file offset where the tail span starts
+}
+
+// Zero reports whether no fingerprint has been captured.
+func (fp Fingerprint) Zero() bool { return fp.Size == 0 && fp.ModTime.IsZero() }
+
+// FileChange classifies what happened to a file relative to a
+// fingerprint.
+type FileChange int
+
+const (
+	// FileSame: the file is byte-identical as far as the fingerprint can
+	// tell; adaptive state remains valid.
+	FileSame FileChange = iota
+	// FileAppended: the old prefix is intact and new bytes follow; maps
+	// and caches stay valid, only the row count must be re-discovered.
+	FileAppended
+	// FileReplaced: truncated, rewritten, or edited in place; all
+	// adaptive state is stale.
+	FileReplaced
+)
+
+// TakeFingerprint captures the current fingerprint of path through the
+// iofault seam (so an injected truncation view fingerprints the view,
+// keeping guards and readers in the same world).
+func TakeFingerprint(path string) (Fingerprint, error) {
+	f, err := iofault.Open(path)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	return fingerprintFile(f, fi)
+}
+
+func fingerprintFile(f iofault.File, fi interface {
+	Size() int64
+	ModTime() time.Time
+}) (Fingerprint, error) {
+	fp := Fingerprint{Size: fi.Size(), ModTime: fi.ModTime()}
+	head := fp.Size
+	if head > fingerprintSpan {
+		head = fingerprintSpan
+	}
+	var err error
+	if fp.Head, err = hashSpan(f, 0, head); err != nil {
+		return Fingerprint{}, err
+	}
+	fp.TailOff = fp.Size - fingerprintSpan
+	if fp.TailOff < 0 {
+		fp.TailOff = 0
+	}
+	if fp.Tail, err = hashSpan(f, fp.TailOff, fp.Size-fp.TailOff); err != nil {
+		return Fingerprint{}, err
+	}
+	return fp, nil
+}
+
+// hashSpan hashes n bytes of f starting at off with FNV-1a.
+func hashSpan(f iofault.File, off, n int64) (uint64, error) {
+	h := fnv.New64a()
+	if n > 0 {
+		if _, err := io.Copy(h, io.NewSectionReader(f, off, n)); err != nil {
+			return 0, err
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// Check compares the file at path against fp and classifies the change,
+// returning the fresh fingerprint alongside. Size+mtime equality is the
+// fast path (no reads); otherwise the head span and the old tail region
+// are re-hashed to tell a pure append (prefix intact) from a rewrite.
+func (fp Fingerprint) Check(path string) (FileChange, Fingerprint, error) {
+	f, err := iofault.Open(path)
+	if err != nil {
+		return FileReplaced, Fingerprint{}, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return FileReplaced, Fingerprint{}, err
+	}
+	if fi.Size() == fp.Size && fi.ModTime().Equal(fp.ModTime) {
+		return FileSame, fp, nil
+	}
+	if fi.Size() < fp.Size {
+		next, err := fingerprintFile(f, fi)
+		return FileReplaced, next, err
+	}
+	// Same size with a new mtime, or grew: decide by re-hashing what the
+	// old fingerprint covered. Prefix intact ⇒ same content (size equal)
+	// or a pure append (size grew).
+	headLen := fp.Size
+	if headLen > fingerprintSpan {
+		headLen = fingerprintSpan
+	}
+	head, err := hashSpan(f, 0, headLen)
+	if err != nil {
+		return FileReplaced, Fingerprint{}, err
+	}
+	oldTail, err := hashSpan(f, fp.TailOff, fp.Size-fp.TailOff)
+	if err != nil {
+		return FileReplaced, Fingerprint{}, err
+	}
+	next, err := fingerprintFile(f, fi)
+	if err != nil {
+		return FileReplaced, Fingerprint{}, err
+	}
+	if head != fp.Head || oldTail != fp.Tail {
+		return FileReplaced, next, nil
+	}
+	if fi.Size() == fp.Size {
+		return FileSame, next, nil
+	}
+	return FileAppended, next, nil
+}

@@ -30,14 +30,15 @@ package format
 import (
 	"context"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
+	"nodb/internal/iofault"
 	"nodb/internal/schema"
 	"nodb/internal/stats"
 )
@@ -75,6 +76,11 @@ type Env struct {
 	Parallelism int
 	// BatchSize is the vectorized batch height (0 = exec.DefaultBatchSize).
 	BatchSize int
+	// ScanRetries bounds how many additional cold attempts a scan makes
+	// after a retryable raw-file fault (0 = default of 2, negative = none).
+	ScanRetries int
+	// RetryBackoff is the ctx-aware pause between attempts (0 = 5ms).
+	RetryBackoff time.Duration
 }
 
 // Caps declares what a format can do, so the engine gates modes on
@@ -232,7 +238,7 @@ func AsRowOperator(b exec.BatchOperator) exec.Operator {
 // last byte is not one — the guard every line-oriented Appender needs so
 // the first appended row cannot merge onto a final line that lacks a
 // newline.
-func EnsureTrailingNewline(f *os.File) error {
+func EnsureTrailingNewline(f iofault.AppendFile) error {
 	fi, err := f.Stat()
 	if err != nil {
 		return err
@@ -248,6 +254,29 @@ func EnsureTrailingNewline(f *os.File) error {
 		_, err = f.WriteString("\n")
 	}
 	return err
+}
+
+// AppendGuarded is the shared body of every line-oriented Appender: it
+// captures the file's pre-append size, applies the trailing-newline
+// guard, runs write, and on any failure truncates the file back to the
+// captured size — so a half-written row never survives as a permanently
+// torn line. Errors carry the table name and wrap the underlying cause.
+func AppendGuarded(f iofault.AppendFile, table string, write func() error) error {
+	fi, err := f.Stat()
+	if err != nil {
+		return WrapFileErr(table, err)
+	}
+	pre := fi.Size()
+	if err := EnsureTrailingNewline(f); err != nil {
+		return WrapFileErr(table, err)
+	}
+	if err := write(); err != nil {
+		if terr := f.Truncate(pre); terr != nil {
+			return fmt.Errorf("format: table %s: append failed (%w); rollback also failed: %w", table, err, terr)
+		}
+		return fmt.Errorf("format: table %s: append rolled back: %w", table, err)
+	}
+	return nil
 }
 
 // NeededColumns unions output and conjunct columns, preserving first-seen

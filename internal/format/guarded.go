@@ -2,7 +2,10 @@ package format
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
+	"time"
 
 	"nodb/internal/exec"
 )
@@ -34,9 +37,16 @@ type GuardedScan struct {
 	exclusive func() (ScanOperator, bool, error)
 	budget    int64 // LIMIT pushdown; -1 = none
 
-	inner  ScanOperator
-	unlock func()
-	tick   int
+	retries    int           // additional cold attempts after a retryable fault
+	backoff    time.Duration // ctx-aware pause between attempts
+	invalidate func()        // drops the table's adaptive state (call holding Lk exclusive)
+
+	inner          ScanOperator
+	unlock         func()
+	tick           int
+	attempt        int  // retries consumed so far
+	emitted        bool // a row or batch has left this operator
+	holdsExclusive bool
 }
 
 // NewGuardedScan builds the deferred-decision leaf. shared may be nil when
@@ -57,6 +67,17 @@ func NewGuardedScan(ctx context.Context, lk *TableLock, cols []exec.Col,
 // SetRowBudget implements exec.RowBudgeter; the budget is forwarded to
 // whichever access method Open selects.
 func (g *GuardedScan) SetRowBudget(n int64) { g.budget = n }
+
+// SetRetry arms the fault-recovery loop: after a retryable raw-file
+// fault (Retryable) under the exclusive hold, the scan invalidates the
+// table's adaptive state, backs off, and rebuilds cold — up to retries
+// times. Mid-scan recovery applies only before the first row leaves the
+// operator; emitted results cannot be retracted, so later faults
+// surface as errors (typed, with the state still invalidated for the
+// next query).
+func (g *GuardedScan) SetRetry(retries int, backoff time.Duration, invalidate func()) {
+	g.retries, g.backoff, g.invalidate = retries, backoff, invalidate
+}
 
 // Columns implements exec.Operator.
 func (g *GuardedScan) Columns() []exec.Col { return g.cols }
@@ -90,32 +111,129 @@ func (g *GuardedScan) Open() error {
 	if err := g.lk.Lock(g.ctx); err != nil {
 		return err
 	}
-	unlock := g.lk.Unlock
 	ok := false
 	defer func() {
-		if !ok {
-			unlock()
+		if !ok && g.unlock != nil {
+			g.unlock()
+			g.unlock = nil
 		}
 	}()
-	inner, downgrade, err := g.exclusive()
-	if err != nil {
+	if err := g.openExclusiveLocked(); err != nil {
 		return err
 	}
-	if downgrade {
-		g.lk.Downgrade()
-		unlock = g.lk.RUnlock
-	}
-	if g.budget >= 0 {
-		inner.(exec.RowBudgeter).SetRowBudget(g.budget)
-	}
-	if err := inner.Open(); err != nil {
-		inner.Close()
-		return err
-	}
-	g.inner = inner
-	g.unlock = unlock
 	ok = true
 	return nil
+}
+
+// openExclusiveLocked decides and opens the access method under the
+// exclusive hold (already acquired), retrying retryable faults within
+// the budget. It keeps g.unlock pointing at the releaser matching the
+// current hold (Unlock, or RUnlock after a downgrade) on every path; on
+// error the hold is NOT released — the caller does, via g.unlock.
+func (g *GuardedScan) openExclusiveLocked() error {
+	g.unlock = g.lk.Unlock
+	g.holdsExclusive = true
+	for {
+		inner, downgrade, err := g.exclusive()
+		if err == nil {
+			if downgrade {
+				//nodblint:ignore locksafe the exclusive hold is acquired by the caller (Open, or retained across restart) and tracked via g.holdsExclusive
+				g.lk.Downgrade()
+				g.unlock = g.lk.RUnlock
+				g.holdsExclusive = false
+			}
+			if g.budget >= 0 {
+				inner.(exec.RowBudgeter).SetRowBudget(g.budget)
+			}
+			if err = inner.Open(); err == nil {
+				g.inner = inner
+				return nil
+			}
+			inner.Close()
+			if downgrade {
+				// Already downgraded: a shared hold can neither invalidate
+				// nor rebuild adaptive state, so surface the failure.
+				return err
+			}
+		}
+		if !g.takeRetry(err) {
+			return g.wrapExhausted(err)
+		}
+		if g.invalidate != nil {
+			g.invalidate()
+		}
+		if serr := g.backoffSleep(); serr != nil {
+			return serr
+		}
+	}
+}
+
+// takeRetry decides whether err earns another cold attempt, consuming
+// one from the budget when it does.
+func (g *GuardedScan) takeRetry(err error) bool {
+	if !Retryable(err) || g.ctx.Err() != nil || g.attempt >= g.retries {
+		return false
+	}
+	g.attempt++
+	return true
+}
+
+// wrapExhausted types errors that burned the whole retry budget: the
+// caller sees ErrRetriesExhausted and the last underlying cause, both
+// errors.Is-able.
+func (g *GuardedScan) wrapExhausted(err error) error {
+	if err != nil && g.attempt > 0 && g.attempt >= g.retries && Retryable(err) {
+		return fmt.Errorf("%w (%d attempts): %w", ErrRetriesExhausted, g.attempt+1, err)
+	}
+	return err
+}
+
+// backoffSleep pauses between attempts, aborting when ctx dies first.
+func (g *GuardedScan) backoffSleep() error {
+	if g.backoff <= 0 {
+		return g.ctx.Err()
+	}
+	t := time.NewTimer(g.backoff)
+	defer t.Stop()
+	select {
+	case <-g.ctx.Done():
+		return g.ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// restart attempts mid-scan fault recovery: tear the inner scan down,
+// invalidate adaptive state, back off, and rebuild cold. Recovery is
+// only sound before any row left this operator (results already emitted
+// cannot be retracted) and only while the exclusive hold is still in
+// hand (a shared hold cannot invalidate). Either way, a fault that
+// proves the file changed leaves the state invalidated so the NEXT
+// query starts cold. Returns nil when the scan was rebuilt and the
+// caller should pull again; the error to surface otherwise.
+func (g *GuardedScan) restart(err error) error {
+	invalidating := errors.Is(err, ErrFileChanged) || errors.Is(err, ErrCorruptAux)
+	if g.emitted || !g.holdsExclusive {
+		if invalidating && g.holdsExclusive && g.invalidate != nil {
+			g.invalidate()
+		}
+		return err
+	}
+	if !g.takeRetry(err) {
+		if invalidating && g.invalidate != nil {
+			g.invalidate()
+		}
+		return g.wrapExhausted(err)
+	}
+	g.inner.Close()
+	g.inner = nil
+	if g.invalidate != nil {
+		g.invalidate()
+	}
+	if serr := g.backoffSleep(); serr != nil {
+		return serr
+	}
+	return g.openExclusiveLocked()
 }
 
 // Next implements exec.Operator, re-checking cancellation every 64 rows.
@@ -128,7 +246,19 @@ func (g *GuardedScan) Next() (exec.Row, error) {
 			return nil, err
 		}
 	}
-	return g.inner.Next()
+	for {
+		row, err := g.inner.Next()
+		switch {
+		case err == nil:
+			g.emitted = true
+			return row, nil
+		case err == io.EOF:
+			return nil, io.EOF
+		}
+		if rerr := g.restart(err); rerr != nil {
+			return nil, rerr
+		}
+	}
 }
 
 // NextBatch implements exec.BatchOperator, re-checking cancellation at
@@ -140,7 +270,19 @@ func (g *GuardedScan) NextBatch() (*exec.Batch, error) {
 	if err := g.ctx.Err(); err != nil {
 		return nil, err
 	}
-	return g.inner.NextBatch()
+	for {
+		b, err := g.inner.NextBatch()
+		switch {
+		case err == nil:
+			g.emitted = true
+			return b, nil
+		case err == io.EOF:
+			return nil, io.EOF
+		}
+		if rerr := g.restart(err); rerr != nil {
+			return nil, rerr
+		}
+	}
 }
 
 // Close tears the inner scan down and releases the table.

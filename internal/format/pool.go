@@ -77,7 +77,8 @@ type pool struct {
 	done    chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
-	drained []bool // set by worker goroutines; read after wg.Wait
+	drained []bool  // set by worker goroutines; read after wg.Wait
+	errs    []error // per-partition scan errors; set by workers, read after wg.Wait
 	merged  bool
 }
 
@@ -90,6 +91,7 @@ func (p *pool) start() ([]<-chan exec.BatchMsg, error) {
 	p.once = sync.Once{}
 	p.merged = false
 	p.drained = make([]bool, n)
+	p.errs = make([]error, n)
 	chans := make([]<-chan exec.BatchMsg, n)
 	for i := 0; i < n; i++ {
 		ch := make(chan exec.BatchMsg, batchChanCap)
@@ -110,6 +112,10 @@ func (p *pool) worker(i int, ch chan exec.BatchMsg) {
 	case errors.Is(err, ErrStopped):
 		// Torn down; the consumer is gone, nothing to report.
 	default:
+		// Record before attempting the channel send: the send races
+		// teardown and cancellation and may be dropped, but the recorded
+		// error is always visible to finish() after wg.Wait.
+		p.errs[i] = err
 		p.send(ch, exec.BatchMsg{Err: err})
 	}
 }
@@ -131,10 +137,21 @@ func (p *pool) send(ch chan<- exec.BatchMsg, m exec.BatchMsg) bool {
 // shards and lets the format publish totals.
 func (p *pool) finish() error {
 	p.wg.Wait()
-	// A cancelled context can race a worker's final error send (send's
-	// select drops the message when ctx.Done fires first), making an
-	// aborted pass look like a clean drain. Never publish totals from such
-	// a pass: surface the cancellation; Close merges the drained prefix.
+	// Deterministic error aggregation: a worker's final error send races
+	// teardown and cancellation (send's select can drop the message), and
+	// ctx.Err() alone would mask a real EIO behind context.Canceled when
+	// both fire. The recorded per-partition errors are authoritative after
+	// wg.Wait: surface the first real (non-context) one in partition
+	// order, translated like a channel-delivered error would have been.
+	if i, err := p.firstRealErr(); err != nil {
+		if p.cfg.OnError != nil {
+			err = p.cfg.OnError(i, err)
+		}
+		return err
+	}
+	// A cancelled context with no recorded scan error is the caller giving
+	// up. Never publish totals from such a pass: surface the cancellation;
+	// Close merges the drained prefix.
 	if err := p.ctx.Err(); err != nil {
 		return err
 	}
@@ -144,6 +161,18 @@ func (p *pool) finish() error {
 		}
 	}
 	return p.merge(len(p.drained), true)
+}
+
+// firstRealErr scans the recorded partition errors for the lowest-index
+// one that is not mere context cancellation. Callers must hold wg.Wait.
+func (p *pool) firstRealErr() (int, error) {
+	for i, err := range p.errs {
+		if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			continue
+		}
+		return i, err
+	}
+	return 0, nil
 }
 
 // merge runs the format's shard merge at most once per Open.

@@ -2,8 +2,6 @@ package format
 
 import (
 	"context"
-	"fmt"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync/atomic"
@@ -12,6 +10,7 @@ import (
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
+	"nodb/internal/iofault"
 	"nodb/internal/posmap"
 	"nodb/internal/schema"
 	"nodb/internal/stats"
@@ -43,6 +42,7 @@ type State struct {
 
 	Rows     atomic.Int64 // -1 until the first complete scan
 	FileSize int64        // size observed at last refresh (guarded by Lk exclusive)
+	FP       Fingerprint  // file version the structures were built from (guarded by Lk exclusive)
 
 	Counters Counters
 }
@@ -156,37 +156,54 @@ func (st *State) CacheCovers(needed []int) bool {
 	return true
 }
 
-// FileUnchanged reports whether the backing file still has the size the
-// last refresh observed — the precondition for serving a query without
-// the exclusive reconciliation pass. Callers must hold Lk (shared is
-// enough: FileSize only changes under the exclusive hold).
+// FileUnchanged reports whether the backing file still matches the
+// fingerprint the last refresh captured — the precondition for serving a
+// query without the exclusive reconciliation pass. Size+mtime only (no
+// reads): the full content check runs under the exclusive hold in
+// Refresh. Callers must hold Lk (shared is enough: the fingerprint only
+// changes under the exclusive hold).
 func (st *State) FileUnchanged() bool {
-	fi, err := os.Stat(st.Tbl.Path)
-	return err == nil && fi.Size() == st.FileSize && st.FileSize > 0
+	if st.FP.Zero() {
+		return false
+	}
+	fi, err := iofault.Stat(st.Tbl.Path)
+	return err == nil && fi.Size() == st.FP.Size && fi.ModTime().Equal(st.FP.ModTime)
 }
 
-// Refresh stats the backing file and reconciles auxiliary structures with
-// external changes: growth is treated as an append (structures cover the
-// old prefix and extend on the next scan); shrinkage or replacement drops
-// everything (paper §4.5). This is the row-oriented default; formats with
-// self-describing headers (FITS) install their own refresh through
-// ScanPlan. Callers must hold Lk exclusively.
+// Refresh fingerprints the backing file and reconciles auxiliary
+// structures with external changes: a pure append keeps the prefix
+// structures and only forgets the row count; a truncation, rewrite, or
+// in-place edit drops everything (paper §4.5) so the scan that follows
+// rebuilds from the current bytes. This is the row-oriented default;
+// formats with self-describing headers (FITS) install their own refresh
+// through ScanPlan. Callers must hold Lk exclusively.
 func (st *State) Refresh() error {
-	fi, err := os.Stat(st.Tbl.Path)
-	if err != nil {
-		return fmt.Errorf("format: table %s: %w", st.Tbl.Name, err)
-	}
-	size := fi.Size()
-	switch {
-	case size == st.FileSize:
+	if st.FP.Zero() || st.FileSize == 0 {
+		fp, err := TakeFingerprint(st.Tbl.Path)
+		if err != nil {
+			return WrapFileErr(st.Tbl.Name, err)
+		}
+		st.FP = fp
+		st.FileSize = fp.Size
 		return nil
-	case size > st.FileSize && st.FileSize > 0:
+	}
+	change, next, err := st.FP.Check(st.Tbl.Path)
+	if err != nil {
+		// Can't tell what the file is now; nothing built from the old
+		// version can be trusted.
+		st.InvalidateLocked()
+		return WrapFileErr(st.Tbl.Name, err)
+	}
+	switch change {
+	case FileSame:
+	case FileAppended:
 		// Append: row count becomes unknown; prefix structures stay.
 		st.Rows.Store(-1)
-	case size < st.FileSize:
+	case FileReplaced:
 		st.InvalidateLocked()
 	}
-	st.FileSize = size
+	st.FP = next
+	st.FileSize = next.Size
 	return nil
 }
 
@@ -205,6 +222,7 @@ func (st *State) InvalidateLocked() {
 	}
 	st.Rows.Store(-1)
 	st.FileSize = 0
+	st.FP = Fingerprint{}
 }
 
 // Invalidate implements Source: it waits for scans of the table in flight,
@@ -351,5 +369,8 @@ func (st *State) NewScan(ctx context.Context, outCols []int, conjuncts []expr.Ex
 		}
 		return plan.Seq(ctx), false, nil
 	}
-	return NewGuardedScan(ctx, st.Lk, cols, shared, exclusive)
+	gs := NewGuardedScan(ctx, st.Lk, cols, shared, exclusive)
+	retries, backoff := st.Env.RetryBudget()
+	gs.SetRetry(retries, backoff, st.InvalidateLocked)
+	return gs
 }

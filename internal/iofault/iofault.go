@@ -1,0 +1,315 @@
+// Package iofault is the raw-file access seam of the engine: every open
+// of a raw data file — CSV/JSONL line scans, FITS positioned reads, heap
+// page reads, append handles — goes through Open/OpenAppend/Stat here
+// instead of the os package directly. In production the seam is a thin
+// passthrough (one atomic load per I/O call when no faults are armed);
+// in tests it turns the filesystem into an unreliable dependency with
+// programmable, deterministic faults:
+//
+//	defer iofault.Inject(path, iofault.Profile{
+//		ReadErr:   iofault.ErrInjected, // EIO on the first read past byte 0
+//		MaxFaults: 1,                   // then heal (exercises the retry path)
+//	})()
+//
+// A Profile can fail opens, fail reads at a byte offset, truncate the
+// observed file mid-scan (reads and stats see a shorter file than is on
+// disk), cap read sizes (short reads), delay every I/O, and fail append
+// writes. Faults are counted per path (Faults) so tests can assert that
+// an injected fault actually fired.
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default injected I/O error; every fault a Profile
+// fires without an explicit error value wraps it, so tests can assert
+// errors.Is(err, iofault.ErrInjected) end to end through the engine.
+var ErrInjected = errors.New("iofault: injected I/O error")
+
+// File is what a raw-file reader needs from an open file. *os.File
+// satisfies it; Open returns a fault-injecting wrapper around one.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Closer
+	Stat() (os.FileInfo, error)
+}
+
+// AppendFile extends File with what the append paths (INSERT) need:
+// writes plus Truncate, so a failed append can roll the raw file back to
+// its pre-append size instead of leaving a torn row behind.
+type AppendFile interface {
+	File
+	io.Writer
+	io.StringWriter
+	Truncate(size int64) error
+}
+
+// Profile describes the faults to inject for one path. The zero value
+// injects nothing. Faults with an error field fire at most MaxFaults
+// times (0 = unlimited); view-shaping knobs (TruncateAt, ShortReads,
+// Latency) apply unconditionally while the profile is installed.
+type Profile struct {
+	// OpenErr fails Open/OpenAppend with this error.
+	OpenErr error
+	// StatErr fails Stat (both File.Stat and package-level Stat).
+	StatErr error
+	// ReadErr fails any read that touches byte ReadErrAt or beyond.
+	ReadErr   error
+	ReadErrAt int64
+	// WriteErr fails append-path writes.
+	WriteErr error
+	// TruncateAt > 0 makes reads and stats observe the file as if it were
+	// truncated to this many bytes — a mid-scan truncation view that does
+	// not touch the real file.
+	TruncateAt int64
+	// ShortReads > 0 caps every read to this many bytes per call.
+	ShortReads int
+	// Latency delays every read and write.
+	Latency time.Duration
+	// MaxFaults stops injecting errors after this many fired (0 = no cap).
+	MaxFaults int
+}
+
+type entry struct {
+	p      Profile
+	faults int
+}
+
+var (
+	mu       sync.Mutex
+	profiles = map[string]*entry{}
+	armed    atomic.Int32 // len(profiles), read lock-free on the hot path
+)
+
+// Inject installs a fault profile for path (replacing any previous one)
+// and returns a remover. Injection applies to files opened before the
+// call too: every I/O consults the current profile, so a test can arm a
+// truncation view while a scan is mid-flight.
+func Inject(path string, p Profile) (remove func()) {
+	key := filepath.Clean(path)
+	mu.Lock()
+	if _, ok := profiles[key]; !ok {
+		armed.Add(1)
+	}
+	profiles[key] = &entry{p: p}
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		if _, ok := profiles[key]; ok {
+			delete(profiles, key)
+			armed.Add(-1)
+		}
+		mu.Unlock()
+	}
+}
+
+// Reset removes every installed profile.
+func Reset() {
+	mu.Lock()
+	for k := range profiles {
+		delete(profiles, k)
+	}
+	armed.Store(0)
+	mu.Unlock()
+}
+
+// Faults reports how many injected faults fired for path.
+func Faults(path string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if e, ok := profiles[filepath.Clean(path)]; ok {
+		return e.faults
+	}
+	return 0
+}
+
+// take decides one potential fault under the registry lock: it returns
+// the profile's error of the given kind if the fault budget allows,
+// counting it, plus the latency and view knobs to apply.
+func take(path string, kind func(*Profile) error) (ferr error, trunc int64, short int, lat time.Duration) {
+	if armed.Load() == 0 {
+		return nil, 0, 0, 0
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	e, ok := profiles[filepath.Clean(path)]
+	if !ok {
+		return nil, 0, 0, 0
+	}
+	trunc, short, lat = e.p.TruncateAt, e.p.ShortReads, e.p.Latency
+	if err := kind(&e.p); err != nil {
+		if e.p.MaxFaults > 0 && e.faults >= e.p.MaxFaults {
+			return nil, trunc, short, lat
+		}
+		e.faults++
+		ferr = err
+	}
+	return ferr, trunc, short, lat
+}
+
+// Open opens path for reading through the fault seam.
+func Open(path string) (File, error) {
+	ferr, _, _, lat := take(path, func(p *Profile) error { return p.OpenErr })
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, path: path}, nil
+}
+
+// OpenAppend opens path for appending (O_RDWR|O_APPEND; the file must
+// exist — raw tables are never created by the engine) through the seam.
+func OpenAppend(path string) (AppendFile, error) {
+	ferr, _, _, lat := take(path, func(p *Profile) error { return p.OpenErr })
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, path: path}, nil
+}
+
+// Stat stats path through the seam, honoring StatErr and the TruncateAt
+// view so integrity guards observe the same world as the readers.
+func Stat(path string) (os.FileInfo, error) {
+	ferr, trunc, _, _ := take(path, func(p *Profile) error { return p.StatErr })
+	if ferr != nil {
+		return nil, ferr
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	return truncView(fi, trunc), nil
+}
+
+// faultFile consults the registry on every operation, so profiles
+// installed or removed mid-scan take effect immediately.
+type faultFile struct {
+	f    *os.File
+	path string
+	off  int64 // sequential read position (Read is ReadAt + bookkeeping)
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.off)
+	f.off += int64(n)
+	if err != nil && errors.Is(err, io.EOF) {
+		// Restore sequential-read semantics: a partial read at EOF is
+		// (n, nil) now and (0, io.EOF) on the next call.
+		if n > 0 {
+			return n, nil
+		}
+		return 0, io.EOF
+	}
+	return n, err
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	ferr, trunc, short, lat := take(f.path, func(pr *Profile) error {
+		if pr.ReadErr != nil && off+int64(len(p)) > pr.ReadErrAt {
+			return pr.ReadErr
+		}
+		return nil
+	})
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if ferr != nil {
+		return 0, ferr
+	}
+	want := len(p)
+	if short > 0 && want > short {
+		want = short
+	}
+	atEOF := false
+	if trunc > 0 {
+		if off >= trunc {
+			return 0, io.EOF
+		}
+		if rem := trunc - off; int64(want) >= rem {
+			want = int(rem)
+			atEOF = true
+		}
+	}
+	n, err := f.f.ReadAt(p[:want], off)
+	if err == nil && (atEOF || want < len(p)) {
+		// A capped read is not the caller's full request: per the ReaderAt
+		// contract a short count needs a non-nil error, and inside the
+		// truncation view the shortfall is end-of-file.
+		err = io.EOF
+	}
+	return n, err
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	ferr, _, _, lat := take(f.path, func(pr *Profile) error { return pr.WriteErr })
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if ferr != nil {
+		return 0, ferr
+	}
+	return f.f.Write(p)
+}
+
+func (f *faultFile) WriteString(s string) (int, error) {
+	ferr, _, _, lat := take(f.path, func(pr *Profile) error { return pr.WriteErr })
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if ferr != nil {
+		return 0, ferr
+	}
+	return f.f.WriteString(s)
+}
+
+func (f *faultFile) Truncate(size int64) error { return f.f.Truncate(size) }
+
+func (f *faultFile) Stat() (os.FileInfo, error) {
+	ferr, trunc, _, _ := take(f.path, func(pr *Profile) error { return pr.StatErr })
+	if ferr != nil {
+		return nil, ferr
+	}
+	fi, err := f.f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return truncView(fi, trunc), nil
+}
+
+func (f *faultFile) Close() error { return f.f.Close() }
+
+// truncInfo presents a file as truncated to the profile's view size.
+type truncInfo struct {
+	os.FileInfo
+	size int64
+}
+
+func (t truncInfo) Size() int64 { return t.size }
+
+func truncView(fi os.FileInfo, trunc int64) os.FileInfo {
+	if trunc > 0 && fi.Size() > trunc {
+		return truncInfo{FileInfo: fi, size: trunc}
+	}
+	return fi
+}

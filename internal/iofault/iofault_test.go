@@ -1,0 +1,232 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPassthroughNoProfile(t *testing.T) {
+	path := writeTemp(t, "hello world\n")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world\n" {
+		t.Fatalf("read %q", got)
+	}
+	fi, err := f.Stat()
+	if err != nil || fi.Size() != 12 {
+		t.Fatalf("Stat = %v, %v", fi, err)
+	}
+}
+
+func TestOpenErr(t *testing.T) {
+	path := writeTemp(t, "x\n")
+	defer Inject(path, Profile{OpenErr: ErrInjected})()
+	if _, err := Open(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Open err = %v, want ErrInjected", err)
+	}
+	if _, err := OpenAppend(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("OpenAppend err = %v, want ErrInjected", err)
+	}
+	if Faults(path) != 2 {
+		t.Fatalf("Faults = %d, want 2", Faults(path))
+	}
+}
+
+func TestReadErrAtOffset(t *testing.T) {
+	path := writeTemp(t, "0123456789")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	defer Inject(path, Profile{ReadErr: ErrInjected, ReadErrAt: 4})()
+
+	buf := make([]byte, 4)
+	// Read entirely below the fault offset succeeds.
+	if n, err := f.ReadAt(buf, 0); err != nil || n != 4 {
+		t.Fatalf("ReadAt(0) = %d, %v", n, err)
+	}
+	// Read touching byte 4 fails.
+	if _, err := f.ReadAt(buf, 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadAt(2) err = %v, want ErrInjected", err)
+	}
+}
+
+func TestMaxFaultsHeals(t *testing.T) {
+	path := writeTemp(t, "abcdef")
+	defer Inject(path, Profile{ReadErr: ErrInjected, MaxFaults: 1})()
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 3)
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first read err = %v, want ErrInjected", err)
+	}
+	if n, err := f.ReadAt(buf, 0); err != nil || string(buf[:n]) != "abc" {
+		t.Fatalf("healed read = %q, %v", buf[:n], err)
+	}
+	if Faults(path) != 1 {
+		t.Fatalf("Faults = %d, want 1", Faults(path))
+	}
+}
+
+func TestTruncatedView(t *testing.T) {
+	path := writeTemp(t, "aaaa\nbbbb\ncccc\n")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	defer Inject(path, Profile{TruncateAt: 10})()
+
+	got, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aaaa\nbbbb\n" {
+		t.Fatalf("truncated read = %q", got)
+	}
+	fi, err := f.Stat()
+	if err != nil || fi.Size() != 10 {
+		t.Fatalf("truncated Stat = %v, %v", fi, err)
+	}
+	fi, err = Stat(path)
+	if err != nil || fi.Size() != 10 {
+		t.Fatalf("truncated package Stat = %v, %v", fi, err)
+	}
+	// Positioned read past the view is EOF; straddling it is short+EOF.
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 12); err != io.EOF {
+		t.Fatalf("ReadAt past view err = %v, want io.EOF", err)
+	}
+	n, err := f.ReadAt(buf, 6)
+	if n != 4 || err != io.EOF {
+		t.Fatalf("ReadAt straddling view = %d, %v, want 4, io.EOF", n, err)
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	path := writeTemp(t, "0123456789")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	defer Inject(path, Profile{ShortReads: 3})()
+
+	buf := make([]byte, 8)
+	n, err := f.ReadAt(buf, 0)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("short ReadAt = %d, %v, want 3, io.EOF", n, err)
+	}
+	// Sequential reads still deliver the whole file, 3 bytes at a time.
+	f2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got, err := io.ReadAll(f2)
+	if err != nil || string(got) != "0123456789" {
+		t.Fatalf("sequential short reads = %q, %v", got, err)
+	}
+}
+
+func TestWriteErrAndTruncateRollback(t *testing.T) {
+	path := writeTemp(t, "a,b\n")
+	defer Inject(path, Profile{WriteErr: ErrInjected})()
+	f, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString("c,d\n"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("WriteString err = %v, want ErrInjected", err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "a,b\n" {
+		t.Fatalf("file after rollback = %q, %v", data, err)
+	}
+}
+
+func TestInjectMidStream(t *testing.T) {
+	path := writeTemp(t, "0123456789")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 5)
+	if n, err := f.Read(buf); err != nil || n != 5 {
+		t.Fatalf("clean read = %d, %v", n, err)
+	}
+	// Arm the profile after the file is open: the next read must fail.
+	defer Inject(path, Profile{ReadErr: ErrInjected})()
+	if _, err := f.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed read err = %v, want ErrInjected", err)
+	}
+}
+
+func TestRemoveAndReset(t *testing.T) {
+	path := writeTemp(t, "x")
+	remove := Inject(path, Profile{ReadErr: ErrInjected})
+	remove()
+	remove() // idempotent
+	if armed.Load() != 0 {
+		t.Fatalf("armed = %d after remove", armed.Load())
+	}
+	Inject(path, Profile{ReadErr: ErrInjected})
+	Reset()
+	if armed.Load() != 0 {
+		t.Fatalf("armed = %d after Reset", armed.Load())
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != nil {
+		t.Fatalf("read after Reset: %v", err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	path := writeTemp(t, "x")
+	defer Inject(path, Profile{Latency: 20 * time.Millisecond})()
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("read returned in %v, want >= ~20ms latency", d)
+	}
+}

@@ -4,11 +4,11 @@ import (
 	"bufio"
 	"context"
 	"fmt"
-	"os"
 	"strconv"
 
 	"nodb/internal/datum"
 	"nodb/internal/format"
+	"nodb/internal/iofault"
 	"nodb/internal/schema"
 )
 
@@ -18,32 +18,32 @@ import (
 // true/false, null) — and appends under the exclusive table lock, so the
 // write cannot interleave with a scan reading the file. The in-situ state
 // observes the growth on the next query (format.State.Refresh treats
-// growth as an append, paper §4.5), exactly like the CSV path.
+// growth as an append, paper §4.5), exactly like the CSV path. A failed
+// write rolls the file back to its pre-append size (format.AppendGuarded).
 func (s *Source) Append(ctx context.Context, rows [][]datum.Datum) error {
 	if err := s.Lk.Lock(ctx); err != nil {
 		return err
 	}
 	defer s.Lk.Unlock()
-	f, err := os.OpenFile(s.Tbl.Path, os.O_RDWR|os.O_APPEND, 0)
+	f, err := iofault.OpenAppend(s.Tbl.Path)
 	if err != nil {
-		return fmt.Errorf("jsonl: %w", err)
+		return format.WrapFileErr(s.Tbl.Name, err)
 	}
 	defer f.Close()
-	if err := format.EnsureTrailingNewline(f); err != nil {
-		return fmt.Errorf("jsonl: %w", err)
-	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	var buf []byte
-	for _, row := range rows {
-		buf = appendObject(buf[:0], s.Tbl.Columns, row)
-		if _, err := w.Write(buf); err != nil {
+	return format.AppendGuarded(f, s.Tbl.Name, func() error {
+		w := bufio.NewWriterSize(f, 1<<16)
+		var buf []byte
+		for _, row := range rows {
+			buf = appendObject(buf[:0], s.Tbl.Columns, row)
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("jsonl: %w", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
 			return fmt.Errorf("jsonl: %w", err)
 		}
-	}
-	if err := w.Flush(); err != nil {
-		return fmt.Errorf("jsonl: %w", err)
-	}
-	return nil
+		return nil
+	})
 }
 
 // appendObject renders one row as a single-line JSON object with a

@@ -19,12 +19,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 
 	"nodb/internal/exec"
 	"nodb/internal/expr"
 	"nodb/internal/format"
+	"nodb/internal/iofault"
 	"nodb/internal/scan"
 	"nodb/internal/schema"
 	"nodb/internal/stats"
@@ -95,7 +95,7 @@ type parallelScan struct {
 	conjuncts []expr.Expr
 	workers   int
 
-	f      *os.File
+	f      iofault.File
 	shards []*jsonlScan
 }
 
@@ -112,19 +112,19 @@ func newParallelScan(ctx context.Context, src *Source, outCols []int, conjuncts 
 }
 
 func (p *parallelScan) start() (int, error) {
-	f, err := os.Open(p.src.Tbl.Path)
+	f, err := iofault.Open(p.src.Tbl.Path)
 	if err != nil {
-		return 0, fmt.Errorf("jsonl: %w", err)
+		return 0, format.WrapFileErr(p.src.Tbl.Name, err)
 	}
 	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return 0, fmt.Errorf("jsonl: %w", err)
+		return 0, format.WrapFileErr(p.src.Tbl.Name, err)
 	}
 	parts, err := scan.Split(f, fi.Size(), p.workers)
 	if err != nil {
 		f.Close()
-		return 0, err
+		return 0, format.WrapFileErr(p.src.Tbl.Name, err)
 	}
 	p.f = f
 	p.shards = make([]*jsonlScan, len(parts))
@@ -173,6 +173,13 @@ func (p *parallelScan) merge(n int, clean bool) error {
 	}
 	if !clean {
 		return nil
+	}
+	if !src.FileUnchanged() {
+		// The file moved underneath the pass; per-worker drains can still
+		// look clean (each section simply ended early). Never publish
+		// totals built from mixed file versions.
+		return fmt.Errorf("jsonl: table %s: file changed during parallel scan: %w",
+			src.Tbl.Name, format.ErrFileChanged)
 	}
 	src.Rows.Store(int64(total))
 	format.PublishCollectors(src.St, int64(total), merged)

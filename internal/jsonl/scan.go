@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"os"
 	"unicode/utf16"
 	"unicode/utf8"
 
@@ -13,6 +12,7 @@ import (
 	"nodb/internal/exec"
 	"nodb/internal/expr"
 	"nodb/internal/format"
+	"nodb/internal/iofault"
 	"nodb/internal/posmap"
 	"nodb/internal/scan"
 	"nodb/internal/stats"
@@ -48,9 +48,10 @@ type jsonlScan struct {
 	base    int64
 	shard   bool
 
-	f  *os.File
+	f  iofault.File
 	lr *scan.LineReader
 
+	expect int64 // row count the adaptive state predicts; -1 = unknown
 	row    int
 	rowBuf exec.Row
 	gen    []int // generation marks for rowBuf validity
@@ -126,12 +127,13 @@ func (s *jsonlScan) Open() error {
 	if s.section != nil {
 		s.lr, s.f = scan.NewLineReaderAt(s.section, s.base, s.src.Env.ScanChunkSize), nil
 	} else {
-		lr, f, err := scan.OpenFile(s.src.Tbl.Path, s.src.Env.ScanChunkSize)
+		lr, f, err := scan.OpenFile(s.src.Tbl.Name, s.src.Tbl.Path, s.src.Env.ScanChunkSize)
 		if err != nil {
-			return err
+			return format.WrapFileErr(s.src.Tbl.Name, err)
 		}
 		s.lr, s.f = lr, f
 	}
+	s.expect = s.src.Rows.Load()
 	s.row = 0
 	s.curGen = 0
 	for i := range s.gen {
@@ -206,11 +208,13 @@ func (s *jsonlScan) Next() (exec.Row, error) {
 		}
 		line, off, err := s.lr.Next()
 		if err == io.EOF {
-			s.finish()
+			if ferr := s.finish(); ferr != nil {
+				return nil, ferr
+			}
 			return nil, io.EOF
 		}
 		if err != nil {
-			return nil, err
+			return nil, format.WrapFileErr(s.src.Tbl.Name, err)
 		}
 		if isBlank(line) {
 			continue
@@ -312,13 +316,15 @@ func (s *jsonlScan) value(line []byte, col int) (datum.Datum, error) {
 	// Positional map: a recorded value offset jumps straight to the field.
 	if s.pmCursors != nil {
 		if rel, ok := s.pmCursors[col].Get(s.row); ok && int(rel) < len(line) {
-			s.c.FieldsFromMap++
-			var err error
-			v, err = s.parseValueAt(line, int(rel), col)
-			if err != nil {
-				return datum.Datum{}, err
+			if pv, err := s.parseValueAt(line, int(rel), col); err == nil {
+				s.c.FieldsFromMap++
+				v = pv
+				have = true
 			}
-			have = true
+			// A stale map offset (file edited in place) can land mid-value
+			// and fail to parse: degrade to the object walk below, which
+			// re-locates the field from the line start. Genuine data errors
+			// fail again there and surface with full context.
 		}
 	}
 	if !have {
@@ -466,20 +472,33 @@ func (s *jsonlScan) parseValueAt(line []byte, off, col int) (datum.Datum, error)
 	}
 }
 
-// finish runs once the scan has seen the whole file: it fixes the row
-// count and publishes newly collected statistics (shards keep theirs
-// local; the parallel merge publishes).
-func (s *jsonlScan) finish() {
-	s.src.Rows.Store(int64(s.row))
+// finish runs once the scan has seen the whole file: it verifies the
+// pass is consistent with the file version the adaptive state was built
+// from, then fixes the row count and publishes newly collected
+// statistics (shards keep theirs local; the parallel merge publishes).
+// A row-count mismatch or a file that changed mid-scan reports
+// ErrFileChanged without publishing.
+func (s *jsonlScan) finish() error {
 	if s.shard {
 		// Partition worker: collectors stay attached for the parallel
-		// merge to fold and publish.
-		return
+		// merge to fold and verify.
+		s.src.Rows.Store(int64(s.row))
+		return nil
 	}
+	if s.expect >= 0 && int64(s.row) != s.expect {
+		return fmt.Errorf("jsonl: table %s: scan saw %d rows where adaptive state expected %d: %w",
+			s.src.Tbl.Name, s.row, s.expect, format.ErrFileChanged)
+	}
+	if !s.src.FileUnchanged() {
+		return fmt.Errorf("jsonl: table %s: file changed during scan: %w",
+			s.src.Tbl.Name, format.ErrFileChanged)
+	}
+	s.src.Rows.Store(int64(s.row))
 	if s.src.St != nil {
 		format.PublishCollectors(s.src.St, int64(s.row), s.collectors)
 		s.collectors = nil
 	}
+	return nil
 }
 
 func isBlank(line []byte) bool {

@@ -12,7 +12,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"os"
+
+	"nodb/internal/iofault"
 )
 
 // DefaultChunkSize is the unit of sequential file reads. 1 MB keeps the
@@ -29,6 +30,7 @@ type LineReader struct {
 	end       int   // end of valid data in buf
 	bufOffset int64 // file offset of buf[0]
 	eof       bool
+	err       error // first non-EOF read error; surfaced by Next
 }
 
 // NewLineReader wraps f with a chunked line scanner. chunkSize <= 0 uses
@@ -49,12 +51,13 @@ func NewLineReaderAt(r io.Reader, base int64, chunkSize int) *LineReader {
 	return lr
 }
 
-// OpenFile opens path and returns a LineReader over it along with the file
-// handle (caller closes).
-func OpenFile(path string, chunkSize int) (*LineReader, *os.File, error) {
-	f, err := os.Open(path)
+// OpenFile opens path through the iofault seam and returns a LineReader
+// over it along with the file handle (caller closes). table names the
+// table being scanned, for error context.
+func OpenFile(table, path string, chunkSize int) (*LineReader, iofault.File, error) {
+	f, err := iofault.Open(path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("scan: %w", err)
+		return nil, nil, fmt.Errorf("scan: table %s (%s): %w", table, path, err)
 	}
 	return NewLineReader(f, chunkSize), f, nil
 }
@@ -75,6 +78,13 @@ func (lr *LineReader) Next() (line []byte, offset int64, err error) {
 			return line, offset, nil
 		}
 		if lr.eof {
+			// A read fault is not end-of-file: surfacing it (instead of
+			// emitting whatever prefix happened to be buffered as if the
+			// file ended there) is what keeps an EIO from silently
+			// truncating query results.
+			if lr.err != nil {
+				return nil, 0, fmt.Errorf("scan: read: %w", lr.err)
+			}
 			// Final line without newline.
 			if lr.start < lr.end {
 				line = lr.buf[lr.start:lr.end]
@@ -110,6 +120,9 @@ func (lr *LineReader) fill() {
 	lr.end += n
 	if err != nil {
 		lr.eof = true
+		if err != io.EOF {
+			lr.err = err
+		}
 	}
 }
 

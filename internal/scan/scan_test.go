@@ -352,7 +352,7 @@ func TestOpenCreateFile(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	lr, rf, err := OpenFile(path, 0)
+	lr, rf, err := OpenFile("t", path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestOpenCreateFile(t *testing.T) {
 	if err != nil || off != 0 || string(line) != "1,2" {
 		t.Errorf("read back %q off %d err %v", line, off, err)
 	}
-	if _, _, err := OpenFile(filepath.Join(dir, "missing.csv"), 0); err == nil {
+	if _, _, err := OpenFile("t", filepath.Join(dir, "missing.csv"), 0); err == nil {
 		t.Error("missing file must error")
 	}
 	if _, _, err := CreateFile(filepath.Join(dir, "nodir", "x.csv"), ','); err == nil {

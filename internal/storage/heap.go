@@ -7,12 +7,22 @@ import (
 	"os"
 
 	"nodb/internal/datum"
+	"nodb/internal/iofault"
 )
+
+// heapHandle is the read view of a heap's backing file: positioned reads
+// for the buffer pool plus Close. Both *os.File (freshly written heaps)
+// and iofault.File (reopened heaps, where the fault-injection seam
+// applies) satisfy it.
+type heapHandle interface {
+	io.ReaderAt
+	io.Closer
+}
 
 // HeapFile is a sequence of slotted pages in one OS file.
 type HeapFile struct {
 	path   string
-	f      *os.File
+	f      heapHandle
 	fileID uint32
 	pool   *Pool
 	pages  uint32
@@ -25,10 +35,11 @@ type HeapFile struct {
 func CreateHeap(path string, types []datum.Type) (*HeapWriter, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return nil, fmt.Errorf("storage: %w", err)
+		return nil, fmt.Errorf("storage: creating heap %s: %w", path, err)
 	}
 	w := &HeapWriter{
 		hf:   &HeapFile{path: path, f: f, types: append([]datum.Type(nil), types...)},
+		w:    f,
 		wbuf: make([]byte, 0, 1024),
 	}
 	w.cur.Reset()
@@ -38,6 +49,7 @@ func CreateHeap(path string, types []datum.Type) (*HeapWriter, error) {
 // HeapWriter bulk-appends tuples page by page.
 type HeapWriter struct {
 	hf   *HeapFile
+	w    *os.File // write handle (the same file hf.f reads)
 	cur  Page
 	wbuf []byte
 }
@@ -91,8 +103,8 @@ func (w *HeapWriter) appendOverflow(payload []byte) error {
 			end = len(payload)
 		}
 		copy(op.OverflowPayload(), payload[off:end])
-		if _, err := w.hf.f.Write(op.Bytes()); err != nil {
-			return fmt.Errorf("storage: writing overflow page: %w", err)
+		if _, err := w.w.Write(op.Bytes()); err != nil {
+			return fmt.Errorf("storage: heap %s: writing overflow page: %w", w.hf.path, err)
 		}
 		w.hf.pages++
 	}
@@ -108,8 +120,8 @@ func (w *HeapWriter) appendOverflow(payload []byte) error {
 }
 
 func (w *HeapWriter) flushPage() error {
-	if _, err := w.hf.f.Write(w.cur.Bytes()); err != nil {
-		return fmt.Errorf("storage: writing page: %w", err)
+	if _, err := w.w.Write(w.cur.Bytes()); err != nil {
+		return fmt.Errorf("storage: heap %s: writing page: %w", w.hf.path, err)
 	}
 	w.hf.pages++
 	w.cur.Reset()
@@ -124,24 +136,25 @@ func (w *HeapWriter) Finish(pool *Pool) (*HeapFile, error) {
 			return nil, err
 		}
 	}
-	if err := w.hf.f.Sync(); err != nil {
-		return nil, fmt.Errorf("storage: sync: %w", err)
+	if err := w.w.Sync(); err != nil {
+		return nil, fmt.Errorf("storage: heap %s: sync: %w", w.hf.path, err)
 	}
 	w.hf.pool = pool
 	w.hf.fileID = pool.Register(w.hf.f)
 	return w.hf, nil
 }
 
-// OpenHeap opens an existing heap file for reading.
+// OpenHeap opens an existing heap file for reading. Reads go through the
+// iofault seam, so page-level faults are injectable like raw-file ones.
 func OpenHeap(path string, types []datum.Type, pool *Pool) (*HeapFile, error) {
-	f, err := os.Open(path)
+	f, err := iofault.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("storage: %w", err)
+		return nil, fmt.Errorf("storage: opening heap %s: %w", path, err)
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("storage: %w", err)
+		return nil, fmt.Errorf("storage: heap %s: %w", path, err)
 	}
 	if st.Size()%PageSize != 0 {
 		f.Close()

@@ -26,7 +26,7 @@ type Relation struct {
 // Rows whose field count does not match the schema produce an error, like
 // a COPY failure would.
 func LoadCSV(tbl *schema.Table, heapPath string, pool *Pool) (*Relation, error) {
-	lr, f, err := scan.OpenFile(tbl.Path, 0)
+	lr, f, err := scan.OpenFile(tbl.Name, tbl.Path, 0)
 	if err != nil {
 		return nil, err
 	}

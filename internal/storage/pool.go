@@ -2,7 +2,7 @@ package storage
 
 import (
 	"fmt"
-	"os"
+	"io"
 	"sync"
 )
 
@@ -18,7 +18,7 @@ type Pool struct {
 	frames []frame
 	lookup map[PageID]int
 	hand   int
-	files  map[uint32]*os.File
+	files  map[uint32]io.ReaderAt
 	nextID uint32
 
 	hits, misses int64
@@ -46,12 +46,14 @@ func NewPool(n int) *Pool {
 	return &Pool{
 		frames: make([]frame, n),
 		lookup: make(map[PageID]int, n),
-		files:  make(map[uint32]*os.File),
+		files:  make(map[uint32]io.ReaderAt),
 	}
 }
 
 // Register adds an open file to the pool's file table, returning its id.
-func (p *Pool) Register(f *os.File) uint32 {
+// Any positioned reader works; heap files pass handles opened through the
+// iofault seam.
+func (p *Pool) Register(f io.ReaderAt) uint32 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	id := p.nextID

@@ -34,11 +34,34 @@ package nodb
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"nodb/internal/core"
 	"nodb/internal/datum"
 	"nodb/internal/format"
 	"nodb/internal/schema"
+)
+
+// Typed errors for raw-file faults. The engine guarantees a query returns
+// correct rows or one of these (errors.Is-able through the whole chain,
+// including the database/sql driver) — never silently wrong results built
+// from a file that changed underneath it.
+var (
+	// ErrFileChanged reports that a raw file was truncated, rewritten or
+	// otherwise modified externally while its adaptive state or an active
+	// scan depended on the old bytes. The state is invalidated; the next
+	// query rebuilds from the current file.
+	ErrFileChanged = format.ErrFileChanged
+	// ErrFileVanished reports that a raw file disappeared (unlinked or
+	// renamed away) after its table was registered.
+	ErrFileVanished = format.ErrFileVanished
+	// ErrCorruptAux reports auxiliary state (positional map, cache)
+	// inconsistent with the file — it is dropped and rebuilt.
+	ErrCorruptAux = format.ErrCorruptAux
+	// ErrRetriesExhausted reports that cold-rebuild retries (see
+	// Options.ScanRetries) were exhausted without a clean pass; the last
+	// underlying cause is wrapped.
+	ErrRetriesExhausted = format.ErrRetriesExhausted
 )
 
 // Type identifies a column type.
@@ -131,6 +154,17 @@ type Options struct {
 	// replaced by slots — so statements differing only in constants share
 	// one compilation.
 	KernelCacheSize int
+	// ScanRetries bounds how many additional cold attempts a scan makes
+	// after a retryable raw-file fault — the file changed or vanished
+	// underneath the adaptive structures, or a read failed (0 = default
+	// of 2, negative = no retries). Each retry invalidates the table's
+	// adaptive state and rebuilds from the current bytes; an exhausted
+	// budget surfaces ErrRetriesExhausted. Queries never return rows from
+	// mixed file versions regardless of this setting.
+	ScanRetries int
+	// RetryBackoff is the context-aware pause between scan retry attempts
+	// (0 = 5ms).
+	RetryBackoff time.Duration
 }
 
 // ColumnDef declares one column of a table.
@@ -239,6 +273,8 @@ func Open(cat *Catalog, opts Options) (*DB, error) {
 		PlanCacheSize:     opts.PlanCacheSize,
 		DisableKernels:    opts.DisableKernels,
 		KernelCacheSize:   opts.KernelCacheSize,
+		ScanRetries:       opts.ScanRetries,
+		RetryBackoff:      opts.RetryBackoff,
 	})
 	if err != nil {
 		return nil, err
