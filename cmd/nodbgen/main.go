@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"nodb/internal/datum"
 	"nodb/internal/fits"
@@ -54,8 +55,9 @@ func main() {
 		seed := fs.Int64("seed", 42, "random seed")
 		fs.Parse(os.Args[2:])
 		check(tpch.Generate(*dir, *sf, *seed))
+		check(tpch.WriteSchemaFile(filepath.Join(*dir, "schema.nodb")))
 		sz := tpch.SizesAt(*sf)
-		fmt.Printf("wrote TPC-H SF %g into %s (%d orders, ~%d lineitems)\n",
+		fmt.Printf("wrote TPC-H SF %g into %s (%d orders, ~%d lineitems) with schema.nodb\n",
 			*sf, *dir, sz.Orders, sz.LineitemApprox)
 
 	case "fits":

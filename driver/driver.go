@@ -42,6 +42,7 @@ import (
 	"context"
 	"database/sql"
 	"database/sql/driver"
+	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -53,6 +54,11 @@ import (
 
 	"nodb"
 )
+
+// ErrBadDSN reports a malformed data source name. Every DSN parse failure
+// wraps it, so callers can classify configuration mistakes with
+// errors.Is(err, nodbdriver.ErrBadDSN) without matching message text.
+var ErrBadDSN = errors.New("nodb driver: bad DSN")
 
 func init() {
 	sql.Register("nodb", &Driver{})
@@ -93,7 +99,10 @@ func parseDSN(dsn string) (config, error) {
 	for _, f := range fields {
 		k, v, ok := strings.Cut(f, "=")
 		if !ok {
-			return cfg, fmt.Errorf("nodb driver: DSN item %q is not key=value", f)
+			return cfg, fmt.Errorf("%w: item %q is not key=value", ErrBadDSN, f)
+		}
+		if v == "" {
+			return cfg, fmt.Errorf("%w: key %q has an empty value", ErrBadDSN, k)
 		}
 		switch strings.ToLower(k) {
 		case "schema":
@@ -102,7 +111,7 @@ func parseDSN(dsn string) (config, error) {
 			cfg.dir = v
 		case "mode":
 			switch strings.ToLower(v) {
-			case "", "pm+cache", "pmcache":
+			case "pm+cache", "pmcache":
 				cfg.opts.Mode = nodb.ModePMCache
 			case "pm":
 				cfg.opts.Mode = nodb.ModePM
@@ -113,30 +122,30 @@ func parseDSN(dsn string) (config, error) {
 			case "load-first", "loaded":
 				cfg.opts.Mode = nodb.ModeLoadFirst
 			default:
-				return cfg, fmt.Errorf("nodb driver: unknown mode %q", v)
+				return cfg, fmt.Errorf("%w: unknown mode %q", ErrBadDSN, v)
 			}
 		case "parallelism":
 			n, err := strconv.Atoi(v)
 			if err != nil {
-				return cfg, fmt.Errorf("nodb driver: bad parallelism %q", v)
+				return cfg, fmt.Errorf("%w: bad parallelism %q", ErrBadDSN, v)
 			}
 			cfg.opts.Parallelism = n
 		case "batch":
 			n, err := strconv.Atoi(v)
 			if err != nil {
-				return cfg, fmt.Errorf("nodb driver: bad batch %q", v)
+				return cfg, fmt.Errorf("%w: bad batch %q", ErrBadDSN, v)
 			}
 			cfg.opts.BatchSize = n
 		case "pm-budget":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return cfg, fmt.Errorf("nodb driver: bad pm-budget %q", v)
+				return cfg, fmt.Errorf("%w: bad pm-budget %q", ErrBadDSN, v)
 			}
 			cfg.opts.PositionalMapBudget = n
 		case "cache-budget":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return cfg, fmt.Errorf("nodb driver: bad cache-budget %q", v)
+				return cfg, fmt.Errorf("%w: bad cache-budget %q", ErrBadDSN, v)
 			}
 			cfg.opts.CacheBudget = n
 		case "stats":
@@ -146,16 +155,16 @@ func parseDSN(dsn string) (config, error) {
 			case "off", "false", "0":
 				cfg.opts.DisableStatistics = true
 			default:
-				return cfg, fmt.Errorf("nodb driver: bad stats %q (want on/off)", v)
+				return cfg, fmt.Errorf("%w: bad stats %q (want on/off)", ErrBadDSN, v)
 			}
 		case "data-dir":
 			cfg.opts.DataDir = v
 		default:
-			return cfg, fmt.Errorf("nodb driver: unknown DSN key %q", k)
+			return cfg, fmt.Errorf("%w: unknown key %q", ErrBadDSN, k)
 		}
 	}
 	if cfg.schema == "" {
-		return cfg, fmt.Errorf("nodb driver: DSN must set schema=PATH")
+		return cfg, fmt.Errorf("%w: missing required schema=PATH", ErrBadDSN)
 	}
 	if cfg.dir == "" {
 		cfg.dir = filepath.Dir(cfg.schema)

@@ -106,30 +106,55 @@ func TestSkeletonRebindMatchesLiteralPlans(t *testing.T) {
 	}
 }
 
-// TestUncacheableInListFallback: a placeholder inside an IN list cannot
-// ride a skeleton; the statement must still execute correctly per
-// binding via the immediate-binding path.
-func TestUncacheableInListFallback(t *testing.T) {
+// TestInListSlotVector: placeholders inside an IN list ride the skeleton
+// in the node's slot vector, so the prepared statement resolves once and
+// every binding still returns the same rows as the literal query.
+func TestInListSlotVector(t *testing.T) {
 	cat := buildFixture(t, t.TempDir(), 300)
 	e := openEngine(t, cat, Options{Mode: ModePMCache, Statistics: true})
 	p, err := e.PrepareStmt("SELECT count(*) FROM wide WHERE a IN ($1, $2)")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pair := range [][2]int64{{1, 4}, {0, 6}, {2, 2}} {
+	pairs := [][2]int64{{1, 4}, {0, 6}, {2, 2}}
+	got := make([][]exec.Row, len(pairs))
+	before := plan.SkeletonBuilds()
+	for i, pair := range pairs {
 		op, _, err := p.Plan(context.Background(),
 			[]datum.Datum{datum.NewInt(pair[0]), datum.NewInt(pair[1])}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rows, err := exec.Drain(op)
-		if err != nil {
+		if got[i], err = exec.Drain(op); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if builds := plan.SkeletonBuilds() - before; builds != 1 {
+		t.Errorf("3 IN-list bindings ran resolution %d times, want 1 (skeleton-cacheable)", builds)
+	}
+	for i, pair := range pairs {
 		want := mustQuery(t, e, fmt.Sprintf("SELECT count(*) FROM wide WHERE a IN (%d, %d)", pair[0], pair[1]))
-		if !reflect.DeepEqual(rows, want.Rows) {
-			t.Errorf("IN (%d,%d): fallback rows differ", pair[0], pair[1])
+		if !reflect.DeepEqual(got[i], want.Rows) {
+			t.Errorf("IN (%d,%d): rows differ from literal query", pair[0], pair[1])
 		}
+	}
+
+	// Mixed literal-and-placeholder lists bind the same way.
+	pm, err := e.PrepareStmt("SELECT count(*) FROM wide WHERE a IN (0, $1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _, err := pm.Plan(context.Background(), []datum.Datum{datum.NewInt(3)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustQuery(t, e, "SELECT count(*) FROM wide WHERE a IN (0, 3)")
+	if !reflect.DeepEqual(rows, want.Rows) {
+		t.Error("mixed literal/placeholder IN list rows differ from literal query")
 	}
 }
 

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"nodb/internal/format"
+)
+
+// CacheStats reports the effectiveness of one engine-level cache (the
+// prepared-statement LRU or the compiled-kernel program LRU).
+type CacheStats struct {
+	Size                    int
+	Hits, Misses, Evictions int64
+}
+
+// EngineStats is an engine-wide observability snapshot: cache
+// effectiveness plus the per-table scan counters summed over every table
+// touched so far. It is assembled from atomics and short-lived mutexes
+// only — taking it never waits behind a scan in flight, so a metrics
+// scrape cannot stall (or be stalled by) query traffic.
+type EngineStats struct {
+	StmtCache   CacheStats
+	KernelCache CacheStats
+
+	// TablesTouched counts tables with instantiated format sources (i.e.
+	// tables at least one query has reached).
+	TablesTouched int
+	// RowsKnown sums the known row counts of touched tables (-1 entries,
+	// tables not fully scanned yet, count as 0).
+	RowsKnown int64
+
+	// Scan-mode and parse-work totals over all touched tables.
+	ColdScans      int64
+	WarmScans      int64
+	ScanRetries    int64
+	TuplesParsed   int64
+	FieldsParsed   int64
+	FieldsFromMap  int64
+	FieldsFromScan int64
+	CacheHits      int64
+	CacheMisses    int64
+}
+
+// Stats assembles the engine-wide snapshot. Safe for concurrent use; see
+// EngineStats for the consistency contract (counters trail in-flight
+// scans, which flush at close).
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{StmtCache: e.stmts.stats()}
+	if e.kernels != nil {
+		ks := e.kernels.Snapshot()
+		s.KernelCache = CacheStats{Size: ks.Size, Hits: ks.Hits, Misses: ks.Misses, Evictions: ks.Evictions}
+	}
+	e.mu.Lock()
+	srcs := make([]format.Source, 0, len(e.sources))
+	for _, src := range e.sources {
+		srcs = append(srcs, src)
+	}
+	e.mu.Unlock()
+	s.TablesTouched = len(srcs)
+	for _, src := range srcs {
+		m := src.StatsLite()
+		if m.Rows > 0 {
+			s.RowsKnown += m.Rows
+		}
+		s.ColdScans += m.ColdScans
+		s.WarmScans += m.WarmScans
+		s.ScanRetries += m.ScanRetries
+		s.TuplesParsed += m.TuplesParsed
+		s.FieldsParsed += m.FieldsParsed
+		s.FieldsFromMap += m.FieldsFromMap
+		s.FieldsFromScan += m.FieldsFromScan
+		s.CacheHits += m.CacheHits
+		s.CacheMisses += m.CacheMisses
+	}
+	return s
+}
+
+// TableStatsLite returns the non-blocking per-table counter snapshots for
+// every touched table, keyed by table name.
+func (e *Engine) TableStatsLite() map[string]TableMetrics {
+	e.mu.Lock()
+	names := make([]string, 0, len(e.sources))
+	srcs := make([]format.Source, 0, len(e.sources))
+	for name, src := range e.sources {
+		names = append(names, name)
+		srcs = append(srcs, src)
+	}
+	e.mu.Unlock()
+	out := make(map[string]TableMetrics, len(srcs))
+	for i, src := range srcs {
+		out[names[i]] = src.StatsLite()
+	}
+	return out
+}

@@ -23,6 +23,8 @@ type stmtCache struct {
 	cap int
 	m   map[string]*list.Element
 	lru *list.List // of *stmtEntry; front = most recent
+
+	hits, misses, evictions int64 // effectiveness counters (guarded by mu)
 }
 
 type stmtEntry struct {
@@ -42,8 +44,10 @@ func (c *stmtCache) get(key string) (*Prepared, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
+		c.misses++
 		return nil, false
 	}
+	c.hits++
 	c.lru.MoveToFront(el)
 	return el.Value.(*stmtEntry).prep, true
 }
@@ -61,5 +65,13 @@ func (c *stmtCache) put(key string, p *Prepared) {
 		tail := c.lru.Back()
 		c.lru.Remove(tail)
 		delete(c.m, tail.Value.(*stmtEntry).key)
+		c.evictions++
 	}
+}
+
+// stats snapshots the cache effectiveness counters.
+func (c *stmtCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Size: c.lru.Len(), Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
 }

@@ -383,7 +383,7 @@ func FilterBatch(e Expr, cols [][]datum.Datum, n int, sel []int, buf []int) ([]i
 			return out, err
 		}
 	case *In:
-		if c, ok := node.E.(*ColRef); ok && c.Index >= 0 && c.Index < len(cols) {
+		if c, ok := node.E.(*ColRef); ok && len(node.Slots) == 0 && c.Index >= 0 && c.Index < len(cols) {
 			col := cols[c.Index]
 			appendLive(n, sel, &buf, func(i int) bool {
 				v := col[i]

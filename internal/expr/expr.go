@@ -335,15 +335,24 @@ func likeMatch(pattern, s string) bool {
 	return pi == len(pattern)
 }
 
-// In implements "expr IN (a, b, c)" over constant lists.
+// In implements "expr IN (a, b, c)" over constant lists. A skeleton-cached
+// statement may carry parameter placeholders in the list: they survive
+// resolution in Slots (the IN-list slot vector) and every execution's
+// BindSlots appends its bound values to List, so prepared
+// "WHERE x IN ($1, $2)" shares one cached skeleton instead of re-planning
+// per execution. A node with unbound Slots never reaches the executor.
 type In struct {
 	E      Expr
 	List   []datum.Datum
+	Slots  []*Slot // unbound parameters of the list; nil once bound
 	Negate bool
 }
 
 // Eval tests membership.
 func (in *In) Eval(row []datum.Datum) (datum.Datum, error) {
+	if len(in.Slots) > 0 {
+		return datum.Datum{}, fmt.Errorf("expr: unbound parameters in IN list")
+	}
 	v, err := in.E.Eval(row)
 	if err != nil {
 		return datum.Datum{}, err
@@ -368,9 +377,12 @@ func (in *In) Eval(row []datum.Datum) (datum.Datum, error) {
 func (in *In) Columns(dst []int) []int { return in.E.Columns(dst) }
 
 func (in *In) String() string {
-	items := make([]string, len(in.List))
-	for i, d := range in.List {
-		items[i] = d.String()
+	items := make([]string, 0, len(in.List)+len(in.Slots))
+	for _, d := range in.List {
+		items = append(items, d.String())
+	}
+	for _, s := range in.Slots {
+		items = append(items, s.String())
 	}
 	op := "IN"
 	if in.Negate {
@@ -598,7 +610,7 @@ func Remap(e Expr, mapping map[int]int) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &In{E: inner, List: n.List, Negate: n.Negate}, nil
+		return &In{E: inner, List: n.List, Slots: n.Slots, Negate: n.Negate}, nil
 	case *Between:
 		ev, err := Remap(n.E, mapping)
 		if err != nil {

@@ -91,10 +91,28 @@ func bindSlots(e Expr, bind func(*Slot) (datum.Datum, error)) (Expr, bool, error
 		return &Like{E: inner, Pattern: n.Pattern, Negate: n.Negate}, true, nil
 	case *In:
 		inner, c, err := bindSlots(n.E, bind)
-		if err != nil || !c {
-			return e, false, err
+		if err != nil {
+			return nil, false, err
 		}
-		return &In{E: inner, List: n.List, Negate: n.Negate}, true, nil
+		if len(n.Slots) == 0 {
+			if !c {
+				return e, false, nil
+			}
+			return &In{E: inner, List: n.List, Negate: n.Negate}, true, nil
+		}
+		// IN-list slot vector: the skeleton keeps the literal prefix and the
+		// placeholder tail separate; binding concatenates them. Membership is
+		// order-independent, so this is equivalent to in-place substitution.
+		list := make([]datum.Datum, 0, len(n.List)+len(n.Slots))
+		list = append(list, n.List...)
+		for _, s := range n.Slots {
+			d, err := bind(s)
+			if err != nil {
+				return nil, false, err
+			}
+			list = append(list, d)
+		}
+		return &In{E: inner, List: list, Negate: n.Negate}, true, nil
 	case *Between:
 		ev, ec, err := bindSlots(n.E, bind)
 		if err != nil {

@@ -113,8 +113,14 @@ type Source interface {
 	// AsRowOperator otherwise. ctx bounds the execution: implementations
 	// observe cancellation at scan-progress boundaries (every ~256 rows).
 	OpenScan(ctx context.Context, cols []int, conjuncts []expr.Expr) (exec.BatchOperator, error)
-	// Metrics snapshots the auxiliary-structure instrumentation.
+	// Metrics snapshots the auxiliary-structure instrumentation. It waits
+	// for a recording scan of the table in flight, so the picture is
+	// consistent.
 	Metrics() Metrics
+	// StatsLite snapshots the atomically maintained subset of Metrics
+	// without taking the table lock — for observability scrapes that must
+	// never block behind a scan.
+	StatsLite() Metrics
 	// Invalidate drops all auxiliary state, forcing the next query to
 	// rebuild it. It waits for scans of the table in flight.
 	Invalidate()

@@ -40,6 +40,7 @@ type GuardedScan struct {
 	retries    int           // additional cold attempts after a retryable fault
 	backoff    time.Duration // ctx-aware pause between attempts
 	invalidate func()        // drops the table's adaptive state (call holding Lk exclusive)
+	onRetry    func()        // instrumentation: one call per consumed retry
 
 	inner          ScanOperator
 	unlock         func()
@@ -78,6 +79,10 @@ func (g *GuardedScan) SetRowBudget(n int64) { g.budget = n }
 func (g *GuardedScan) SetRetry(retries int, backoff time.Duration, invalidate func()) {
 	g.retries, g.backoff, g.invalidate = retries, backoff, invalidate
 }
+
+// OnRetry installs an instrumentation hook invoked once per consumed
+// retry attempt (observability; never on the per-tuple hot path).
+func (g *GuardedScan) OnRetry(fn func()) { g.onRetry = fn }
 
 // Columns implements exec.Operator.
 func (g *GuardedScan) Columns() []exec.Col { return g.cols }
@@ -175,6 +180,9 @@ func (g *GuardedScan) takeRetry(err error) bool {
 		return false
 	}
 	g.attempt++
+	if g.onRetry != nil {
+		g.onRetry()
+	}
 	return true
 }
 

@@ -21,6 +21,13 @@ type Metrics struct {
 	FieldsParsed   int64
 	FieldsFromMap  int64
 	FieldsFromScan int64
+	// Scan-mode accounting: how many scans of this table ran cold (a
+	// recording raw-file pass) versus warm (served read-only from the
+	// binary cache), and how many fault-recovery retry attempts the
+	// guarded scans consumed.
+	ColdScans   int64
+	WarmScans   int64
+	ScanRetries int64
 }
 
 // ScanCounters are one scan's private (unsynchronized) instrumentation
@@ -46,6 +53,31 @@ type Counters struct {
 	fieldsFromScan atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
+
+	// Scan-mode counters update at decision time (NewScan's access-method
+	// choice, GuardedScan's retry loop), not through the ScanCounters
+	// flush: they count scans, not per-tuple work.
+	scansCold   atomic.Int64
+	scansWarm   atomic.Int64
+	scanRetries atomic.Int64
+}
+
+// ScanStarted records one access-method decision: warm scans serve from
+// the binary cache read-only, cold scans run a recording raw-file pass.
+func (tc *Counters) ScanStarted(warm bool) {
+	if warm {
+		tc.scansWarm.Add(1)
+	} else {
+		tc.scansCold.Add(1)
+	}
+}
+
+// RetryTaken records one consumed fault-recovery retry attempt.
+func (tc *Counters) RetryTaken() { tc.scanRetries.Add(1) }
+
+// ScanModes loads the scan-mode counters (cold, warm, retries).
+func (tc *Counters) ScanModes() (cold, warm, retries int64) {
+	return tc.scansCold.Load(), tc.scansWarm.Load(), tc.scanRetries.Load()
 }
 
 // Add publishes a scan's private counters and zeroes them.

@@ -241,15 +241,7 @@ func (st *State) Metrics() Metrics {
 	if err := st.Lk.RLock(context.Background()); err == nil {
 		defer st.Lk.RUnlock()
 	}
-	c := st.Counters.Snapshot()
-	m := Metrics{
-		Rows:           st.Rows.Load(),
-		ShortRows:      c.ShortRows,
-		TuplesParsed:   c.TuplesParsed,
-		FieldsParsed:   c.FieldsParsed,
-		FieldsFromMap:  c.FieldsFromMap,
-		FieldsFromScan: c.FieldsFromScan,
-	}
+	m := st.StatsLite()
 	if st.PM != nil {
 		pm := st.PM.Metrics()
 		m.PMPointers = pm.Pointers
@@ -260,13 +252,38 @@ func (st *State) Metrics() Metrics {
 		cm := st.Cache.Metrics()
 		m.CacheBytes = st.Cache.Bytes()
 		m.CacheUsage = st.Cache.Usage()
-		m.CacheHits = cm.Hits + c.CacheHits
-		m.CacheMisses = cm.Misses + c.CacheMisses
+		m.CacheHits += cm.Hits
+		m.CacheMisses += cm.Misses
 	}
 	if st.St != nil {
 		m.StatsColumns = st.St.CoveredColumns()
 	}
 	return m
+}
+
+// StatsLite implements Source: the atomically maintained subset of
+// Metrics, read WITHOUT the table lock, so observability scrapes never
+// wait behind a recording scan in flight. Positional-map and cache sizes
+// (owned by the exclusive hold) are omitted; cache hit/miss here covers
+// only the flushed scan counters, and per-tuple counters of a scan still
+// running are not yet included — the numbers trail in-flight work by one
+// scan, which is the right trade for a non-blocking scrape.
+func (st *State) StatsLite() Metrics {
+	c := st.Counters.Snapshot()
+	cold, warm, retries := st.Counters.ScanModes()
+	return Metrics{
+		Rows:           st.Rows.Load(),
+		ShortRows:      c.ShortRows,
+		TuplesParsed:   c.TuplesParsed,
+		FieldsParsed:   c.FieldsParsed,
+		FieldsFromMap:  c.FieldsFromMap,
+		FieldsFromScan: c.FieldsFromScan,
+		CacheHits:      c.CacheHits,
+		CacheMisses:    c.CacheMisses,
+		ColdScans:      cold,
+		WarmScans:      warm,
+		ScanRetries:    retries,
+	}
 }
 
 // Close releases the state's disk resources (positional-map spill file).
@@ -343,6 +360,7 @@ func (st *State) NewScan(ctx context.Context, outCols []int, conjuncts []expr.Ex
 	if st.Cache != nil && st.Env.CacheBudget <= 0 {
 		shared = func() (ScanOperator, error) {
 			if st.FileUnchanged() && st.CacheCovers(needed) {
+				st.Counters.ScanStarted(true)
 				return NewCacheScan(ctx, st, outCols, conjuncts, true), nil
 			}
 			return nil, nil
@@ -362,8 +380,10 @@ func (st *State) NewScan(ctx context.Context, outCols []int, conjuncts []expr.Ex
 			// in parallel. (With a budget, reads churn the LRU and may
 			// create entries, so the scan keeps the exclusive hold.)
 			readonly := st.Env.CacheBudget <= 0
+			st.Counters.ScanStarted(true)
 			return NewCacheScan(ctx, st, outCols, conjuncts, readonly), readonly, nil
 		}
+		st.Counters.ScanStarted(false)
 		if w := st.ScanWorkers(); w > 1 && plan.Par != nil {
 			return plan.Par(ctx, w), false, nil
 		}
@@ -372,5 +392,6 @@ func (st *State) NewScan(ctx context.Context, outCols []int, conjuncts []expr.Ex
 	gs := NewGuardedScan(ctx, st.Lk, cols, shared, exclusive)
 	retries, backoff := st.Env.RetryBudget()
 	gs.SetRetry(retries, backoff, st.InvalidateLocked)
+	gs.OnRetry(st.Counters.RetryTaken)
 	return gs
 }

@@ -77,12 +77,19 @@ type Cache struct {
 	m   map[string]*list.Element
 	lru *list.List // of *cacheEntry; front = most recent
 
-	hits, misses int64
+	hits, misses, evictions int64
 }
 
 type cacheEntry struct {
 	key  string
 	prog *program
+}
+
+// CacheStats is a point-in-time effectiveness snapshot of the program
+// cache.
+type CacheStats struct {
+	Size                    int
+	Hits, Misses, Evictions int64
 }
 
 // NewCache creates a program cache (capacity <= 0 uses DefaultCacheSize).
@@ -99,6 +106,13 @@ func (c *Cache) Stats() (size int, hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len(), c.hits, c.misses
+}
+
+// Snapshot reports cache effectiveness including evictions.
+func (c *Cache) Snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Size: c.lru.Len(), Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
 }
 
 // lookup returns the cached program for key, or compiles one shape via
@@ -129,6 +143,7 @@ func (c *Cache) lookup(key string, build func() *program) *program {
 		tail := c.lru.Back()
 		c.lru.Remove(tail)
 		delete(c.m, tail.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 	return prog
 }

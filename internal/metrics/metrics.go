@@ -1,0 +1,397 @@
+// Package metrics is the engine's and server's shared observability layer:
+// lock-free atomic instruments (Counter, Gauge, Histogram, labeled
+// families) collected in a Registry that renders the Prometheus text
+// exposition format and publishes an expvar snapshot.
+//
+// The design keeps the instrumented hot paths cheap — an instrument update
+// is one atomic add, never a lock or an allocation — and pushes every
+// formatting cost to scrape time. Engine internals that already maintain
+// their own counters (statement cache, kernel cache, per-table scan
+// counters) are exported through callback gauges (RegisterFunc), so the
+// registry reads them at scrape time instead of double-counting them on
+// the hot path. This follows the resource-visibility argument of
+// "Resource Utilization Monitoring for Raw Data Query Processing": raw-
+// data engines must account per-query work (tuples parsed, cache
+// effectiveness, scan mode) continuously, not post hoc.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative deltas are a programming
+// error and are ignored — counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed cumulative buckets, the
+// Prometheus histogram model: bucket i counts observations <= Bounds[i],
+// plus an implicit +Inf bucket, a total sum and a total count. Updates are
+// atomic adds; Observe never allocates.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// DefBuckets are latency-shaped default bounds in seconds (1ms..30s).
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Bucket search: bounds are few (tens), linear scan beats binary search
+	// and branches predictably for the common small-latency case.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns how many observations were recorded.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// kind is the Prometheus metric type of a registered family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one registered metric name: its metadata plus either direct
+// instruments (keyed by label value; "" = unlabeled) or a callback.
+type family struct {
+	name  string
+	help  string
+	kind  kind
+	label string // label name for labeled families; "" otherwise
+
+	mu       sync.Mutex // guards the maps below (reads at scrape + With)
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	fn       func() int64 // callback families (rendered as the family's kind)
+	order    []string     // label values in first-use order
+}
+
+// CounterVec is a family of counters split by one label.
+type CounterVec struct{ f *family }
+
+// With returns (creating on first use) the counter for one label value.
+func (v *CounterVec) With(labelValue string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	c, ok := v.f.counters[labelValue]
+	if !ok {
+		c = &Counter{}
+		v.f.counters[labelValue] = c
+		v.f.order = append(v.f.order, labelValue)
+	}
+	return c
+}
+
+// Registry holds registered metric families in registration order and
+// renders them for Prometheus scrapes and expvar.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[f.name]; ok {
+		// Same-name re-registration returns the existing family so tests
+		// and restarted servers cannot double-register; kinds must match.
+		if prev.kind != f.kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", f.name, f.kind, prev.kind))
+		}
+		return prev
+	}
+	r.byName[f.name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, kind: kindCounter, counters: map[string]*Counter{}})
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.counters[""]
+	if !ok {
+		c = &Counter{}
+		f.counters[""] = c
+		f.order = append(f.order, "")
+	}
+	return c
+}
+
+// CounterVec registers (or returns) a counter family split by labelName.
+func (r *Registry) CounterVec(name, help, labelName string) *CounterVec {
+	f := r.register(&family{name: name, help: help, kind: kindCounter, label: labelName, counters: map[string]*Counter{}})
+	return &CounterVec{f: f}
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, kind: kindGauge, gauges: map[string]*Gauge{}})
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g, ok := f.gauges[""]
+	if !ok {
+		g = &Gauge{}
+		f.gauges[""] = g
+		f.order = append(f.order, "")
+	}
+	return g
+}
+
+// Histogram registers (or returns) an unlabeled histogram with the given
+// bucket bounds (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(&family{name: name, help: help, kind: kindHistogram, hists: map[string]*Histogram{}})
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.hists[""]
+	if !ok {
+		h = newHistogram(bounds)
+		f.hists[""] = h
+		f.order = append(f.order, "")
+	}
+	return h
+}
+
+// RegisterFunc registers a callback metric: fn is read at scrape time.
+// Engine-internal counters that already exist (cache hit counts, tuples
+// parsed) export through this without hot-path double counting. asGauge
+// selects the advertised type (gauges for levels, counters for monotone
+// totals).
+func (r *Registry) RegisterFunc(name, help string, asGauge bool, fn func() int64) {
+	k := kindCounter
+	if asGauge {
+		k = kindGauge
+	}
+	f := r.register(&family{name: name, help: help, kind: k})
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// escapeLabel escapes a label value for the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		f.mu.Lock()
+		switch {
+		case f.fn != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.fn())
+		case f.kind == kindHistogram:
+			for _, lv := range f.order {
+				h := f.hists[lv]
+				cum := int64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, formatFloat(bound), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+				fmt.Fprintf(&b, "%s_sum %s\n", f.name, formatFloat(h.Sum()))
+				fmt.Fprintf(&b, "%s_count %d\n", f.name, h.Count())
+			}
+		default:
+			for _, lv := range f.order {
+				var val int64
+				if f.kind == kindCounter {
+					val = f.counters[lv].Value()
+				} else {
+					val = f.gauges[lv].Value()
+				}
+				if lv == "" {
+					fmt.Fprintf(&b, "%s %d\n", f.name, val)
+				} else {
+					fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", f.name, f.label, escapeLabel(lv), val)
+				}
+			}
+		}
+		f.mu.Unlock()
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every series as a flat name→value map (labeled series
+// as name{label="value"}); histograms contribute _sum and _count. This is
+// the expvar payload and what tests assert against.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	out := make(map[string]any)
+	for _, f := range fams {
+		f.mu.Lock()
+		switch {
+		case f.fn != nil:
+			out[f.name] = f.fn()
+		case f.kind == kindHistogram:
+			for _, lv := range f.order {
+				h := f.hists[lv]
+				out[f.name+"_sum"] = h.Sum()
+				out[f.name+"_count"] = h.Count()
+			}
+		default:
+			for _, lv := range f.order {
+				name := f.name
+				if lv != "" {
+					name = fmt.Sprintf("%s{%s=%q}", f.name, f.label, lv)
+				}
+				if f.kind == kindCounter {
+					out[name] = f.counters[lv].Value()
+				} else {
+					out[name] = f.gauges[lv].Value()
+				}
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// expvarOnce guards process-global expvar names: expvar.Publish panics on
+// duplicates, and tests build many registries.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar publishes the registry under the given expvar name (a
+// JSON snapshot recomputed per read). Re-publishing the same name rebinds
+// it to this registry instead of panicking.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if !expvarPublished[name] {
+		expvarPublished[name] = true
+		expvar.Publish(name, expvar.Func(func() any {
+			expvarMu.Lock()
+			reg := expvarTargets[name]
+			expvarMu.Unlock()
+			if reg == nil {
+				return nil
+			}
+			return reg.Snapshot()
+		}))
+	}
+	expvarTargets[name] = r
+}
+
+var expvarTargets = map[string]*Registry{}

@@ -114,25 +114,27 @@ func (b *builder) convertScalar(n sqlparse.Node) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		list := make([]datum.Datum, len(node.List))
-		for i, item := range node.List {
+		// IN lists hold literal values, not expressions; placeholders are
+		// carried through the skeleton in the node's slot vector and
+		// concatenated onto the literal list at bind time, so a prepared
+		// "x IN ($1, $2)" shares one cached skeleton across executions.
+		list := make([]datum.Datum, 0, len(node.List))
+		var slots []*expr.Slot
+		for _, item := range node.List {
 			ce, err := b.convertScalar(item)
 			if err != nil {
 				return nil, err
 			}
-			if _, isSlot := ce.(*expr.Slot); isSlot {
-				// IN lists hold literal values, not expressions, so a
-				// placeholder here cannot be carried by a skeleton; the
-				// caller re-plans per execution with immediate binding.
-				return nil, fmt.Errorf("%w: parameter inside IN list", ErrNotCacheable)
-			}
-			c, ok := ce.(*expr.Const)
-			if !ok {
+			switch c := ce.(type) {
+			case *expr.Slot:
+				slots = append(slots, c)
+			case *expr.Const:
+				list = append(list, c.D)
+			default:
 				return nil, fmt.Errorf("plan: IN list elements must be literals, got %s", item)
 			}
-			list[i] = c.D
 		}
-		return &expr.In{E: e, List: list, Negate: node.Negate}, nil
+		return &expr.In{E: e, List: list, Slots: slots, Negate: node.Negate}, nil
 	case *sqlparse.Like:
 		e, err := b.convertScalar(node.E)
 		if err != nil {

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control: a fixed pool of execution slots plus a bounded wait
+// queue in front of it. The two bounds fail differently on purpose —
+// a full queue answers 429 immediately (the client should back off), while
+// a slot that never frees within the queue timeout answers 503 (the server
+// is saturated; retry later). Draining refuses new work outright so an
+// in-flight SIGTERM can finish what it already admitted.
+var (
+	errQueueFull    = errors.New("server: admission queue full")
+	errQueueTimeout = errors.New("server: timed out waiting for an execution slot")
+	errDraining     = errors.New("server: draining, not accepting new queries")
+)
+
+type admission struct {
+	slots        chan struct{} // buffered; a token in the channel = a free slot
+	maxQueue     int64
+	queueTimeout time.Duration
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+}
+
+func newAdmission(slots int, maxQueue int, queueTimeout time.Duration) *admission {
+	a := &admission{
+		slots:        make(chan struct{}, slots),
+		maxQueue:     int64(maxQueue),
+		queueTimeout: queueTimeout,
+	}
+	for i := 0; i < slots; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when none
+// is free. The returned release function must be called exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a.draining.Load() {
+		return nil, errDraining
+	}
+	select {
+	case <-a.slots:
+	default:
+		if a.queued.Add(1) > a.maxQueue {
+			a.queued.Add(-1)
+			return nil, errQueueFull
+		}
+		t := time.NewTimer(a.queueTimeout)
+		defer t.Stop()
+		select {
+		case <-a.slots:
+			a.queued.Add(-1)
+		case <-t.C:
+			a.queued.Add(-1)
+			return nil, errQueueTimeout
+		case <-ctx.Done():
+			a.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	if a.draining.Load() {
+		a.slots <- struct{}{}
+		return nil, errDraining
+	}
+	a.inflight.Add(1)
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			a.inflight.Add(-1)
+			a.slots <- struct{}{}
+		}
+	}, nil
+}
+
+// drain stops admitting new queries and waits for in-flight ones to
+// finish, or for ctx to expire (returning its error with queries still
+// running).
+func (a *admission) drain(ctx context.Context) error {
+	a.draining.Store(true)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for a.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return nil
+}

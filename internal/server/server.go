@@ -1,0 +1,278 @@
+// Package server is nodbd's HTTP layer: a JSON query API streaming NDJSON
+// result rows straight off the engine's cursor, with the operational
+// armor a shared endpoint needs — admission control (bounded concurrency
+// with a bounded wait queue), per-query deadlines and row/byte budgets
+// enforced through context cancellation, server-issued sessions with
+// prepared-statement reuse, graceful drain, and a metrics registry
+// exposing both the HTTP layer and the engine's adaptive internals.
+//
+// Endpoints:
+//
+//	POST /query        {"sql", "args", "named", "session", "timeout_ms", "max_rows"}
+//	                   → NDJSON: header line, one line per row, trailer line
+//	POST /session      → {"session": id}; DELETE /session/{id} drops it
+//	GET  /tables       → catalog summary
+//	GET  /schema       → catalog with column types
+//	GET  /stats        → engine + server counters as JSON
+//	GET  /metrics      → Prometheus text exposition
+//	GET  /healthz      → 200 ok (503 while draining)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"nodb"
+	"nodb/internal/metrics"
+)
+
+// Config sizes the server's protection limits. Zero values take the
+// defaults documented per field.
+type Config struct {
+	DB *nodb.DB // required
+
+	// MaxConcurrent is the number of queries executing at once (default 8).
+	MaxConcurrent int
+	// MaxQueue bounds how many queries may wait for a slot before new
+	// arrivals get 429 (default 32).
+	MaxQueue int
+	// QueueTimeout bounds how long one query waits in the queue before 503
+	// (default 2s).
+	QueueTimeout time.Duration
+
+	// DefaultTimeout is the per-query deadline when the request does not
+	// set timeout_ms (default 30s); MaxTimeout caps what a request may ask
+	// for (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// DefaultMaxRows caps result rows when the request does not set
+	// max_rows (0 = unlimited). MaxResponseBytes caps the response body of
+	// one query (0 = unlimited); crossing it truncates the stream.
+	DefaultMaxRows   int64
+	MaxResponseBytes int64
+
+	// SessionTTL reaps sessions idle longer than this (default 5m).
+	// MaxSessions and MaxSessionStmts bound the session table and each
+	// session's statement cache (defaults 256 and 64).
+	SessionTTL      time.Duration
+	MaxSessions     int
+	MaxSessionStmts int
+
+	// Registry receives all instruments; a fresh one is created when nil.
+	Registry *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 32
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxSessionStmts <= 0 {
+		c.MaxSessionStmts = 64
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// Server is the HTTP front end over one shared engine. It implements
+// http.Handler; wire it into an http.Server to listen.
+type Server struct {
+	cfg      Config
+	db       *nodb.DB
+	adm      *admission
+	sessions *sessionManager
+	m        *serverMetrics
+	mux      *http.ServeMux
+	stopJan  chan struct{}
+}
+
+// New builds a server over db. Call Close when done to stop the session
+// janitor; call Drain before process exit for a clean shutdown.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("server: Config.DB is required")
+	}
+	cfg = cfg.withDefaults()
+	m := newServerMetrics(cfg.Registry)
+	s := &Server{
+		cfg:     cfg,
+		db:      cfg.DB,
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
+		m:       m,
+		mux:     http.NewServeMux(),
+		stopJan: make(chan struct{}),
+	}
+	s.sessions = newSessionManager(cfg.DB, cfg.SessionTTL, cfg.MaxSessions, cfg.MaxSessionStmts, m)
+
+	registerEngineMetrics(cfg.Registry, cfg.DB)
+	cfg.Registry.RegisterFunc("nodb_queries_inflight", "Queries currently executing.", true, s.adm.inflight.Load)
+	cfg.Registry.RegisterFunc("nodb_queries_queued", "Queries waiting for an execution slot.", true, s.adm.queued.Load)
+	cfg.Registry.RegisterFunc("nodb_sessions_active", "Live client sessions.", true, s.sessions.count)
+
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/session", s.handleSession)
+	s.mux.HandleFunc("/session/", s.handleSession)
+	s.mux.HandleFunc("/tables", s.handleTables)
+	s.mux.HandleFunc("/schema", s.handleSchema)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+
+	go s.janitor()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.m.httpRequests.With(r.URL.Path).Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admitting queries and waits for in-flight ones (bounded by
+// ctx). The HTTP listener itself is the caller's to shut down — drain
+// first, then http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error { return s.adm.drain(ctx) }
+
+// Close stops the session janitor. It does not drain; see Drain.
+func (s *Server) Close() { close(s.stopJan) }
+
+func (s *Server) janitor() {
+	t := time.NewTicker(s.cfg.SessionTTL / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopJan:
+			return
+		case now := <-t.C:
+			s.sessions.sweep(now)
+		}
+	}
+}
+
+// writeJSON writes v as a JSON body with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the JSON error envelope (also the NDJSON error trailer).
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, code int, kind string, err error) {
+	writeJSON(w, code, errorBody{Error: errorDetail{Kind: kind, Message: err.Error()}})
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/session":
+		id, err := s.sessions.create()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "sessions_exhausted", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"session": id})
+	case r.Method == http.MethodDelete && strings.HasPrefix(r.URL.Path, "/session/"):
+		id := strings.TrimPrefix(r.URL.Path, "/session/")
+		if !s.sessions.remove(id) {
+			writeError(w, http.StatusNotFound, "unknown_session", errUnknownSession)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+	default:
+		w.Header().Set("Allow", "POST, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Errorf("server: %s %s not supported", r.Method, r.URL.Path))
+	}
+}
+
+type tableJSON struct {
+	Name    string       `json:"name"`
+	Path    string       `json:"path"`
+	Format  string       `json:"format"`
+	Columns []columnJSON `json:"columns,omitempty"`
+}
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+func (s *Server) tablesJSON(withColumns bool) []tableJSON {
+	tbls := s.db.Tables()
+	out := make([]tableJSON, len(tbls))
+	for i, t := range tbls {
+		out[i] = tableJSON{Name: t.Name, Path: t.Path, Format: t.Format}
+		if withColumns {
+			cols := make([]columnJSON, len(t.Columns))
+			for j, c := range t.Columns {
+				cols[j] = columnJSON{Name: c.Name, Type: c.Type.String()}
+			}
+			out[i].Columns = cols
+		}
+	}
+	return out
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.tablesJSON(false)})
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.tablesJSON(true)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine":  s.db.Stats(),
+		"tables":  s.db.TableStats(),
+		"server":  s.cfg.Registry.Snapshot(),
+		"queued":  s.adm.queued.Load(),
+		"running": s.adm.inflight.Load(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.adm.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", errDraining)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.cfg.Registry.WritePrometheus(w)
+}

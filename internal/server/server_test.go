@@ -1,0 +1,526 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nodb"
+)
+
+// fixture writes an n-row CSV table "trips" and opens an engine over it.
+func fixture(t *testing.T, n int) *nodb.DB {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trips.csv")
+	var b bytes.Buffer
+	cities := []string{"athens", "basel", "cairo", "delft"}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%s,%d,%g\n", cities[i%len(cities)], i, float64(i)*1.5)
+	}
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat := nodb.NewCatalog()
+	if err := cat.AddCSV("trips", path,
+		nodb.Col("city", nodb.Text), nodb.Col("id", nodb.Int), nodb.Col("distance", nodb.Float)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := nodb.Open(cat, nodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// newTestServer builds a Server (with cfg.DB filled from fixture rows) and
+// an httptest front end.
+func newTestServer(t *testing.T, rows int, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.DB = fixture(t, rows)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postQuery sends a /query request and returns the response.
+func postQuery(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// ndjson splits a streamed response into decoded lines.
+func ndjson(t *testing.T, r io.Reader) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var m map[string]any
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("[")) {
+			var row []any
+			if err := json.Unmarshal(line, &row); err != nil {
+				t.Fatalf("bad row line %q: %v", line, err)
+			}
+			m = map[string]any{"row": row}
+		} else if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestQueryStreamsNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, 100, Config{})
+	resp := postQuery(t, ts, `{"sql": "SELECT city, id FROM trips WHERE id < 10"}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	lines := ndjson(t, resp.Body)
+	if len(lines) != 12 { // header + 10 rows + trailer
+		t.Fatalf("got %d lines, want 12", len(lines))
+	}
+	cols := lines[0]["columns"].([]any)
+	if len(cols) != 2 || cols[0].(map[string]any)["name"] != "city" {
+		t.Errorf("header = %v", lines[0])
+	}
+	row := lines[1]["row"].([]any)
+	if row[0] != "athens" || row[1].(float64) != 0 {
+		t.Errorf("first row = %v", row)
+	}
+	tr := lines[len(lines)-1]
+	if tr["rows"].(float64) != 10 {
+		t.Errorf("trailer = %v", tr)
+	}
+}
+
+func TestQueryParams(t *testing.T) {
+	_, ts := newTestServer(t, 100, Config{})
+	resp := postQuery(t, ts, `{"sql": "SELECT count(*) FROM trips WHERE id < $1 AND city = :c",
+		"args": [50], "named": {"c": "athens"}}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	lines := ndjson(t, resp.Body)
+	if n := lines[1]["row"].([]any)[0].(float64); n != 13 {
+		t.Errorf("count = %v, want 13 athens rows under id 50", n)
+	}
+
+	// IN-list parameters ride the skeleton cache through the server too.
+	resp = postQuery(t, ts, `{"sql": "SELECT count(*) FROM trips WHERE id IN ($1, $2, $3)",
+		"args": [1, 2, 999999]}`)
+	defer resp.Body.Close()
+	lines = ndjson(t, resp.Body)
+	if n := lines[1]["row"].([]any)[0].(float64); n != 2 {
+		t.Errorf("IN count = %v, want 2", n)
+	}
+}
+
+func TestRowBudgetTruncates(t *testing.T) {
+	_, ts := newTestServer(t, 100, Config{})
+	resp := postQuery(t, ts, `{"sql": "SELECT id FROM trips", "max_rows": 7}`)
+	defer resp.Body.Close()
+	lines := ndjson(t, resp.Body)
+	tr := lines[len(lines)-1]
+	if tr["rows"].(float64) != 7 || tr["truncated"] != true {
+		t.Errorf("trailer = %v, want 7 rows truncated", tr)
+	}
+	if len(lines) != 9 { // header + 7 rows + trailer
+		t.Errorf("got %d lines, want 9", len(lines))
+	}
+}
+
+func TestServerMaxRowsConfigCaps(t *testing.T) {
+	_, ts := newTestServer(t, 100, Config{DefaultMaxRows: 5})
+	resp := postQuery(t, ts, `{"sql": "SELECT id FROM trips", "max_rows": 50}`)
+	defer resp.Body.Close()
+	lines := ndjson(t, resp.Body)
+	tr := lines[len(lines)-1]
+	if tr["rows"].(float64) != 5 || tr["truncated"] != true {
+		t.Errorf("trailer = %v, want the server cap of 5 to win", tr)
+	}
+}
+
+func TestDeadlineEnforced(t *testing.T) {
+	// 200k rows force a non-trivial cold scan; a 1ms deadline cannot
+	// survive it. The deadline may fire before the stream starts (504
+	// body) or mid-stream (error trailer) — both must carry the kind.
+	s, ts := newTestServer(t, 200_000, Config{})
+	resp := postQuery(t, ts, `{"sql": "SELECT count(*) FROM trips WHERE distance > 1.0", "timeout_ms": 1}`)
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(body, []byte("deadline")) {
+		t.Fatalf("status %d body %q does not report the deadline", resp.StatusCode, body)
+	}
+	if got := s.m.queryErrors.With("deadline").Value(); got < 1 {
+		t.Errorf("deadline error count = %d, want >= 1", got)
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	_, ts := newTestServer(t, 500, Config{MaxConcurrent: 4})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/query", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"sql": "SELECT city, id FROM trips WHERE id >= $1", "args": [%d]}`, g*10)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("goroutine %d: status %d: %s", g, resp.StatusCode, b)
+				return
+			}
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			n := -1 // header line
+			var last string
+			for sc.Scan() {
+				last = sc.Text()
+				n++
+			}
+			var tr trailer
+			if err := json.Unmarshal([]byte(last), &tr); err != nil || tr.Rows != int64(500-g*10) {
+				errs <- fmt.Errorf("goroutine %d: rows %d (trailer %q)", g, n-1, last)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	s, ts := newTestServer(t, 100, Config{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 5 * time.Second})
+
+	// Occupy the only slot directly.
+	release, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One query may wait in the queue...
+	queued := make(chan int, 1)
+	go func() {
+		resp := postQuery(t, ts, `{"sql": "SELECT count(*) FROM trips"}`)
+		defer resp.Body.Close()
+		queued <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.adm.queued.Load() == 1 })
+
+	// ...the next one bounces immediately with 429.
+	resp := postQuery(t, ts, `{"sql": "SELECT count(*) FROM trips"}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("queue_full")) {
+		t.Errorf("body %s does not name queue_full", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	release()
+	if code := <-queued; code != http.StatusOK {
+		t.Errorf("queued query finished with %d, want 200", code)
+	}
+	if got := s.m.rejected.With("queue_full").Value(); got != 1 {
+		t.Errorf("queue_full rejections = %d, want 1", got)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	s, ts := newTestServer(t, 100, Config{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 30 * time.Millisecond})
+	release, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	resp := postQuery(t, ts, `{"sql": "SELECT count(*) FROM trips"}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("queue_timeout")) {
+		t.Errorf("body %s does not name queue_timeout", body)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t, 100, Config{MaxConcurrent: 2})
+
+	// An in-flight query pins the drain...
+	release, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(short); err == nil {
+		t.Fatal("Drain returned clean with a query in flight")
+	}
+
+	// ...new queries are refused while draining...
+	resp := postQuery(t, ts, `{"sql": "SELECT count(*) FROM trips"}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("during drain: status %d body %s, want 503 draining", resp.StatusCode, body)
+	}
+	if hr, err := http.Get(ts.URL + "/healthz"); err != nil || hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: %v %d, want 503", err, hr.StatusCode)
+	} else {
+		hr.Body.Close()
+	}
+
+	// ...and the drain completes once the in-flight query finishes.
+	release()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after release: %v", err)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	_, ts := newTestServer(t, 100, Config{})
+	cases := []struct {
+		name, body string
+		status     int
+		kind       string
+	}{
+		{"bad json", `{"sql": `, http.StatusBadRequest, "invalid"},
+		{"missing sql", `{}`, http.StatusBadRequest, "invalid"},
+		{"parse error", `{"sql": "SELEC city FROM trips"}`, http.StatusBadRequest, "invalid"},
+		{"unknown table", `{"sql": "SELECT a FROM nope"}`, http.StatusBadRequest, "invalid"},
+		{"unknown session", `{"sql": "SELECT id FROM trips", "session": "deadbeef"}`, http.StatusNotFound, "unknown_session"},
+		{"bad arg type", `{"sql": "SELECT id FROM trips WHERE id = $1", "args": [[1,2]]}`, http.StatusBadRequest, "invalid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postQuery(t, ts, tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatal(err)
+			}
+			if eb.Error.Kind != tc.kind {
+				t.Errorf("kind = %q, want %q", eb.Error.Kind, tc.kind)
+			}
+		})
+	}
+}
+
+func TestSessionStmtReuse(t *testing.T) {
+	s, ts := newTestServer(t, 100, Config{})
+
+	resp, err := http.Post(ts.URL+"/session", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := created["session"]
+	if id == "" {
+		t.Fatal("no session id issued")
+	}
+
+	q := fmt.Sprintf(`{"sql": "SELECT count(*) FROM trips WHERE id < $1", "args": [30], "session": %q}`, id)
+	for i := 0; i < 3; i++ {
+		r := postQuery(t, ts, q)
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d", i, r.StatusCode)
+		}
+	}
+	if p, u := s.m.stmtPrepared.Value(), s.m.stmtReused.Value(); p != 1 || u != 2 {
+		t.Errorf("prepared/reused = %d/%d, want 1/2", p, u)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session/"+id, nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil || dr.StatusCode != http.StatusOK {
+		t.Fatalf("delete session: %v %d", err, dr.StatusCode)
+	}
+	dr.Body.Close()
+	if s.sessions.count() != 0 {
+		t.Error("session survived delete")
+	}
+}
+
+func TestIntrospectionEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, 100, Config{})
+
+	// Warm the engine so /stats has content.
+	r := postQuery(t, ts, `{"sql": "SELECT count(*) FROM trips"}`)
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+
+	var tables struct {
+		Tables []tableJSON `json:"tables"`
+	}
+	resp, err := http.Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tables); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(tables.Tables) != 1 || tables.Tables[0].Name != "trips" || len(tables.Tables[0].Columns) != 3 {
+		t.Errorf("schema = %+v", tables)
+	}
+	if tables.Tables[0].Columns[1] != (columnJSON{Name: "id", Type: "INT"}) {
+		t.Errorf("column[1] = %+v", tables.Tables[0].Columns[1])
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	eng := stats["engine"].(map[string]any)
+	if eng["TuplesParsed"].(float64) == 0 {
+		t.Errorf("stats engine = %v", eng)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 100, Config{})
+	r := postQuery(t, ts, `{"sql": "SELECT city FROM trips WHERE id < 10"}`)
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Errorf("content type = %q", resp.Header.Get("Content-Type"))
+	}
+
+	families := map[string]bool{}
+	for _, line := range strings.Split(string(body), "\n") {
+		var name string
+		if _, err := fmt.Sscanf(line, "# TYPE %s", &name); err == nil {
+			families[name] = true
+		}
+	}
+	if len(families) < 12 {
+		t.Errorf("only %d metric families exposed, want >= 12:\n%s", len(families), body)
+	}
+	for _, want := range []string{
+		"nodb_queries_total", "nodb_query_duration_seconds", "nodb_query_rows_total",
+		"nodb_query_queue_wait_seconds", "nodb_admission_rejected_total",
+		"nodb_engine_stmt_cache_hits_total", "nodb_engine_kernel_cache_misses_total",
+		"nodb_engine_scans_cold_total", "nodb_engine_tuples_parsed_total",
+		"nodb_queries_inflight", "nodb_sessions_active",
+	} {
+		if !families[want] {
+			t.Errorf("metric family %s missing", want)
+		}
+	}
+	if !strings.Contains(string(body), `nodb_queries_total{outcome="ok"} 1`) {
+		t.Error("ok-outcome query counter not incremented")
+	}
+	if !strings.Contains(string(body), "nodb_engine_tuples_parsed_total 100") {
+		t.Error("engine tuple counter missing or wrong")
+	}
+}
+
+func TestExecStatement(t *testing.T) {
+	s, ts := newTestServer(t, 10, Config{})
+	_ = s
+	resp := postQuery(t, ts, `{"sql": "INSERT INTO trips VALUES ('zurich', 10, 15.0)"}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Skipf("engine does not accept INSERT here: %s", body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil || out["rows_affected"].(float64) != 1 {
+		t.Fatalf("exec response = %s", body)
+	}
+	r := postQuery(t, ts, `{"sql": "SELECT count(*) FROM trips"}`)
+	lines := ndjson(t, r.Body)
+	r.Body.Close()
+	if n := lines[1]["row"].([]any)[0].(float64); n != 11 {
+		t.Errorf("count after insert = %v, want 11", n)
+	}
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 2s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

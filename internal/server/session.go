@@ -1,0 +1,140 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"nodb"
+)
+
+// Sessions give a client an island of prepared-statement reuse: the first
+// execution of a SQL text inside a session prepares it (hitting the
+// engine's shared statement cache), later executions skip even the
+// normalize-and-lookup step. Sessions are server-issued, capped in number
+// and statements, and reaped after an idle TTL — an abandoned session
+// cannot pin memory forever.
+var errUnknownSession = errors.New("server: unknown or expired session")
+
+type sessionManager struct {
+	db          *nodb.DB
+	ttl         time.Duration
+	maxSessions int
+	maxStmts    int
+	m           *serverMetrics
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+type session struct {
+	mu       sync.Mutex
+	stmts    map[string]*nodb.Stmt
+	order    []string // LRU order, oldest first
+	lastUsed time.Time
+}
+
+func newSessionManager(db *nodb.DB, ttl time.Duration, maxSessions, maxStmts int, m *serverMetrics) *sessionManager {
+	return &sessionManager{
+		db: db, ttl: ttl, maxSessions: maxSessions, maxStmts: maxStmts, m: m,
+		sessions: make(map[string]*session),
+	}
+}
+
+// create registers a new session and returns its id, or an error when the
+// session table is full.
+func (sm *sessionManager) create() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	id := hex.EncodeToString(b[:])
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if len(sm.sessions) >= sm.maxSessions {
+		return "", errors.New("server: session limit reached")
+	}
+	sm.sessions[id] = &session{stmts: make(map[string]*nodb.Stmt), lastUsed: time.Now()}
+	return id, nil
+}
+
+// lookup returns the live session for id, refreshing its idle clock.
+func (sm *sessionManager) lookup(id string) (*session, error) {
+	sm.mu.Lock()
+	s := sm.sessions[id]
+	sm.mu.Unlock()
+	if s == nil {
+		return nil, errUnknownSession
+	}
+	s.mu.Lock()
+	s.lastUsed = time.Now()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// remove drops a session; its statements are owned by the engine's shared
+// cache, so dropping the handles is enough.
+func (sm *sessionManager) remove(id string) bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if _, ok := sm.sessions[id]; !ok {
+		return false
+	}
+	delete(sm.sessions, id)
+	return true
+}
+
+// count reports the number of live sessions (for the sessions gauge).
+func (sm *sessionManager) count() int64 {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return int64(len(sm.sessions))
+}
+
+// sweep reaps sessions idle past the TTL; the janitor calls it
+// periodically.
+func (sm *sessionManager) sweep(now time.Time) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	for id, s := range sm.sessions {
+		s.mu.Lock()
+		idle := now.Sub(s.lastUsed)
+		s.mu.Unlock()
+		if idle > sm.ttl {
+			delete(sm.sessions, id)
+		}
+	}
+}
+
+// stmt returns the session's prepared statement for sql, preparing and
+// caching it on first use (evicting the least recently used statement when
+// the per-session cap is reached).
+func (sm *sessionManager) stmt(s *session, sql string) (*nodb.Stmt, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.stmts[sql]; ok {
+		for i, k := range s.order {
+			if k == sql {
+				s.order = append(append(s.order[:i:i], s.order[i+1:]...), sql)
+				break
+			}
+		}
+		sm.m.stmtReused.Inc()
+		return st, nil
+	}
+	st, err := sm.db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.order) >= sm.maxStmts {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.stmts, oldest)
+	}
+	s.stmts[sql] = st
+	s.order = append(s.order, sql)
+	sm.m.stmtPrepared.Inc()
+	return st, nil
+}

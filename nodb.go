@@ -34,6 +34,7 @@ package nodb
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"nodb/internal/core"
@@ -254,11 +255,52 @@ type DB struct {
 	eng *core.Engine
 }
 
+// validate rejects option values the engine would otherwise misbehave on
+// silently, and normalizes the documented zero/negative conventions.
+func (o *Options) validate() error {
+	if o.Mode < ModePMCache || o.Mode > ModeLoadFirst {
+		return fmt.Errorf("nodb: unknown Mode %d", o.Mode)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("nodb: Parallelism must be >= 0 (0 = GOMAXPROCS), got %d", o.Parallelism)
+	}
+	if o.BatchSize < 0 {
+		return fmt.Errorf("nodb: BatchSize must be >= 0 (0 = default %d), got %d", 1024, o.BatchSize)
+	}
+	if o.PlanCacheSize < 0 {
+		return fmt.Errorf("nodb: PlanCacheSize must be >= 0 (0 = default 256), got %d", o.PlanCacheSize)
+	}
+	if o.KernelCacheSize < 0 {
+		return fmt.Errorf("nodb: KernelCacheSize must be >= 0 (0 = default 256), got %d", o.KernelCacheSize)
+	}
+	if o.PositionalMapBudget < 0 {
+		return fmt.Errorf("nodb: PositionalMapBudget must be >= 0 (0 = unlimited), got %d", o.PositionalMapBudget)
+	}
+	if o.CacheBudget < 0 {
+		return fmt.Errorf("nodb: CacheBudget must be >= 0 (0 = unlimited), got %d", o.CacheBudget)
+	}
+	if o.RetryBackoff < 0 {
+		return fmt.Errorf("nodb: RetryBackoff must be >= 0 (0 = default 5ms), got %v", o.RetryBackoff)
+	}
+	// ScanRetries: negative is the documented "no retries" convention;
+	// normalize every negative value to -1 so callers cannot depend on
+	// the magnitude.
+	if o.ScanRetries < 0 {
+		o.ScanRetries = -1
+	}
+	return nil
+}
+
 // Open creates a DB. No data is read until the first query touches a
-// table — the data-to-query time of a NoDB engine is zero.
+// table — the data-to-query time of a NoDB engine is zero. Invalid option
+// values (negative sizes, unknown modes) are rejected here rather than
+// surfacing as misbehavior at the first query.
 func Open(cat *Catalog, opts Options) (*DB, error) {
 	if cat == nil {
 		return nil, fmt.Errorf("nodb: nil catalog")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	eng, err := core.Open(cat.cat, core.Options{
 		Mode:              opts.Mode.coreMode(),
@@ -377,6 +419,45 @@ type Metrics = core.TableMetrics
 // Metrics returns instrumentation counters for a table (zero value if the
 // table has not been queried yet).
 func (db *DB) Metrics(table string) Metrics { return db.eng.Metrics(table) }
+
+// Stats is an engine-wide observability snapshot: prepared-statement and
+// kernel-cache effectiveness, cold/warm scan counts, retry counts and
+// parse-work totals over every table touched so far. See core.EngineStats.
+type Stats = core.EngineStats
+
+// Stats snapshots engine-wide counters. It reads atomics and short-lived
+// mutexes only — never table locks — so calling it from a metrics scraper
+// cannot stall query traffic (the numbers trail scans in flight, which
+// flush their counters at close).
+func (db *DB) Stats() Stats { return db.eng.Stats() }
+
+// TableStats returns the non-blocking per-table counter snapshot for every
+// table at least one query has touched, keyed by table name.
+func (db *DB) TableStats() map[string]Metrics { return db.eng.TableStatsLite() }
+
+// TableInfo describes one catalog table for introspection surfaces (the
+// nodbd /tables and /schema endpoints).
+type TableInfo struct {
+	Name    string
+	Path    string
+	Format  string
+	Columns []Column
+}
+
+// Tables lists the catalog's registered tables in name order.
+func (db *DB) Tables() []TableInfo {
+	tbls := db.eng.Catalog().Tables()
+	out := make([]TableInfo, 0, len(tbls))
+	for _, t := range tbls {
+		ti := TableInfo{Name: t.Name, Path: t.Path, Format: string(t.Format)}
+		for _, c := range t.Columns {
+			ti.Columns = append(ti.Columns, Column{Name: c.Name, Type: c.Type})
+		}
+		out = append(out, ti)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
 
 // Close releases all files and auxiliary structures.
 func (db *DB) Close() error { return db.eng.Close() }
