@@ -77,12 +77,13 @@ func mergeFigures(path string, ran []jsonFigure) jsonOutput {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure ids (fig3..fig13, fig8a, fig8b, scan, exec, formats, kernels) or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure ids (fig3..fig13, fig8a, fig8b, scan, exec, formats, kernels, sidecar) or 'all'")
 	scale := flag.String("scale", "default", "experiment scale: small or default")
 	workDir := flag.String("workdir", "", "dataset/work directory (default: a temp dir, removed on exit)")
 	out := flag.String("out", "BENCH_exec.json", "machine-readable results file (empty = don't write)")
 	formatsOut := flag.String("formats-out", "BENCH_formats.json", "results file for the per-format figure (empty = don't write)")
 	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "results file for the kernel-compiler figure (empty = don't write)")
+	sidecarOut := flag.String("sidecar-out", "BENCH_sidecar.json", "results file for the durable-state figure (empty = don't write)")
 	flag.Parse()
 
 	dir := *workDir
@@ -138,13 +139,15 @@ func main() {
 	// The per-format and kernel-compiler figures keep their own artifacts
 	// (BENCH_formats.json, BENCH_kernels.json), so each performance
 	// trajectory is trackable without touching the executor figures' file.
-	var execFigs, formatFigs, kernelFigs []jsonFigure
+	var execFigs, formatFigs, kernelFigs, sidecarFigs []jsonFigure
 	for _, f := range ran {
 		switch f.ID {
 		case "formats":
 			formatFigs = append(formatFigs, f)
 		case "kernels":
 			kernelFigs = append(kernelFigs, f)
+		case "sidecar":
+			sidecarFigs = append(sidecarFigs, f)
 		default:
 			execFigs = append(execFigs, f)
 		}
@@ -152,6 +155,7 @@ func main() {
 	writeArtifact(*out, execFigs)
 	writeArtifact(*formatsOut, formatFigs)
 	writeArtifact(*kernelsOut, kernelFigs)
+	writeArtifact(*sidecarOut, sidecarFigs)
 }
 
 // writeArtifact merges the run's figures into path (no-op when nothing

@@ -8,10 +8,11 @@
 //
 // Endpoints (see internal/server):
 //
-//	POST /query     streaming NDJSON query API
-//	POST /session   prepared-statement reuse islands
+//	POST /query      streaming NDJSON query API
+//	POST /session    prepared-statement reuse islands
+//	POST /checkpoint force a sidecar flush (requires -sidecar)
 //	GET  /tables /schema /stats /healthz
-//	GET  /metrics   Prometheus text exposition
+//	GET  /metrics    Prometheus text exposition
 //	GET  /debug/vars expvar (stdlib)
 //
 // SIGTERM or SIGINT starts a graceful drain: new queries get 503, running
@@ -53,6 +54,9 @@ func main() {
 	maxRows := flag.Int64("max-rows", 0, "default per-query row budget (0 = unlimited)")
 	maxBytes := flag.Int64("max-bytes", 0, "per-query response byte budget (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	sidecar := flag.Bool("sidecar", false, "persist adaptive state to crash-safe sidecar files (warm restarts)")
+	sidecarDir := flag.String("sidecar-dir", "", "directory for sidecar files (default: next to each raw file)")
+	sidecarMax := flag.Int64("sidecar-max-bytes", 0, "per-table sidecar size budget in bytes (0 = unlimited)")
 	flag.Parse()
 
 	if *schemaPath == "" {
@@ -75,6 +79,11 @@ func main() {
 		PositionalMapBudget: *pmBudget,
 		CacheBudget:         *cacheBudget,
 		Parallelism:         *parallel,
+		Sidecar: nodb.SidecarOptions{
+			Enable:   *sidecar,
+			Dir:      *sidecarDir,
+			MaxBytes: *sidecarMax,
+		},
 	})
 	if err != nil {
 		log.Fatalf("nodbd: %v", err)

@@ -32,6 +32,13 @@
 //	cache-budget  binary cache budget in bytes (0 = unlimited)
 //	stats         on | off (default on)
 //	data-dir      where load-first mode writes heap files
+//	sidecar       on | off (default off) — persist positional maps, hot
+//	              cached columns and statistics to crash-safe sidecar
+//	              files so a restarted engine starts warm
+//	sidecar-dir   directory for sidecar files (default: next to each raw
+//	              data file)
+//	sidecar-max-bytes
+//	              per-table sidecar size budget in bytes (0 = unlimited)
 //
 // Every connection of one sql.DB shares a single engine, so the adaptive
 // structures warm once and serve the whole pool; the engine's per-table
@@ -159,6 +166,23 @@ func parseDSN(dsn string) (config, error) {
 			}
 		case "data-dir":
 			cfg.opts.DataDir = v
+		case "sidecar":
+			switch strings.ToLower(v) {
+			case "on", "true", "1":
+				cfg.opts.Sidecar.Enable = true
+			case "off", "false", "0":
+				cfg.opts.Sidecar.Enable = false
+			default:
+				return cfg, fmt.Errorf("%w: bad sidecar %q (want on/off)", ErrBadDSN, v)
+			}
+		case "sidecar-dir":
+			cfg.opts.Sidecar.Dir = v
+		case "sidecar-max-bytes":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("%w: bad sidecar-max-bytes %q", ErrBadDSN, v)
+			}
+			cfg.opts.Sidecar.MaxBytes = n
 		default:
 			return cfg, fmt.Errorf("%w: unknown key %q", ErrBadDSN, k)
 		}

@@ -28,6 +28,8 @@ func TestParseDSNErrors(t *testing.T) {
 		{"bad pm-budget", "schema=s.nodb;pm-budget=1e9", "pm-budget"},
 		{"bad cache-budget", "schema=s.nodb;cache-budget=much", "cache-budget"},
 		{"bad stats", "schema=s.nodb;stats=maybe", "stats"},
+		{"bad sidecar", "schema=s.nodb;sidecar=perhaps", "sidecar"},
+		{"bad sidecar-max-bytes", "schema=s.nodb;sidecar-max-bytes=lots", "sidecar-max-bytes"},
 		{"garbage separators", ";;=;schema=s.nodb", "empty value"},
 	}
 	for _, tc := range cases {
@@ -49,7 +51,7 @@ func TestParseDSNErrors(t *testing.T) {
 // TestParseDSNValid: well-formed DSNs map onto the engine options, with
 // semicolons, spaces, and mixed separators all accepted.
 func TestParseDSNValid(t *testing.T) {
-	cfg, err := parseDSN("schema=/data/w.nodb; mode=pm parallelism=4\tbatch=512;pm-budget=1048576 cache-budget=2097152;stats=off;data-dir=/tmp/heap;dir=/data")
+	cfg, err := parseDSN("schema=/data/w.nodb; mode=pm parallelism=4\tbatch=512;pm-budget=1048576 cache-budget=2097152;stats=off;data-dir=/tmp/heap;dir=/data;sidecar=on;sidecar-dir=/tmp/aux;sidecar-max-bytes=4096")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,6 +62,7 @@ func TestParseDSNValid(t *testing.T) {
 		Mode: nodb.ModePM, Parallelism: 4, BatchSize: 512,
 		PositionalMapBudget: 1 << 20, CacheBudget: 2 << 20,
 		DisableStatistics: true, DataDir: "/tmp/heap",
+		Sidecar: nodb.SidecarOptions{Enable: true, Dir: "/tmp/aux", MaxBytes: 4096},
 	}
 	if cfg.opts != want {
 		t.Errorf("opts = %+v, want %+v", cfg.opts, want)

@@ -259,11 +259,12 @@ func TestFig13WidthDegradation(t *testing.T) {
 
 func TestRegistryAndPrint(t *testing.T) {
 	ids := FigureIDs()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Fatalf("figures = %v", ids)
 	}
-	if ids[0] != "fig3" || ids[len(ids)-5] != "fig13" || ids[len(ids)-4] != "exec" ||
-		ids[len(ids)-3] != "formats" || ids[len(ids)-2] != "kernels" || ids[len(ids)-1] != "scan" {
+	if ids[0] != "fig3" || ids[len(ids)-6] != "fig13" || ids[len(ids)-5] != "exec" ||
+		ids[len(ids)-4] != "formats" || ids[len(ids)-3] != "kernels" ||
+		ids[len(ids)-2] != "scan" || ids[len(ids)-1] != "sidecar" {
 		t.Errorf("figure order = %v", ids)
 	}
 	if _, err := Run("nope", tiny(t)); err == nil {

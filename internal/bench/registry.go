@@ -28,6 +28,7 @@ var Figures = map[string]Runner{
 	"exec":    ExecFig,    // not in the paper: vectorized vs row execution
 	"formats": FormatsFig, // not in the paper: raw-format sources, cold vs warm
 	"kernels": KernelsFig, // not in the paper: compiled kernels + skeleton cache
+	"sidecar": SidecarFig, // not in the paper: durable adaptive state restart
 }
 
 // FigureIDs lists the figure ids in presentation order.

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nodb/internal/core"
+)
+
+// SidecarFig measures durable adaptive state (not a paper figure — this
+// repo's extension): the same selective aggregate is run against a fresh
+// engine three ways — cold (no prior state anywhere), in-memory warm
+// (second query of the same engine), and warm-from-disk (a NEW engine
+// whose positional map, column cache and statistics were restored from
+// the checkpointed sidecar file). The figure doubles as a gate: all three
+// runs must return identical results, and the warm-from-disk restart must
+// parse (near) zero raw tuples.
+func SidecarFig(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	cat, rows, err := formatsTables(cfg)
+	if err != nil {
+		return nil, err
+	}
+	auxDir := filepath.Join(cfg.WorkDir, "sidecar-aux")
+	// Start from a clean slate so "cold" really is cold.
+	if err := os.RemoveAll(auxDir); err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		Mode:    core.ModePMCache,
+		Sidecar: core.SidecarOptions{Enable: true, Dir: auxDir},
+	}
+	q := "SELECT count(*), avg(mag), avg(flux) FROM obs_csv"
+
+	rep := &Report{
+		ID:     "sidecar",
+		Title:  "Durable adaptive state: cold start vs warm-from-disk restart",
+		Header: []string{"phase", "query_ms", "krows_s", "tuples_parsed"},
+	}
+	rep.AddNote("%d rows; query: %s", rows, q)
+
+	// Run 1: cold engine, no sidecar on disk yet.
+	e1, err := paperOpen(cat, opts)
+	if err != nil {
+		return nil, err
+	}
+	coldD, coldRes, err := timeQueryResult(e1, q)
+	if err != nil {
+		e1.Close()
+		return nil, err
+	}
+	coldParsed := e1.Stats().TuplesParsed
+	memD, memRes, err := timeQueryResult(e1, q)
+	if err != nil {
+		e1.Close()
+		return nil, err
+	}
+	memParsed := e1.Stats().TuplesParsed - coldParsed
+	if err := e1.Checkpoint(context.Background()); err != nil {
+		e1.Close()
+		return nil, err
+	}
+	if err := e1.Close(); err != nil {
+		return nil, err
+	}
+
+	// Run 2: a brand-new engine restores the adaptive state from disk.
+	e2, err := paperOpen(cat, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer e2.Close()
+	diskD, diskRes, err := timeQueryResult(e2, q)
+	if err != nil {
+		return nil, err
+	}
+	diskParsed := e2.Stats().TuplesParsed
+	if sc := e2.SidecarStats(); sc.LoadHits < 1 {
+		return nil, fmt.Errorf("bench: warm restart did not load the sidecar: %+v", sc)
+	}
+
+	// Equivalence gate: persistence must never change answers.
+	if memRes != coldRes || diskRes != coldRes {
+		return nil, fmt.Errorf("bench: sidecar results disagree: cold %s, mem-warm %s, disk-warm %s",
+			coldRes, memRes, diskRes)
+	}
+	// The whole point of the subsystem: a restart skips raw parsing.
+	if diskParsed > coldParsed/10 {
+		return nil, fmt.Errorf("bench: warm-from-disk restart parsed %d of %d raw tuples",
+			diskParsed, coldParsed)
+	}
+
+	for _, p := range []struct {
+		name   string
+		d      float64
+		parsed int64
+	}{
+		{"cold", coldD.Seconds(), coldParsed},
+		{"warm_memory", memD.Seconds(), memParsed},
+		{"warm_from_disk", diskD.Seconds(), diskParsed},
+	} {
+		rep.AddRow(p.name, fmt.Sprintf("%.3f", p.d*1e3),
+			fmt.Sprintf("%.0f", float64(rows)/p.d/1e3), fmt.Sprintf("%d", p.parsed))
+		rep.AddMetric(p.name+"_ms", p.d*1e3)
+	}
+	rep.AddMetric("warm_from_disk_tuples_parsed", float64(diskParsed))
+	rep.AddMetric("warm_from_disk_speedup", coldD.Seconds()/diskD.Seconds())
+	return rep, nil
+}

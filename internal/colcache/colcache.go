@@ -225,6 +225,69 @@ func (c *Cache) Absorb(sh *Cache, rowOffset int) {
 	}
 }
 
+// ColumnData is the serializable content of one cached column — what the
+// sidecar checkpoints and restores. Only the payload slice matching Type
+// is populated.
+type ColumnData struct {
+	Col     int
+	Type    datum.Type
+	N       int // rows present
+	Present []uint64
+	Nulls   []uint64
+	Ints    []int64
+	Floats  []float64
+	Strs    []string
+}
+
+// Export snapshots col's entry for checkpointing. The returned slices
+// alias the live entry: callers serialize under the table lock and must
+// not retain them past it.
+func (c *Cache) Export(col int) (ColumnData, bool) {
+	e, ok := c.cols[col]
+	if !ok {
+		return ColumnData{}, false
+	}
+	return ColumnData{
+		Col: e.col, Type: e.typ, N: e.n,
+		Present: e.present, Nulls: e.nulls,
+		Ints: e.ints, Floats: e.floats, Strs: e.strs,
+	}, true
+}
+
+// Restore installs a previously exported column wholesale, recomputing the
+// byte accounting. Best-effort like every cache insert: when the entry
+// cannot fit in the budget even after evictions it is skipped and the
+// cache is unchanged. An existing entry for the column is replaced.
+func (c *Cache) Restore(d ColumnData) bool {
+	if d.N <= 0 || len(d.Present) == 0 {
+		return false
+	}
+	bytes := int64(entryOverhead) + int64(16*len(d.Present))
+	for r := 0; r < len(d.Present)*64; r++ {
+		if !bitGet(d.Present, r) {
+			continue
+		}
+		if d.Type == datum.Text && !bitGet(d.Nulls, r) && r < len(d.Strs) {
+			bytes += int64(16 + len(d.Strs[r]))
+		} else {
+			bytes += 8
+		}
+	}
+	c.Drop(d.Col)
+	e := &entry{
+		col: d.Col, typ: d.Type, n: d.N, bytes: bytes,
+		present: d.Present, nulls: d.Nulls,
+		ints: d.Ints, floats: d.Floats, strs: d.Strs,
+	}
+	if !c.makeRoom(bytes, e) {
+		return false
+	}
+	c.cols[d.Col] = e
+	e.elem = c.lru.PushFront(e)
+	c.bytes += bytes
+	return true
+}
+
 // Truncate discards cached values at and beyond row for every column, used
 // when the backing file shrinks. Entries keep rows below the cut.
 func (c *Cache) Truncate(row int) {

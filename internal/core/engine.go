@@ -53,6 +53,7 @@ import (
 	"nodb/internal/kernel"
 	"nodb/internal/plan"
 	"nodb/internal/schema"
+	"nodb/internal/sidecar"
 	"nodb/internal/sqlparse"
 	"nodb/internal/storage"
 )
@@ -158,6 +159,22 @@ type Options struct {
 	// RetryBackoff is the context-aware pause between scan retry attempts
 	// (0 = 5ms).
 	RetryBackoff time.Duration
+	// Sidecar configures crash-safe persistence of the adaptive state
+	// (positional maps, column caches, statistics, hot statements) into
+	// per-table sidecar files, so a restarted engine warm-starts instead of
+	// re-paying every cold scan.
+	Sidecar SidecarOptions
+}
+
+// SidecarOptions configure durable adaptive state (internal/sidecar).
+type SidecarOptions struct {
+	// Enable turns sidecar persistence on.
+	Enable bool
+	// Dir is where sidecar files live ("" = next to each raw file).
+	Dir string
+	// MaxBytes caps each sidecar file's size (0 = unlimited). Under a
+	// budget the hottest cached columns persist first.
+	MaxBytes int64
 }
 
 // env derives the format-adapter environment from the engine options: the
@@ -203,7 +220,8 @@ type Engine struct {
 	pool    *storage.Pool
 
 	stmts   *stmtCache
-	kernels *kernel.Cache // nil when Options.DisableKernels
+	kernels *kernel.Cache    // nil when Options.DisableKernels
+	sidecar *sidecar.Manager // nil unless Options.Sidecar.Enable
 }
 
 // Open creates an engine over the catalog. Raw tables are never read until
@@ -230,7 +248,69 @@ func Open(cat *schema.Catalog, opts Options) (*Engine, error) {
 		}
 		e.pool = storage.NewPool(frames)
 	}
+	if opts.Sidecar.Enable && opts.Mode != ModeLoadFirst {
+		e.sidecar = sidecar.New(sidecar.Config{
+			Dir:      opts.Sidecar.Dir,
+			MaxBytes: opts.Sidecar.MaxBytes,
+			StmtPath: stmtPath(cat, opts.Sidecar.Dir),
+		})
+		e.env.Sidecar = e.sidecar
+		// Re-prime the statement cache from the last run: prepare each
+		// persisted text and resolve its plan skeleton, so the first real
+		// execution only re-binds. Best effort — a text that no longer
+		// parses or resolves is skipped.
+		for _, text := range e.sidecar.LoadStatements() {
+			p, err := e.PrepareStmt(text)
+			if err != nil || !p.IsSelect() {
+				continue
+			}
+			_, _ = p.skeleton()
+		}
+	}
 	return e, nil
+}
+
+// stmtPath decides where the hot-statement sidecar lives: in the
+// configured sidecar directory, or next to the (lexicographically first)
+// raw table file so the choice is deterministic across runs.
+func stmtPath(cat *schema.Catalog, dir string) string {
+	if dir != "" {
+		return filepath.Join(dir, "statements.nodbaux")
+	}
+	best := ""
+	for _, tbl := range cat.Tables() {
+		if d := filepath.Dir(tbl.Path); best == "" || d < best {
+			best = d
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return filepath.Join(best, "statements.nodbaux")
+}
+
+// Checkpoint synchronously persists all dirty adaptive state and the hot
+// prepared-statement texts. It returns an error when sidecar persistence
+// is not enabled, or when any table checkpoint fails (the remaining tables
+// are still attempted).
+func (e *Engine) Checkpoint(ctx context.Context) error {
+	if e.sidecar == nil {
+		return fmt.Errorf("core: sidecar persistence is not enabled")
+	}
+	first := e.sidecar.SaveStatements(e.stmts.hotTexts(0))
+	if err := e.sidecar.Flush(ctx); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// SidecarStats reports the sidecar manager's counters (zero value when
+// persistence is disabled).
+func (e *Engine) SidecarStats() sidecar.Stats {
+	if e.sidecar == nil {
+		return sidecar.Stats{}
+	}
+	return e.sidecar.Stats()
 }
 
 // Catalog returns the engine's schema catalog.
@@ -567,9 +647,18 @@ func (e *Engine) Metrics(name string) TableMetrics {
 // Close releases all per-table resources. Queries still running have
 // undefined behavior, as with database handles generally.
 func (e *Engine) Close() error {
+	var first error
+	if e.sidecar != nil {
+		// Final checkpoint while the sources are still alive: persist the
+		// hot statements, then drain the background checkpointer (its Close
+		// flushes whatever is still dirty).
+		first = e.sidecar.SaveStatements(e.stmts.hotTexts(0))
+		if err := e.sidecar.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	var first error
 	for _, src := range e.sources {
 		if err := src.Close(); err != nil && first == nil {
 			first = err

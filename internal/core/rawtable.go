@@ -91,6 +91,12 @@ func (rt *rawTable) Append(ctx context.Context, rows [][]datum.Datum) error {
 	}); err != nil {
 		return err
 	}
+	if mgr := rt.Env.Sidecar; mgr != nil {
+		// Journal the post-append fingerprint (exclusive lock still held),
+		// so a checkpoint taken before this INSERT stays valid as a known
+		// append instead of forcing a re-hash on the next open.
+		mgr.JournalAppend(rt.State)
+	}
 	return nil
 }
 

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"nodb/internal/iofault"
+	"nodb/internal/testutil"
+)
+
+// The sidecar fault dimension: {torn checkpoint, truncated file, bit flip,
+// stale after external rewrite} — every case must fall back to a cold scan
+// with correct rows, never wrong rows, and discard what it cannot trust.
+
+// TestSidecarFaultTornCheckpoint: a crash between the temp-file write and
+// the atomic rename (injected as a Rename failure on the sidecar path)
+// leaves a temp file but no sidecar; the next open starts cold and serves
+// correct rows.
+func TestSidecarFaultTornCheckpoint(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	path := faultPath(t, "csv")
+	writeFaultTable(t, "csv", path, 300, 2)
+	cat := faultCatalog(t, "csv", path)
+	aux := path + ".nodbaux"
+
+	remove := iofault.Inject(aux, iofault.Profile{RenameErr: iofault.ErrInjected})
+	e1 := openFaultEngine(t, cat, sidecarOpts)
+	if _, err := e1.Query(faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Checkpoint(context.Background()); err == nil {
+		t.Fatal("checkpoint with failing rename succeeded")
+	}
+	if s := e1.SidecarStats(); s.CheckpointErrors < 1 || s.Checkpoints != 0 {
+		t.Fatalf("torn checkpoint stats: %+v", s)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	remove()
+
+	// The crash left exactly the torn state: temp file present, no sidecar.
+	if _, err := os.Stat(aux + ".tmp"); err != nil {
+		t.Fatalf("temp file after torn checkpoint: %v", err)
+	}
+	if _, err := os.Stat(aux); !os.IsNotExist(err) {
+		t.Fatalf("sidecar file exists after torn checkpoint (err=%v)", err)
+	}
+
+	e2 := openFaultEngine(t, cat, sidecarOpts)
+	defer e2.Close()
+	res, err := e2.Query(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyFaultRows(t, res, 300, 2)
+	if s := e2.SidecarStats(); s.LoadHits != 0 || s.LoadMisses != 1 {
+		t.Errorf("cold restart stats: %+v", s)
+	}
+	if m := e2.Metrics("t"); m.ColdScans != 1 {
+		t.Errorf("expected a cold scan, got %+v", m)
+	}
+}
+
+// checkpointedSidecar runs one query + checkpoint + close so a valid
+// sidecar file exists for the corruption cases to damage.
+func checkpointedSidecar(t *testing.T, formatName, path string) {
+	t.Helper()
+	cat := faultCatalog(t, formatName, path)
+	e := openFaultEngine(t, cat, sidecarOpts)
+	if _, err := e.Query(faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertColdFallback opens a fresh engine and asserts the damaged sidecar
+// was discarded and the query fell back to a correct cold scan.
+func assertColdFallback(t *testing.T, formatName, path string, n int, mul int64) {
+	t.Helper()
+	cat := faultCatalog(t, formatName, path)
+	e := openFaultEngine(t, cat, sidecarOpts)
+	defer e.Close()
+	res, err := e.Query(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyFaultRows(t, res, n, mul)
+	s := e.SidecarStats()
+	if s.CorruptDiscarded != 1 || s.LoadHits != 0 {
+		t.Errorf("fallback sidecar stats: %+v", s)
+	}
+	if _, err := os.Stat(path + ".nodbaux"); !os.IsNotExist(err) {
+		t.Errorf("damaged sidecar not removed (err=%v)", err)
+	}
+}
+
+// TestSidecarFaultTruncated: a sidecar cut short mid-file (torn write on a
+// filesystem without atomic rename, partial copy, disk full) fails its
+// length/checksum validation and is discarded.
+func TestSidecarFaultTruncated(t *testing.T) {
+	for _, f := range faultFormats {
+		t.Run(f, func(t *testing.T) {
+			defer testutil.CheckLeaks(t)()
+			path := faultPath(t, f)
+			writeFaultTable(t, f, path, 300, 2)
+			checkpointedSidecar(t, f, path)
+
+			aux := path + ".nodbaux"
+			fi, err := os.Stat(aux)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(aux, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+			assertColdFallback(t, f, path, 300, 2)
+		})
+	}
+}
+
+// TestSidecarFaultBitFlip: a single flipped payload byte fails the
+// checksum; the file is discarded, never half-trusted.
+func TestSidecarFaultBitFlip(t *testing.T) {
+	for _, f := range faultFormats {
+		t.Run(f, func(t *testing.T) {
+			defer testutil.CheckLeaks(t)()
+			path := faultPath(t, f)
+			writeFaultTable(t, f, path, 300, 2)
+			checkpointedSidecar(t, f, path)
+
+			aux := path + ".nodbaux"
+			b, err := os.ReadFile(aux)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)/2] ^= 0x40
+			if err := os.WriteFile(aux, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			assertColdFallback(t, f, path, 300, 2)
+		})
+	}
+}
+
+// TestSidecarFaultStale: the raw file is rewritten externally (same size,
+// different content) after the checkpoint. The fingerprint no longer
+// matches, so the sidecar is discarded and the query serves the NEW file's
+// rows — the wrong-rows outcome this subsystem must never produce.
+func TestSidecarFaultStale(t *testing.T) {
+	for _, f := range faultFormats {
+		t.Run(f, func(t *testing.T) {
+			defer testutil.CheckLeaks(t)()
+			path := faultPath(t, f)
+			writeFaultTable(t, f, path, 300, 2)
+			checkpointedSidecar(t, f, path)
+
+			// Same-size in-place edit: only the hashes can tell.
+			rewriteFaultTable(t, f, path, 300, 7)
+			assertColdFallback(t, f, path, 300, 7)
+		})
+	}
+}
+
+// TestSidecarFaultStaleTruncation: the raw file shrinks after the
+// checkpoint — positions past EOF in the persisted map must not survive.
+func TestSidecarFaultStaleTruncation(t *testing.T) {
+	for _, f := range faultFormats {
+		t.Run(f, func(t *testing.T) {
+			defer testutil.CheckLeaks(t)()
+			path := faultPath(t, f)
+			writeFaultTable(t, f, path, 300, 2)
+			checkpointedSidecar(t, f, path)
+
+			rewriteFaultTable(t, f, path, 120, 2)
+			assertColdFallback(t, f, path, 120, 2)
+		})
+	}
+}
+
+// TestSidecarFaultGarbageFile: arbitrary bytes at the sidecar path (wrong
+// magic entirely) are discarded without affecting results.
+func TestSidecarFaultGarbageFile(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	path := faultPath(t, "csv")
+	writeFaultTable(t, "csv", path, 100, 2)
+	if err := os.WriteFile(path+".nodbaux", []byte("not a sidecar at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	assertColdFallback(t, "csv", path, 100, 2)
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"nodb/internal/testutil"
+)
+
+// These tests cover the durable-adaptive-state contract (internal/sidecar):
+// a restarted engine warm-starts from the checkpoint files — bit-identical
+// results with (for an unchanged file) zero tuples parsed — and INSERT
+// appends journal into the sidecar so a pre-append checkpoint stays valid.
+
+// sidecarOpts enables sidecar persistence on a fault-matrix engine.
+func sidecarOpts(o *Options) {
+	o.Sidecar.Enable = true
+	o.Statistics = true
+}
+
+// TestSidecarWarmRestart: query cold, checkpoint, close; a fresh engine
+// over the same files must return bit-identical rows while parsing zero
+// tuples — the adaptive state came from disk, not from re-scanning.
+func TestSidecarWarmRestart(t *testing.T) {
+	for _, f := range faultFormats {
+		t.Run(f, func(t *testing.T) {
+			defer testutil.CheckLeaks(t)()
+			path := faultPath(t, f)
+			writeFaultTable(t, f, path, 500, 2)
+			cat := faultCatalog(t, f, path)
+
+			e1 := openFaultEngine(t, cat, sidecarOpts)
+			res1, err := e1.Query(faultQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyFaultRows(t, res1, 500, 2)
+			if err := e1.Checkpoint(context.Background()); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			if s := e1.SidecarStats(); s.Checkpoints < 1 || s.BytesWritten <= 0 {
+				t.Fatalf("after checkpoint: %+v", s)
+			}
+			if err := e1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := os.Stat(path + ".nodbaux"); err != nil {
+				t.Fatalf("sidecar file: %v", err)
+			}
+
+			e2 := openFaultEngine(t, cat, sidecarOpts)
+			res2, err := e2.Query(faultQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyFaultRows(t, res2, 500, 2)
+			m := e2.Metrics("t")
+			if m.TuplesParsed != 0 {
+				t.Errorf("warm restart parsed %d tuples, want 0", m.TuplesParsed)
+			}
+			if m.WarmScans < 1 || m.ColdScans != 0 {
+				t.Errorf("warm restart scans: %+v", m)
+			}
+			if s := e2.SidecarStats(); s.LoadHits != 1 || s.CorruptDiscarded != 0 {
+				t.Errorf("restart sidecar stats: %+v", s)
+			}
+			if err := e2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSidecarBackgroundCheckpoint: without an explicit Checkpoint call, the
+// debounced background worker must persist the state after a recording
+// scan; Close drains it deterministically.
+func TestSidecarBackgroundCheckpoint(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	path := faultPath(t, "csv")
+	writeFaultTable(t, "csv", path, 200, 2)
+	cat := faultCatalog(t, "csv", path)
+
+	e := openFaultEngine(t, cat, sidecarOpts)
+	if _, err := e.Query(faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	// Close waits for the worker and flushes whatever is still dirty, so
+	// the checkpoint is on disk afterwards with no sleeps in the test.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".nodbaux"); err != nil {
+		t.Fatalf("sidecar file after Close: %v", err)
+	}
+
+	e2 := openFaultEngine(t, cat, sidecarOpts)
+	defer e2.Close()
+	res, err := e2.Query(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyFaultRows(t, res, 200, 2)
+	if m := e2.Metrics("t"); m.TuplesParsed != 0 {
+		t.Errorf("warm restart parsed %d tuples, want 0", m.TuplesParsed)
+	}
+}
+
+// TestSidecarAppendJournal: a checkpoint taken BEFORE an INSERT must still
+// warm-start the prefix after a restart — the append journal records the
+// post-append fingerprint, so the loader classifies the grown file as a
+// known append instead of discarding.
+func TestSidecarAppendJournal(t *testing.T) {
+	for _, f := range []string{"csv", "jsonl"} {
+		t.Run(f, func(t *testing.T) {
+			defer testutil.CheckLeaks(t)()
+			path := faultPath(t, f)
+			writeFaultTable(t, f, path, 300, 2)
+			cat := faultCatalog(t, f, path)
+
+			e1 := openFaultEngine(t, cat, sidecarOpts)
+			res, err := e1.Query(faultQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyFaultRows(t, res, 300, 2)
+			if err := e1.Checkpoint(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			ins := fmt.Sprintf("INSERT INTO t VALUES (300, %d)", faultValue(300, 2))
+			if _, n, err := e1.Exec(ins); err != nil || n != 1 {
+				t.Fatalf("insert: n=%d err=%v", n, err)
+			}
+			if s := e1.SidecarStats(); s.JournalRecords != 1 {
+				t.Fatalf("journal records = %d, want 1", s.JournalRecords)
+			}
+			if err := e1.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			e2 := openFaultEngine(t, cat, sidecarOpts)
+			defer e2.Close()
+			res2, err := e2.Query(faultQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyFaultRows(t, res2, 301, 2)
+			if s := e2.SidecarStats(); s.LoadHits != 1 || s.CorruptDiscarded != 0 {
+				t.Errorf("restart sidecar stats: %+v", s)
+			}
+		})
+	}
+}
+
+// TestSidecarStatementRePrime: the hot prepared-statement texts persist at
+// Close and re-prime the statement cache on the next Open, so the first
+// preparation of a recurring statement is a cache hit.
+func TestSidecarStatementRePrime(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	path := faultPath(t, "csv")
+	writeFaultTable(t, "csv", path, 100, 2)
+	cat := faultCatalog(t, "csv", path)
+
+	e1 := openFaultEngine(t, cat, sidecarOpts)
+	if _, err := e1.Query(faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openFaultEngine(t, cat, sidecarOpts)
+	defer e2.Close()
+	if got := e2.Stats().StmtCache.Size; got < 1 {
+		t.Fatalf("statement cache size after re-prime = %d, want >= 1", got)
+	}
+	before := e2.Stats().StmtCache.Hits
+	if _, err := e2.PrepareStmt(faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	if after := e2.Stats().StmtCache.Hits; after != before+1 {
+		t.Errorf("PrepareStmt after re-prime: hits %d -> %d, want a cache hit", before, after)
+	}
+}
+
+// TestSidecarStatsRoundTrip: column statistics survive the restart — the
+// restarted engine plans with the persisted row count and per-column stats
+// without having scanned anything.
+func TestSidecarStatsRoundTrip(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	path := faultPath(t, "csv")
+	writeFaultTable(t, "csv", path, 400, 2)
+	cat := faultCatalog(t, "csv", path)
+
+	e1 := openFaultEngine(t, cat, sidecarOpts)
+	if _, err := e1.Query(faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openFaultEngine(t, cat, sidecarOpts)
+	defer e2.Close()
+	src, err := e2.source(cat.Tables()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := src.Stats()
+	if st == nil {
+		t.Fatal("no stats table after restart")
+	}
+	if rc := st.RowCount(); rc != 400 {
+		t.Errorf("restored stats row count = %d, want 400", rc)
+	}
+	cs := st.Col(1)
+	if cs == nil {
+		t.Fatal("no restored stats for column v")
+	}
+	if cs.Count != 400 || cs.Min.Int() != faultValue(0, 2) || cs.Max.Int() != faultValue(399, 2) {
+		t.Errorf("restored stats: count=%d min=%v max=%v", cs.Count, cs.Min, cs.Max)
+	}
+	if len(cs.HistogramBounds()) == 0 {
+		t.Error("restored stats lost the histogram")
+	}
+	if m := e2.Metrics("t"); m.TuplesParsed != 0 {
+		t.Errorf("stats inspection parsed %d tuples", m.TuplesParsed)
+	}
+}
+
+// TestSidecarMaxBytes: under a tight byte budget the checkpoint keeps the
+// small always-persisted sections and drops bulk ones; the restart is
+// colder but still correct, and the sidecar file respects the cap.
+func TestSidecarMaxBytes(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	path := faultPath(t, "csv")
+	writeFaultTable(t, "csv", path, 1000, 2)
+	cat := faultCatalog(t, "csv", path)
+
+	const budget = 4 << 10
+	tight := func(o *Options) {
+		sidecarOpts(o)
+		o.Sidecar.MaxBytes = budget
+	}
+	e1 := openFaultEngine(t, cat, tight)
+	if _, err := e1.Query(faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path + ".nodbaux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > budget {
+		t.Errorf("sidecar size %d exceeds MaxBytes %d", fi.Size(), budget)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openFaultEngine(t, cat, tight)
+	defer e2.Close()
+	res, err := e2.Query(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyFaultRows(t, res, 1000, 2)
+}

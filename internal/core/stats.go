@@ -2,6 +2,7 @@ package core
 
 import (
 	"nodb/internal/format"
+	"nodb/internal/sidecar"
 )
 
 // CacheStats reports the effectiveness of one engine-level cache (the
@@ -37,6 +38,10 @@ type EngineStats struct {
 	FieldsFromScan int64
 	CacheHits      int64
 	CacheMisses    int64
+
+	// Sidecar reports durable-adaptive-state activity (zero value when
+	// Options.Sidecar.Enable is off).
+	Sidecar sidecar.Stats
 }
 
 // Stats assembles the engine-wide snapshot. Safe for concurrent use; see
@@ -44,6 +49,9 @@ type EngineStats struct {
 // scans, which flush at close).
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{StmtCache: e.stmts.stats()}
+	if e.sidecar != nil {
+		s.Sidecar = e.sidecar.Stats()
+	}
 	if e.kernels != nil {
 		ks := e.kernels.Snapshot()
 		s.KernelCache = CacheStats{Size: ks.Size, Hits: ks.Hits, Misses: ks.Misses, Evictions: ks.Evictions}

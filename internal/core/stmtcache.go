@@ -69,6 +69,19 @@ func (c *stmtCache) put(key string, p *Prepared) {
 	}
 }
 
+// hotTexts returns up to n cached statement texts, most recently used
+// first (n <= 0 = all) — what the sidecar persists so a restarted engine
+// can re-prime its skeleton cache.
+func (c *stmtCache) hotTexts(n int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil && (n <= 0 || len(out) < n); el = el.Next() {
+		out = append(out, el.Value.(*stmtEntry).key)
+	}
+	return out
+}
+
 // stats snapshots the cache effectiveness counters.
 func (c *stmtCache) stats() CacheStats {
 	c.mu.Lock()

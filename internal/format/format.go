@@ -81,6 +81,36 @@ type Env struct {
 	ScanRetries int
 	// RetryBackoff is the ctx-aware pause between attempts (0 = 5ms).
 	RetryBackoff time.Duration
+
+	// Sidecar, when non-nil, persists each table's adaptive state across
+	// restarts: NewState asks it to reload a checkpoint at open, recording
+	// scans mark the table dirty for the background checkpointer, and
+	// INSERT appends journal the post-append fingerprint. The engine wires
+	// the concrete manager (internal/sidecar); format only declares the
+	// seam, keeping the dependency one-directional.
+	Sidecar SidecarManager
+}
+
+// SidecarManager is the persistence seam the engine installs into Env.
+// Implementations live above this package (internal/sidecar); State calls
+// them at well-defined lock points.
+type SidecarManager interface {
+	// LoadLocked restores a previously checkpointed sidecar into st. It is
+	// called once per table at open, with st's table lock held exclusively;
+	// any corrupt, stale or mismatched sidecar must be discarded (the table
+	// simply starts cold — never wrong rows).
+	LoadLocked(st *State)
+	// MarkDirty schedules st for a (debounced) background checkpoint. It is
+	// called after a recording scan releases the table lock; it must not
+	// block.
+	MarkDirty(st *State)
+	// JournalAppend records st's post-append fingerprint in the sidecar's
+	// append journal, so a checkpoint taken before the append still
+	// validates as FileAppended on reload. Called under st's exclusive
+	// table lock, right after a successful INSERT append. Best effort.
+	JournalAppend(st *State)
+	// Close drains pending checkpoints and stops the background worker.
+	Close() error
 }
 
 // Caps declares what a format can do, so the engine gates modes on

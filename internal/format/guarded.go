@@ -41,12 +41,14 @@ type GuardedScan struct {
 	backoff    time.Duration // ctx-aware pause between attempts
 	invalidate func()        // drops the table's adaptive state (call holding Lk exclusive)
 	onRetry    func()        // instrumentation: one call per consumed retry
+	onRecorded func()        // fires in Close (lock released) after a recording pass ran
 
 	inner          ScanOperator
 	unlock         func()
 	tick           int
 	attempt        int  // retries consumed so far
 	emitted        bool // a row or batch has left this operator
+	recorded       bool // a recording (non-downgraded exclusive) pass opened
 	holdsExclusive bool
 }
 
@@ -83,6 +85,13 @@ func (g *GuardedScan) SetRetry(retries int, backoff time.Duration, invalidate fu
 // OnRetry installs an instrumentation hook invoked once per consumed
 // retry attempt (observability; never on the per-tuple hot path).
 func (g *GuardedScan) OnRetry(fn func()) { g.onRetry = fn }
+
+// OnRecorded installs a hook fired from Close — after the table lock is
+// released — when a recording pass (an exclusive, non-downgraded access
+// method) ran at any point of the scan. The sidecar checkpointer hangs
+// off this: only scans that may have mutated the adaptive structures
+// schedule a persist.
+func (g *GuardedScan) OnRecorded(fn func()) { g.onRecorded = fn }
 
 // Columns implements exec.Operator.
 func (g *GuardedScan) Columns() []exec.Col { return g.cols }
@@ -152,6 +161,9 @@ func (g *GuardedScan) openExclusiveLocked() error {
 			}
 			if err = inner.Open(); err == nil {
 				g.inner = inner
+				if !downgrade {
+					g.recorded = true
+				}
 				return nil
 			}
 			inner.Close()
@@ -303,6 +315,10 @@ func (g *GuardedScan) Close() error {
 	if g.unlock != nil {
 		g.unlock()
 		g.unlock = nil
+	}
+	if g.recorded && g.onRecorded != nil {
+		g.recorded = false
+		g.onRecorded()
 	}
 	return err
 }

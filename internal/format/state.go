@@ -44,6 +44,13 @@ type State struct {
 	FileSize int64        // size observed at last refresh (guarded by Lk exclusive)
 	FP       Fingerprint  // file version the structures were built from (guarded by Lk exclusive)
 
+	// ColAccess counts how many scans needed each column — the workload
+	// signal the sidecar checkpointer uses to pick which cached columns are
+	// worth persisting first under its byte budget (workload-driven
+	// vertical partitioning). Incremented once per scan per needed column,
+	// never on the per-tuple hot path.
+	ColAccess []atomic.Int64
+
 	Counters Counters
 }
 
@@ -75,6 +82,16 @@ func NewState(tbl *schema.Table, env Env) *State {
 	if env.Statistics {
 		st.St = stats.NewTable()
 	}
+	st.ColAccess = make([]atomic.Int64, tbl.NumColumns())
+	if env.Sidecar != nil {
+		// Reload a persisted checkpoint before the state is shared. The
+		// exclusive hold is uncontended here (the lock was just created);
+		// taking it keeps the loader's locking contract uniform.
+		if err := st.Lk.Lock(context.Background()); err == nil {
+			env.Sidecar.LoadLocked(st)
+			st.Lk.Unlock()
+		}
+	}
 	return st
 }
 
@@ -86,6 +103,7 @@ func NewState(tbl *schema.Table, env Env) *State {
 // merge time.
 func (st *State) Shard() *State {
 	sh := &State{Tbl: st.Tbl, Env: st.Env, Lk: NewTableLock(), Types: st.Types, St: st.St}
+	sh.Env.Sidecar = nil // shards are scan-private; only the parent persists
 	sh.Rows.Store(-1)
 	if st.PM != nil {
 		sh.PM = posmap.New(st.Tbl.NumColumns(), posmap.Options{ChunkRows: st.Env.PMChunkRows})
@@ -355,6 +373,11 @@ type ScanPlan struct {
 func (st *State) NewScan(ctx context.Context, outCols []int, conjuncts []expr.Expr, plan ScanPlan) *GuardedScan {
 	cols := OutputSchema(st.Tbl, outCols)
 	needed := NeededColumns(outCols, conjuncts)
+	for _, c := range needed {
+		if c >= 0 && c < len(st.ColAccess) {
+			st.ColAccess[c].Add(1)
+		}
+	}
 
 	var shared func() (ScanOperator, error)
 	if st.Cache != nil && st.Env.CacheBudget <= 0 {
@@ -393,5 +416,11 @@ func (st *State) NewScan(ctx context.Context, outCols []int, conjuncts []expr.Ex
 	retries, backoff := st.Env.RetryBudget()
 	gs.SetRetry(retries, backoff, st.InvalidateLocked)
 	gs.OnRetry(st.Counters.RetryTaken)
+	if mgr := st.Env.Sidecar; mgr != nil {
+		// A recording scan may have extended the adaptive structures;
+		// schedule a (debounced) checkpoint once the scan closes and the
+		// table lock is released.
+		gs.OnRecorded(func() { mgr.MarkDirty(st) })
+	}
 	return gs
 }

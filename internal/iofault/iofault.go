@@ -42,14 +42,16 @@ type File interface {
 	Stat() (os.FileInfo, error)
 }
 
-// AppendFile extends File with what the append paths (INSERT) need:
-// writes plus Truncate, so a failed append can roll the raw file back to
-// its pre-append size instead of leaving a torn row behind.
+// AppendFile extends File with what the writing paths (INSERT appends,
+// sidecar checkpoints) need: writes plus Truncate, so a failed append can
+// roll the raw file back to its pre-append size instead of leaving a torn
+// row behind, and Sync, so a checkpoint is durable before its rename.
 type AppendFile interface {
 	File
 	io.Writer
 	io.StringWriter
 	Truncate(size int64) error
+	Sync() error
 }
 
 // Profile describes the faults to inject for one path. The zero value
@@ -66,6 +68,10 @@ type Profile struct {
 	ReadErrAt int64
 	// WriteErr fails append-path writes.
 	WriteErr error
+	// RenameErr fails Rename calls whose destination is this path — the
+	// torn-checkpoint injection point: the temp file is fully written but
+	// never becomes the sidecar.
+	RenameErr error
 	// TruncateAt > 0 makes reads and stats observe the file as if it were
 	// truncated to this many bytes — a mid-scan truncation view that does
 	// not touch the real file.
@@ -188,6 +194,39 @@ func OpenAppend(path string) (AppendFile, error) {
 	return &faultFile{f: f, path: path}, nil
 }
 
+// Create opens path for writing through the seam (O_CREATE|O_TRUNC),
+// honoring OpenErr. Sidecar checkpoint writers use it for their temp
+// files, so a test can fail the write mid-checkpoint.
+func Create(path string) (AppendFile, error) {
+	ferr, _, _, lat := take(path, func(p *Profile) error { return p.OpenErr })
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, path: path}, nil
+}
+
+// Rename renames oldpath to newpath through the seam, honoring a
+// RenameErr profile installed for the DESTINATION path — the injection
+// point for a crash between a checkpoint's temp write and its atomic
+// rename.
+func Rename(oldpath, newpath string) error {
+	ferr, _, _, lat := take(newpath, func(p *Profile) error { return p.RenameErr })
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return os.Rename(oldpath, newpath)
+}
+
 // Stat stats path through the seam, honoring StatErr and the TruncateAt
 // view so integrity guards observe the same world as the readers.
 func Stat(path string) (os.FileInfo, error) {
@@ -284,6 +323,8 @@ func (f *faultFile) WriteString(s string) (int, error) {
 }
 
 func (f *faultFile) Truncate(size int64) error { return f.f.Truncate(size) }
+
+func (f *faultFile) Sync() error { return f.f.Sync() }
 
 func (f *faultFile) Stat() (os.FileInfo, error) {
 	ferr, trunc, _, _ := take(f.path, func(pr *Profile) error { return pr.StatErr })

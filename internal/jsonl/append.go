@@ -30,7 +30,7 @@ func (s *Source) Append(ctx context.Context, rows [][]datum.Datum) error {
 		return format.WrapFileErr(s.Tbl.Name, err)
 	}
 	defer f.Close()
-	return format.AppendGuarded(f, s.Tbl.Name, func() error {
+	if err := format.AppendGuarded(f, s.Tbl.Name, func() error {
 		w := bufio.NewWriterSize(f, 1<<16)
 		var buf []byte
 		for _, row := range rows {
@@ -43,7 +43,16 @@ func (s *Source) Append(ctx context.Context, rows [][]datum.Datum) error {
 			return fmt.Errorf("jsonl: %w", err)
 		}
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
+	if mgr := s.Env.Sidecar; mgr != nil {
+		// Journal the post-append fingerprint (exclusive lock still held),
+		// so a checkpoint taken before this INSERT stays valid as a known
+		// append instead of forcing a re-hash on the next open.
+		mgr.JournalAppend(s.State)
+	}
+	return nil
 }
 
 // appendObject renders one row as a single-line JSON object with a

@@ -275,6 +275,32 @@ func (m *Map) lookupQuiet(row, attr int) (uint32, bool) {
 	return rel, true
 }
 
+// ChunkRows returns the vertical partition height the map was created with.
+func (m *Map) ChunkRows() int { return m.chunkRows }
+
+// Starts returns the recorded tuple-start offsets (index = row). The slice
+// aliases the live map: callers serialize it under the table lock and must
+// not retain or mutate it.
+func (m *Map) Starts() []int64 { return m.starts }
+
+// ForEachPointer calls fn for every in-memory recorded position of attr, in
+// ascending row order within each chunk (chunk visit order unspecified).
+// Sidecar checkpointing walks the map through this; restore goes back in
+// through Cursor.Record, so budgets and eviction still govern what lands.
+func (m *Map) ForEachPointer(attr int, fn func(row int, rel uint32)) {
+	if attr < 0 || attr >= m.numAttrs {
+		return
+	}
+	for idx, c := range m.attrs[attr].chunks {
+		base := idx * m.chunkRows
+		for slot, rel := range c.offs {
+			if rel != noPosition {
+				fn(base+slot, rel)
+			}
+		}
+	}
+}
+
 // IndexedAttrs returns the sorted list of attributes that currently have at
 // least one in-memory chunk — the paper's "plain array [with] the order of
 // attributes in the map".

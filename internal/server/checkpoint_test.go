@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodb"
+)
+
+// sidecarFixture is fixture with sidecar persistence enabled; it returns
+// the raw CSV path so tests can check for the sidecar file next to it.
+func sidecarFixture(t *testing.T, n int) (*nodb.DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trips.csv")
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "c%d,%d,%g\n", i%4, i, float64(i)*1.5)
+	}
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat := nodb.NewCatalog()
+	if err := cat.AddCSV("trips", path,
+		nodb.Col("city", nodb.Text), nodb.Col("id", nodb.Int), nodb.Col("distance", nodb.Float)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := nodb.Open(cat, nodb.Options{Sidecar: nodb.SidecarOptions{Enable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, path
+}
+
+// TestSidecarCheckpointEndpoint: POST /checkpoint must flush the adaptive
+// state to disk synchronously, report the counters, and reject other
+// methods; the flush must be visible through /metrics.
+func TestSidecarCheckpointEndpoint(t *testing.T) {
+	db, path := sidecarFixture(t, 200)
+	s, err := New(Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	// A recording scan dirties the table.
+	resp := postQuery(t, ts, `{"sql": "SELECT city, id FROM trips"}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Checkpoints  int64 `json:"checkpoints"`
+		BytesWritten int64 `json:"bytes_written"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Checkpoints < 1 || body.BytesWritten <= 0 {
+		t.Errorf("checkpoint response = %+v", body)
+	}
+	if _, err := os.Stat(path + ".nodbaux"); err != nil {
+		t.Errorf("sidecar file after /checkpoint: %v", err)
+	}
+
+	// The sidecar counters are exported on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "nodb_engine_sidecar_checkpoints_total 1") {
+		t.Errorf("metrics missing sidecar checkpoint counter:\n%s", grepLines(string(text), "sidecar"))
+	}
+
+	// Non-POST methods are rejected with Allow.
+	gresp, err := http.Get(ts.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed || gresp.Header.Get("Allow") != "POST" {
+		t.Errorf("GET /checkpoint: status=%d allow=%q", gresp.StatusCode, gresp.Header.Get("Allow"))
+	}
+}
+
+// TestSidecarCheckpointDisabled: without sidecar persistence the endpoint
+// answers 409 with a typed kind, not a 500.
+func TestSidecarCheckpointDisabled(t *testing.T) {
+	_, ts := newTestServer(t, 10, Config{})
+	resp, err := http.Post(ts.URL+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", resp.StatusCode)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Kind != "sidecar_disabled" {
+		t.Errorf("kind = %q", body.Error.Kind)
+	}
+}
+
+// grepLines filters text to lines containing substr, for failure output.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -86,4 +86,18 @@ func registerEngineMetrics(reg *metrics.Registry, db *nodb.DB) {
 		func(s nodb.Stats) int64 { return int64(s.TablesTouched) })
 	gauge("nodb_engine_rows_known", "Known row counts summed over touched tables.",
 		func(s nodb.Stats) int64 { return s.RowsKnown })
+	counter("nodb_engine_sidecar_checkpoints_total", "Sidecar checkpoint files written.",
+		func(s nodb.Stats) int64 { return s.Sidecar.Checkpoints })
+	counter("nodb_engine_sidecar_checkpoint_errors_total", "Failed sidecar checkpoint attempts.",
+		func(s nodb.Stats) int64 { return s.Sidecar.CheckpointErrors })
+	counter("nodb_engine_sidecar_bytes_written_total", "Bytes written into sidecar files.",
+		func(s nodb.Stats) int64 { return s.Sidecar.BytesWritten })
+	counter("nodb_engine_sidecar_load_hits_total", "Tables warm-started from a valid sidecar.",
+		func(s nodb.Stats) int64 { return s.Sidecar.LoadHits })
+	counter("nodb_engine_sidecar_load_misses_total", "Tables that opened cold (sidecar absent, stale or corrupt).",
+		func(s nodb.Stats) int64 { return s.Sidecar.LoadMisses })
+	counter("nodb_engine_sidecar_corrupt_discarded_total", "Sidecar files discarded as corrupt or stale.",
+		func(s nodb.Stats) int64 { return s.Sidecar.CorruptDiscarded })
+	counter("nodb_engine_sidecar_journal_records_total", "Append-journal records written after INSERTs.",
+		func(s nodb.Stats) int64 { return s.Sidecar.JournalRecords })
 }

@@ -16,6 +16,7 @@
 //	GET  /stats        → engine + server counters as JSON
 //	GET  /metrics      → Prometheus text exposition
 //	GET  /healthz      → 200 ok (503 while draining)
+//	POST /checkpoint   → force a sidecar flush of all dirty adaptive state
 package server
 
 import (
@@ -141,6 +142,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 
 	go s.janitor()
 	return s, nil
@@ -270,6 +272,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleCheckpoint (POST /checkpoint) forces a synchronous sidecar flush:
+// every table's dirty adaptive state and the hot statement texts persist
+// before the response — the admin "flush now" hook for planned restarts.
+// 409 when the engine runs without sidecar persistence.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Errorf("server: %s /checkpoint not supported", r.Method))
+		return
+	}
+	if err := s.db.Checkpoint(r.Context()); err != nil {
+		code, kind := http.StatusInternalServerError, "checkpoint_failed"
+		if strings.Contains(err.Error(), "not enabled") {
+			code, kind = http.StatusConflict, "sidecar_disabled"
+		}
+		writeError(w, code, kind, err)
+		return
+	}
+	sc := s.db.Stats().Sidecar
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checkpoints":   sc.Checkpoints,
+		"bytes_written": sc.BytesWritten,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,285 @@
+package sidecar
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"time"
+
+	"nodb/internal/colcache"
+	"nodb/internal/format"
+	"nodb/internal/iofault"
+	"nodb/internal/stats"
+)
+
+// fileData is a parsed sidecar file, before validation against the live
+// table and raw file.
+type fileData struct {
+	fp   format.Fingerprint
+	rows int64
+
+	table    string
+	colNames []string
+	colTypes []byte
+
+	access []int64
+
+	statRows int64
+	statCols []statCol
+
+	starts []int64
+	attrs  []attrData
+	cols   []colcache.ColumnData
+
+	journal []format.Fingerprint
+}
+
+type statCol struct {
+	col int
+	cs  *stats.ColumnStats
+}
+
+type attrData struct {
+	attr int
+	rows []uint32
+	rels []uint32
+}
+
+// errCorrupt marks a structurally invalid sidecar (bad magic, version,
+// checksum, or section encoding) — the discard-and-start-cold path.
+var errCorrupt = errors.New("sidecar: corrupt sidecar file")
+
+// readFile reads path through the iofault seam and validates the header
+// (magic, version, payload length, payload checksum). Returns the payload
+// bytes; a missing file returns an fs.ErrNotExist-wrapping error, anything
+// structurally wrong returns errCorrupt.
+func readFile(path, magic string) ([]byte, error) {
+	payload, _, err := readFileTail(path, magic)
+	return payload, err
+}
+
+// readFileTail is readFile plus whatever bytes follow the payload (the
+// append journal of a table sidecar).
+func readFileTail(path, magic string) (payload, tail []byte, err error) {
+	f, err := iofault.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, errCorrupt
+	}
+	if len(raw) < headerLen || string(raw[:8]) != magic {
+		return nil, nil, errCorrupt
+	}
+	h := dec{b: raw, off: 8}
+	if h.u32() != fileVersion {
+		return nil, nil, errCorrupt
+	}
+	plen := h.u64()
+	psum := h.u64()
+	if plen > uint64(len(raw)-headerLen) {
+		return nil, nil, errCorrupt
+	}
+	payload = raw[headerLen : headerLen+int(plen)]
+	if checksum(payload) != psum {
+		return nil, nil, errCorrupt
+	}
+	return payload, raw[headerLen+int(plen):], nil
+}
+
+// readSidecar reads and parses a table sidecar file.
+func readSidecar(path string) (*fileData, error) {
+	payload, tail, err := readFileTail(path, fileMagic)
+	if err != nil {
+		return nil, err
+	}
+	fd := &fileData{rows: -1, statRows: -1}
+	if !parsePayload(fd, payload) {
+		return nil, errCorrupt
+	}
+	// Journal records follow the payload; a torn or garbled tail is
+	// ignored (a crash mid-append must not poison the checkpoint).
+	fd.journal = parseJournal(tail)
+	return fd, nil
+}
+
+// parsePayload walks the tagged sections. Unknown tags are skipped.
+// Returns false when any section is malformed.
+func parsePayload(fd *fileData, payload []byte) bool {
+	d := dec{b: payload}
+	sawMeta, sawSchema := false, false
+	for d.off < len(d.b) {
+		tag := d.u8()
+		blen := d.u64()
+		body := d.bytes(int(blen))
+		if d.bad {
+			return false
+		}
+		s := dec{b: body}
+		switch tag {
+		case tagMeta:
+			fd.fp = decodeFingerprint(&s)
+			fd.rows = s.i64()
+			sawMeta = true
+		case tagSchema:
+			fd.table = s.str()
+			n := int(s.u32())
+			if n < 0 || n > 1<<20 {
+				return false
+			}
+			for i := 0; i < n && !s.bad; i++ {
+				fd.colNames = append(fd.colNames, s.str())
+				fd.colTypes = append(fd.colTypes, s.u8())
+			}
+			sawSchema = true
+		case tagAccess:
+			n := int(s.u32())
+			if n < 0 || n > 1<<20 {
+				return false
+			}
+			for i := 0; i < n && !s.bad; i++ {
+				fd.access = append(fd.access, s.i64())
+			}
+		case tagStats:
+			fd.statRows = s.i64()
+			n := int(s.u32())
+			for i := 0; i < n && !s.bad; i++ {
+				col := int(s.u32())
+				cs := &stats.ColumnStats{}
+				cs.Type = decType(s.u8())
+				cs.Count = s.i64()
+				cs.Nulls = s.i64()
+				cs.Min = s.datum()
+				cs.Max = s.datum()
+				cs.Distinct = s.f64()
+				nb := int(s.u32())
+				if nb < 0 || nb > 1<<16 {
+					return false
+				}
+				if nb > 0 {
+					bounds := make([]float64, nb)
+					for j := range bounds {
+						bounds[j] = s.f64()
+					}
+					cs.SetHistogramBounds(bounds)
+				}
+				fd.statCols = append(fd.statCols, statCol{col: col, cs: cs})
+			}
+		case tagStarts:
+			n := int(s.u64())
+			if !s.need(8 * n) {
+				return false
+			}
+			fd.starts = make([]int64, n)
+			for i := range fd.starts {
+				fd.starts[i] = s.i64()
+			}
+		case tagAttr:
+			a := attrData{attr: int(s.u32())}
+			n := int(s.u64())
+			if !s.need(8 * n) {
+				return false
+			}
+			a.rows = make([]uint32, n)
+			a.rels = make([]uint32, n)
+			for i := 0; i < n; i++ {
+				a.rows[i] = s.u32()
+				a.rels[i] = s.u32()
+			}
+			fd.attrs = append(fd.attrs, a)
+		case tagColumn:
+			var c colcache.ColumnData
+			c.Col = int(s.u32())
+			c.Type = decType(s.u8())
+			c.N = int(s.u64())
+			if c.Present = decU64s(&s); s.bad {
+				return false
+			}
+			if c.Nulls = decU64s(&s); s.bad {
+				return false
+			}
+			ni := int(s.u64())
+			if !s.need(8 * ni) {
+				return false
+			}
+			c.Ints = make([]int64, ni)
+			for i := range c.Ints {
+				c.Ints[i] = s.i64()
+			}
+			nf := int(s.u64())
+			if !s.need(8 * nf) {
+				return false
+			}
+			c.Floats = make([]float64, nf)
+			for i := range c.Floats {
+				c.Floats[i] = s.f64()
+			}
+			ns := int(s.u64())
+			if ns < 0 || ns > len(payload) {
+				return false
+			}
+			c.Strs = make([]string, ns)
+			for i := range c.Strs {
+				c.Strs[i] = s.str()
+			}
+			fd.cols = append(fd.cols, c)
+		}
+		if s.bad {
+			return false
+		}
+	}
+	return sawMeta && sawSchema && !d.bad
+}
+
+func decU64s(s *dec) []uint64 {
+	n := int(s.u64())
+	if !s.need(8 * n) {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.u64()
+	}
+	return out
+}
+
+func decodeFingerprint(s *dec) format.Fingerprint {
+	var fp format.Fingerprint
+	fp.Size = s.i64()
+	fp.ModTime = time.Unix(0, s.i64())
+	fp.Head = s.u64()
+	fp.Tail = s.u64()
+	fp.TailOff = s.i64()
+	return fp
+}
+
+// parseJournal decodes the self-checksummed append records trailing the
+// payload, stopping at the first torn or invalid one.
+func parseJournal(b []byte) []format.Fingerprint {
+	var out []format.Fingerprint
+	d := dec{b: b}
+	for d.off < len(d.b) {
+		if d.u32() != journalTag {
+			break
+		}
+		blen := int(d.u32())
+		sum := d.u64()
+		body := d.bytes(blen)
+		if d.bad || checksum(body) != sum {
+			break
+		}
+		s := dec{b: body}
+		fp := decodeFingerprint(&s)
+		if s.bad {
+			break
+		}
+		out = append(out, fp)
+	}
+	return out
+}
+
+// missing reports whether err is a plain file-not-found — a cold start,
+// not a corruption.
+func missing(err error) bool { return errors.Is(err, fs.ErrNotExist) }

@@ -1,0 +1,168 @@
+package sidecar
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nodb/internal/datum"
+	"nodb/internal/format"
+)
+
+// TestSidecarEncDecRoundTrip: the little wire encoder and its bounds-checked
+// decoder must be exact inverses for every primitive, including null and
+// non-null datums of every type.
+func TestSidecarEncDecRoundTrip(t *testing.T) {
+	var e enc
+	e.u8(7)
+	e.u32(0xDEADBEEF)
+	e.u64(1 << 62)
+	e.i64(-42)
+	e.f64(3.25)
+	e.str("héllo")
+	e.datum(datum.NewInt(-9))
+	e.datum(datum.NewFloat(2.5))
+	e.datum(datum.NewText("x"))
+	e.datum(datum.NewBool(true))
+	e.datum(datum.NewNull(datum.Int))
+
+	d := dec{b: e.b}
+	if v := d.u8(); v != 7 {
+		t.Errorf("u8 = %d", v)
+	}
+	if v := d.u32(); v != 0xDEADBEEF {
+		t.Errorf("u32 = %x", v)
+	}
+	if v := d.u64(); v != 1<<62 {
+		t.Errorf("u64 = %d", v)
+	}
+	if v := d.i64(); v != -42 {
+		t.Errorf("i64 = %d", v)
+	}
+	if v := d.f64(); v != 3.25 {
+		t.Errorf("f64 = %v", v)
+	}
+	if v := d.str(); v != "héllo" {
+		t.Errorf("str = %q", v)
+	}
+	if v := d.datum(); v.Int() != -9 {
+		t.Errorf("int datum = %v", v)
+	}
+	if v := d.datum(); v.Float() != 2.5 {
+		t.Errorf("float datum = %v", v)
+	}
+	if v := d.datum(); v.Text() != "x" {
+		t.Errorf("text datum = %v", v)
+	}
+	if v := d.datum(); !v.Bool() {
+		t.Errorf("bool datum = %v", v)
+	}
+	if v := d.datum(); !v.Null() || v.T != datum.Int {
+		t.Errorf("null datum = %v", v)
+	}
+	if d.bad || d.off != len(d.b) {
+		t.Errorf("decoder state: bad=%v off=%d len=%d", d.bad, d.off, len(d.b))
+	}
+	// Reading past the end latches bad instead of panicking.
+	d.u64()
+	if !d.bad {
+		t.Error("overrun did not latch bad")
+	}
+}
+
+// TestSidecarWriteAtomicAndReadFile: the header/checksum framing survives a
+// write-read cycle, and damage is detected as errCorrupt.
+func TestSidecarWriteAtomicAndReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.nodbaux")
+	payload := []byte("some payload bytes")
+	n, err := writeAtomic(path, fileMagic, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != headerLen+len(payload) {
+		t.Errorf("bytes written = %d, want %d", n, headerLen+len(payload))
+	}
+	got, err := readFile(path, fileMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload = %q", got)
+	}
+	// Wrong magic expectation fails validation.
+	if _, err := readFile(path, stmtMagic); err != errCorrupt {
+		t.Errorf("wrong magic: err = %v", err)
+	}
+	// A flipped payload byte fails the checksum.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerLen+2] ^= 1
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFile(path, fileMagic); err != errCorrupt {
+		t.Errorf("bit flip: err = %v", err)
+	}
+	// Missing files report missing, not corrupt.
+	_, err = readFile(filepath.Join(t.TempDir(), "absent"), fileMagic)
+	if !missing(err) {
+		t.Errorf("absent file: err = %v", err)
+	}
+}
+
+// TestSidecarJournalParse: journal records append and parse back; a torn tail is
+// ignored without invalidating the records before it.
+func TestSidecarJournalParse(t *testing.T) {
+	fp1 := format.Fingerprint{Size: 100, ModTime: time.Unix(1, 2), Head: 3, Tail: 4, TailOff: 5}
+	fp2 := format.Fingerprint{Size: 200, ModTime: time.Unix(6, 7), Head: 8, Tail: 9, TailOff: 10}
+	b := append(encodeJournal(fp1), encodeJournal(fp2)...)
+	torn := append(b, encodeJournal(fp1)[:7]...)
+
+	got := parseJournal(torn)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(got))
+	}
+	if got[1].Size != 200 || !got[1].ModTime.Equal(fp2.ModTime) || got[1].Head != 8 {
+		t.Errorf("record 2 = %+v", got[1])
+	}
+	// Garbage after the payload parses as zero records.
+	if got := parseJournal([]byte("garbage")); len(got) != 0 {
+		t.Errorf("garbage parsed as %d records", len(got))
+	}
+}
+
+// TestSidecarStatements: hot statement texts round-trip through their sidecar
+// file; a corrupt file is discarded and returns nothing.
+func TestSidecarStatements(t *testing.T) {
+	dir := t.TempDir()
+	m := New(Config{StmtPath: filepath.Join(dir, "statements.nodbaux"), StmtN: 2})
+	defer m.Close()
+
+	if got := m.LoadStatements(); got != nil {
+		t.Errorf("load before save = %v", got)
+	}
+	// StmtN caps what persists.
+	if err := m.SaveStatements([]string{"SELECT 1", "SELECT 2", "SELECT 3"}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.LoadStatements()
+	if len(got) != 2 || got[0] != "SELECT 1" || got[1] != "SELECT 2" {
+		t.Errorf("loaded = %v", got)
+	}
+	// Corruption discards.
+	if err := os.WriteFile(m.cfg.StmtPath, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LoadStatements(); got != nil {
+		t.Errorf("corrupt load = %v", got)
+	}
+	if _, err := os.Stat(m.cfg.StmtPath); !os.IsNotExist(err) {
+		t.Errorf("corrupt statements file not removed (err=%v)", err)
+	}
+	if m.Stats().CorruptDiscarded != 1 {
+		t.Errorf("stats = %+v", m.Stats())
+	}
+}

@@ -51,6 +51,15 @@ type ColumnStats struct {
 	bounds []float64
 }
 
+// HistogramBounds returns the equi-depth bucket boundaries (nil for
+// non-numeric columns), for sidecar serialization.
+func (s *ColumnStats) HistogramBounds() []float64 { return s.bounds }
+
+// SetHistogramBounds installs bucket boundaries on a reconstructed
+// ColumnStats (sidecar restore). Call before the stats are published to a
+// Table; installed stats are immutable.
+func (s *ColumnStats) SetHistogramBounds(b []float64) { s.bounds = b }
+
 // NullFraction returns the fraction of NULLs among all observed rows.
 func (s *ColumnStats) NullFraction() float64 {
 	total := s.Count + s.Nulls
@@ -346,6 +355,19 @@ func (t *Table) Col(col int) *ColumnStats {
 
 // Has reports whether stats exist for the column.
 func (t *Table) Has(col int) bool { return t.Col(col) != nil }
+
+// Ordinals returns the sorted column ordinals that have stats, for
+// deterministic sidecar serialization.
+func (t *Table) Ordinals() []int {
+	t.mu.RLock()
+	out := make([]int, 0, len(t.cols))
+	for col := range t.cols {
+		out = append(out, col)
+	}
+	t.mu.RUnlock()
+	sort.Ints(out)
+	return out
+}
 
 // CoveredColumns returns how many columns have stats.
 func (t *Table) CoveredColumns() int {

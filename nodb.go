@@ -34,6 +34,8 @@ package nodb
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -166,6 +168,29 @@ type Options struct {
 	// RetryBackoff is the context-aware pause between scan retry attempts
 	// (0 = 5ms).
 	RetryBackoff time.Duration
+	// Sidecar configures durable adaptive state: when enabled, each
+	// table's positional map, cached columns, statistics and access
+	// counters checkpoint into a versioned, checksummed sidecar file next
+	// to the raw file (or under Sidecar.Dir), and the hot prepared-
+	// statement texts persist alongside. A restarted DB warm-starts from
+	// these files instead of re-paying every cold scan; a sidecar that
+	// fails its checksum or no longer matches the raw file is discarded and
+	// the table starts cold — never wrong rows.
+	Sidecar SidecarOptions
+}
+
+// SidecarOptions configure the durable-adaptive-state sidecar files.
+type SidecarOptions struct {
+	// Enable turns sidecar persistence on.
+	Enable bool
+	// Dir is where sidecar files live. Empty means next to each raw file
+	// (<raw path>.nodbaux). The directory must exist or be creatable and
+	// writable; Open verifies this.
+	Dir string
+	// MaxBytes caps each sidecar file's size (0 = unlimited). Under a
+	// budget, the most-accessed cached columns persist first and the rest
+	// are rebuilt on demand after a restart.
+	MaxBytes int64
 }
 
 // ColumnDef declares one column of a table.
@@ -282,6 +307,14 @@ func (o *Options) validate() error {
 	if o.RetryBackoff < 0 {
 		return fmt.Errorf("nodb: RetryBackoff must be >= 0 (0 = default 5ms), got %v", o.RetryBackoff)
 	}
+	if o.Sidecar.MaxBytes < 0 {
+		return fmt.Errorf("nodb: Sidecar.MaxBytes must be >= 0 (0 = unlimited), got %d", o.Sidecar.MaxBytes)
+	}
+	if o.Sidecar.Enable && o.Sidecar.Dir != "" {
+		if err := probeDir(o.Sidecar.Dir); err != nil {
+			return fmt.Errorf("nodb: Sidecar.Dir %q is not a writable directory: %w", o.Sidecar.Dir, err)
+		}
+	}
 	// ScanRetries: negative is the documented "no retries" convention;
 	// normalize every negative value to -1 so callers cannot depend on
 	// the magnitude.
@@ -289,6 +322,25 @@ func (o *Options) validate() error {
 		o.ScanRetries = -1
 	}
 	return nil
+}
+
+// probeDir verifies dir exists (creating it if needed) and is writable by
+// creating and removing a probe file — the checkpointer's first failed
+// write would otherwise surface minutes later, from a background
+// goroutine, as an opaque counter.
+func probeDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	probe := filepath.Join(dir, ".nodb-probe")
+	f, err := os.Create(probe)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(probe)
 }
 
 // Open creates a DB. No data is read until the first query touches a
@@ -317,6 +369,11 @@ func Open(cat *Catalog, opts Options) (*DB, error) {
 		KernelCacheSize:   opts.KernelCacheSize,
 		ScanRetries:       opts.ScanRetries,
 		RetryBackoff:      opts.RetryBackoff,
+		Sidecar: core.SidecarOptions{
+			Enable:   opts.Sidecar.Enable,
+			Dir:      opts.Sidecar.Dir,
+			MaxBytes: opts.Sidecar.MaxBytes,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -459,5 +516,14 @@ func (db *DB) Tables() []TableInfo {
 	return out
 }
 
-// Close releases all files and auxiliary structures.
+// Checkpoint synchronously persists every table's dirty adaptive state and
+// the hot prepared-statement texts to their sidecar files (see
+// Options.Sidecar). The background checkpointer makes calling this
+// optional; it exists for "flush now" moments — before a planned shutdown,
+// after a bulk INSERT, from an admin endpoint. Errors when sidecar
+// persistence is not enabled.
+func (db *DB) Checkpoint(ctx context.Context) error { return db.eng.Checkpoint(ctx) }
+
+// Close releases all files and auxiliary structures. With sidecar
+// persistence enabled it takes a final checkpoint first.
 func (db *DB) Close() error { return db.eng.Close() }

@@ -24,6 +24,8 @@ func TestOptionsValidation(t *testing.T) {
 		{"negative backoff", Options{RetryBackoff: -time.Second}, "RetryBackoff"},
 		{"unknown mode", Options{Mode: Mode(99)}, "Mode"},
 		{"negative mode", Options{Mode: Mode(-1)}, "Mode"},
+		{"negative sidecar max bytes", Options{Sidecar: SidecarOptions{MaxBytes: -1}}, "Sidecar.MaxBytes"},
+		{"unwritable sidecar dir", Options{Sidecar: SidecarOptions{Enable: true, Dir: "/proc/nodb-no-such-dir"}}, "Sidecar.Dir"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -47,6 +49,8 @@ func TestOptionsZeroAndNormalized(t *testing.T) {
 		{ScanRetries: -1},              // documented: no retries
 		{ScanRetries: -99},             // normalized to the same
 		{Parallelism: 1, BatchSize: 1}, // smallest legal explicit values
+		{Sidecar: SidecarOptions{MaxBytes: 1 << 20}}, // budget without Enable is inert but legal
+		{Sidecar: SidecarOptions{Enable: true, Dir: t.TempDir()}},
 	} {
 		db, err := Open(testCatalog(t), opts)
 		if err != nil {
