@@ -14,6 +14,11 @@
 //	GET  /tables /schema /stats /healthz
 //	GET  /metrics    Prometheus text exposition
 //	GET  /debug/vars expvar (stdlib)
+//	GET  /debug/queries running queries (live phase) + recent profiles
+//
+// Per-query observability: /query?profile=1 appends the execution profile
+// as a final NDJSON line, and -slow-query logs the full profile of
+// outliers.
 //
 // SIGTERM or SIGINT starts a graceful drain: new queries get 503, running
 // queries finish (bounded by -drain-timeout), then the listener closes.
@@ -34,6 +39,7 @@ import (
 	"time"
 
 	"nodb"
+	"nodb/internal/iofault"
 	"nodb/internal/metrics"
 	"nodb/internal/server"
 )
@@ -54,6 +60,9 @@ func main() {
 	maxRows := flag.Int64("max-rows", 0, "default per-query row budget (0 = unlimited)")
 	maxBytes := flag.Int64("max-bytes", 0, "per-query response byte budget (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	slowQuery := flag.Duration("slow-query", 0, "log the full execution profile of queries slower than this (0 = off)")
+	profileRing := flag.Int("profile-ring", 64, "completed query profiles kept for /debug/queries")
+	faultLatency := flag.Duration("iofault-latency", 0, "inject this much latency into every raw-file I/O through the iofault seam (testing only; makes slow-query logging reproducible)")
 	sidecar := flag.Bool("sidecar", false, "persist adaptive state to crash-safe sidecar files (warm restarts)")
 	sidecarDir := flag.String("sidecar-dir", "", "directory for sidecar files (default: next to each raw file)")
 	sidecarMax := flag.Int64("sidecar-max-bytes", 0, "per-table sidecar size budget in bytes (0 = unlimited)")
@@ -90,6 +99,13 @@ func main() {
 	}
 	defer db.Close()
 
+	if *faultLatency > 0 {
+		log.Printf("nodbd: TESTING ONLY: injecting %s latency per raw-file I/O", *faultLatency)
+		for _, t := range db.Tables() {
+			iofault.Inject(t.Path, iofault.Profile{Latency: *faultLatency})
+		}
+	}
+
 	reg := metrics.NewRegistry()
 	srv, err := server.New(server.Config{
 		DB:               db,
@@ -100,6 +116,8 @@ func main() {
 		MaxTimeout:       *maxTimeout,
 		DefaultMaxRows:   *maxRows,
 		MaxResponseBytes: *maxBytes,
+		SlowQuery:        *slowQuery,
+		ProfileRing:      *profileRing,
 		Registry:         reg,
 	})
 	if err != nil {

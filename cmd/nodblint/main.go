@@ -2,8 +2,9 @@
 // invariants: lock release on all paths (locksafe), cancellable scan
 // loops (ctxloop), allocation-free //nodb:hotpath bodies (hotalloc),
 // resources closed on error returns (closeerr), atomics never mixed
-// with plain access (atomiccounter) and error causes wrapped with %w
-// rather than formatted away (faulterr).
+// with plain access (atomiccounter), error causes wrapped with %w
+// rather than formatted away (faulterr) and qtrace phase spans ended
+// on every path (spanend).
 //
 // Two modes share the same analyzers and diagnostics:
 //
@@ -39,6 +40,7 @@ import (
 	"nodb/internal/analysis/hotalloc"
 	"nodb/internal/analysis/loader"
 	"nodb/internal/analysis/locksafe"
+	"nodb/internal/analysis/spanend"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -48,6 +50,7 @@ var analyzers = []*analysis.Analyzer{
 	faulterr.Analyzer,
 	hotalloc.Analyzer,
 	locksafe.Analyzer,
+	spanend.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,279 @@
+// Package spanend machine-checks the qtrace phase-span discipline:
+// Profile.Enter returns an end closure that stops the phase clock, and a
+// started phase that is never ended corrupts every later attribution on
+// the profile (the phase accumulates wall time it did not spend, and the
+// top-level account stops reconciling with wall time).
+//
+// The rules, checked flow-sensitively over the ctrlflow CFG (the same
+// machinery as locksafe):
+//
+//  1. The closure returned by Enter must be called on every path out of
+//     the function — directly, via defer, or after a custody transfer
+//     (stored in a field or passed on, the Rows.endExec idiom).
+//  2. The closure must not be discarded: `_ = p.Enter(ph)`, a bare
+//     `p.Enter(ph)` statement, and `defer p.Enter(ph)` (which defers the
+//     start, not the end) all leak an open phase immediately.
+//
+// The analysis is intraprocedural and may-path: a span left open on any
+// path into a return is reported. Functions containing goto are skipped.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"nodb/internal/analysis"
+	"nodb/internal/analysis/ctrlflow"
+)
+
+// Analyzer is the spanend check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "checks that every qtrace phase span started with Profile.Enter is ended on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkFunc(pass, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isEnterCall reports whether call is (*qtrace.Profile).Enter.
+func isEnterCall(info *types.Info, call *ast.CallExpr) bool {
+	_, recvType, name, ok := analysis.MethodCall(info, call)
+	return ok && name == "Enter" && analysis.IsNamedType(recvType, "internal/qtrace", "Profile")
+}
+
+// fact is the set of open end closures, keyed by their variable object.
+type fact map[types.Object]bool
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// union joins may-facts: open on any path counts as open.
+func union(dst, src fact) (fact, bool) {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+type funcAnal struct {
+	pass          *analysis.Pass
+	tracked       map[types.Object]bool // end closures from x := p.Enter(ph)
+	escaped       map[types.Object]bool // custody transferred: stored or passed on
+	deferReleased map[types.Object]bool // ended by a defer: all exits covered
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	a := &funcAnal{
+		pass:          pass,
+		tracked:       make(map[types.Object]bool),
+		escaped:       make(map[types.Object]bool),
+		deferReleased: make(map[types.Object]bool),
+	}
+	a.scan(body)
+	if len(a.tracked) == 0 {
+		return
+	}
+	g := ctrlflow.Build(body)
+	if g.Unsupported {
+		return
+	}
+	in := a.fixpoint(g)
+	for _, b := range g.Blocks {
+		if in[b.Index] == nil {
+			continue
+		}
+		final := a.transfer(b, in[b.Index], func(n ast.Node, cur fact) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			// The return's own expressions may call the closure
+			// (`return end()`); apply them before judging.
+			after := cur.clone()
+			a.applyNode(ret, after)
+			a.checkOpen(ret.Pos(), after, "open at return: end the phase span on this path")
+		})
+		if b.Kind == ctrlflow.Fall && len(b.Nodes) > 0 {
+			a.checkOpen(b.Nodes[len(b.Nodes)-1].Pos(), final, "open at function end: the phase span is never ended")
+		}
+	}
+}
+
+// scan finds every Enter assignment, classifies each use of the end
+// closure (call / defer / escape), and reports immediately-discarded
+// spans.
+func (a *funcAnal) scan(body *ast.BlockStmt) {
+	info := a.pass.TypesInfo
+	defining := make(map[*ast.Ident]bool)
+	analysis.WithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own function
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isEnterCall(info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					// Stored straight into a field or element: custody
+					// transfer, the holder ends it later.
+					continue
+				}
+				if id.Name == "_" {
+					a.pass.Reportf(call.Pos(), "qtrace span end discarded: the phase started by Enter is never ended")
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil {
+					a.tracked[obj] = true
+					defining[id] = true
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isEnterCall(info, call) {
+				a.pass.Reportf(call.Pos(), "qtrace span end discarded: call the closure Enter returns (p.Enter(ph)())")
+			}
+		case *ast.DeferStmt:
+			if isEnterCall(info, n.Call) {
+				a.pass.Reportf(n.Call.Pos(), "defer starts the span at exit and never ends it: use defer p.Enter(ph)()")
+			}
+		}
+		return true
+	})
+
+	// Classify every use of a tracked closure.
+	analysis.WithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !a.tracked[obj] || defining[id] {
+			return true
+		}
+		if len(stack) > 0 {
+			if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == id {
+				// A direct call `end()`: a defer covers all exits, an
+				// inline call is a dataflow event.
+				for _, anc := range stack {
+					if d, ok := anc.(*ast.DeferStmt); ok && d.Call.Fun == id {
+						a.deferReleased[obj] = true
+					}
+				}
+				return true
+			}
+		}
+		// Any other mention — stored, passed, compared — transfers custody.
+		a.escaped[obj] = true
+		return true
+	})
+}
+
+// transfer replays one block from fact in (cloned), calling visit before
+// each node's effects, and returns the block-final fact.
+func (a *funcAnal) transfer(b *ctrlflow.Block, in fact, visit func(ast.Node, fact)) fact {
+	cur := in.clone()
+	for _, n := range b.Nodes {
+		if visit != nil {
+			visit(n, cur)
+		}
+		a.applyNode(n, cur)
+	}
+	return cur
+}
+
+// applyNode applies one node's open/close effects to cur.
+func (a *funcAnal) applyNode(n ast.Node, cur fact) {
+	info := a.pass.TypesInfo
+	ctrlflow.InspectNode(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range m.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isEnterCall(info, call) || i >= len(m.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(m.Lhs[i]).(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil && a.tracked[obj] {
+						cur[obj] = true
+					} else if obj := info.Uses[id]; obj != nil && a.tracked[obj] {
+						cur[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && a.tracked[obj] {
+					delete(cur, obj)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (a *funcAnal) checkOpen(pos token.Pos, cur fact, suffix string) {
+	var names []string
+	for obj := range cur {
+		if !a.escaped[obj] && !a.deferReleased[obj] {
+			names = append(names, obj.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a.pass.Reportf(pos, "qtrace span %s %s", name, suffix)
+	}
+}
+
+// fixpoint runs the forward may-analysis over the graph.
+func (a *funcAnal) fixpoint(g *ctrlflow.Graph) []fact {
+	in := make([]fact, len(g.Blocks))
+	in[g.Entry.Index] = fact{}
+	work := []*ctrlflow.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := a.transfer(b, in[b.Index], nil)
+		for _, succ := range b.Succs {
+			if in[succ.Index] == nil {
+				in[succ.Index] = out.clone()
+				work = append(work, succ)
+			} else if merged, changed := union(in[succ.Index], out); changed {
+				in[succ.Index] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spanend.Analyzer, "a")
+}

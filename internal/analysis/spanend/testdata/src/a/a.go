@@ -1,0 +1,102 @@
+// Package a exercises the spanend analyzer: phase spans left open on a
+// path, discarded end closures and deferred Enter calls are flagged;
+// balanced calls, defers and custody transfers stay quiet.
+package a
+
+import (
+	"errors"
+
+	"nodb/internal/qtrace"
+)
+
+type holder struct {
+	prof *qtrace.Profile
+	end  func()
+}
+
+// leakOnError forgets to end the span on the error path.
+func leakOnError(p *qtrace.Profile, fail bool) error {
+	end := p.Enter(qtrace.PhasePlan)
+	if fail {
+		return errors.New("no") // want `qtrace span end open at return`
+	}
+	end()
+	return nil
+}
+
+var sink int
+
+// leakAtEnd ends the span on one branch only and falls off the end with
+// it still open on the other.
+func leakAtEnd(p *qtrace.Profile, fail bool) {
+	end := p.Enter(qtrace.PhasePlan)
+	if !fail {
+		end()
+	}
+	sink++ // want `qtrace span end open at function end`
+}
+
+// discarded throws the end closure away.
+func discarded(p *qtrace.Profile) {
+	_ = p.Enter(qtrace.PhasePlan) // want `qtrace span end discarded`
+}
+
+// bareCall starts a span with nothing to end it.
+func bareCall(p *qtrace.Profile) {
+	p.Enter(qtrace.PhasePlan) // want `qtrace span end discarded`
+}
+
+// deferredEnter defers the start instead of the end.
+func deferredEnter(p *qtrace.Profile) {
+	defer p.Enter(qtrace.PhasePlan) // want `defer starts the span at exit and never ends it`
+}
+
+// balanced ends the span on both paths.
+func balanced(p *qtrace.Profile, fail bool) error {
+	end := p.Enter(qtrace.PhasePlan)
+	if fail {
+		end()
+		return errors.New("no")
+	}
+	end()
+	return nil
+}
+
+// deferred covers every exit with one defer.
+func deferred(p *qtrace.Profile, fail bool) error {
+	end := p.Enter(qtrace.PhaseExecute)
+	defer end()
+	if fail {
+		return errors.New("no")
+	}
+	return nil
+}
+
+// immediate uses the defer-Enter-call idiom.
+func immediate(p *qtrace.Profile) {
+	defer p.Enter(qtrace.PhaseExecute)()
+}
+
+// custody stores the closure for a later phase of the object's life —
+// the Rows.endExec idiom: whoever holds it ends it.
+func (h *holder) custody(p *qtrace.Profile) {
+	end := p.Enter(qtrace.PhaseExecute)
+	h.end = end
+}
+
+// reopened closes the first span before starting the second.
+func reopened(p *qtrace.Profile, n int) {
+	for i := 0; i < n; i++ {
+		end := p.Enter(qtrace.PhaseQueue)
+		end()
+	}
+}
+
+// nilSafe is the engine's standard shape: Enter on a possibly-nil profile
+// still returns a callable closure, so the flow is identical.
+func nilSafe(p *qtrace.Profile, work func() error) error {
+	end := p.Enter(qtrace.PhaseExecute)
+	err := work()
+	end()
+	return err
+}

@@ -1,0 +1,19 @@
+// Package qtrace stubs the engine's query profile for the spanend
+// fixtures.
+package qtrace
+
+// Phase identifies one attributed slice of query time.
+type Phase int
+
+// Phases.
+const (
+	PhaseQueue Phase = iota
+	PhasePlan
+	PhaseExecute
+)
+
+// Profile mirrors the engine's per-query execution profile.
+type Profile struct{}
+
+// Enter starts the phase clock and returns the closure that stops it.
+func (p *Profile) Enter(ph Phase) func() { return func() {} }

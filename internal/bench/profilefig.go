@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"nodb/internal/core"
+	"nodb/internal/exec"
+	"nodb/internal/qtrace"
+)
+
+// ProfileFig measures what the qtrace instrumentation costs (not a paper
+// figure — this repo's extension): the same warm cache scans run with no
+// profile in the context ("off", the default every query pays) and under
+// an attached profile ("on", the opt-in EXPLAIN ANALYZE / ?profile=1
+// path). Every hook gates on a nil profile fetched once per component, so
+// the off path is the no-qtrace baseline up to one context lookup per
+// query; the overhead numbers recorded here are the ones the CI gate
+// (TestProfileOverheadOnWarmScan) enforces: off within 1% of baseline,
+// on within 5%.
+func ProfileFig(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	cat, size, err := microFile(cfg, "profilefig.csv", cfg.Rows, cfg.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	queries := []struct{ name, sql string }{
+		{"filter_project", "SELECT a1, a2 + 1, a3 * 2 FROM wide WHERE a4 < 500000000"},
+		{"pass_through", "SELECT a1, a2 FROM wide WHERE a1 >= 0"},
+		{"agg", "SELECT sum(a1), count(*), max(a2) FROM wide WHERE a3 >= 0"},
+	}
+	const rounds = 9
+
+	rep := &Report{
+		ID:     "profile",
+		Title:  "qtrace per-query profiling overhead: warm cache scans, off vs on",
+		Header: []string{"query", "off_ms", "on_ms", "off_krows_s", "on_krows_s", "overhead"},
+	}
+	rep.AddNote("file %.1f MB, %d rows x %d attrs; median of %d interleaved rounds", float64(size)/(1<<20), cfg.Rows, cfg.Attrs, rounds)
+
+	for _, q := range queries {
+		e, err := paperOpen(cat, core.Options{Mode: core.ModePMCache})
+		if err != nil {
+			return nil, err
+		}
+		p, err := e.PrepareStmt(q.sql)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		// One warming pass builds the cache; measured runs are pure cache
+		// scans. Off/on alternate within each round so drift in the host
+		// hits both series equally.
+		drain := func(ctx context.Context) (time.Duration, error) {
+			start := time.Now()
+			op, _, err := p.Plan(ctx, nil, nil)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := exec.Count(op); err != nil {
+				return 0, err
+			}
+			return time.Since(start), nil
+		}
+		if _, err := drain(context.Background()); err != nil {
+			e.Close()
+			return nil, err
+		}
+		var off, on []time.Duration
+		for r := 0; r < rounds; r++ {
+			d, err := drain(context.Background())
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			off = append(off, d)
+			d, err = drain(qtrace.NewContext(context.Background(), qtrace.New(q.sql)))
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			on = append(on, d)
+		}
+		e.Close()
+
+		offMed, onMed := median(off), median(on)
+		offKrows := float64(cfg.Rows) / offMed.Seconds() / 1000
+		onKrows := float64(cfg.Rows) / onMed.Seconds() / 1000
+		overhead := float64(onMed)/float64(offMed) - 1
+		rep.AddRow(q.name, ms(offMed), ms(onMed),
+			fmt.Sprintf("%.1f", offKrows),
+			fmt.Sprintf("%.1f", onKrows),
+			fmt.Sprintf("%+.1f%%", overhead*100))
+		rep.AddMetric(q.name+"_off_rows_per_s", offKrows*1000)
+		rep.AddMetric(q.name+"_on_rows_per_s", onKrows*1000)
+		rep.AddMetric(q.name+"_profile_overhead_pct", overhead*100)
+	}
+	return rep, nil
+}
+
+// median returns the middle element of ds (ds is sorted in place).
+func median(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}

@@ -52,6 +52,7 @@ import (
 	"nodb/internal/format"
 	"nodb/internal/kernel"
 	"nodb/internal/plan"
+	"nodb/internal/qtrace"
 	"nodb/internal/schema"
 	"nodb/internal/sidecar"
 	"nodb/internal/sqlparse"
@@ -339,6 +340,9 @@ type Prepared struct {
 	ins  *sqlparse.Insert
 	text string // normalized SQL (the cache key)
 
+	expl        bool // EXPLAIN wrapper around sel
+	explAnalyze bool // EXPLAIN ANALYZE: execute and annotate
+
 	numParams  int
 	paramNames []string
 
@@ -381,6 +385,9 @@ func (e *Engine) PrepareStmt(sql string) (*Prepared, error) {
 		p.sel, p.numParams, p.paramNames = s, s.NumParams, s.ParamNames
 	case *sqlparse.Insert:
 		p.ins, p.numParams, p.paramNames = s, s.NumParams, s.ParamNames
+	case *sqlparse.Explain:
+		p.sel, p.numParams, p.paramNames = s.Stmt, s.NumParams, s.ParamNames
+		p.expl, p.explAnalyze = true, s.Analyze
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 	}
@@ -397,9 +404,21 @@ func (p *Prepared) Plan(ctx context.Context, params []datum.Datum, named map[str
 	if p.sel == nil {
 		return nil, nil, fmt.Errorf("core: statement returns no rows; use Exec")
 	}
+	if p.expl {
+		return p.planExplain(ctx, params, named)
+	}
+	return p.planSelect(ctx, params, named)
+}
+
+// planSelect is the shared planning path behind Plan and EXPLAIN: bind
+// parameters and build the physical plan, attributing skeleton
+// resolution to the profile's plan phase and literal binding to its bind
+// phase (both no-ops when the context carries no profile).
+func (p *Prepared) planSelect(ctx context.Context, params []datum.Datum, named map[string]datum.Datum) (exec.Operator, []exec.Col, error) {
 	if err := checkBindings(p, params, named); err != nil {
 		return nil, nil, err
 	}
+	prof := qtrace.FromContext(ctx)
 	opts := plan.Options{
 		UseStats:    p.e.opts.Statistics,
 		Vectorize:   !p.e.opts.DisableVectorized,
@@ -408,11 +427,14 @@ func (p *Prepared) Plan(ctx context.Context, params []datum.Datum, named map[str
 		Params:      params,
 		NamedParams: named,
 	}
+	endPlan := prof.Enter(qtrace.PhasePlan)
 	sk, err := p.skeleton()
+	endPlan()
 	if err != nil {
 		return nil, nil, err
 	}
 	var res *plan.Result
+	endBind := prof.Enter(qtrace.PhaseBind)
 	if sk != nil {
 		res, err = sk.Bind(p.e, opts)
 	} else {
@@ -420,6 +442,7 @@ func (p *Prepared) Plan(ctx context.Context, params []datum.Datum, named map[str
 		// literal): plan per execution with immediate binding, as before.
 		res, err = plan.Build(p.sel, p.e, opts)
 	}
+	endBind()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"nodb/internal/format"
 	"nodb/internal/iofault"
 	"nodb/internal/posmap"
+	"nodb/internal/qtrace"
 	"nodb/internal/scan"
 	"nodb/internal/stats"
 )
@@ -31,6 +32,7 @@ import (
 //     into the binary cache, and feeds statistics collectors (§4.3, §4.4).
 type inSituScan struct {
 	ctx       context.Context
+	prof      *qtrace.Profile // nil unless the query context carries one
 	rt        *rawTable
 	outCols   []int
 	conjuncts []expr.Expr
@@ -94,6 +96,7 @@ func newInSituScan(ctx context.Context, rt *rawTable, outCols []int, conjuncts [
 	}
 	s := &inSituScan{
 		ctx:       ctx,
+		prof:      qtrace.FromContext(ctx),
 		rt:        rt,
 		outCols:   outCols,
 		conjuncts: conjuncts,
@@ -137,6 +140,12 @@ func (s *inSituScan) Open() error {
 		lr, f, err := scan.OpenFile(s.rt.Tbl.Name, s.rt.Tbl.Path, s.rt.Env.ScanChunkSize)
 		if err != nil {
 			return format.WrapFileErr(s.rt.Tbl.Name, err)
+		}
+		if s.prof != nil {
+			// Profiled scans read through the IO-attributing wrapper; the raw
+			// handle stays in s.f for Close. (Parallel workers read sections
+			// of a file the pool wrapped once in start.)
+			lr = scan.NewLineReader(qtrace.CountReads(s.prof, f), s.rt.Env.ScanChunkSize)
 		}
 		s.lr, s.f = lr, f
 	}
@@ -201,8 +210,13 @@ func (s *inSituScan) Open() error {
 	return nil
 }
 
-// Close releases the file handle and publishes the scan's counters.
+// Close releases the file handle and publishes the scan's counters
+// (per-query profile first — Add zeroes the struct). Parallel worker
+// shards each run their own Close, so the shared profile accumulates
+// every worker's counters exactly once; the pool's merge folds shard
+// counters into the table without touching the profile again.
 func (s *inSituScan) Close() error {
+	format.FlushProfile(s.prof, &s.c)
 	s.rt.Counters.Add(&s.c)
 	if s.f != nil {
 		err := s.f.Close()

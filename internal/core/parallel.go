@@ -10,6 +10,7 @@ import (
 	"nodb/internal/expr"
 	"nodb/internal/format"
 	"nodb/internal/iofault"
+	"nodb/internal/qtrace"
 	"nodb/internal/scan"
 	"nodb/internal/stats"
 )
@@ -90,11 +91,19 @@ func (p *parallelScan) start() (int, error) {
 		return 0, format.WrapFileErr(p.rt.Tbl.Name, err)
 	}
 	p.f = f
+	// One IO-attributing wrapper serves every worker's SectionReader: the
+	// underlying ReadAt is stateless and the profile's counters are
+	// atomic, so concurrent positioned reads attribute safely.
+	var ra io.ReaderAt = f
+	if prof := qtrace.FromContext(p.ctx); prof != nil {
+		ra = qtrace.CountReaderAt(prof, f)
+		prof.Count(qtrace.CtrWorkers, int64(len(parts)))
+	}
 	p.shards = make([]*inSituScan, len(parts))
 	for i, part := range parts {
 		sh := newInSituScan(p.ctx, p.rt.shard(), p.outCols, p.conjuncts)
 		sh.shard = true
-		sh.section = io.NewSectionReader(f, part.Start, part.End-part.Start)
+		sh.section = io.NewSectionReader(ra, part.Start, part.End-part.Start)
 		sh.base = part.Start
 		p.shards[i] = sh
 	}

@@ -404,12 +404,19 @@ func (t *Table) Close() error {
 // of them — e.g. partition workers of a parallel scan — run concurrently.
 type Reader struct {
 	t     *Table
+	ra    io.ReaderAt // IO source; t.f, or a per-query attribution wrapper
 	buf   []byte
 	row   int64 // next row index
 	limit int64 // one past the last row to read
 	bpos  int   // byte position within buf
 	blen  int
 }
+
+// SetReaderAt overrides the reader's IO source — profiled scans wrap the
+// shared file handle in a per-query attribution counter. Each reader holds
+// its own override, so concurrent partition workers attribute to their own
+// query's profile.
+func (r *Reader) SetReaderAt(ra io.ReaderAt) { r.ra = ra }
 
 // NewReader returns a sequential reader over the whole table.
 func (t *Table) NewReader() *Reader {
@@ -428,6 +435,7 @@ func (t *Table) NewRangeReader(lo, hi int64) *Reader {
 	}
 	return &Reader{
 		t:     t,
+		ra:    t.f,
 		row:   lo,
 		limit: hi,
 		buf:   make([]byte, 256*1024/t.rowBytes*t.rowBytes+t.rowBytes),
@@ -446,7 +454,7 @@ func (r *Reader) Next(cols []int, dst []datum.Datum) ([]datum.Datum, error) {
 		if rem := r.limit - r.row; rem < maxRows {
 			maxRows = rem
 		}
-		n, err := r.t.f.ReadAt(r.buf[:maxRows*int64(r.t.rowBytes)], off)
+		n, err := r.ra.ReadAt(r.buf[:maxRows*int64(r.t.rowBytes)], off)
 		if err != nil && n < int(maxRows)*r.t.rowBytes {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				// The header declared rows the file no longer holds: it was

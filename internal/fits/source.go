@@ -11,6 +11,7 @@ import (
 	"nodb/internal/exec"
 	"nodb/internal/expr"
 	"nodb/internal/format"
+	"nodb/internal/qtrace"
 	"nodb/internal/schema"
 )
 
@@ -191,6 +192,7 @@ func (s *Source) Close() error {
 // honors LIMIT row budgets.
 type fitsScan struct {
 	ctx       context.Context
+	prof      *qtrace.Profile // nil unless the query context carries one
 	src       *Source
 	t         *Table
 	outCols   []int
@@ -226,6 +228,7 @@ func newFITSScan(ctx context.Context, src *Source, outCols []int, conjuncts []ex
 	}
 	return &fitsScan{
 		ctx:       ctx,
+		prof:      qtrace.FromContext(ctx),
 		src:       src,
 		t:         src.t,
 		outCols:   outCols,
@@ -251,6 +254,9 @@ func (s *fitsScan) SetRowBudget(n int64) { s.budget = n }
 // Open positions the range reader and acquires cache views.
 func (s *fitsScan) Open() error {
 	s.rd = s.t.NewRangeReader(s.lo, s.hi)
+	if s.prof != nil {
+		s.rd.SetReaderAt(qtrace.CountReaderAt(s.prof, s.t.f))
+	}
 	s.row = s.lo
 	s.produced = 0
 	if s.cache != nil {
@@ -267,8 +273,10 @@ func (s *fitsScan) Open() error {
 	return nil
 }
 
-// Close publishes the scan's counters.
+// Close publishes the scan's counters (per-query profile first — Add
+// zeroes the struct; each worker shard flushes exactly once).
 func (s *fitsScan) Close() error {
+	format.FlushProfile(s.prof, &s.c)
 	s.sink.Add(&s.c)
 	return nil
 }
@@ -376,6 +384,7 @@ func newParallelFITSScan(ctx context.Context, src *Source, outCols []int, conjun
 			if w < 1 {
 				w = 1
 			}
+			qtrace.FromContext(ctx).Count(qtrace.CtrWorkers, w)
 			shards = make([]*fitsScan, 0, w)
 			for i := int64(0); i < w; i++ {
 				lo := nrows * i / w

@@ -9,6 +9,7 @@ import (
 	"nodb/internal/datum"
 	"nodb/internal/exec"
 	"nodb/internal/expr"
+	"nodb/internal/qtrace"
 )
 
 // CacheScan serves a query entirely from the binary cache, never touching
@@ -134,8 +135,10 @@ func (s *CacheScan) Open() error {
 	return nil
 }
 
-// Close publishes the scan's counters.
+// Close publishes the scan's counters (per-query profile first — Add
+// zeroes the struct).
 func (s *CacheScan) Close() error {
+	FlushProfile(qtrace.FromContext(s.ctx), &s.c)
 	s.st.Counters.Add(&s.c)
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nodb/internal/exec"
+	"nodb/internal/qtrace"
 )
 
 // GuardedScan is the leaf operator every raw format shares. It defers the
@@ -50,6 +51,13 @@ type GuardedScan struct {
 	emitted        bool // a row or batch has left this operator
 	recorded       bool // a recording (non-downgraded exclusive) pass opened
 	holdsExclusive bool
+
+	// Profiling (prof is nil unless the query context carries a qtrace
+	// profile): lock waits, the access-method decision, retries, and inner
+	// pull time attributed by access method (raw-scan vs cache-scan).
+	prof  *qtrace.Profile
+	span  *qtrace.Span
+	phase qtrace.Phase // attribution for inner pull time, set by the decision
 }
 
 // NewGuardedScan builds the deferred-decision leaf. shared may be nil when
@@ -64,7 +72,34 @@ func NewGuardedScan(ctx context.Context, lk *TableLock, cols []exec.Col,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &GuardedScan{ctx: ctx, lk: lk, cols: cols, shared: shared, exclusive: exclusive, budget: -1}
+	return &GuardedScan{ctx: ctx, lk: lk, cols: cols, shared: shared, exclusive: exclusive,
+		budget: -1, prof: qtrace.FromContext(ctx)}
+}
+
+// SetTraceSpan implements qtrace.SpanSetter: the planner's span wrapper
+// hands the scan its span so the access-method decision (only known at
+// Open time) annotates the plan tree.
+func (g *GuardedScan) SetTraceSpan(sp *qtrace.Span) { g.span = sp }
+
+// lockTimed acquires through fn, attributing the wait when profiling.
+func (g *GuardedScan) lockTimed(fn func(context.Context) error) error {
+	if g.prof == nil {
+		return fn(g.ctx)
+	}
+	done := g.prof.Enter(qtrace.PhaseLockWait)
+	err := fn(g.ctx)
+	done()
+	return err
+}
+
+// setMode records the access-method decision: the phase pull time
+// attributes to, and the span annotation for EXPLAIN ANALYZE.
+func (g *GuardedScan) setMode(ph qtrace.Phase, detail string) {
+	if g.prof == nil {
+		return
+	}
+	g.phase = ph
+	g.span.SetDetail(detail)
 }
 
 // SetRowBudget implements exec.RowBudgeter; the budget is forwarded to
@@ -99,7 +134,7 @@ func (g *GuardedScan) Columns() []exec.Col { return g.cols }
 // Open acquires the table, decides the access method and opens it.
 func (g *GuardedScan) Open() error {
 	if g.shared != nil {
-		if err := g.lk.RLock(g.ctx); err != nil {
+		if err := g.lockTimed(g.lk.RLock); err != nil {
 			return err
 		}
 		op, err := g.shared()
@@ -118,11 +153,12 @@ func (g *GuardedScan) Open() error {
 			}
 			g.inner = op
 			g.unlock = g.lk.RUnlock
+			g.setMode(qtrace.PhaseCacheScan, "access=cache shared")
 			return nil
 		}
 		g.lk.RUnlock()
 	}
-	if err := g.lk.Lock(g.ctx); err != nil {
+	if err := g.lockTimed(g.lk.Lock); err != nil {
 		return err
 	}
 	ok := false
@@ -163,6 +199,9 @@ func (g *GuardedScan) openExclusiveLocked() error {
 				g.inner = inner
 				if !downgrade {
 					g.recorded = true
+					g.setMode(qtrace.PhaseRawScan, "access=raw recording")
+				} else {
+					g.setMode(qtrace.PhaseCacheScan, "access=cache downgraded")
 				}
 				return nil
 			}
@@ -195,6 +234,7 @@ func (g *GuardedScan) takeRetry(err error) bool {
 	if g.onRetry != nil {
 		g.onRetry()
 	}
+	g.prof.Count(qtrace.CtrRetries, 1)
 	return true
 }
 
@@ -267,7 +307,14 @@ func (g *GuardedScan) Next() (exec.Row, error) {
 		}
 	}
 	for {
+		var start time.Time
+		if g.prof != nil {
+			start = time.Now()
+		}
 		row, err := g.inner.Next()
+		if g.prof != nil {
+			g.prof.Add(g.phase, time.Since(start))
+		}
 		switch {
 		case err == nil:
 			g.emitted = true
@@ -291,7 +338,14 @@ func (g *GuardedScan) NextBatch() (*exec.Batch, error) {
 		return nil, err
 	}
 	for {
+		var start time.Time
+		if g.prof != nil {
+			start = time.Now()
+		}
 		b, err := g.inner.NextBatch()
+		if g.prof != nil {
+			g.prof.Add(g.phase, time.Since(start))
+		}
 		switch {
 		case err == nil:
 			g.emitted = true

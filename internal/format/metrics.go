@@ -1,6 +1,10 @@
 package format
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"nodb/internal/qtrace"
+)
 
 // Metrics reports the auxiliary-structure state of a raw table, used by
 // the benchmark harness and tests (cache usage, positional-map pointers,
@@ -78,6 +82,23 @@ func (tc *Counters) RetryTaken() { tc.scanRetries.Add(1) }
 // ScanModes loads the scan-mode counters (cold, warm, retries).
 func (tc *Counters) ScanModes() (cold, warm, retries int64) {
 	return tc.scansCold.Load(), tc.scansWarm.Load(), tc.scanRetries.Load()
+}
+
+// FlushProfile copies a scan's private counters into the per-query
+// profile. Scans call it in Close, immediately before Counters.Add zeroes
+// the struct — each scan (or parallel worker shard) flushes exactly once,
+// so profiles merge across workers without double counting.
+func FlushProfile(p *qtrace.Profile, c *ScanCounters) {
+	if p == nil {
+		return
+	}
+	p.Count(qtrace.CtrShortRows, c.ShortRows)
+	p.Count(qtrace.CtrTuplesParsed, c.TuplesParsed)
+	p.Count(qtrace.CtrFieldsParsed, c.FieldsParsed)
+	p.Count(qtrace.CtrFieldsFromMap, c.FieldsFromMap)
+	p.Count(qtrace.CtrFieldsFromScan, c.FieldsFromScan)
+	p.Count(qtrace.CtrCacheHits, c.CacheHits)
+	p.Count(qtrace.CtrCacheMisses, c.CacheMisses)
 }
 
 // Add publishes a scan's private counters and zeroes them.

@@ -12,6 +12,7 @@ import (
 	"nodb/internal/expr"
 	"nodb/internal/iofault"
 	"nodb/internal/posmap"
+	"nodb/internal/qtrace"
 	"nodb/internal/schema"
 	"nodb/internal/stats"
 )
@@ -379,11 +380,13 @@ func (st *State) NewScan(ctx context.Context, outCols []int, conjuncts []expr.Ex
 		}
 	}
 
+	prof := qtrace.FromContext(ctx)
 	var shared func() (ScanOperator, error)
 	if st.Cache != nil && st.Env.CacheBudget <= 0 {
 		shared = func() (ScanOperator, error) {
 			if st.FileUnchanged() && st.CacheCovers(needed) {
 				st.Counters.ScanStarted(true)
+				prof.Count(qtrace.CtrWarmScans, 1)
 				return NewCacheScan(ctx, st, outCols, conjuncts, true), nil
 			}
 			return nil, nil
@@ -404,9 +407,11 @@ func (st *State) NewScan(ctx context.Context, outCols []int, conjuncts []expr.Ex
 			// create entries, so the scan keeps the exclusive hold.)
 			readonly := st.Env.CacheBudget <= 0
 			st.Counters.ScanStarted(true)
+			prof.Count(qtrace.CtrWarmScans, 1)
 			return NewCacheScan(ctx, st, outCols, conjuncts, readonly), readonly, nil
 		}
 		st.Counters.ScanStarted(false)
+		prof.Count(qtrace.CtrColdScans, 1)
 		if w := st.ScanWorkers(); w > 1 && plan.Par != nil {
 			return plan.Par(ctx, w), false, nil
 		}

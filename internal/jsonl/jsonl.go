@@ -25,6 +25,7 @@ import (
 	"nodb/internal/expr"
 	"nodb/internal/format"
 	"nodb/internal/iofault"
+	"nodb/internal/qtrace"
 	"nodb/internal/scan"
 	"nodb/internal/schema"
 	"nodb/internal/stats"
@@ -127,11 +128,18 @@ func (p *parallelScan) start() (int, error) {
 		return 0, format.WrapFileErr(p.src.Tbl.Name, err)
 	}
 	p.f = f
+	// One IO-attributing wrapper serves every worker's SectionReader
+	// (atomic profile counters make concurrent ReadAt safe).
+	var ra io.ReaderAt = f
+	if prof := qtrace.FromContext(p.ctx); prof != nil {
+		ra = qtrace.CountReaderAt(prof, f)
+		prof.Count(qtrace.CtrWorkers, int64(len(parts)))
+	}
 	p.shards = make([]*jsonlScan, len(parts))
 	for i, part := range parts {
 		sh := newJSONLScan(p.ctx, p.src.shard(), p.outCols, p.conjuncts)
 		sh.shard = true
-		sh.section = io.NewSectionReader(f, part.Start, part.End-part.Start)
+		sh.section = io.NewSectionReader(ra, part.Start, part.End-part.Start)
 		sh.base = part.Start
 		p.shards[i] = sh
 	}

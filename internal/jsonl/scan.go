@@ -14,6 +14,7 @@ import (
 	"nodb/internal/format"
 	"nodb/internal/iofault"
 	"nodb/internal/posmap"
+	"nodb/internal/qtrace"
 	"nodb/internal/scan"
 	"nodb/internal/stats"
 )
@@ -31,6 +32,7 @@ import (
 //     binary cache.
 type jsonlScan struct {
 	ctx       context.Context
+	prof      *qtrace.Profile // nil unless the query context carries one
 	src       *Source
 	outCols   []int
 	conjuncts []expr.Expr
@@ -87,6 +89,7 @@ func newJSONLScan(ctx context.Context, src *Source, outCols []int, conjuncts []e
 	width := src.Tbl.NumColumns()
 	s := &jsonlScan{
 		ctx:       ctx,
+		prof:      qtrace.FromContext(ctx),
 		src:       src,
 		outCols:   outCols,
 		conjuncts: conjuncts,
@@ -130,6 +133,11 @@ func (s *jsonlScan) Open() error {
 		lr, f, err := scan.OpenFile(s.src.Tbl.Name, s.src.Tbl.Path, s.src.Env.ScanChunkSize)
 		if err != nil {
 			return format.WrapFileErr(s.src.Tbl.Name, err)
+		}
+		if s.prof != nil {
+			// Profiled scans read through the IO-attributing wrapper; the raw
+			// handle stays in s.f for Close.
+			lr = scan.NewLineReader(qtrace.CountReads(s.prof, f), s.src.Env.ScanChunkSize)
 		}
 		s.lr, s.f = lr, f
 	}
@@ -186,8 +194,11 @@ func (s *jsonlScan) Open() error {
 	return nil
 }
 
-// Close releases the file handle and publishes the scan's counters.
+// Close releases the file handle and publishes the scan's counters
+// (per-query profile first — Add zeroes the struct; worker shards each
+// flush once, so parallel profiles merge without double counting).
 func (s *jsonlScan) Close() error {
+	format.FlushProfile(s.prof, &s.c)
 	s.src.Counters.Add(&s.c)
 	if s.f != nil {
 		err := s.f.Close()

@@ -5,6 +5,7 @@ import (
 
 	"nodb/internal/exec"
 	"nodb/internal/expr"
+	"nodb/internal/qtrace"
 )
 
 // buildJoinTree creates the scan leaves and joins them into a left-deep
@@ -41,14 +42,16 @@ func (bi *binder) buildJoinTree(pushed [][]expr.Expr) (exec.Operator, map[int]in
 		}
 	}
 
-	// Build the scan leaves.
+	// Build the scan leaves (span-wrapped when profiling; the wrapper keeps
+	// the dual row/batch interface and RowBudgeter pushdown intact).
 	scans := make([]exec.Operator, n)
+	scanSpans := make([]*qtrace.Span, n)
 	for ti := range sk.tables {
 		op, err := bi.tbls[ti].Scan(bi.opts.Ctx, scanCols[ti], pushed[ti])
 		if err != nil {
 			return nil, nil, err
 		}
-		scans[ti] = op
+		scans[ti], scanSpans[ti] = bi.spanScan("scan "+sk.tables[ti].alias, op)
 	}
 
 	// Join order: with stats, greedily grow from the smallest estimated
@@ -109,6 +112,7 @@ func (bi *binder) buildJoinTree(pushed [][]expr.Expr) (exec.Operator, map[int]in
 	}
 
 	root := scans[order[0]]
+	bi.curSpan = scanSpans[order[0]]
 	addTable(order[0], 0)
 	width := len(scanCols[order[0]])
 	treeEst := est[order[0]]
@@ -143,14 +147,18 @@ func (bi *binder) buildJoinTree(pushed [][]expr.Expr) (exec.Operator, map[int]in
 		buildNew := bi.opts.UseStats && est[ti] <= treeEst
 		if buildNew {
 			// Build on the new (smaller) table; output = new ++ tree.
-			root = exec.NewHashJoin(scans[ti], root, newKeys, shiftRefs(treeKeys, 0))
+			root = bi.spanRow("hash join",
+				exec.NewHashJoin(scans[ti], root, newKeys, shiftRefs(treeKeys, 0)),
+				scanSpans[ti], bi.curSpan)
 			for sc, pos := range layout {
 				layout[sc] = pos + newWidth
 			}
 			addTable(ti, 0)
 		} else {
 			// Build on the accumulated tree; output = tree ++ new.
-			root = exec.NewHashJoin(root, scans[ti], treeKeys, shiftRefs(newKeys, 0))
+			root = bi.spanRow("hash join",
+				exec.NewHashJoin(root, scans[ti], treeKeys, shiftRefs(newKeys, 0)),
+				bi.curSpan, scanSpans[ti])
 			addTable(ti, width)
 		}
 		width += newWidth
@@ -233,7 +241,7 @@ func (bi *binder) buildAggregate(root exec.Operator, broot exec.BatchOperator, l
 	// A global aggregate has exactly one group; the hash/sort strategy
 	// question only exists for GROUP BY queries.
 	if !bi.opts.UseStats && len(sk.groupBy) > 0 {
-		return exec.NewSortAgg(root, rg, ra, cols), nil
+		return bi.spanRow("sort aggregate", exec.NewSortAgg(root, rg, ra, cols), bi.curSpan), nil
 	}
 	h := exec.NewHashAgg(root, rg, ra, cols)
 	if broot != nil {
@@ -242,7 +250,7 @@ func (bi *binder) buildAggregate(root exec.Operator, broot exec.BatchOperator, l
 	if hint := bi.estimateGroups(sk.groupBy); hint > 0 {
 		h.SizeHint = hint
 	}
-	return h, nil
+	return bi.spanRow("hash aggregate", h, bi.curSpan), nil
 }
 
 // estimateGroups pre-sizes the aggregation hash table: the product of the

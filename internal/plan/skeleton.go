@@ -11,6 +11,7 @@ import (
 	"nodb/internal/exec"
 	"nodb/internal/expr"
 	"nodb/internal/kernel"
+	"nodb/internal/qtrace"
 	"nodb/internal/sqlparse"
 )
 
@@ -221,6 +222,12 @@ type binder struct {
 	sk   *Skeleton
 	opts Options
 	tbls []Table // access methods re-resolved for this execution
+
+	// Profiling (nil when the context carries no qtrace profile — the
+	// default): curSpan tracks the span of the current pipeline top as
+	// operators stack, so each wrapper's span parents the one below.
+	prof    *qtrace.Profile
+	curSpan *qtrace.Span
 }
 
 // Bind assembles an executable plan from the skeleton for one execution:
@@ -249,7 +256,7 @@ func (sk *Skeleton) bindResolved(tbls []Table, opts Options) (*Result, error) {
 	if opts.Ctx == nil {
 		opts.Ctx = context.Background()
 	}
-	bi := &binder{sk: sk, opts: opts, tbls: tbls}
+	bi := &binder{sk: sk, opts: opts, tbls: tbls, prof: qtrace.FromContext(opts.Ctx)}
 	return bi.bind()
 }
 
@@ -310,11 +317,12 @@ func (bi *binder) bind() (*Result, error) {
 			fusedPred = re
 			bleaf = nil
 		case broot != nil:
-			broot = exec.NewBatchFilter(broot, re)
+			broot = bi.spanBatch("filter", exec.NewBatchFilter(broot, re),
+				qtrace.CtrGenericBatches, true, bi.curSpan)
 			root = exec.NewBatchRows(broot)
 			bleaf = nil
 		default:
-			root = exec.NewFilter(root, re)
+			root = bi.spanRow("filter", exec.NewFilter(root, re), bi.curSpan)
 		}
 	}
 
@@ -352,20 +360,22 @@ func (bi *binder) bind() (*Result, error) {
 	}
 	if broot != nil {
 		if kc != nil {
-			broot = kernel.NewFused(kc, broot, fusedPred, outExprs, outCols)
+			broot = bi.spanBatch("fused project", kernel.NewFused(kc, broot, fusedPred, outExprs, outCols),
+				qtrace.CtrKernelBatches, true, bi.curSpan)
 		} else {
-			broot = exec.NewBatchProject(broot, outExprs, outCols)
+			broot = bi.spanBatch("project", exec.NewBatchProject(broot, outExprs, outCols),
+				qtrace.CtrGenericBatches, true, bi.curSpan)
 		}
 		root = exec.NewBatchRows(broot)
 	} else {
-		root = exec.NewProject(root, outExprs, outCols)
+		root = bi.spanRow("project", exec.NewProject(root, outExprs, outCols), bi.curSpan)
 	}
 
 	// ORDER BY over the projection output (sort materializes rows, so the
 	// batch pipeline ends here when present; root already mirrors it).
 	if len(sk.orderBy) > 0 {
 		broot = nil
-		root = exec.NewSort(root, sk.orderBy)
+		root = bi.spanRow("sort", exec.NewSort(root, sk.orderBy), bi.curSpan)
 	}
 
 	// LIMIT. When the batch pipeline between the scan leaf and the limit
@@ -378,10 +388,14 @@ func (bi *binder) bind() (*Result, error) {
 			if bleaf != nil {
 				bleaf.SetRowBudget(sk.limit)
 			}
-			root = exec.NewBatchRows(exec.NewBatchLimit(broot, sk.limit))
+			bl := bi.spanBatch("limit", exec.NewBatchLimit(broot, sk.limit), 0, false, bi.curSpan)
+			root = exec.NewBatchRows(bl)
 		} else {
-			root = exec.NewLimit(root, sk.limit)
+			root = bi.spanRow("limit", exec.NewLimit(root, sk.limit), bi.curSpan)
 		}
+	}
+	if bi.prof != nil {
+		bi.prof.SetRoot(bi.curSpan)
 	}
 	return &Result{Root: root, Cols: outCols}, nil
 }

@@ -1,0 +1,26 @@
+package qtrace
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying p. Passing a nil profile returns
+// ctx unchanged, so callers can thread conditionally without branching.
+func NewContext(ctx context.Context, p *Profile) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, p)
+}
+
+// FromContext returns the profile carried by ctx, or nil. This single
+// lookup is the entire cost of disabled profiling: every component calls
+// it once at construction time, caches the (usually nil) pointer, and all
+// Profile methods no-op on nil.
+func FromContext(ctx context.Context) *Profile {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(ctxKey{}).(*Profile)
+	return p
+}

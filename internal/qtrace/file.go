@@ -1,0 +1,57 @@
+package qtrace
+
+import (
+	"io"
+	"time"
+)
+
+// CountReads wraps r so every sequential read is attributed to p: call
+// count, bytes, and time inside the read (PhaseIO). When p is nil the
+// original reader is returned untouched — the disabled path keeps the
+// exact concrete type and costs nothing. Call sites wrap only the reader
+// they feed the tokenizer and keep the raw file handle for Close/Stat.
+func CountReads(p *Profile, r io.Reader) io.Reader {
+	if p == nil {
+		return r
+	}
+	return &countReader{r: r, p: p}
+}
+
+// CountReaderAt wraps r (typically an iofault.File feeding SectionReader
+// shards) so concurrent positioned reads are attributed to p. All
+// mutation is atomic on the shared profile, so one wrapper may serve many
+// worker goroutines.
+func CountReaderAt(p *Profile, r io.ReaderAt) io.ReaderAt {
+	if p == nil {
+		return r
+	}
+	return &countReaderAt{r: r, p: p}
+}
+
+type countReader struct {
+	r io.Reader
+	p *Profile
+}
+
+func (c *countReader) Read(b []byte) (int, error) {
+	start := time.Now()
+	n, err := c.r.Read(b)
+	c.p.Add(PhaseIO, time.Since(start))
+	c.p.Count(CtrIOReads, 1)
+	c.p.Count(CtrIOBytes, int64(n))
+	return n, err
+}
+
+type countReaderAt struct {
+	r io.ReaderAt
+	p *Profile
+}
+
+func (c *countReaderAt) ReadAt(b []byte, off int64) (int, error) {
+	start := time.Now()
+	n, err := c.r.ReadAt(b, off)
+	c.p.Add(PhaseIO, time.Since(start))
+	c.p.Count(CtrIOReads, 1)
+	c.p.Count(CtrIOBytes, int64(n))
+	return n, err
+}

@@ -1,0 +1,86 @@
+package qtrace
+
+import "sync"
+
+// Inspector tracks the queries currently executing plus a ring buffer of
+// the last N completed profiles. nodbd serves it at /debug/queries; the
+// embedded API can use it directly for the same live view.
+type Inspector struct {
+	mu      sync.Mutex
+	running map[uint64]*Profile
+	ring    []Snapshot // completed, oldest overwritten first
+	next    int
+	filled  bool
+}
+
+// NewInspector creates an inspector keeping the last n completed
+// profiles (n <= 0 defaults to 64).
+func NewInspector(n int) *Inspector {
+	if n <= 0 {
+		n = 64
+	}
+	return &Inspector{
+		running: make(map[uint64]*Profile),
+		ring:    make([]Snapshot, n),
+	}
+}
+
+// Start registers p as currently executing.
+func (i *Inspector) Start(p *Profile) {
+	if i == nil || p == nil {
+		return
+	}
+	i.mu.Lock()
+	i.running[p.id] = p
+	i.mu.Unlock()
+}
+
+// Finish moves p from the running set into the completed ring and returns
+// its final snapshot. Safe to call for profiles never Started.
+func (i *Inspector) Finish(p *Profile) Snapshot {
+	if i == nil || p == nil {
+		return Snapshot{}
+	}
+	p.Finish()
+	snap := p.Snapshot()
+	i.mu.Lock()
+	delete(i.running, p.id)
+	i.ring[i.next] = snap
+	i.next++
+	if i.next == len(i.ring) {
+		i.next = 0
+		i.filled = true
+	}
+	i.mu.Unlock()
+	return snap
+}
+
+// View returns live snapshots of running queries (each with its current
+// phase) and the completed ring, most recent first.
+func (i *Inspector) View() (running, recent []Snapshot) {
+	if i == nil {
+		return nil, nil
+	}
+	i.mu.Lock()
+	profs := make([]*Profile, 0, len(i.running))
+	for _, p := range i.running {
+		profs = append(profs, p)
+	}
+	n := i.next
+	if i.filled {
+		n = len(i.ring)
+	}
+	recent = make([]Snapshot, 0, n)
+	for k := 0; k < n; k++ {
+		idx := i.next - 1 - k
+		if idx < 0 {
+			idx += len(i.ring)
+		}
+		recent = append(recent, i.ring[idx])
+	}
+	i.mu.Unlock()
+	for _, p := range profs {
+		running = append(running, p.Snapshot())
+	}
+	return running, recent
+}

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"nodb"
+	"nodb/internal/qtrace"
 )
 
 // maxRequestBody bounds the /query request body; SQL text and bindings
@@ -147,11 +149,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		args = append(args, sql.Named(name, v))
 	}
 
-	// Admission: bounded slots, bounded queue, typed rejections.
+	// Every query runs under an execution profile: it feeds the
+	// /debug/queries live view and ring, the slow-query log, and — when
+	// the request asks with ?profile=1 — a trailer on the NDJSON stream.
+	prof := qtrace.New(req.SQL)
+	s.insp.Start(prof)
+	defer func() {
+		snap := s.insp.Finish(prof)
+		if s.cfg.SlowQuery > 0 && time.Duration(snap.WallNS) >= s.cfg.SlowQuery {
+			s.cfg.SlowLogf("slow query (%.1fms): %s\n\t%s",
+				float64(snap.WallNS)/1e6, snap.SQL,
+				strings.Join(snap.RenderText(true), "\n\t"))
+		}
+	}()
+	wantProfile := r.URL.Query().Get("profile") == "1"
+
+	// Admission: bounded slots, bounded queue, typed rejections. Wait time
+	// lands in the profile's queue phase, so the server's account and the
+	// engine's reconcile: queue + plan + bind + execute ≈ wall.
 	waitStart := time.Now()
+	endQueue := prof.Enter(qtrace.PhaseQueue)
 	release, err := s.adm.acquire(r.Context())
+	endQueue()
 	s.m.queueWait.Observe(time.Since(waitStart).Seconds())
 	if err != nil {
+		prof.SetError(err.Error())
 		switch {
 		case errors.Is(err, errQueueFull):
 			s.m.rejected.With("queue_full").Inc()
@@ -182,6 +204,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	ctx = qtrace.NewContext(ctx, prof)
 
 	maxRows := s.cfg.DefaultMaxRows
 	if req.MaxRows > 0 && (maxRows == 0 || req.MaxRows < maxRows) {
@@ -241,7 +264,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer rows.Close()
 
-	s.streamRows(ctx, cancel, w, rows, maxRows, start, finish)
+	s.streamRows(ctx, cancel, w, rows, maxRows, start, finish, prof, wantProfile)
 }
 
 // streamRows writes the NDJSON response: a header line with the result
@@ -249,7 +272,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // the stream by cancelling the query context, so the engine's cursor
 // tears down the same way a client disconnect would.
 func (s *Server) streamRows(ctx context.Context, cancel context.CancelFunc, w http.ResponseWriter,
-	rows *nodb.Rows, maxRows int64, start time.Time, finish func(string, error)) {
+	rows *nodb.Rows, maxRows int64, start time.Time, finish func(string, error),
+	prof *qtrace.Profile, wantProfile bool) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -324,6 +348,12 @@ func (s *Server) streamRows(ctx context.Context, cancel context.CancelFunc, w ht
 			Truncated: truncated,
 			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 		})
+	}
+	if wantProfile {
+		// Close the cursor first so the execute phase and row counters are
+		// final, then append the profile as one extra NDJSON line.
+		rows.Close()
+		_ = enc.Encode(map[string]any{"profile": prof.Snapshot()})
 	}
 	s.m.bytesReturned.Add(cw.n)
 	if flusher != nil {

@@ -17,18 +17,27 @@
 //	GET  /metrics      → Prometheus text exposition
 //	GET  /healthz      → 200 ok (503 while draining)
 //	POST /checkpoint   → force a sidecar flush of all dirty adaptive state
+//	GET  /debug/queries → queries running now (with live phase) + last N
+//	                   completed execution profiles
+//
+// Every query runs under a qtrace profile: /query?profile=1 appends the
+// profile as a final NDJSON line, /debug/queries exposes the ring of
+// recent profiles, and queries slower than Config.SlowQuery log their
+// full profile.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"time"
 
 	"nodb"
 	"nodb/internal/metrics"
+	"nodb/internal/qtrace"
 )
 
 // Config sizes the server's protection limits. Zero values take the
@@ -64,6 +73,14 @@ type Config struct {
 	MaxSessions     int
 	MaxSessionStmts int
 
+	// SlowQuery logs the full execution profile of any query whose wall
+	// time crosses this threshold (0 = disabled). SlowLogf receives the
+	// formatted report (default log.Printf). ProfileRing sizes the
+	// /debug/queries ring of completed query profiles (default 64).
+	SlowQuery   time.Duration
+	SlowLogf    func(format string, args ...any)
+	ProfileRing int
+
 	// Registry receives all instruments; a fresh one is created when nil.
 	Registry *metrics.Registry
 }
@@ -93,6 +110,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessionStmts <= 0 {
 		c.MaxSessionStmts = 64
 	}
+	if c.SlowLogf == nil {
+		c.SlowLogf = log.Printf
+	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
@@ -107,6 +127,7 @@ type Server struct {
 	adm      *admission
 	sessions *sessionManager
 	m        *serverMetrics
+	insp     *qtrace.Inspector
 	mux      *http.ServeMux
 	stopJan  chan struct{}
 }
@@ -124,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 		db:      cfg.DB,
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
 		m:       m,
+		insp:    qtrace.NewInspector(cfg.ProfileRing),
 		mux:     http.NewServeMux(),
 		stopJan: make(chan struct{}),
 	}
@@ -143,6 +165,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 
 	go s.janitor()
 	return s, nil
@@ -298,6 +321,20 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		"checkpoints":   sc.Checkpoints,
 		"bytes_written": sc.BytesWritten,
 	})
+}
+
+// handleDebugQueries (GET /debug/queries) is the live query view: every
+// query currently executing — with the phase it is in right now — plus
+// the ring of the last ProfileRing completed profiles, most recent first.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	running, recent := s.insp.View()
+	if running == nil {
+		running = []qtrace.Snapshot{}
+	}
+	if recent == nil {
+		recent = []qtrace.Snapshot{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"running": running, "recent": recent})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

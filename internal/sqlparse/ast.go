@@ -280,6 +280,28 @@ func (ins *Insert) String() string {
 	return sb.String()
 }
 
+// Explain wraps a SELECT for plan inspection: EXPLAIN renders the
+// operator tree the statement would run; EXPLAIN ANALYZE executes it and
+// annotates the tree with the qtrace profile (per-operator rows/batches/
+// time plus phase and counter totals).
+type Explain struct {
+	Analyze bool
+	Stmt    *Select
+
+	// NumParams is the number of positional parameters ($n / ?) the
+	// statement takes; ParamNames lists its :name parameters in order of
+	// first appearance.
+	NumParams  int
+	ParamNames []string
+}
+
+func (e *Explain) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Stmt.String()
+	}
+	return "EXPLAIN " + e.Stmt.String()
+}
+
 // Select is a parsed SELECT statement.
 type Select struct {
 	Items   []SelectItem

@@ -36,6 +36,7 @@ var keywords = map[string]bool{
 	"ON": true, "DATE": true, "INTERVAL": true, "DAY": true, "MONTH": true,
 	"YEAR": true, "TRUE": true, "FALSE": true, "DISTINCT": true,
 	"INSERT": true, "INTO": true, "VALUES": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // lex splits input into tokens.

@@ -18,10 +18,10 @@ func Parse(sql string) (*Select, error) {
 	return sel, nil
 }
 
-// Statement is any parsed SQL statement (*Select or *Insert).
+// Statement is any parsed SQL statement (*Select, *Insert or *Explain).
 type Statement interface{ String() string }
 
-// ParseStatement parses one SELECT or INSERT statement.
+// ParseStatement parses one SELECT, INSERT or EXPLAIN [ANALYZE] statement.
 func ParseStatement(sql string) (Statement, error) {
 	toks, err := lex(sql)
 	if err != nil {
@@ -29,9 +29,12 @@ func ParseStatement(sql string) (Statement, error) {
 	}
 	p := &parser{toks: toks}
 	var stmt Statement
-	if t := p.peek(); t.kind == tkKeyword && t.text == "INSERT" {
+	switch t := p.peek(); {
+	case t.kind == tkKeyword && t.text == "INSERT":
 		stmt, err = p.parseInsert()
-	} else {
+	case t.kind == tkKeyword && t.text == "EXPLAIN":
+		stmt, err = p.parseExplain()
+	default:
 		stmt, err = p.parseSelect()
 	}
 	if err != nil {
@@ -48,8 +51,29 @@ func ParseStatement(sql string) (Statement, error) {
 		s.NumParams, s.ParamNames = p.numParams(), p.paramNames
 	case *Insert:
 		s.NumParams, s.ParamNames = p.numParams(), p.paramNames
+	case *Explain:
+		s.NumParams, s.ParamNames = p.numParams(), p.paramNames
+		s.Stmt.NumParams, s.Stmt.ParamNames = s.NumParams, s.ParamNames
 	}
 	return stmt, nil
+}
+
+// parseExplain handles EXPLAIN [ANALYZE] <select>.
+func (p *parser) parseExplain() (*Explain, error) {
+	if err := p.expectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	e := &Explain{}
+	if t := p.peek(); t.kind == tkKeyword && t.text == "ANALYZE" {
+		p.next()
+		e.Analyze = true
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	e.Stmt = sel
+	return e, nil
 }
 
 // parseInsert handles INSERT INTO table VALUES (lit, ...), (...).

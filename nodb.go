@@ -42,6 +42,7 @@ import (
 	"nodb/internal/core"
 	"nodb/internal/datum"
 	"nodb/internal/format"
+	"nodb/internal/qtrace"
 	"nodb/internal/schema"
 )
 
@@ -469,6 +470,30 @@ func (db *DB) Prewarm(table string, columns ...string) error {
 // to rebuild it. Appends to raw files do NOT require this — they are
 // picked up automatically; call it after in-place edits.
 func (db *DB) Invalidate(table string) { db.eng.Invalidate(table) }
+
+// Profile is a point-in-time view of one query's execution profile:
+// where its time went (plan, bind, execute; lock waits, raw vs cache
+// scanning, file IO), what it did (tuples tokenized, fields parsed vs
+// served from the positional map or cache, IO bytes, worker count), and
+// the annotated operator tree. Obtain one with WithProfile + Rows.Profile,
+// or through EXPLAIN ANALYZE.
+type Profile = qtrace.Snapshot
+
+// WithProfile returns a context that carries a fresh per-query execution
+// profile. Run exactly one query with the returned context and read the
+// result through Rows.Profile after draining the cursor:
+//
+//	ctx := nodb.WithProfile(context.Background())
+//	rows, err := db.QueryContext(ctx, "SELECT ...")
+//	...drain rows...
+//	p := rows.Profile()
+//
+// Profiling costs one branch per operator construction when disabled and
+// a few atomic adds per batch when enabled; the raw scan hot path is
+// untouched either way.
+func WithProfile(ctx context.Context) context.Context {
+	return qtrace.NewContext(ctx, qtrace.New(""))
+}
 
 // Metrics reports the adaptive-structure state of a raw table.
 type Metrics = core.TableMetrics

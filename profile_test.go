@@ -1,0 +1,138 @@
+package nodb
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestExplainAnalyze runs the same statement cold then warm and checks
+// that the profile makes the paper's cost shift visible: the first
+// execution parses raw bytes (tuples tokenized, raw-scan time), the
+// second is served from the binary cache (cache hits, no tokenizing).
+func TestExplainAnalyze(t *testing.T) {
+	db, err := Open(testCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	run := func() string {
+		t.Helper()
+		res, err := db.Query("EXPLAIN ANALYZE SELECT city, count(*) FROM trips GROUP BY city")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Columns) != 1 {
+			t.Fatalf("explain columns = %+v", res.Columns)
+		}
+		var sb strings.Builder
+		for _, row := range res.Rows {
+			sb.WriteString(row[0].Text())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+
+	cold := run()
+	t.Logf("cold:\n%s", cold)
+	for _, want := range []string{"hash aggregate", "scan trips", "Parse: tuples=100", "Execution:", "access=raw recording", "cold=1"} {
+		if !strings.Contains(cold, want) {
+			t.Errorf("cold explain missing %q", want)
+		}
+	}
+
+	warm := run()
+	t.Logf("warm:\n%s", warm)
+	for _, want := range []string{"access=cache shared", "Cache: hits=100", "warm=1"} {
+		if !strings.Contains(warm, want) {
+			t.Errorf("warm explain missing %q", want)
+		}
+	}
+	if !strings.Contains(warm, "Parse: tuples=0") {
+		t.Errorf("warm explain still tokenizes raw tuples:\n%s", warm)
+	}
+}
+
+// TestExplainNoExecute checks that plain EXPLAIN renders the plan shape
+// without running the query (no adaptive state may appear).
+func TestExplainNoExecute(t *testing.T) {
+	db, err := Open(testCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	res, err := db.Query("EXPLAIN SELECT id FROM trips WHERE id < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		sb.WriteString(row[0].Text())
+		sb.WriteByte('\n')
+	}
+	out := sb.String()
+	t.Logf("explain:\n%s", out)
+	if !strings.Contains(out, "scan trips") {
+		t.Errorf("explain missing scan node:\n%s", out)
+	}
+	if strings.Contains(out, "Execution:") {
+		t.Errorf("plain EXPLAIN rendered execution stats:\n%s", out)
+	}
+	if m := db.Metrics("trips"); m.ColdScans != 0 || m.TuplesParsed != 0 {
+		t.Errorf("plain EXPLAIN executed the query: metrics %+v", m)
+	}
+}
+
+// TestRowsProfile exercises the WithProfile + Rows.Profile public path.
+func TestRowsProfile(t *testing.T) {
+	db, err := Open(testCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx := WithProfile(context.Background())
+	rows, err := db.QueryContext(ctx, "SELECT id FROM trips WHERE id < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	p := rows.Profile()
+	if p == nil {
+		t.Fatal("Profile() = nil with WithProfile context")
+	}
+	if p.Ctrs.RowsOut != int64(n) || n != 10 {
+		t.Errorf("RowsOut = %d, streamed %d", p.Ctrs.RowsOut, n)
+	}
+	if p.Running {
+		t.Error("profile still running after drain")
+	}
+	if p.Phases.ExecuteNS <= 0 {
+		t.Errorf("ExecuteNS = %d", p.Phases.ExecuteNS)
+	}
+	if p.Ctrs.TuplesParsed == 0 {
+		t.Errorf("cold scan parsed no tuples: %+v", p.Ctrs)
+	}
+	if p.SQL == "" || p.WallNS <= 0 {
+		t.Errorf("snapshot incomplete: %+v", p)
+	}
+
+	// Without WithProfile there is no profile and no overhead path.
+	rows2, err := db.QueryContext(context.Background(), "SELECT id FROM trips LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows2.Next() {
+	}
+	if rows2.Profile() != nil {
+		t.Error("Profile() != nil without WithProfile")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"nodb/internal/core"
 	"nodb/internal/datum"
 	"nodb/internal/exec"
+	"nodb/internal/qtrace"
 )
 
 // Rows is a streaming cursor over a query's result, in the style of
@@ -34,6 +35,10 @@ type Rows struct {
 	cur  []Value
 	err  error
 	done bool
+
+	prof    *qtrace.Profile // nil unless the context carried one
+	endExec func()          // closes the execute phase; set iff prof != nil
+	nrows   int64           // rows delivered, flushed to prof at close
 }
 
 // Columns describes the result schema.
@@ -56,6 +61,7 @@ func (r *Rows) Next() bool {
 		return false
 	}
 	r.cur = row
+	r.nrows++
 	return true
 }
 
@@ -103,6 +109,26 @@ func (r *Rows) close(err error) {
 		err = cerr
 	}
 	r.err = err
+	if r.prof != nil {
+		r.endExec()
+		r.prof.Count(qtrace.CtrRowsOut, r.nrows)
+		if err != nil {
+			r.prof.SetError(err.Error())
+		}
+		r.prof.Finish()
+	}
+}
+
+// Profile returns a point-in-time view of the query's execution profile,
+// or nil when the query ran without one (see WithProfile). Call it after
+// the stream ends for a complete account; calling it mid-stream reports
+// the live phase and the counters so far.
+func (r *Rows) Profile() *Profile {
+	if r.prof == nil {
+		return nil
+	}
+	s := r.prof.Snapshot()
+	return &s
 }
 
 // scanValue converts one datum into a destination pointer.
@@ -350,20 +376,39 @@ func (db *DB) QueryContext(ctx context.Context, query string, args ...any) (*Row
 }
 
 // queryPrepared plans, opens and wraps an execution into a Rows cursor.
+// When ctx carries a query profile (WithProfile, or the server's
+// per-query tracing), planning and binding attribute themselves inside
+// Plan; the execute phase opens here and closes with the cursor.
 func (db *DB) queryPrepared(ctx context.Context, p *core.Prepared, pos []datum.Datum, named map[string]datum.Datum) (*Rows, error) {
+	prof := qtrace.FromContext(ctx)
+	prof.SetSQL(p.Text())
 	op, cols, err := p.Plan(ctx, pos, named)
 	if err != nil {
+		if prof != nil {
+			prof.SetError(err.Error())
+			prof.Finish()
+		}
 		return nil, err
 	}
+	endExec := prof.Enter(qtrace.PhaseExecute)
 	if err := op.Open(); err != nil {
 		op.Close() // release any partially acquired resources
+		endExec()
+		if prof != nil {
+			prof.SetError(err.Error())
+			prof.Finish()
+		}
 		return nil, err
 	}
 	out := make([]Column, len(cols))
 	for i, c := range cols {
 		out[i] = Column{Name: c.Name, Type: c.Type}
 	}
-	return &Rows{op: op, cols: out}, nil
+	r := &Rows{op: op, cols: out}
+	if prof != nil {
+		r.prof, r.endExec = prof, endExec
+	}
+	return r, nil
 }
 
 // ExecContext runs any supported statement with parameters and returns the

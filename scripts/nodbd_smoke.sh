@@ -82,6 +82,38 @@ kill $SLOW_PIDS 2>/dev/null || true
 wait $SLOW_PIDS 2>/dev/null || true
 SLOW_PIDS=""
 
+echo "== profile trailer (?profile=1) =="
+PROF=$(curl -sf -X POST "$BASE/query?profile=1" \
+  -d '{"sql": "SELECT count(*) FROM nation"}')
+LAST=$(echo "$PROF" | tail -1)
+echo "$LAST" | grep -q '"profile"' || fail "no profile trailer: $PROF"
+for k in '"wall_ns"' '"phases"' '"counters"' '"rows_out"' '"execute_ns"'; do
+  echo "$LAST" | grep -q "$k" || fail "profile trailer missing $k: $LAST"
+done
+# The profile rides after the normal trailer, so existing clients see an
+# unchanged stream.
+echo "$PROF" | tail -2 | head -1 | grep -q '"rows":1' || fail "normal trailer not preserved before profile: $PROF"
+NOPROF=$(curl -sf -X POST "$BASE/query" -d '{"sql": "SELECT count(*) FROM nation"}')
+echo "$NOPROF" | grep -q '"profile"' && fail "profile trailer leaked without ?profile=1: $NOPROF"
+
+echo "== /debug/queries: completed + in-flight =="
+curl -sf "$BASE/debug/queries" >"$WORK/dq.json"
+grep -q 'FROM nation' "$WORK/dq.json" || fail "completed query missing from /debug/queries: $(cat "$WORK/dq.json")"
+# A slow reader pins a query in flight; it must show up under running[]
+# with its live phase.
+curl -s --limit-rate 20k -X POST "$BASE/query" -d '{"sql": "SELECT * FROM lineitem"}' -o /dev/null &
+SLOW_PIDS="$!"
+for i in $(seq 1 100); do
+  curl -s "$BASE/debug/queries" >"$WORK/dq.json"
+  grep -q '"running":\[{' "$WORK/dq.json" && break
+  [ "$i" = 100 ] && fail "in-flight query never appeared in /debug/queries"
+  sleep 0.1
+done
+grep -q '"phase"' "$WORK/dq.json" || fail "running entry has no live phase: $(cat "$WORK/dq.json")"
+kill $SLOW_PIDS 2>/dev/null || true
+wait $SLOW_PIDS 2>/dev/null || true
+SLOW_PIDS=""
+
 echo "== metrics exposition =="
 curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
 FAMILIES=$(grep -c '^# TYPE ' "$WORK/metrics.txt")
@@ -105,6 +137,29 @@ done
 wait "$NODBD_PID" 2>/dev/null && RC=0 || RC=$?
 [ "$RC" = 0 ] || fail "server exited with $RC after SIGTERM"
 grep -q "drained clean" "$WORK/nodbd.log" || fail "no clean-drain log line"
+NODBD_PID=""
+
+echo "== slow-query log fires under injected iofault latency =="
+# A fresh instance injects 50ms per raw-file I/O through the iofault seam;
+# a single-worker cold lineitem scan (~8 reads) then reliably exceeds the
+# 200ms threshold and its full profile must land in the log.
+"$WORK/nodbd" -schema "$WORK/tpch/schema.nodb" -listen "127.0.0.1:${PORT}" \
+  -parallel 1 -slow-query 200ms -iofault-latency 50ms \
+  >"$WORK/nodbd.log" 2>&1 &
+NODBD_PID=$!
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && fail "slow-query server did not come up"
+  sleep 0.1
+done
+curl -sf -X POST "$BASE/query" \
+  -d '{"sql": "SELECT count(*) FROM lineitem WHERE l_quantity < 10"}' >/dev/null \
+  || fail "query against latency-injected server failed"
+grep -q "slow query" "$WORK/nodbd.log" || fail "slow-query log did not fire: $(cat "$WORK/nodbd.log")"
+grep -q "Execution:" "$WORK/nodbd.log" || fail "slow-query log has no rendered profile"
+grep -q "FROM lineitem" "$WORK/nodbd.log" || fail "slow-query log names the wrong statement"
+kill -9 "$NODBD_PID" 2>/dev/null || true
+wait "$NODBD_PID" 2>/dev/null || true
 NODBD_PID=""
 
 echo "PASS: nodbd integration smoke"
